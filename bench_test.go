@@ -1,0 +1,184 @@
+// Benchmarks: one macro-benchmark per paper figure (regenerating the
+// figure's measurement loop at bench scale) plus micro-benchmarks for the
+// hot paths. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// For full-scale figure regeneration use cmd/hsqbench instead; these benches
+// exist so `go test -bench` exercises every experiment end to end.
+package hsq_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+// benchScale keeps figure benches fast while still touching disk, merges
+// and queries.
+var benchScale = experiments.Scale{
+	Name: "bench", Steps: 6, BatchSize: 2000, StreamSize: 2000,
+	Repeats: 1, MemFractions: []float64{0.2},
+	Kappas: []int{2, 3}, BlockSize: 1024,
+	Datasets: []string{"uniform"},
+}
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(id, benchScale, io.Discard, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4Accuracy(b *testing.B)        { benchFigure(b, "4") }
+func BenchmarkFig5AccuracyVsKappa(b *testing.B) { benchFigure(b, "5") }
+func BenchmarkFig6UpdateTime(b *testing.B)      { benchFigure(b, "6") }
+func BenchmarkFig7UpdateVsKappa(b *testing.B)   { benchFigure(b, "7") }
+func BenchmarkFig8DiskAccessCDF(b *testing.B)   { benchFigure(b, "8") }
+func BenchmarkFig9QueryVsMemory(b *testing.B)   { benchFigure(b, "9") }
+func BenchmarkFig10QueryVsKappa(b *testing.B)   { benchFigure(b, "10") }
+func BenchmarkFig11Windows(b *testing.B)        { benchFigure(b, "11") }
+func BenchmarkFig12HistScaling(b *testing.B)    { benchFigure(b, "12") }
+func BenchmarkFig13StreamScaling(b *testing.B)  { benchFigure(b, "13") }
+func BenchmarkAblationSplit(b *testing.B)       { benchFigure(b, "ablation-split") }
+func BenchmarkAblationPinning(b *testing.B)     { benchFigure(b, "ablation-pinning") }
+func BenchmarkAblationIOBudget(b *testing.B)    { benchFigure(b, "ablation-iobudget") }
+func BenchmarkAblationBaselines(b *testing.B)   { benchFigure(b, "baselines") }
+func BenchmarkTheoryComparison(b *testing.B)    { benchFigure(b, "theory") }
+
+// --- micro-benchmarks --------------------------------------------------
+
+// benchEngine builds a loaded engine for query benchmarks.
+func benchEngine(b *testing.B, eps float64, steps, batch, stream int) *hsq.Engine {
+	b.Helper()
+	eng, err := hsq.New(hsq.Config{Epsilon: eps, Kappa: 10, Dir: b.TempDir(), BlockSize: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewUniform(1)
+	for s := 0; s < steps; s++ {
+		eng.ObserveSlice(workload.Fill(gen, batch))
+		if _, err := eng.EndStep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	eng.ObserveSlice(workload.Fill(gen, stream))
+	return eng
+}
+
+func BenchmarkObserve(b *testing.B) {
+	eng, err := hsq.New(hsq.Config{Epsilon: 0.01, Kappa: 10, Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewUniform(2)
+	vals := workload.Fill(gen, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Observe(vals[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkEndStep(b *testing.B) {
+	eng, err := hsq.New(hsq.Config{Epsilon: 0.01, Kappa: 10, Dir: b.TempDir(), BlockSize: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewUniform(3)
+	batch := workload.Fill(gen, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.ObserveSlice(batch)
+		if _, err := eng.EndStep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAccurateQuery(b *testing.B) {
+	eng := benchEngine(b, 0.01, 10, 20000, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		phi := 0.1 + 0.8*float64(i%9)/9
+		if _, _, err := eng.Quantile(phi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAccurateQueryParallel(b *testing.B) {
+	eng, err := hsq.New(hsq.Config{
+		Epsilon: 0.01, Kappa: 10, Dir: b.TempDir(), BlockSize: 4096, ParallelQuery: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewUniform(4)
+	for s := 0; s < 10; s++ {
+		eng.ObserveSlice(workload.Fill(gen, 20000))
+		if _, err := eng.EndStep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	eng.ObserveSlice(workload.Fill(gen, 5000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		phi := 0.1 + 0.8*float64(i%9)/9
+		if _, _, err := eng.Quantile(phi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuickQuery(b *testing.B) {
+	eng := benchEngine(b, 0.01, 10, 20000, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		phi := 0.1 + 0.8*float64(i%9)/9
+		if _, err := eng.QuantileQuick(phi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWindowQuery(b *testing.B) {
+	eng := benchEngine(b, 0.01, 13, 10000, 2000)
+	wins := eng.AvailableWindows()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.WindowQuantile(0.5, wins[i%len(wins)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUpdateAmortized reports the per-element amortized loading cost
+// across enough steps to include multi-level merges (Lemma 6).
+func BenchmarkUpdateAmortized(b *testing.B) {
+	for _, kappa := range []int{2, 10} {
+		b.Run(fmt.Sprintf("kappa=%d", kappa), func(b *testing.B) {
+			eng, err := hsq.New(hsq.Config{Epsilon: 0.01, Kappa: kappa, Dir: b.TempDir(), BlockSize: 4096})
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen := workload.NewUniform(5)
+			batch := workload.Fill(gen, 5000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.ObserveSlice(batch)
+				if _, err := eng.EndStep(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			io := eng.DiskStats()
+			b.ReportMetric(float64(io.Total())/float64(b.N), "blockIO/step")
+		})
+	}
+}

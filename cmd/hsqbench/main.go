@@ -1,0 +1,57 @@
+// Command hsqbench regenerates the paper's evaluation figures and the
+// repository's ablations at a chosen scale.
+//
+// Usage:
+//
+//	hsqbench [-figure all|4|5|...|13|ablation-split|ablation-pinning|baselines|theory]
+//	         [-scale small|medium|large] [-out results/]
+//
+// Each figure prints one aligned text table per panel (matching the paper's
+// figure layout) and, with -out, writes one CSV per panel.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "hsqbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		figure = flag.String("figure", "all", "figure id to regenerate, or 'all'")
+		scale  = flag.String("scale", "medium", "experiment scale: small|medium|large")
+		out    = flag.String("out", "", "directory for CSV output (optional)")
+		list   = flag.Bool("list", false, "list available figures and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.FigureIDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	sc, err := experiments.ScaleByName(*scale)
+	if err != nil {
+		return err
+	}
+	ids := []string{*figure}
+	if *figure == "all" {
+		ids = experiments.FigureIDs()
+	}
+	for _, id := range ids {
+		if err := experiments.Run(id, sc, os.Stdout, *out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

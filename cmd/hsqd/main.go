@@ -1,0 +1,220 @@
+// Command hsqd exposes an Engine over HTTP — a minimal "data stream
+// warehouse" service in the spirit of the paper's deployment setting
+// (Figure 1): producers POST stream elements, a scheduler POSTs step
+// boundaries, and dashboards GET quantiles.
+//
+// Endpoints:
+//
+//	POST /observe   body: newline-separated integers
+//	POST /endstep   (no body) — load the current batch into the warehouse
+//	GET  /quantile?phi=0.99[&quick=1][&window=K]
+//	GET  /stats
+//
+// Usage:
+//
+//	hsqd -dir /var/lib/hsq -epsilon 0.001 -kappa 10 -addr :8080
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		dir     = flag.String("dir", "", "warehouse directory (required)")
+		epsilon = flag.Float64("epsilon", 0.001, "approximation parameter ε")
+		kappa   = flag.Int("kappa", 10, "merge threshold κ")
+		addr    = flag.String("addr", ":8080", "listen address")
+		resume  = flag.Bool("resume", false, "resume from an existing checkpoint in -dir")
+	)
+	flag.Parse()
+	if *dir == "" {
+		log.Fatal("hsqd: -dir is required")
+	}
+	srv, err := newServer(*dir, *epsilon, *kappa, *resume)
+	if err != nil {
+		log.Fatalf("hsqd: %v", err)
+	}
+	log.Printf("hsqd: serving on %s (dir=%s ε=%g κ=%d)", *addr, *dir, *epsilon, *kappa)
+	log.Fatal(http.ListenAndServe(*addr, srv.mux()))
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("hsqd: encode response: %v", err)
+	}
+}
+
+func (s *server) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("POST /observe", s.handleObserve)
+	m.HandleFunc("POST /endstep", s.handleEndStep)
+	m.HandleFunc("GET /quantile", s.handleQuantile)
+	m.HandleFunc("GET /quantiles", s.handleQuantiles)
+	m.HandleFunc("GET /rank", s.handleRank)
+	m.HandleFunc("GET /stats", s.handleStats)
+	return m
+}
+
+// handleQuantiles answers a batch of φ targets in one shot:
+// GET /quantiles?phi=0.5,0.95,0.99
+func (s *server) handleQuantiles(w http.ResponseWriter, r *http.Request) {
+	var phis []float64
+	for _, part := range strings.Split(r.URL.Query().Get("phi"), ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		phi, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad phi %q: %v", part, err)
+			return
+		}
+		phis = append(phis, phi)
+	}
+	if len(phis) == 0 {
+		httpError(w, http.StatusBadRequest, "no phi values")
+		return
+	}
+	vals, qs, err := s.eng.Quantiles(phis)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "quantiles: %v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"phi": phis, "values": vals, "disk_reads": qs.RandReads})
+}
+
+// handleRank estimates the rank of a value: GET /rank?v=12345[&quick=1]
+func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
+	v, err := strconv.ParseInt(r.URL.Query().Get("v"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad v: %v", err)
+		return
+	}
+	var rank int64
+	if r.URL.Query().Get("quick") == "1" {
+		rank, err = s.eng.RankQuick(v)
+	} else {
+		rank, _, err = s.eng.Rank(v)
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "rank: %v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"v": v, "rank": rank, "total": s.eng.TotalCount()})
+}
+
+func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	sc := bufio.NewScanner(r.Body)
+	count := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(line, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad element %q: %v", line, err)
+			return
+		}
+		s.eng.Observe(v)
+		count++
+	}
+	if err := sc.Err(); err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"observed": count, "stream": s.eng.StreamCount()})
+}
+
+func (s *server) handleEndStep(w http.ResponseWriter, r *http.Request) {
+	us, err := s.eng.EndStep()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "end step: %v", err)
+		return
+	}
+	if err := s.eng.Checkpoint(); err != nil {
+		httpError(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"batch":    us.BatchSize,
+		"total_ms": us.TotalTime().Milliseconds(),
+		"io":       us.TotalIO(),
+		"merges":   us.Merges,
+		"steps":    s.eng.Steps(),
+	})
+}
+
+func (s *server) handleQuantile(w http.ResponseWriter, r *http.Request) {
+	phi, err := strconv.ParseFloat(r.URL.Query().Get("phi"), 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad phi: %v", err)
+		return
+	}
+	quick := r.URL.Query().Get("quick") == "1"
+	windowStr := r.URL.Query().Get("window")
+
+	var v int64
+	switch {
+	case windowStr != "":
+		win, err := strconv.Atoi(windowStr)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad window: %v", err)
+			return
+		}
+		if quick {
+			v, err = s.eng.WindowQuantileQuick(phi, win)
+		} else {
+			v, _, err = s.eng.WindowQuantile(phi, win)
+		}
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "window quantile: %v", err)
+			return
+		}
+	case quick:
+		v, err = s.eng.QuantileQuick(phi)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "quick quantile: %v", err)
+			return
+		}
+	default:
+		v, _, err = s.eng.Quantile(phi)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "quantile: %v", err)
+			return
+		}
+	}
+	writeJSON(w, map[string]any{"phi": phi, "value": v, "quick": quick})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	mu := s.eng.MemoryUsage()
+	io := s.eng.DiskStats()
+	writeJSON(w, map[string]any{
+		"levels":        s.eng.Describe(),
+		"stream_count":  s.eng.StreamCount(),
+		"hist_count":    s.eng.HistCount(),
+		"total_count":   s.eng.TotalCount(),
+		"steps":         s.eng.Steps(),
+		"partitions":    s.eng.PartitionCount(),
+		"windows":       s.eng.AvailableWindows(),
+		"mem_hist":      mu.HistBytes,
+		"mem_stream":    mu.StreamBytes,
+		"io_seq_reads":  io.SeqReads,
+		"io_seq_writes": io.SeqWrites,
+		"io_rand_reads": io.RandReads,
+	})
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"repro"
+)
+
+// server wraps the engine behind the HTTP handlers. Kept separate from
+// main.go so tests can construct it without binding a socket.
+type server struct {
+	eng *hsq.Engine
+}
+
+// newServer builds or resumes an engine in dir.
+func newServer(dir string, epsilon float64, kappa int, resume bool) (*server, error) {
+	cfg := hsq.Config{Epsilon: epsilon, Kappa: kappa, Dir: dir}
+	var (
+		eng *hsq.Engine
+		err error
+	)
+	if resume {
+		eng, err = hsq.Open(cfg)
+	} else {
+		eng, err = hsq.New(cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &server{eng: eng}, nil
+}

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv, err := newServer(t.TempDir(), 0.05, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postBody(t *testing.T, url, body string) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: status %d", url, resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func getJSON(t *testing.T, url string) (map[string]any, int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.StatusCode
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out, resp.StatusCode
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	ts := newTestServer(t)
+
+	// Observe 1..1000 in two chunks.
+	var b strings.Builder
+	for i := 1; i <= 500; i++ {
+		fmt.Fprintf(&b, "%d\n", i)
+	}
+	out := postBody(t, ts.URL+"/observe", b.String())
+	if out["observed"].(float64) != 500 {
+		t.Errorf("observed = %v", out["observed"])
+	}
+	b.Reset()
+	for i := 501; i <= 1000; i++ {
+		fmt.Fprintf(&b, "%d\n", i)
+	}
+	postBody(t, ts.URL+"/observe", b.String())
+
+	// End the step: data moves to the warehouse and is checkpointed.
+	out = postBody(t, ts.URL+"/endstep", "")
+	if out["batch"].(float64) != 1000 || out["steps"].(float64) != 1 {
+		t.Errorf("endstep = %v", out)
+	}
+
+	// Accurate quantile: stream empty → exact median is 500.
+	q, code := getJSON(t, ts.URL+"/quantile?phi=0.5")
+	if code != 200 || q["value"].(float64) != 500 {
+		t.Errorf("quantile = %v (code %d)", q, code)
+	}
+	// Quick quantile responds 200 with a plausible value.
+	q, code = getJSON(t, ts.URL+"/quantile?phi=0.5&quick=1")
+	if code != 200 {
+		t.Errorf("quick code %d", code)
+	}
+	if v := q["value"].(float64); v < 300 || v > 700 {
+		t.Errorf("quick value %v far from median", v)
+	}
+	// Windowed query over the only available window.
+	q, code = getJSON(t, ts.URL+"/quantile?phi=0.5&window=1")
+	if code != 200 || q["value"].(float64) != 500 {
+		t.Errorf("window quantile = %v (code %d)", q, code)
+	}
+
+	// Stats endpoint.
+	st, code := getJSON(t, ts.URL+"/stats")
+	if code != 200 {
+		t.Fatalf("stats code %d", code)
+	}
+	if st["hist_count"].(float64) != 1000 || st["partitions"].(float64) != 1 {
+		t.Errorf("stats = %v", st)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	ts := newTestServer(t)
+	// Bad element.
+	resp, err := http.Post(ts.URL+"/observe", "text/plain", strings.NewReader("notanumber\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad element: status %d", resp.StatusCode)
+	}
+	// Bad phi.
+	if _, code := getJSON(t, ts.URL+"/quantile?phi=abc"); code != http.StatusBadRequest {
+		t.Errorf("bad phi: status %d", code)
+	}
+	// Query with no data.
+	if _, code := getJSON(t, ts.URL+"/quantile?phi=0.5"); code != http.StatusBadRequest {
+		t.Errorf("empty query: status %d", code)
+	}
+	// Bad window.
+	postBody(t, ts.URL+"/observe", "1\n2\n3\n")
+	postBody(t, ts.URL+"/endstep", "")
+	if _, code := getJSON(t, ts.URL+"/quantile?phi=0.5&window=99"); code != http.StatusBadRequest {
+		t.Errorf("misaligned window: status %d", code)
+	}
+	if _, code := getJSON(t, ts.URL+"/quantile?phi=0.5&window=x"); code != http.StatusBadRequest {
+		t.Errorf("non-numeric window: status %d", code)
+	}
+}
+
+func TestServerResume(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := newServer(dir, 0.05, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.mux())
+	postBody(t, ts.URL+"/observe", "1\n2\n3\n4\n5\n")
+	postBody(t, ts.URL+"/endstep", "")
+	ts.Close()
+
+	srv2, err := newServer(dir, 0.05, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.mux())
+	defer ts2.Close()
+	q, code := getJSON(t, ts2.URL+"/quantile?phi=0.5")
+	if code != 200 || q["value"].(float64) != 3 {
+		t.Errorf("resumed quantile = %v (code %d)", q, code)
+	}
+}
+
+func TestServerQuantilesAndRank(t *testing.T) {
+	ts := newTestServer(t)
+	var b strings.Builder
+	for i := 1; i <= 1000; i++ {
+		fmt.Fprintf(&b, "%d\n", i)
+	}
+	postBody(t, ts.URL+"/observe", b.String())
+	postBody(t, ts.URL+"/endstep", "")
+
+	q, code := getJSON(t, ts.URL+"/quantiles?phi=0.25,0.5,0.75")
+	if code != 200 {
+		t.Fatalf("quantiles code %d", code)
+	}
+	vals := q["values"].([]any)
+	if len(vals) != 3 || vals[0].(float64) != 250 || vals[1].(float64) != 500 || vals[2].(float64) != 750 {
+		t.Errorf("quantiles = %v", vals)
+	}
+	if _, code := getJSON(t, ts.URL+"/quantiles?phi="); code != 400 {
+		t.Errorf("empty phis: code %d", code)
+	}
+	if _, code := getJSON(t, ts.URL+"/quantiles?phi=0.5,abc"); code != 400 {
+		t.Errorf("bad phi list: code %d", code)
+	}
+
+	rk, code := getJSON(t, ts.URL+"/rank?v=500")
+	if code != 200 || rk["rank"].(float64) != 500 {
+		t.Errorf("rank = %v (code %d)", rk, code)
+	}
+	rk, code = getJSON(t, ts.URL+"/rank?v=500&quick=1")
+	if code != 200 {
+		t.Fatalf("quick rank code %d", code)
+	}
+	if r := rk["rank"].(float64); r < 350 || r > 650 {
+		t.Errorf("quick rank = %v", r)
+	}
+	if _, code := getJSON(t, ts.URL+"/rank?v=abc"); code != 400 {
+		t.Errorf("bad rank value: code %d", code)
+	}
+
+	st, code := getJSON(t, ts.URL+"/stats")
+	if code != 200 || st["levels"] == nil {
+		t.Errorf("stats levels missing: %v", st)
+	}
+}

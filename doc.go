@@ -1,0 +1,26 @@
+// Package hsq (historical-streaming quantiles) implements the method of
+// Singh, Srivastava and Tirthapura, "Estimating Quantiles from the Union of
+// Historical and Streaming Data" (PVLDB 10(4), 2016): approximate
+// φ-quantile queries over the union T = H ∪ R of a disk-resident historical
+// warehouse H and an in-flight data stream R, with rank error ε·|R| — a
+// fraction of the stream size rather than of the whole dataset.
+//
+// A stream is observed element by element; at the end of each time step the
+// accumulated batch is loaded into the warehouse, which keeps sorted
+// partitions organized in levels with a merge threshold κ. Small in-memory
+// summaries of both sides (β₁ exactly-ranked samples per partition, a
+// Greenwald-Khanna sketch of the stream) answer quick queries immediately
+// and seed an accurate query that performs a handful of random disk reads.
+//
+// Basic usage:
+//
+//	eng, err := hsq.New(hsq.Config{Epsilon: 0.01, Kappa: 10, Dir: dir})
+//	...
+//	eng.Observe(v)          // for each stream element
+//	eng.EndStep()           // at each time-step boundary
+//	med, _, err := eng.Quantile(0.5)   // accurate: error ≤ ε·|stream|
+//	p99fast, err := eng.QuantileQuick(0.99) // in-memory only: error ≤ 1.5·ε·N
+//
+// See DESIGN.md for the full mapping from the paper's algorithms to this
+// package and EXPERIMENTS.md for the reproduced evaluation.
+package hsq

@@ -1,0 +1,228 @@
+package hsq
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/oracle"
+	"repro/internal/workload"
+)
+
+// TestParallelQueryMatchesSerial: the §4 parallelization must not change
+// answers, only overlap I/O.
+func TestParallelQueryMatchesSerial(t *testing.T) {
+	build := func(parallel bool) (*Engine, *oracle.Oracle) {
+		eng, err := New(Config{
+			Epsilon: 0.02, Kappa: 3, Dir: t.TempDir(), BlockSize: 1024,
+			ParallelQuery: parallel,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := workload.NewNormal(17)
+		orc := oracle.New(0)
+		for step := 0; step < 10; step++ {
+			batch := workload.Fill(gen, 1000)
+			eng.ObserveSlice(batch)
+			orc.Add(batch...)
+			if _, err := eng.EndStep(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stream := workload.Fill(gen, 600)
+		eng.ObserveSlice(stream)
+		orc.Add(stream...)
+		return eng, orc
+	}
+	serial, _ := build(false)
+	parallel, orc := build(true)
+	for _, phi := range []float64{0.1, 0.5, 0.9, 0.99} {
+		sv, _, err := serial.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pv, _, err := parallel.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sv != pv {
+			t.Errorf("phi=%g: serial %d != parallel %d", phi, sv, pv)
+		}
+		r := int64(math.Ceil(phi * float64(orc.Count())))
+		if d := float64(orc.SpanError(r, pv)); d > 1.5*0.02*600+1 {
+			t.Errorf("phi=%g: parallel error %g", phi, d)
+		}
+	}
+}
+
+// TestQueryIOBudget: a MaxReads cap must bound I/O, set Truncated when it
+// bites, and degrade accuracy gracefully (answer stays within the filter
+// spread of Lemma 4).
+func TestQueryIOBudget(t *testing.T) {
+	eng, err := New(Config{Epsilon: 0.005, Kappa: 3, Dir: t.TempDir(), BlockSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewUniform(23)
+	orc := oracle.New(0)
+	for step := 0; step < 10; step++ {
+		batch := workload.Fill(gen, 3000)
+		eng.ObserveSlice(batch)
+		orc.Add(batch...)
+		if _, err := eng.EndStep(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stream := workload.Fill(gen, 2000)
+	eng.ObserveSlice(stream)
+	orc.Add(stream...)
+
+	// Find a target that needs several bisection iterations so a tiny cap
+	// actually bites (some φ converge on the first probe).
+	var phi float64
+	var full QueryStats
+	for _, cand := range []float64{0.5, 0.31, 0.62, 0.77, 0.13, 0.87, 0.41} {
+		_, qs, err := eng.QuantileOpts(cand, QueryOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qs.Truncated {
+			t.Error("unbounded query should not be truncated")
+		}
+		if qs.Iterations >= 3 && qs.RandReads >= 4 {
+			phi, full = cand, qs
+			break
+		}
+	}
+	if phi == 0 {
+		t.Skip("no query at this scale needs multiple iterations; cannot exercise the budget")
+	}
+
+	// A cap of 1 must truncate.
+	v, qs, err := eng.QuantileOpts(phi, QueryOpts{MaxReads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qs.Truncated {
+		t.Errorf("MaxReads=1: want Truncated, got %+v (full=%+v)", qs, full)
+	}
+	// Answer degrades but stays within the 4εN filter spread (Lemma 4).
+	r := int64(math.Ceil(phi * float64(orc.Count())))
+	n := float64(orc.Count())
+	if d := float64(orc.SpanError(r, v)); d > 4*0.005*n {
+		t.Errorf("truncated answer error %g beyond filter spread %g", d, 4*0.005*n)
+	}
+
+	// A generous cap must not truncate and must match the unbounded answer.
+	v2, qs2, err := eng.QuantileOpts(phi, QueryOpts{MaxReads: 10 * full.RandReads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs2.Truncated {
+		t.Errorf("generous cap truncated: %+v", qs2)
+	}
+	vFull, _, err := eng.QuantileOpts(phi, QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != vFull {
+		t.Errorf("generous cap answer %d != unbounded %d", v2, vFull)
+	}
+}
+
+// TestIOBudgetTradeoffMonotone sweeps the cap and checks that allowed reads
+// never exceed it (plus the final iteration's in-flight reads).
+func TestIOBudgetTradeoffMonotone(t *testing.T) {
+	eng, err := New(Config{Epsilon: 0.002, Kappa: 3, Dir: t.TempDir(), BlockSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewUniform(29)
+	for step := 0; step < 12; step++ {
+		eng.ObserveSlice(workload.Fill(gen, 4000))
+		if _, err := eng.EndStep(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.ObserveSlice(workload.Fill(gen, 2000))
+	parts := eng.PartitionCount()
+	for _, cap := range []int{1, 2, 4, 8, 16, 32} {
+		_, qs, err := eng.QuantileOpts(0.5, QueryOpts{MaxReads: cap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The cap is checked between iterations; one iteration can add at
+		// most ~log(blocks) reads per partition. Bound loosely.
+		slack := parts * 16
+		if qs.RandReads > cap+slack {
+			t.Errorf("cap %d: %d reads", cap, qs.RandReads)
+		}
+	}
+}
+
+// TestMergeWorkersEquivalence: parallel level merges must leave queries
+// byte-identical to serial merges.
+func TestMergeWorkersEquivalence(t *testing.T) {
+	build := func(workers int) *Engine {
+		eng, err := New(Config{
+			Epsilon: 0.05, Kappa: 2, Dir: t.TempDir(), BlockSize: 1024,
+			MergeWorkers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := workload.NewNormal(51)
+		for step := 0; step < 9; step++ {
+			eng.ObserveSlice(workload.Fill(gen, 800))
+			if _, err := eng.EndStep(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return eng
+	}
+	serial, parallel := build(1), build(4)
+	for _, phi := range []float64{0.1, 0.5, 0.9, 0.99} {
+		sv, _, err := serial.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pv, _, err := parallel.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sv != pv {
+			t.Errorf("phi=%g: serial %d != parallel-merge %d", phi, sv, pv)
+		}
+	}
+}
+
+// TestSimulateDisk: latency profiles slow queries proportionally to I/O and
+// invalid profiles are rejected.
+func TestSimulateDisk(t *testing.T) {
+	if _, err := New(Config{Epsilon: 0.1, Dir: t.TempDir(), SimulateDisk: "floppy"}); err == nil {
+		t.Error("unknown profile: want error")
+	}
+	eng, err := New(Config{Epsilon: 0.02, Kappa: 3, Dir: t.TempDir(), BlockSize: 1024, SimulateDisk: "hdd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewUniform(71)
+	for step := 0; step < 4; step++ {
+		eng.ObserveSlice(workload.Fill(gen, 1500))
+		if _, err := eng.EndStep(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, qs, err := eng.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.RandReads > 0 {
+		// Each random read is charged ~1ms under the HDD profile.
+		wantMin := time.Duration(qs.RandReads) * time.Millisecond
+		if qs.Elapsed < wantMin {
+			t.Errorf("HDD-simulated query took %v for %d reads; want ≥ %v", qs.Elapsed, qs.RandReads, wantMin)
+		}
+	}
+}

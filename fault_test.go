@@ -1,0 +1,126 @@
+package hsq
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/workload"
+)
+
+// faultEngine builds an engine whose device we can inject faults into.
+func faultEngine(t *testing.T) (*Engine, *disk.Manager) {
+	t.Helper()
+	eng, err := New(Config{Epsilon: 0.05, Kappa: 2, Dir: t.TempDir(), BlockSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, eng.dev
+}
+
+var errInjected = errors.New("injected disk fault")
+
+// TestFaultDuringLoad: a write failure while loading a batch must surface
+// as an error from EndStep, not a panic, and the engine must keep serving
+// queries over the data it already holds.
+func TestFaultDuringLoad(t *testing.T) {
+	eng, dev := faultEngine(t)
+	gen := workload.NewUniform(1)
+
+	// Load two good steps.
+	for i := 0; i < 2; i++ {
+		eng.ObserveSlice(workload.Fill(gen, 500))
+		if _, err := eng.EndStep(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Inject write failures.
+	dev.SetFault(func(op disk.Op, name string, block int64) error {
+		if op == disk.OpSeqWrite {
+			return errInjected
+		}
+		return nil
+	})
+	eng.ObserveSlice(workload.Fill(gen, 500))
+	if _, err := eng.EndStep(); !errors.Is(err, errInjected) {
+		t.Fatalf("EndStep under write fault: %v", err)
+	}
+	dev.SetFault(nil)
+
+	// History must still be queryable (the failed batch never installed).
+	if eng.HistCount() != 1000 {
+		t.Errorf("HistCount = %d after failed load", eng.HistCount())
+	}
+	if _, _, err := eng.Quantile(0.5); err != nil {
+		t.Errorf("query after failed load: %v", err)
+	}
+}
+
+// TestFaultDuringQuery: a random-read failure mid-query must surface as an
+// error and leave the engine consistent.
+func TestFaultDuringQuery(t *testing.T) {
+	eng, dev := faultEngine(t)
+	gen := workload.NewUniform(2)
+	for i := 0; i < 4; i++ {
+		eng.ObserveSlice(workload.Fill(gen, 2000))
+		if _, err := eng.EndStep(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.ObserveSlice(workload.Fill(gen, 1000))
+
+	dev.SetFault(func(op disk.Op, name string, block int64) error {
+		if op == disk.OpRandRead {
+			return errInjected
+		}
+		return nil
+	})
+	_, _, err := eng.Quantile(0.5)
+	if err == nil {
+		t.Skip("query answered without disk reads at this scale")
+	}
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	dev.SetFault(nil)
+	if _, _, err := eng.Quantile(0.5); err != nil {
+		t.Errorf("query after fault cleared: %v", err)
+	}
+	// Quick queries never touch disk: immune even under injected faults.
+	dev.SetFault(func(op disk.Op, name string, block int64) error { return errInjected })
+	if _, err := eng.QuantileQuick(0.5); err != nil {
+		t.Errorf("quick query under total disk fault: %v", err)
+	}
+}
+
+// TestFaultDuringMerge: failures inside a level merge must abort the merge
+// without corrupting the store.
+func TestFaultDuringMerge(t *testing.T) {
+	eng, dev := faultEngine(t)
+	gen := workload.NewUniform(3)
+	// κ=2: the 3rd step triggers a merge. Fail only reads of partition
+	// files (merge input) — the batch's own load/sort writes succeed.
+	for i := 0; i < 2; i++ {
+		eng.ObserveSlice(workload.Fill(gen, 500))
+		if _, err := eng.EndStep(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev.SetFault(func(op disk.Op, name string, block int64) error {
+		if op == disk.OpSeqRead && strings.HasPrefix(name, "part-") {
+			return errInjected
+		}
+		return nil
+	})
+	eng.ObserveSlice(workload.Fill(gen, 500))
+	if _, err := eng.EndStep(); !errors.Is(err, errInjected) {
+		t.Fatalf("EndStep under merge fault: %v", err)
+	}
+	dev.SetFault(nil)
+	// The engine survives; queries still work over installed data.
+	if _, _, err := eng.Quantile(0.5); err != nil {
+		t.Errorf("query after failed merge: %v", err)
+	}
+}

@@ -1,0 +1,634 @@
+package hsq
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/gk"
+	"repro/internal/partition"
+)
+
+// Config parametrizes an Engine. Epsilon and Dir are required; every other
+// field has a sensible default matching the paper's experimental setup.
+type Config struct {
+	// Epsilon is the approximation parameter ε ∈ (0,1): accurate queries
+	// return elements whose rank errs by at most ε·m where m is the current
+	// stream size (Theorem 2).
+	Epsilon float64
+	// Kappa is the merge threshold κ ≥ 2 (default 10, the paper's default).
+	Kappa int
+	// Dir is the directory backing the on-disk warehouse.
+	Dir string
+	// BlockSize is the disk block size in bytes (default 100 KB, the
+	// paper's B).
+	BlockSize int
+	// SortMemElements bounds the memory used when sorting a batch; larger
+	// batches use external sort (default 1M elements).
+	SortMemElements int
+	// NoSpill disables writing the raw batch to disk before sorting. The
+	// paper's loading paradigm spills (the "load" phase of Figure 6);
+	// disable only in tests.
+	NoSpill bool
+	// NoBlockPin disables the §2.4 optimization that pins a partition's
+	// final block in memory during a query.
+	NoBlockPin bool
+	// ParallelQuery probes all partitions concurrently during accurate
+	// queries — the paper's §4 future-work parallelization. Worthwhile when
+	// the store holds many partitions on hardware with parallel read paths.
+	ParallelQuery bool
+	// MergeWorkers > 1 parallelizes level merges across value ranges (§4
+	// future work). Costs one extra sequential pass over merged data.
+	MergeWorkers int
+	// SimulateDisk injects per-block latency so wall-clock timings track
+	// I/O counts even when the OS page cache hides the real device:
+	// "" (off, default), "hdd" (the paper's ~1 ms random access) or "ssd".
+	SimulateDisk string
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	out := *c
+	if out.Epsilon <= 0 || out.Epsilon >= 1 {
+		return out, fmt.Errorf("hsq: Epsilon must be in (0,1), got %g", out.Epsilon)
+	}
+	if out.Kappa == 0 {
+		out.Kappa = 10
+	}
+	if out.Kappa < 2 {
+		return out, fmt.Errorf("hsq: Kappa must be >= 2, got %d", out.Kappa)
+	}
+	if out.Dir == "" {
+		return out, fmt.Errorf("hsq: Dir is required")
+	}
+	if out.BlockSize == 0 {
+		out.BlockSize = disk.DefaultBlockSize
+	}
+	if out.SortMemElements == 0 {
+		out.SortMemElements = 1 << 20
+	}
+	return out, nil
+}
+
+// IOStats mirrors the block-level I/O counters of the warehouse device.
+type IOStats struct {
+	SeqReads  uint64
+	SeqWrites uint64
+	RandReads uint64
+}
+
+// Total returns the total number of block accesses.
+func (s IOStats) Total() uint64 { return s.SeqReads + s.SeqWrites + s.RandReads }
+
+// Sub returns the element-wise difference.
+func (s IOStats) Sub(t IOStats) IOStats {
+	return IOStats{s.SeqReads - t.SeqReads, s.SeqWrites - t.SeqWrites, s.RandReads - t.RandReads}
+}
+
+func fromDisk(d disk.Stats) IOStats {
+	return IOStats{SeqReads: d.SeqReads, SeqWrites: d.SeqWrites, RandReads: d.RandReads}
+}
+
+// UpdateStats reports the cost of one EndStep, split into the paper's four
+// phases (Figure 6): loading the raw batch, sorting it into a level-0
+// partition, merging overflowing levels, and summary maintenance.
+type UpdateStats struct {
+	Load, Sort, Merge, Summary time.Duration
+	LoadIO, SortIO, MergeIO    IOStats
+	Merges                     int
+	BatchSize                  int64
+}
+
+// TotalTime returns the total update time.
+func (u UpdateStats) TotalTime() time.Duration { return u.Load + u.Sort + u.Merge + u.Summary }
+
+// TotalIO returns the total block accesses of the update.
+func (u UpdateStats) TotalIO() uint64 {
+	return u.LoadIO.Total() + u.SortIO.Total() + u.MergeIO.Total()
+}
+
+// QueryStats reports the cost of one accurate query.
+type QueryStats struct {
+	// Iterations is the number of value-space bisection probes.
+	Iterations int
+	// RandReads is the number of random block reads performed.
+	RandReads int
+	// FilterU and FilterV bracket the search (Algorithm 7 output).
+	FilterU, FilterV int64
+	// Elapsed is the wall-clock query time.
+	Elapsed time.Duration
+	// Truncated reports that a MaxReads budget stopped the search early.
+	Truncated bool
+}
+
+// QueryOpts tunes one accurate query beyond the engine defaults.
+type QueryOpts struct {
+	// MaxReads caps random block reads for this query; 0 means unlimited.
+	// When the cap is hit the search stops early and returns its best
+	// current answer with QueryStats.Truncated set — trading accuracy for
+	// disk accesses, the third axis of the paper's concluding tradeoff
+	// discussion.
+	MaxReads int
+}
+
+// MemoryUsage breaks down the engine's summary memory (Observation 1).
+type MemoryUsage struct {
+	// HistBytes is the historical summary HS (Lemma 8).
+	HistBytes int64
+	// StreamBytes is the live GK sketch (Lemma 9).
+	StreamBytes int64
+	// StreamPeakBytes is the GK sketch's high-water mark this time step.
+	StreamPeakBytes int64
+}
+
+// Total returns the combined live footprint.
+func (m MemoryUsage) Total() int64 { return m.HistBytes + m.StreamBytes }
+
+// Engine answers quantile queries over the union of a historical warehouse
+// and the current stream. It is safe for concurrent use: observations and
+// step boundaries take a write lock, queries a read lock.
+type Engine struct {
+	mu     sync.RWMutex
+	cfg    Config
+	eps1   float64
+	eps2   float64
+	dev    *disk.Manager
+	store  *partition.Store
+	sketch *gk.Sketch
+	batch  []int64
+	step   int
+}
+
+// New creates an engine rooted at cfg.Dir.
+func New(cfg Config) (*Engine, error) {
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	dev, err := disk.NewManager(full.Dir, full.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	if err := applyDiskProfile(dev, full.SimulateDisk); err != nil {
+		return nil, err
+	}
+	eps1 := full.Epsilon / 2
+	eps2 := full.Epsilon / 4
+	store, err := partition.NewStore(dev, partition.Config{
+		Kappa:           full.Kappa,
+		Eps1:            eps1,
+		SortMemElements: full.SortMemElements,
+		SpillBatches:    !full.NoSpill,
+		MergeWorkers:    full.MergeWorkers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The GK sketch runs at ε₂/2 so the extracted stream summary satisfies
+	// Lemma 1's one-sided band; see internal/gk.
+	sketch, err := gk.New(eps2 / 2)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: full, eps1: eps1, eps2: eps2, dev: dev, store: store, sketch: sketch}, nil
+}
+
+// Epsilon returns the engine's approximation parameter.
+func (e *Engine) Epsilon() float64 { return e.cfg.Epsilon }
+
+// Kappa returns the merge threshold.
+func (e *Engine) Kappa() int { return e.cfg.Kappa }
+
+// Observe feeds one stream element (StreamUpdate, Algorithm 4). The element
+// is both summarized in the GK sketch and buffered for end-of-step loading.
+func (e *Engine) Observe(v int64) {
+	e.mu.Lock()
+	e.sketch.Insert(v)
+	e.batch = append(e.batch, v)
+	e.mu.Unlock()
+}
+
+// ObserveSlice feeds a slice of stream elements under one lock acquisition.
+func (e *Engine) ObserveSlice(vs []int64) {
+	e.mu.Lock()
+	for _, v := range vs {
+		e.sketch.Insert(v)
+	}
+	e.batch = append(e.batch, vs...)
+	e.mu.Unlock()
+}
+
+// StreamCount returns m, the number of elements in the current (unloaded)
+// stream.
+func (e *Engine) StreamCount() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.sketch.Count()
+}
+
+// HistCount returns n, the number of elements in the warehouse.
+func (e *Engine) HistCount() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.store.TotalCount()
+}
+
+// TotalCount returns N = n + m.
+func (e *Engine) TotalCount() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.store.TotalCount() + e.sketch.Count()
+}
+
+// Steps returns the number of completed time steps.
+func (e *Engine) Steps() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.step
+}
+
+// PartitionCount returns the number of live partitions in HD.
+func (e *Engine) PartitionCount() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.store.PartitionCount()
+}
+
+// EndStep closes the current time step: the buffered batch is loaded into
+// the warehouse (sorted into a level-0 partition, with level merges as
+// needed) and the stream sketch is reset (Algorithm 4, StreamReset). An
+// empty stream is a no-op.
+func (e *Engine) EndStep() (UpdateStats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.batch) == 0 {
+		return UpdateStats{}, nil
+	}
+	bd, err := e.store.AddBatch(e.batch, e.step+1)
+	if err != nil {
+		return UpdateStats{}, fmt.Errorf("hsq: end step %d: %w", e.step+1, err)
+	}
+	us := UpdateStats{
+		Load: bd.Load, Sort: bd.Sort, Merge: bd.Merge, Summary: bd.Summary,
+		LoadIO: fromDisk(bd.LoadIO), SortIO: fromDisk(bd.SortIO), MergeIO: fromDisk(bd.MergeIO),
+		Merges:    bd.Merges,
+		BatchSize: int64(len(e.batch)),
+	}
+	e.step++
+	e.batch = e.batch[:0]
+	e.sketch.Reset()
+	return us, nil
+}
+
+// applyDiskProfile installs a simulated latency profile on the device.
+func applyDiskProfile(dev *disk.Manager, profile string) error {
+	switch profile {
+	case "":
+		return nil
+	case "hdd":
+		dev.SetLatency(disk.HDD)
+	case "ssd":
+		dev.SetLatency(disk.SSD)
+	default:
+		return fmt.Errorf("hsq: unknown disk profile %q (want \"\", \"hdd\" or \"ssd\")", profile)
+	}
+	return nil
+}
+
+// rankTarget converts a quantile fraction to a rank, clamped to [1, N].
+func rankTarget(phi float64, n int64) (int64, error) {
+	if phi <= 0 || phi > 1 {
+		return 0, fmt.Errorf("hsq: phi must be in (0,1], got %g", phi)
+	}
+	r := int64(math.Ceil(phi * float64(n)))
+	if r < 1 {
+		r = 1
+	}
+	if r > n {
+		r = n
+	}
+	return r, nil
+}
+
+// Quantile answers an accurate φ-quantile query over T = H ∪ R with rank
+// error ≤ ε·m (Algorithm 6 / Theorem 2), using a small number of random
+// disk reads.
+func (e *Engine) Quantile(phi float64) (int64, QueryStats, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := e.store.TotalCount() + e.sketch.Count()
+	r, err := rankTarget(phi, n)
+	if err != nil {
+		return 0, QueryStats{}, err
+	}
+	return e.rankQueryLocked(r, e.store.Entries())
+}
+
+// RankQuery answers an accurate query for the element of rank r in T.
+func (e *Engine) RankQuery(r int64) (int64, QueryStats, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.rankQueryLocked(r, e.store.Entries())
+}
+
+func (e *Engine) rankQueryLocked(r int64, sums []*partition.Summary) (int64, QueryStats, error) {
+	return e.rankQueryOptsLocked(r, sums, QueryOpts{})
+}
+
+func (e *Engine) rankQueryOptsLocked(r int64, sums []*partition.Summary, opts QueryOpts) (int64, QueryStats, error) {
+	m := e.sketch.Count()
+	var histN int64
+	for _, s := range sums {
+		histN += s.Part.Count
+	}
+	if histN+m == 0 {
+		return 0, QueryStats{}, fmt.Errorf("hsq: query on empty dataset")
+	}
+	t0 := time.Now()
+	ss := core.StreamSummary(e.sketch, e.eps2)
+	c := core.BuildCombined(sums, ss, m, e.eps1, e.eps2)
+	v, cost, err := core.AccurateQueryOpts(c, e.cfg.Epsilon, r, core.QueryOptions{
+		PinBlocks: !e.cfg.NoBlockPin,
+		Parallel:  e.cfg.ParallelQuery,
+		MaxReads:  opts.MaxReads,
+	})
+	if err != nil {
+		return 0, QueryStats{}, err
+	}
+	return v, QueryStats{
+		Iterations: cost.Iterations,
+		RandReads:  cost.RandReads,
+		FilterU:    cost.FilterU,
+		FilterV:    cost.FilterV,
+		Elapsed:    time.Since(t0),
+		Truncated:  cost.Truncated,
+	}, nil
+}
+
+// QuantileOpts answers an accurate φ-quantile with per-query options (e.g.
+// an I/O budget).
+func (e *Engine) QuantileOpts(phi float64, opts QueryOpts) (int64, QueryStats, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := e.store.TotalCount() + e.sketch.Count()
+	r, err := rankTarget(phi, n)
+	if err != nil {
+		return 0, QueryStats{}, err
+	}
+	return e.rankQueryOptsLocked(r, e.store.Entries(), opts)
+}
+
+// QuantileQuick answers a φ-quantile query from in-memory summaries only
+// (Algorithm 5), with rank error ≤ 1.5·ε·N (Lemma 3) and zero disk reads.
+func (e *Engine) QuantileQuick(phi float64) (int64, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := e.store.TotalCount() + e.sketch.Count()
+	r, err := rankTarget(phi, n)
+	if err != nil {
+		return 0, err
+	}
+	return e.quickLocked(r, e.store.Entries())
+}
+
+// RankQueryQuick answers a rank query from in-memory summaries only.
+func (e *Engine) RankQueryQuick(r int64) (int64, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.quickLocked(r, e.store.Entries())
+}
+
+func (e *Engine) quickLocked(r int64, sums []*partition.Summary) (int64, error) {
+	m := e.sketch.Count()
+	var histN int64
+	for _, s := range sums {
+		histN += s.Part.Count
+	}
+	if histN+m == 0 {
+		return 0, fmt.Errorf("hsq: query on empty dataset")
+	}
+	ss := core.StreamSummary(e.sketch, e.eps2)
+	c := core.BuildCombined(sums, ss, m, e.eps1, e.eps2)
+	return c.QuickQuery(r)
+}
+
+// AvailableWindows returns the historical window sizes (in time steps) that
+// align with partition boundaries; windowed queries also include the
+// current stream (paper §2.4, "Queries Over Windows").
+func (e *Engine) AvailableWindows() []int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.store.AvailableWindows()
+}
+
+// WindowQuantile answers an accurate φ-quantile over the union of the
+// current stream and the most recent `steps` historical time steps. The
+// window must be one of AvailableWindows.
+func (e *Engine) WindowQuantile(phi float64, steps int) (int64, QueryStats, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	sums, err := e.store.WindowEntries(steps)
+	if err != nil {
+		return 0, QueryStats{}, err
+	}
+	var histN int64
+	for _, s := range sums {
+		histN += s.Part.Count
+	}
+	n := histN + e.sketch.Count()
+	r, err := rankTarget(phi, n)
+	if err != nil {
+		return 0, QueryStats{}, err
+	}
+	return e.rankQueryLocked(r, sums)
+}
+
+// WindowQuantileQuick is the in-memory-only windowed query.
+func (e *Engine) WindowQuantileQuick(phi float64, steps int) (int64, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	sums, err := e.store.WindowEntries(steps)
+	if err != nil {
+		return 0, err
+	}
+	var histN int64
+	for _, s := range sums {
+		histN += s.Part.Count
+	}
+	n := histN + e.sketch.Count()
+	r, err := rankTarget(phi, n)
+	if err != nil {
+		return 0, err
+	}
+	return e.quickLocked(r, sums)
+}
+
+// MemoryUsage returns the current summary footprint (Observation 1).
+func (e *Engine) MemoryUsage() MemoryUsage {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return MemoryUsage{
+		HistBytes:       e.store.MemoryBytes(),
+		StreamBytes:     e.sketch.MemoryBytes(),
+		StreamPeakBytes: e.sketch.MaxMemoryBytes(),
+	}
+}
+
+// DiskStats returns cumulative block-level I/O counters for the warehouse
+// device.
+func (e *Engine) DiskStats() IOStats {
+	return fromDisk(e.dev.Stats())
+}
+
+// Checkpoint persists the warehouse layout so Open can resume after a
+// restart. The in-flight stream is volatile by design (it will be replayed
+// or lost, exactly as a DSMS would); only historical state is durable.
+func (e *Engine) Checkpoint() error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.store.SaveManifest("MANIFEST.json")
+}
+
+// Open resumes an engine from a directory previously checkpointed with the
+// same Epsilon and Kappa. Partition summaries are rebuilt with one
+// sequential scan each.
+func Open(cfg Config) (*Engine, error) {
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	dev, err := disk.NewManager(full.Dir, full.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	eps1 := full.Epsilon / 2
+	eps2 := full.Epsilon / 4
+	store, err := partition.LoadStore(dev, "MANIFEST.json", partition.Config{
+		Kappa:           full.Kappa,
+		Eps1:            eps1,
+		SortMemElements: full.SortMemElements,
+		SpillBatches:    !full.NoSpill,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sketch, err := gk.New(eps2 / 2)
+	if err != nil {
+		return nil, err
+	}
+	eng := &Engine{cfg: full, eps1: eps1, eps2: eps2, dev: dev, store: store, sketch: sketch}
+	eng.step = store.Steps()
+	return eng, nil
+}
+
+// Destroy removes all on-disk state. The engine is unusable afterwards.
+func (e *Engine) Destroy() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.store.Destroy()
+}
+
+// Rank estimates the rank of an arbitrary value v within T = H ∪ R: the
+// number of elements ≤ v. Historical partitions are counted exactly via
+// per-partition binary search; the stream contributes an SS-based estimate,
+// so the error is at most ~ε·m/4. This is the inverse primitive of
+// Quantile.
+func (e *Engine) Rank(v int64) (int64, QueryStats, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	sums := e.store.Entries()
+	m := e.sketch.Count()
+	if e.store.TotalCount()+m == 0 {
+		return 0, QueryStats{}, fmt.Errorf("hsq: rank query on empty dataset")
+	}
+	t0 := time.Now()
+	ss := core.StreamSummary(e.sketch, e.eps2)
+	c := core.BuildCombined(sums, ss, m, e.eps1, e.eps2)
+	r, cost, err := core.RankOfValue(c, v, !e.cfg.NoBlockPin)
+	if err != nil {
+		return 0, QueryStats{}, err
+	}
+	return r, QueryStats{
+		Iterations: cost.Iterations,
+		RandReads:  cost.RandReads,
+		Elapsed:    time.Since(t0),
+	}, nil
+}
+
+// RankQuick estimates the rank of v from in-memory summaries only, with
+// O(ε·N) error and zero disk reads.
+func (e *Engine) RankQuick(v int64) (int64, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	sums := e.store.Entries()
+	m := e.sketch.Count()
+	if e.store.TotalCount()+m == 0 {
+		return 0, fmt.Errorf("hsq: rank query on empty dataset")
+	}
+	ss := core.StreamSummary(e.sketch, e.eps2)
+	c := core.BuildCombined(sums, ss, m, e.eps1, e.eps2)
+	return c.QuickRank(v), nil
+}
+
+// Quantiles answers several accurate φ-quantile queries in one shot,
+// building the combined summary once and sharing it across targets (the
+// common "p50/p95/p99" dashboard pattern). Results are positionally aligned
+// with phis; the stats aggregate all queries.
+func (e *Engine) Quantiles(phis []float64) ([]int64, QueryStats, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	sums := e.store.Entries()
+	m := e.sketch.Count()
+	n := e.store.TotalCount() + m
+	if n == 0 {
+		return nil, QueryStats{}, fmt.Errorf("hsq: query on empty dataset")
+	}
+	t0 := time.Now()
+	ss := core.StreamSummary(e.sketch, e.eps2)
+	c := core.BuildCombined(sums, ss, m, e.eps1, e.eps2)
+	out := make([]int64, len(phis))
+	var agg QueryStats
+	for i, phi := range phis {
+		r, err := rankTarget(phi, n)
+		if err != nil {
+			return nil, QueryStats{}, err
+		}
+		v, cost, err := core.AccurateQueryOpts(c, e.cfg.Epsilon, r, core.QueryOptions{
+			PinBlocks: !e.cfg.NoBlockPin,
+			Parallel:  e.cfg.ParallelQuery,
+		})
+		if err != nil {
+			return nil, QueryStats{}, err
+		}
+		out[i] = v
+		agg.Iterations += cost.Iterations
+		agg.RandReads += cost.RandReads
+	}
+	agg.Elapsed = time.Since(t0)
+	return out, agg, nil
+}
+
+// LevelInfo describes one level of the on-disk store.
+type LevelInfo struct {
+	// Level is the level number (0 = freshest batches).
+	Level int
+	// Partitions is the number of live partitions at this level (≤ κ).
+	Partitions int
+	// Elements is the total element count across the level.
+	Elements int64
+	// Steps is the number of time steps the level covers.
+	Steps int
+}
+
+// Describe returns the warehouse layout, one entry per level.
+func (e *Engine) Describe() []LevelInfo {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var out []LevelInfo
+	for _, li := range e.store.Describe() {
+		out = append(out, LevelInfo{Level: li.Level, Partitions: li.Partitions, Elements: li.Elements, Steps: li.Steps})
+	}
+	return out
+}

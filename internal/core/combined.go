@@ -1,0 +1,211 @@
+// Package core implements the paper's query algorithms over the historical
+// summaries (HS), the stream summary (SS), and the on-disk partition store:
+// the combined summary TS with its rank bounds L/U (Lemma 2), the quick
+// response (Algorithm 5), filter generation (Algorithm 7) and the accurate
+// response's value-space bisection with per-partition disk searches
+// (Algorithms 6 and 8).
+package core
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+
+	"repro/internal/gk"
+	"repro/internal/partition"
+)
+
+// StreamSummary extracts SS from the GK sketch (Algorithm 4,
+// StreamSummary): β₂ = ⌈1/ε₂ + 1⌉ elements — the exact stream minimum plus
+// the elements at approximate ranks i·ε₂m. The sketch must have been run
+// with error parameter ε₂/2; querying rank i·ε₂m + ε₂m/2 with a two-sided
+// ±ε₂m/2 guarantee yields exactly Lemma 1's band
+// [i·ε₂m, (i+1)·ε₂m] for SS[i].
+func StreamSummary(g *gk.Sketch, eps2 float64) []int64 {
+	m := g.Count()
+	if m == 0 {
+		return nil
+	}
+	beta2 := beta(eps2)
+	ss := make([]int64, 0, beta2)
+	mn, _ := g.Min()
+	ss = append(ss, mn)
+	em := eps2 * float64(m)
+	for i := 1; i < beta2; i++ {
+		r := int64(float64(i)*em + em/2)
+		if r < 1 {
+			r = 1
+		}
+		if r > m {
+			r = m
+		}
+		v, _ := g.Query(r)
+		ss = append(ss, v)
+	}
+	slices.Sort(ss)
+	return ss
+}
+
+// beta returns ⌈1/ε + 1⌉.
+func beta(eps float64) int {
+	return int(math.Ceil(1.0/eps + 1))
+}
+
+// tsItem is one element of the combined summary TS with its source: src ==
+// -1 for the stream summary, otherwise the index of the historical summary
+// it came from.
+type tsItem struct {
+	v   int64
+	src int
+}
+
+// Combined is TS — the sorted union of all historical summaries and the
+// stream summary — together with the per-item rank bounds L and U of
+// Lemma 2.
+type Combined struct {
+	items []tsItem
+	lower []float64 // L_i
+	upper []float64 // U_i
+
+	sums []*partition.Summary
+	ss   []int64
+
+	m     int64 // stream size
+	histN int64 // historical size
+	eps1  float64
+	eps2  float64
+}
+
+// N returns the total data size n + m.
+func (c *Combined) N() int64 { return c.histN + c.m }
+
+// Len returns δ, the number of TS entries.
+func (c *Combined) Len() int { return len(c.items) }
+
+// Value returns TS[i].
+func (c *Combined) Value(i int) int64 { return c.items[i].v }
+
+// Bounds returns (L_i, U_i).
+func (c *Combined) Bounds(i int) (float64, float64) { return c.lower[i], c.upper[i] }
+
+// BuildCombined constructs TS and computes every L_i and U_i with one sweep
+// (the formulas preceding Lemma 2):
+//
+//	L_i = ε₂·m·b·(α_S − 1) + Σ_{P: α_P>0} m_P·ε₁·(α_P − 1)
+//	U_i = ε₂·m·b·(α_S + 1) + Σ_{P: α_P>0} m_P·ε₁·α_P
+//
+// where α_S (resp. α_P) counts summary elements ≤ TS[i] from the stream
+// (resp. partition P) and b = 1 iff α_S > 0.
+func BuildCombined(sums []*partition.Summary, ss []int64, m int64, eps1, eps2 float64) *Combined {
+	var histN int64
+	for _, s := range sums {
+		histN += s.Part.Count
+	}
+	c := &Combined{sums: sums, ss: ss, m: m, histN: histN, eps1: eps1, eps2: eps2}
+
+	total := len(ss)
+	for _, s := range sums {
+		total += len(s.Values)
+	}
+	c.items = make([]tsItem, 0, total)
+	for _, v := range ss {
+		c.items = append(c.items, tsItem{v, -1})
+	}
+	for si, s := range sums {
+		for _, v := range s.Values {
+			c.items = append(c.items, tsItem{v, si})
+		}
+	}
+	slices.SortFunc(c.items, func(a, b tsItem) int {
+		switch {
+		case a.v < b.v:
+			return -1
+		case a.v > b.v:
+			return 1
+		default:
+			return a.src - b.src
+		}
+	})
+
+	c.lower = make([]float64, len(c.items))
+	c.upper = make([]float64, len(c.items))
+	em2 := eps2 * float64(m)
+	// Running terms, updated as prefix counts per source grow.
+	var streamL, streamU float64 // ε₂m·b·(α_S∓1) terms
+	var histL, histU float64     // Σ m_P·ε₁·(α_P−1) and Σ m_P·ε₁·α_P
+	alphaS := 0
+	alphaP := make([]int, len(sums))
+	for i, it := range c.items {
+		if it.src < 0 {
+			alphaS++
+			if alphaS == 1 {
+				streamL = 0       // b·(α_S−1) = 0
+				streamU = 2 * em2 // b·(α_S+1) = 2
+			} else {
+				streamL += em2
+				streamU += em2
+			}
+		} else {
+			w := float64(sums[it.src].Part.Count) * eps1
+			alphaP[it.src]++
+			if alphaP[it.src] == 1 {
+				histU += w // α_P = 1 contributes w to U, 0 to L
+			} else {
+				histL += w
+				histU += w
+			}
+		}
+		c.lower[i] = streamL + histL
+		c.upper[i] = streamU + histU
+	}
+	return c
+}
+
+// QuickQuery implements Algorithm 5: return TS[j] for the smallest j with
+// L_j ≥ r, or the last element if none. The returned element's rank is
+// within 1.5·εN of r (Lemma 3).
+func (c *Combined) QuickQuery(r int64) (int64, error) {
+	if len(c.items) == 0 {
+		return 0, fmt.Errorf("core: quick query on empty summary")
+	}
+	fr := float64(r)
+	j := sort.Search(len(c.lower), func(i int) bool { return c.lower[i] >= fr })
+	if j == len(c.lower) {
+		j = len(c.lower) - 1
+	}
+	return c.items[j].v, nil
+}
+
+// Filters implements Algorithm 7: values u, v from TS with rank(u,T) ≤ r ≤
+// rank(v,T) and rank spread < 4εN (Lemma 4). When no U_i ≤ r exists the
+// global minimum is used; when no L_i ≥ r exists the global maximum is used.
+func (c *Combined) Filters(r int64) (u, v int64, err error) {
+	if len(c.items) == 0 {
+		return 0, 0, fmt.Errorf("core: filters on empty summary")
+	}
+	fr := float64(r)
+	// x: largest i with U_i ≤ r. U is non-decreasing, so binary search works.
+	x := sort.Search(len(c.upper), func(i int) bool { return c.upper[i] > fr }) - 1
+	if x < 0 {
+		x = 0
+	}
+	// y: smallest i with L_i ≥ r.
+	y := sort.Search(len(c.lower), func(i int) bool { return c.lower[i] >= fr })
+	if y == len(c.lower) {
+		y = len(c.lower) - 1
+	}
+	u, v = c.items[x].v, c.items[y].v
+	if u > v {
+		// Only possible at the clamped extremes; normalize.
+		u, v = v, u
+	}
+	return u, v, nil
+}
+
+// StreamRankEstimate returns ρ₂ of Algorithm 8: ε₂·m times the number of SS
+// entries ≤ z.
+func (c *Combined) StreamRankEstimate(z int64) float64 {
+	cnt := sort.Search(len(c.ss), func(i int) bool { return c.ss[i] > z })
+	return float64(cnt) * c.eps2 * float64(c.m)
+}

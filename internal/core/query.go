@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/partition"
+)
+
+// QueryCost reports what an accurate query spent.
+type QueryCost struct {
+	// Iterations is the number of bisection probes (Algorithm 8 recursion
+	// depth).
+	Iterations int
+	// RandReads is the number of random block reads across all partitions.
+	RandReads int
+	// FilterU and FilterV are the initial filters from Algorithm 7.
+	FilterU, FilterV int64
+	// Truncated reports that an I/O budget stopped the search early, so the
+	// answer's error may exceed ε·m (but stays within the current filter
+	// spread).
+	Truncated bool
+}
+
+// QueryOptions tunes an accurate query beyond the paper's defaults.
+type QueryOptions struct {
+	// PinBlocks enables the §2.4 single-block caching optimization.
+	PinBlocks bool
+	// Parallel probes all partitions concurrently at each bisection step —
+	// the paper's §4 future-work suggestion of overlapping disk reads.
+	Parallel bool
+	// MaxReads, when positive, caps random block reads: the search stops
+	// early once the cap is reached and returns its best current answer
+	// with Truncated set. This explores the paper's conclusion's
+	// accuracy-vs-disk-access tradeoff ("stopping the search of the
+	// on-disk structure early").
+	MaxReads int
+}
+
+// AccurateQuery implements Algorithms 6-8: generate filters from the
+// combined summary, then bisect the value space, computing at each probe z
+// the exact rank of z in every partition (block-granular binary search
+// seeded from the summaries) plus the SS-based stream rank estimate, until
+// the estimate is within ε·m of the target rank r. pinBlocks enables the
+// §2.4 single-block caching optimization.
+//
+// One deliberate refinement over the paper's pseudocode: Algorithm 8
+// returns the accepted midpoint z itself, which need not be an element of
+// T. We instead snap z to the largest known element ≤ z (the per-partition
+// predecessors sit right at the cursors' final boundary positions, usually
+// in an already-pinned block; the stream predecessor comes from SS). The
+// snapped element's rank differs from rank(z) by at most ~ε₂m additional
+// stream uncertainty, so the O(ε·m) guarantee of Lemma 5 is preserved — and
+// when the stream is empty the answer becomes the exact quantile.
+func AccurateQuery(c *Combined, eps float64, r int64, pinBlocks bool) (int64, QueryCost, error) {
+	return AccurateQueryOpts(c, eps, r, QueryOptions{PinBlocks: pinBlocks})
+}
+
+// AccurateQueryOpts is AccurateQuery with full option control (parallel
+// partition probing, I/O budgeting).
+func AccurateQueryOpts(c *Combined, eps float64, r int64, opts QueryOptions) (int64, QueryCost, error) {
+	var cost QueryCost
+	u, v, err := c.Filters(r)
+	if err != nil {
+		return 0, cost, err
+	}
+	cost.FilterU, cost.FilterV = u, v
+	if u == v {
+		return u, cost, nil
+	}
+
+	cursors := make([]*partition.Cursor, 0, len(c.sums))
+	defer func() {
+		for _, cur := range cursors {
+			cur.Close() //nolint:errcheck // read-only handles
+		}
+	}()
+	for _, s := range c.sums {
+		cur, err := partition.NewCursor(s, u, v, opts.PinBlocks)
+		if err != nil {
+			return 0, cost, err
+		}
+		cursors = append(cursors, cur)
+	}
+
+	em := eps * float64(c.m)
+	fr := float64(r)
+
+	rankAt := func(z int64) (float64, error) {
+		rho := c.StreamRankEstimate(z)
+		hist, err := histRank(cursors, z, opts.Parallel)
+		if err != nil {
+			return 0, err
+		}
+		return rho + float64(hist), nil
+	}
+
+	for v-u > 1 {
+		z := u + (v-u)/2
+		cost.Iterations++
+		rho, err := rankAt(z)
+		if err != nil {
+			return 0, cost, err
+		}
+		switch {
+		case fr < rho-em:
+			v = z
+			for _, cur := range cursors {
+				cur.NarrowUpper()
+			}
+		case fr > rho+em:
+			u = z
+			for _, cur := range cursors {
+				cur.NarrowLower()
+			}
+		default:
+			ans, err := snapDown(c, cursors, z)
+			cost.RandReads = sumReads(cursors)
+			if err != nil {
+				return 0, cost, err
+			}
+			return ans, cost, nil
+		}
+		if opts.MaxReads > 0 && sumReads(cursors) >= opts.MaxReads {
+			// I/O budget exhausted: return the best current answer. The
+			// last probe's cursor state matches z, so snapping is valid.
+			ans, err := snapDown(c, cursors, z)
+			cost.RandReads = sumReads(cursors)
+			cost.Truncated = true
+			if err != nil {
+				return 0, cost, err
+			}
+			return ans, cost, nil
+		}
+	}
+	// Adjacent filters: every element with rank in (rank(u), rank(v)] equals
+	// the successor of u; return (the predecessor closure of) u only if its
+	// rank already reaches the target.
+	cost.Iterations++
+	rhoU, err := rankAt(u)
+	if err != nil {
+		cost.RandReads = sumReads(cursors)
+		return 0, cost, err
+	}
+	var ans int64
+	if rhoU >= fr {
+		ans, err = snapDown(c, cursors, u)
+	} else {
+		ans, err = snapUp(c, cursors, u)
+	}
+	cost.RandReads = sumReads(cursors)
+	if err != nil {
+		return 0, cost, err
+	}
+	return ans, cost, nil
+}
+
+// histRank sums boundary(z) over all cursors, optionally probing partitions
+// concurrently (each cursor owns an independent file handle, so parallel
+// probes overlap their disk reads — the paper's §4 parallelization).
+func histRank(cursors []*partition.Cursor, z int64, parallel bool) (int64, error) {
+	if !parallel || len(cursors) < 2 {
+		var total int64
+		for _, cur := range cursors {
+			p, err := cur.Rank(z)
+			if err != nil {
+				return 0, err
+			}
+			total += p
+		}
+		return total, nil
+	}
+	ranks := make([]int64, len(cursors))
+	errs := make([]error, len(cursors))
+	var wg sync.WaitGroup
+	for i, cur := range cursors {
+		wg.Add(1)
+		go func(i int, cur *partition.Cursor) {
+			defer wg.Done()
+			ranks[i], errs[i] = cur.Rank(z)
+		}(i, cur)
+	}
+	wg.Wait()
+	var total int64
+	for i := range cursors {
+		if errs[i] != nil {
+			return 0, errs[i]
+		}
+		total += ranks[i]
+	}
+	return total, nil
+}
+
+// snapDown returns the largest known element of T that is ≤ z, assuming
+// every cursor's last Rank call was for z. Falls back to the global minimum
+// when nothing is ≤ z.
+func snapDown(c *Combined, cursors []*partition.Cursor, z int64) (int64, error) {
+	best := int64(0)
+	have := false
+	for _, cur := range cursors {
+		b := cur.LastBoundary()
+		if b == 0 {
+			continue
+		}
+		e, err := cur.Element(b - 1)
+		if err != nil {
+			return 0, err
+		}
+		if !have || e > best {
+			best, have = e, true
+		}
+	}
+	// Stream predecessor from SS.
+	if i := sort.Search(len(c.ss), func(i int) bool { return c.ss[i] > z }); i > 0 {
+		if e := c.ss[i-1]; !have || e > best {
+			best, have = e, true
+		}
+	}
+	if have {
+		return best, nil
+	}
+	return c.globalMin()
+}
+
+// snapUp returns the smallest known element of T that is > z, assuming
+// every cursor's last Rank call was for z. Falls back to the global maximum
+// when nothing is > z.
+func snapUp(c *Combined, cursors []*partition.Cursor, z int64) (int64, error) {
+	var best int64
+	have := false
+	for _, cur := range cursors {
+		b := cur.LastBoundary()
+		if b >= cur.Count() {
+			continue
+		}
+		e, err := cur.Element(b)
+		if err != nil {
+			return 0, err
+		}
+		if !have || e < best {
+			best, have = e, true
+		}
+	}
+	if i := sort.Search(len(c.ss), func(i int) bool { return c.ss[i] > z }); i < len(c.ss) {
+		if e := c.ss[i]; !have || e < best {
+			best, have = e, true
+		}
+	}
+	if have {
+		return best, nil
+	}
+	return c.globalMax()
+}
+
+// globalMin returns the smallest element recorded in any summary.
+func (c *Combined) globalMin() (int64, error) {
+	if len(c.items) == 0 {
+		return 0, fmt.Errorf("core: no data")
+	}
+	return c.items[0].v, nil
+}
+
+// globalMax returns the largest element recorded in any summary.
+func (c *Combined) globalMax() (int64, error) {
+	if len(c.items) == 0 {
+		return 0, fmt.Errorf("core: no data")
+	}
+	return c.items[len(c.items)-1].v, nil
+}
+
+func sumReads(cursors []*partition.Cursor) int {
+	n := 0
+	for _, cur := range cursors {
+		n += cur.Reads()
+	}
+	return n
+}
+
+// ExactStreamRank is a helper for engines that also track the raw batch in
+// memory: rank of z within a sorted batch slice. Exposed for tests.
+func ExactStreamRank(sortedBatch []int64, z int64) int64 {
+	lo, hi := 0, len(sortedBatch)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sortedBatch[mid] <= z {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int64(lo)
+}
+
+// Validate checks a Combined's bound invariants against exact ranks
+// provided by the caller (Lemma 2: L_i ≤ rank(TS[i]) ≤ U_i and
+// U_i − L_i ≤ εN). rankOf must return the exact rank in T. Used by tests
+// and the harness's self-check mode.
+func (c *Combined) Validate(eps float64, rankOf func(v int64) int64) error {
+	en := eps * float64(c.N())
+	for i := range c.items {
+		ri := float64(rankOf(c.items[i].v))
+		if c.lower[i] > ri+1e-9 {
+			return fmt.Errorf("core: L_%d=%.1f > rank=%.0f (v=%d)", i, c.lower[i], ri, c.items[i].v)
+		}
+		if c.upper[i] < ri-1e-9 {
+			return fmt.Errorf("core: U_%d=%.1f < rank=%.0f (v=%d)", i, c.upper[i], ri, c.items[i].v)
+		}
+		if c.upper[i]-c.lower[i] > en+1e-9 {
+			return fmt.Errorf("core: U_%d-L_%d=%.1f > εN=%.1f", i, i, c.upper[i]-c.lower[i], en)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/partition"
+)
+
+// QuickRank estimates the rank of an arbitrary value v in T using only the
+// combined summary: the midpoint of the L/U bounds of the largest TS entry
+// ≤ v. The error is at most εN/2 + the inter-entry gap εN, i.e. O(εN) —
+// the quick-response analogue for rank queries.
+func (c *Combined) QuickRank(v int64) int64 {
+	i := sort.Search(len(c.items), func(i int) bool { return c.items[i].v > v }) - 1
+	if i < 0 {
+		return 0
+	}
+	return int64((c.lower[i] + c.upper[i]) / 2)
+}
+
+// RankOfValue computes the rank of an arbitrary value v in T accurately:
+// the exact count of historical elements ≤ v (one block-granular binary
+// search per partition) plus the SS-based stream estimate, so the total
+// error is at most ~ε₂m = εm/4. It is the inverse primitive of
+// AccurateQuery and shares all of its machinery.
+func RankOfValue(c *Combined, v int64, pinBlocks bool) (int64, QueryCost, error) {
+	var cost QueryCost
+	total := c.StreamRankEstimate(v)
+	for _, s := range c.sums {
+		cur, err := partition.NewCursor(s, v, v, pinBlocks)
+		if err != nil {
+			return 0, cost, err
+		}
+		p, err := cur.Rank(v)
+		if err != nil {
+			cur.Close() //nolint:errcheck
+			return 0, cost, err
+		}
+		cost.RandReads += cur.Reads()
+		if err := cur.Close(); err != nil {
+			return 0, cost, err
+		}
+		total += float64(p)
+	}
+	cost.Iterations = 1
+	return int64(total), cost, nil
+}

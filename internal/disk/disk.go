@@ -1,0 +1,227 @@
+// Package disk provides the block-device substrate used by the historical
+// store. All persistent data in this system is a flat file of little-endian
+// int64 elements, accessed at block granularity. The package counts every
+// block-level operation, split into sequential and random accesses, because
+// "number of disk accesses" is the primary cost metric of the paper's
+// evaluation (Lemmas 6 and 7, Figures 6-13).
+//
+// The default block size is 100 KB, the value assumed throughout the paper's
+// experiments, giving 12,800 elements per block.
+package disk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// ElementSize is the on-disk size of one element in bytes.
+const ElementSize = 8
+
+// DefaultBlockSize is the paper's block size B (100 KB).
+const DefaultBlockSize = 100 * 1024
+
+// Op identifies the kind of block operation, used by fault hooks and stats.
+type Op int
+
+const (
+	// OpSeqRead is a sequential block read (scans, merges).
+	OpSeqRead Op = iota
+	// OpSeqWrite is a sequential block write (loading, merging, sorting).
+	OpSeqWrite
+	// OpRandRead is a random block read (query-time binary search).
+	OpRandRead
+	// OpOpen is a file open.
+	OpOpen
+)
+
+// String returns a human-readable operation name.
+func (o Op) String() string {
+	switch o {
+	case OpSeqRead:
+		return "seq-read"
+	case OpSeqWrite:
+		return "seq-write"
+	case OpRandRead:
+		return "rand-read"
+	case OpOpen:
+		return "open"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// FaultFunc may return a non-nil error to inject a failure for the given
+// operation on the given file and block index. A nil FaultFunc injects
+// nothing. Fault hooks run before the real I/O is attempted.
+type FaultFunc func(op Op, name string, block int64) error
+
+// Stats is a snapshot of cumulative I/O counters.
+type Stats struct {
+	SeqReads     uint64 // sequential block reads
+	SeqWrites    uint64 // sequential block writes
+	RandReads    uint64 // random block reads
+	BytesRead    uint64
+	BytesWritten uint64
+	Opens        uint64
+}
+
+// Total returns the total number of block accesses (reads + writes).
+func (s Stats) Total() uint64 { return s.SeqReads + s.SeqWrites + s.RandReads }
+
+// Reads returns the total number of block reads.
+func (s Stats) Reads() uint64 { return s.SeqReads + s.RandReads }
+
+// Sub returns the element-wise difference s - t, for measuring the I/O cost
+// of a region of execution bracketed by two snapshots.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		SeqReads:     s.SeqReads - t.SeqReads,
+		SeqWrites:    s.SeqWrites - t.SeqWrites,
+		RandReads:    s.RandReads - t.RandReads,
+		BytesRead:    s.BytesRead - t.BytesRead,
+		BytesWritten: s.BytesWritten - t.BytesWritten,
+		Opens:        s.Opens - t.Opens,
+	}
+}
+
+// Add returns the element-wise sum s + t.
+func (s Stats) Add(t Stats) Stats {
+	return Stats{
+		SeqReads:     s.SeqReads + t.SeqReads,
+		SeqWrites:    s.SeqWrites + t.SeqWrites,
+		RandReads:    s.RandReads + t.RandReads,
+		BytesRead:    s.BytesRead + t.BytesRead,
+		BytesWritten: s.BytesWritten + t.BytesWritten,
+		Opens:        s.Opens + t.Opens,
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("seqR=%d seqW=%d randR=%d total=%d", s.SeqReads, s.SeqWrites, s.RandReads, s.Total())
+}
+
+// Manager is a block device rooted at a directory. It creates, reads and
+// deletes element files, and accounts for every block-level access. A
+// Manager is safe for concurrent use.
+type Manager struct {
+	dir       string
+	blockSize int
+	perBlock  int // elements per block
+
+	seqReads     atomic.Uint64
+	seqWrites    atomic.Uint64
+	randReads    atomic.Uint64
+	bytesRead    atomic.Uint64
+	bytesWritten atomic.Uint64
+	opens        atomic.Uint64
+
+	mu    sync.RWMutex
+	fault FaultFunc
+
+	latencyFields
+}
+
+// NewManager creates a block device rooted at dir (created if absent) with
+// the given block size in bytes. blockSize must be a positive multiple of
+// ElementSize.
+func NewManager(dir string, blockSize int) (*Manager, error) {
+	if blockSize <= 0 || blockSize%ElementSize != 0 {
+		return nil, fmt.Errorf("disk: block size %d must be a positive multiple of %d", blockSize, ElementSize)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("disk: create root: %w", err)
+	}
+	return &Manager{dir: dir, blockSize: blockSize, perBlock: blockSize / ElementSize}, nil
+}
+
+// Dir returns the root directory of the device.
+func (m *Manager) Dir() string { return m.dir }
+
+// BlockSize returns the block size in bytes.
+func (m *Manager) BlockSize() int { return m.blockSize }
+
+// ElementsPerBlock returns how many elements fit in one block.
+func (m *Manager) ElementsPerBlock() int { return m.perBlock }
+
+// SetFault installs a fault-injection hook; nil removes it.
+func (m *Manager) SetFault(f FaultFunc) {
+	m.mu.Lock()
+	m.fault = f
+	m.mu.Unlock()
+}
+
+func (m *Manager) injected(op Op, name string, block int64) error {
+	m.mu.RLock()
+	f := m.fault
+	m.mu.RUnlock()
+	if f == nil {
+		return nil
+	}
+	return f(op, name, block)
+}
+
+// Stats returns a snapshot of the cumulative I/O counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		SeqReads:     m.seqReads.Load(),
+		SeqWrites:    m.seqWrites.Load(),
+		RandReads:    m.randReads.Load(),
+		BytesRead:    m.bytesRead.Load(),
+		BytesWritten: m.bytesWritten.Load(),
+		Opens:        m.opens.Load(),
+	}
+}
+
+// ResetStats zeroes all counters. Intended for experiment harnesses.
+func (m *Manager) ResetStats() {
+	m.seqReads.Store(0)
+	m.seqWrites.Store(0)
+	m.randReads.Store(0)
+	m.bytesRead.Store(0)
+	m.bytesWritten.Store(0)
+	m.opens.Store(0)
+}
+
+func (m *Manager) path(name string) string { return filepath.Join(m.dir, name) }
+
+// Remove deletes the named file. Removing a non-existent file is an error.
+func (m *Manager) Remove(name string) error {
+	if err := os.Remove(m.path(name)); err != nil {
+		return fmt.Errorf("disk: remove %s: %w", name, err)
+	}
+	return nil
+}
+
+// Exists reports whether the named file exists.
+func (m *Manager) Exists(name string) bool {
+	_, err := os.Stat(m.path(name))
+	return err == nil
+}
+
+// Size returns the number of elements stored in the named file.
+func (m *Manager) Size(name string) (int64, error) {
+	fi, err := os.Stat(m.path(name))
+	if err != nil {
+		return 0, fmt.Errorf("disk: stat %s: %w", name, err)
+	}
+	return fi.Size() / ElementSize, nil
+}
+
+// encodeInto writes vals as little-endian int64 into buf, which must be at
+// least 8*len(vals) bytes.
+func encodeInto(buf []byte, vals []int64) {
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[i*ElementSize:], uint64(v))
+	}
+}
+
+// decodeInto reads little-endian int64s from buf into out.
+func decodeInto(out []int64, buf []byte) {
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(buf[i*ElementSize:]))
+	}
+}

@@ -1,0 +1,63 @@
+package disk
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencySimulation(t *testing.T) {
+	m := newTestManager(t, 64)
+	m.SetLatency(Latency{SeqWrite: time.Millisecond, RandRead: 2 * time.Millisecond})
+
+	w, err := m.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	for i := 0; i < 16; i++ { // 2 full blocks
+		if err := w.Append(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(t0); elapsed < 2*time.Millisecond {
+		t.Errorf("writes completed in %v; expected >= 2ms of simulated delay", elapsed)
+	}
+	if m.SimulatedLatency() < 2*time.Millisecond {
+		t.Errorf("SimulatedLatency = %v", m.SimulatedLatency())
+	}
+
+	rr, err := m.OpenRandom("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rr.Close()
+	t0 = time.Now()
+	if _, err := rr.Block(1); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(t0); elapsed < 2*time.Millisecond {
+		t.Errorf("random read took %v; expected >= 2ms", elapsed)
+	}
+
+	// Disabling restores full speed.
+	m.SetLatency(Latency{})
+	t0 = time.Now()
+	if _, err := rr.Block(0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(t0); elapsed > time.Millisecond {
+		t.Errorf("read with latency disabled took %v", elapsed)
+	}
+}
+
+func TestLatencyProfilesSane(t *testing.T) {
+	if HDD.RandRead <= HDD.SeqRead {
+		t.Error("HDD random must cost more than sequential")
+	}
+	if SSD.RandRead >= HDD.RandRead {
+		t.Error("SSD random must be faster than HDD")
+	}
+}

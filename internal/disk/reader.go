@@ -1,0 +1,239 @@
+package disk
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Reader scans a file sequentially, one block at a time. Every block read
+// counts as one sequential read. Reader is not safe for concurrent use.
+type Reader struct {
+	m      *Manager
+	name   string
+	f      *os.File
+	buf    []byte
+	vals   []int64
+	pos    int   // next element index within vals
+	n      int   // valid elements in vals
+	block  int64 // next block index to read
+	count  int64 // total elements in the file
+	read   int64 // elements returned so far
+	closed bool
+}
+
+// OpenSequential opens the named element file for a sequential scan.
+func (m *Manager) OpenSequential(name string) (*Reader, error) {
+	if err := m.injected(OpOpen, name, 0); err != nil {
+		return nil, fmt.Errorf("disk: open %s: %w", name, err)
+	}
+	f, err := os.Open(m.path(name))
+	if err != nil {
+		return nil, fmt.Errorf("disk: open %s: %w", name, err)
+	}
+	m.opens.Add(1)
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("disk: stat %s: %w", name, err)
+	}
+	return &Reader{
+		m:     m,
+		name:  name,
+		f:     f,
+		buf:   make([]byte, m.blockSize),
+		vals:  make([]int64, m.perBlock),
+		count: fi.Size() / ElementSize,
+	}, nil
+}
+
+// Count returns the total number of elements in the file.
+func (r *Reader) Count() int64 { return r.count }
+
+// Next returns the next element. It returns ok=false at end of file.
+func (r *Reader) Next() (v int64, ok bool, err error) {
+	if r.closed {
+		return 0, false, fmt.Errorf("disk: read from closed reader %s", r.name)
+	}
+	if r.pos >= r.n {
+		if r.read >= r.count {
+			return 0, false, nil
+		}
+		if err := r.fill(); err != nil {
+			return 0, false, err
+		}
+		if r.n == 0 {
+			return 0, false, nil
+		}
+	}
+	v = r.vals[r.pos]
+	r.pos++
+	r.read++
+	return v, true, nil
+}
+
+func (r *Reader) fill() error {
+	if err := r.m.injected(OpSeqRead, r.name, r.block); err != nil {
+		return fmt.Errorf("disk: read %s block %d: %w", r.name, r.block, err)
+	}
+	r.m.sleepFor(OpSeqRead)
+	n, err := io.ReadFull(r.f, r.buf)
+	if err == io.ErrUnexpectedEOF || err == io.EOF {
+		err = nil
+	}
+	if err != nil {
+		return fmt.Errorf("disk: read %s block %d: %w", r.name, r.block, err)
+	}
+	if n%ElementSize != 0 {
+		return fmt.Errorf("disk: read %s block %d: torn element (%d bytes)", r.name, r.block, n)
+	}
+	cnt := n / ElementSize
+	decodeInto(r.vals[:cnt], r.buf[:n])
+	r.pos, r.n = 0, cnt
+	if cnt > 0 {
+		r.m.seqReads.Add(1)
+		r.m.bytesRead.Add(uint64(n))
+		r.block++
+	}
+	return nil
+}
+
+// Close releases the underlying file.
+func (r *Reader) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if err := r.f.Close(); err != nil {
+		return fmt.Errorf("disk: close %s: %w", r.name, err)
+	}
+	return nil
+}
+
+// RandomReader reads individual blocks of a file by index. Every Block call
+// that touches the file counts as one random read. RandomReader is not safe
+// for concurrent use.
+type RandomReader struct {
+	m      *Manager
+	name   string
+	f      *os.File
+	count  int64 // elements in the file
+	blocks int64 // number of blocks
+	buf    []byte
+	closed bool
+}
+
+// OpenRandom opens the named element file for random block access.
+func (m *Manager) OpenRandom(name string) (*RandomReader, error) {
+	if err := m.injected(OpOpen, name, 0); err != nil {
+		return nil, fmt.Errorf("disk: open %s: %w", name, err)
+	}
+	f, err := os.Open(m.path(name))
+	if err != nil {
+		return nil, fmt.Errorf("disk: open %s: %w", name, err)
+	}
+	m.opens.Add(1)
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("disk: stat %s: %w", name, err)
+	}
+	count := fi.Size() / ElementSize
+	blocks := (count + int64(m.perBlock) - 1) / int64(m.perBlock)
+	return &RandomReader{
+		m:      m,
+		name:   name,
+		f:      f,
+		count:  count,
+		blocks: blocks,
+		buf:    make([]byte, m.blockSize),
+	}, nil
+}
+
+// Count returns the number of elements in the file.
+func (r *RandomReader) Count() int64 { return r.count }
+
+// Blocks returns the number of blocks in the file.
+func (r *RandomReader) Blocks() int64 { return r.blocks }
+
+// Block reads block idx and returns its elements. The returned slice is
+// owned by the caller (freshly allocated) so it can be pinned in memory by
+// the query layer.
+func (r *RandomReader) Block(idx int64) ([]int64, error) {
+	if r.closed {
+		return nil, fmt.Errorf("disk: read from closed reader %s", r.name)
+	}
+	if idx < 0 || idx >= r.blocks {
+		return nil, fmt.Errorf("disk: block %d out of range [0,%d) in %s", idx, r.blocks, r.name)
+	}
+	if err := r.m.injected(OpRandRead, r.name, idx); err != nil {
+		return nil, fmt.Errorf("disk: read %s block %d: %w", r.name, idx, err)
+	}
+	r.m.sleepFor(OpRandRead)
+	off := idx * int64(r.m.blockSize)
+	n, err := r.f.ReadAt(r.buf, off)
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		err = nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("disk: read %s block %d: %w", r.name, idx, err)
+	}
+	if n%ElementSize != 0 {
+		return nil, fmt.Errorf("disk: read %s block %d: torn element (%d bytes)", r.name, idx, n)
+	}
+	cnt := n / ElementSize
+	out := make([]int64, cnt)
+	decodeInto(out, r.buf[:n])
+	r.m.randReads.Add(1)
+	r.m.bytesRead.Add(uint64(n))
+	return out, nil
+}
+
+// ElementBlock returns the block index containing element i.
+func (r *RandomReader) ElementBlock(i int64) int64 { return i / int64(r.m.perBlock) }
+
+// Close releases the underlying file.
+func (r *RandomReader) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if err := r.f.Close(); err != nil {
+		return fmt.Errorf("disk: close %s: %w", r.name, err)
+	}
+	return nil
+}
+
+// SeekElement repositions the sequential reader so the next call to Next
+// returns element i (0-based). The partial block containing i is read
+// immediately and counted as one sequential read. Used by range-restricted
+// scans such as parallel merges.
+func (r *Reader) SeekElement(i int64) error {
+	if r.closed {
+		return fmt.Errorf("disk: seek on closed reader %s", r.name)
+	}
+	if i < 0 || i > r.count {
+		return fmt.Errorf("disk: seek to %d outside [0,%d] in %s", i, r.count, r.name)
+	}
+	if i == r.count {
+		// Position at EOF.
+		r.pos, r.n = 0, 0
+		r.read = r.count
+		r.block = (r.count + int64(r.m.perBlock) - 1) / int64(r.m.perBlock)
+		return nil
+	}
+	blk := i / int64(r.m.perBlock)
+	if _, err := r.f.Seek(blk*int64(r.m.blockSize), 0); err != nil {
+		return fmt.Errorf("disk: seek %s: %w", r.name, err)
+	}
+	r.block = blk
+	r.pos, r.n = 0, 0
+	r.read = blk * int64(r.m.perBlock)
+	if err := r.fill(); err != nil {
+		return err
+	}
+	skip := int(i - blk*int64(r.m.perBlock))
+	r.pos = skip
+	r.read = i
+	return nil
+}

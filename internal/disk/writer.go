@@ -1,0 +1,116 @@
+package disk
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+)
+
+// Writer writes elements sequentially to a file, one block at a time.
+// Every flushed block counts as one sequential write. The final, possibly
+// partial block also counts as one write. Writer is not safe for concurrent
+// use.
+type Writer struct {
+	m      *Manager
+	name   string
+	f      *os.File
+	bw     *bufio.Writer
+	buf    []byte // one block of staging space
+	fill   int    // elements staged in buf
+	count  int64  // elements written so far
+	blocks int64  // blocks flushed so far
+	closed bool
+}
+
+// Create creates (truncating if present) the named element file and returns
+// a sequential Writer for it.
+func (m *Manager) Create(name string) (*Writer, error) {
+	if err := m.injected(OpOpen, name, 0); err != nil {
+		return nil, fmt.Errorf("disk: create %s: %w", name, err)
+	}
+	f, err := os.Create(m.path(name))
+	if err != nil {
+		return nil, fmt.Errorf("disk: create %s: %w", name, err)
+	}
+	m.opens.Add(1)
+	return &Writer{
+		m:    m,
+		name: name,
+		f:    f,
+		bw:   bufio.NewWriterSize(f, m.blockSize),
+		buf:  make([]byte, m.blockSize),
+	}, nil
+}
+
+// Append stages one element for writing.
+func (w *Writer) Append(v int64) error {
+	if w.closed {
+		return fmt.Errorf("disk: write to closed writer %s", w.name)
+	}
+	encodeInto(w.buf[w.fill*ElementSize:], []int64{v})
+	w.fill++
+	w.count++
+	if w.fill == w.m.perBlock {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+// AppendSlice stages a slice of elements.
+func (w *Writer) AppendSlice(vals []int64) error {
+	for _, v := range vals {
+		if err := w.Append(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *Writer) flushBlock() error {
+	if w.fill == 0 {
+		return nil
+	}
+	if err := w.m.injected(OpSeqWrite, w.name, w.blocks); err != nil {
+		return fmt.Errorf("disk: write %s block %d: %w", w.name, w.blocks, err)
+	}
+	w.m.sleepFor(OpSeqWrite)
+	n := w.fill * ElementSize
+	if _, err := w.bw.Write(w.buf[:n]); err != nil {
+		return fmt.Errorf("disk: write %s block %d: %w", w.name, w.blocks, err)
+	}
+	w.m.seqWrites.Add(1)
+	w.m.bytesWritten.Add(uint64(n))
+	w.blocks++
+	w.fill = 0
+	return nil
+}
+
+// Count returns the number of elements appended so far.
+func (w *Writer) Count() int64 { return w.count }
+
+// Close flushes the final partial block and closes the file.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.flushBlock(); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("disk: flush %s: %w", w.name, err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("disk: close %s: %w", w.name, err)
+	}
+	return nil
+}
+
+// Abort closes and removes the file, ignoring errors. Used on failed writes.
+func (w *Writer) Abort() {
+	w.closed = true
+	w.f.Close()
+	os.Remove(w.m.path(w.name))
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fig4 reproduces "Accuracy (Relative Error) vs Memory" (Figures 4a-4d):
+// for each dataset, sweep the summary-memory budget at κ=10 and report the
+// median relative error of four methods — our accurate response, the pure
+// streaming Greenwald-Khanna and Q-Digest baselines, and our quick
+// response. The paper's headline: the accurate response beats the pure
+// streaming algorithms by ~100× at equal memory, and the quick response
+// tracks Q-Digest.
+func Fig4(sc Scale, root string) ([]*Table, error) {
+	const kappa = 10
+	budgets := sc.MemBudgets()
+	var tables []*Table
+	for wi, wl := range sc.workloads() {
+		t := &Table{
+			ID:      fmt.Sprintf("fig4%c-%s", 'a'+wi, wl),
+			Title:   fmt.Sprintf("Relative error vs memory, %s, κ=%d", wl, kappa),
+			XLabel:  "memory_bytes",
+			Columns: []string{"OurAlgorithm", "GreenwaldKhanna", "QDigest", "QuickResponse"},
+		}
+		for _, budget := range budgets {
+			var ours, gks, qds, quicks []float64
+			for rep := 0; rep < sc.Repeats; rep++ {
+				seed := int64(1000*wi + rep + 1)
+				ds, err := makeDataset(wl, seed, sc)
+				if err != nil {
+					return nil, err
+				}
+				eps, err := planEps(budget, sc, kappa)
+				if err != nil {
+					return nil, err
+				}
+				run, err := newHybridRun(ds, hybridConfig{eps: eps, kappa: kappa, blockSize: sc.BlockSize, pin: true}, root)
+				if err != nil {
+					return nil, err
+				}
+				v, _, err := run.queryAccurate(QueryPhi)
+				if err != nil {
+					run.Close()
+					return nil, err
+				}
+				ours = append(ours, ds.orc.RelativeSpanError(QueryPhi, v))
+				qv, _, err := run.queryQuick(QueryPhi)
+				if err != nil {
+					run.Close()
+					return nil, err
+				}
+				quicks = append(quicks, ds.orc.RelativeSpanError(QueryPhi, qv))
+				run.Close()
+
+				gkRes, err := runGKBaseline(ds, budget, sc.TotalElements())
+				if err != nil {
+					return nil, err
+				}
+				gks = append(gks, gkRes.relErr)
+				qdRes, err := runQDigestBaseline(ds, budget)
+				if err != nil {
+					return nil, err
+				}
+				qds = append(qds, qdRes.relErr)
+			}
+			t.AddRow(float64(budget), median(ours), median(gks), median(qds), median(quicks))
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Fig5 reproduces "Accuracy vs merge threshold κ" (Figures 5a-5d) at a
+// fixed middle-of-sweep memory budget: measured relative error ("Relative
+// Error in Practice") against the theoretical bound ε·m/(φ·N) ("Relative
+// Error in Theory"). The paper's finding: accuracy does not depend on κ and
+// sits well below the bound.
+func Fig5(sc Scale, root string) ([]*Table, error) {
+	budget := sc.MemBudgets()[len(sc.MemBudgets())/2]
+	var tables []*Table
+	for wi, wl := range sc.workloads() {
+		t := &Table{
+			ID:      fmt.Sprintf("fig5%c-%s", 'a'+wi, wl),
+			Title:   fmt.Sprintf("Relative error vs κ, %s, memory=%dB", wl, budget),
+			XLabel:  "kappa",
+			Columns: []string{"RelErrPractice", "RelErrTheory"},
+		}
+		for _, kappa := range sc.Kappas {
+			var errs []float64
+			theory := math.NaN()
+			for rep := 0; rep < sc.Repeats; rep++ {
+				seed := int64(2000*wi + rep + 1)
+				ds, err := makeDataset(wl, seed, sc)
+				if err != nil {
+					return nil, err
+				}
+				eps, err := planEps(budget, sc, kappa)
+				if err != nil {
+					return nil, err
+				}
+				theory = eps * float64(sc.StreamSize) / (QueryPhi * float64(sc.TotalElements()))
+				run, err := newHybridRun(ds, hybridConfig{eps: eps, kappa: kappa, blockSize: sc.BlockSize, pin: true}, root)
+				if err != nil {
+					return nil, err
+				}
+				v, _, err := run.queryAccurate(QueryPhi)
+				run.Close()
+				if err != nil {
+					return nil, err
+				}
+				errs = append(errs, ds.orc.RelativeSpanError(QueryPhi, v))
+			}
+			t.AddRow(float64(kappa), median(errs), theory)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

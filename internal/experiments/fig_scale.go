@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/oracle"
+)
+
+// Fig12 reproduces the first scalability experiment (Figures 12a-12c,
+// Normal data, κ=10, fixed stream and memory): as historical size grows
+// from 10% to 100%, relative error falls (the absolute error ε·m is
+// constant while N grows), while update and query costs grow. One column
+// per panel: relative error, update time and I/O, query time and I/O.
+func Fig12(sc Scale, root string) ([]*Table, error) {
+	const kappa = 10
+	budget := sc.MemBudgets()[len(sc.MemBudgets())/2]
+	t := &Table{
+		ID:     "fig12-normal",
+		Title:  fmt.Sprintf("Scalability vs historical size, normal, κ=%d, memory=%dB, stream=%d", kappa, budget, sc.StreamSize),
+		XLabel: "hist_elements",
+		Columns: []string{
+			"RelErr", "Update_s", "UpdateIO", "UpdateIOMerge", "Query_ms", "QueryIO",
+		},
+	}
+	full, err := makeDataset("normal", 9001, sc)
+	if err != nil {
+		return nil, err
+	}
+	eps, err := planEps(budget, sc, kappa)
+	if err != nil {
+		return nil, err
+	}
+	for _, frac := range []float64{0.1, 0.2, 0.4, 0.6, 0.8, 1.0} {
+		steps := int(frac * float64(sc.Steps))
+		if steps < 1 {
+			steps = 1
+		}
+		ds := &dataset{
+			name:    full.name,
+			batches: full.batches[:steps],
+			stream:  full.stream,
+			bits:    full.bits,
+		}
+		orc := oracle.New(steps*sc.BatchSize + sc.StreamSize)
+		for _, b := range ds.batches {
+			orc.Add(b...)
+		}
+		orc.Add(ds.stream...)
+		ds.orc = orc
+
+		run, err := newHybridRun(ds, hybridConfig{eps: eps, kappa: kappa, blockSize: sc.BlockSize, pin: true}, root)
+		if err != nil {
+			return nil, err
+		}
+		loadT, sortT, mergeT, sumT := run.avgUpdate()
+		updIO, updMergeIO := run.avgUpdateIO()
+		v, qs, err := run.queryAccurate(QueryPhi)
+		if err != nil {
+			run.Close()
+			return nil, err
+		}
+		relErr := orc.RelativeSpanError(QueryPhi, v)
+		run.Close()
+		t.AddRow(float64(steps)*float64(sc.BatchSize),
+			relErr, loadT+sortT+mergeT+sumT, updIO, updMergeIO,
+			qs.Elapsed.Seconds()*1000, float64(qs.RandReads))
+	}
+	return []*Table{t}, nil
+}
+
+// Fig13 reproduces the second scalability experiment (Figures 13a-13c):
+// historical size fixed at 100%, stream size varies from 20% to 100%.
+// Relative error grows linearly with stream size (error is ε·m); update and
+// query costs are essentially flat.
+func Fig13(sc Scale, root string) ([]*Table, error) {
+	const kappa = 10
+	budget := sc.MemBudgets()[len(sc.MemBudgets())/2]
+	t := &Table{
+		ID:     "fig13-normal",
+		Title:  fmt.Sprintf("Scalability vs stream size, normal, κ=%d, memory=%dB, history=%d steps", kappa, budget, sc.Steps),
+		XLabel: "stream_elements",
+		Columns: []string{
+			"RelErr", "Update_s", "UpdateIO", "UpdateIOMerge", "Query_ms", "QueryIO",
+		},
+	}
+	full, err := makeDataset("normal", 9101, sc)
+	if err != nil {
+		return nil, err
+	}
+	eps, err := planEps(budget, sc, kappa)
+	if err != nil {
+		return nil, err
+	}
+	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		m := int(frac * float64(sc.StreamSize))
+		if m < 1 {
+			m = 1
+		}
+		ds := &dataset{
+			name:    full.name,
+			batches: full.batches,
+			stream:  full.stream[:m],
+			bits:    full.bits,
+		}
+		orc := oracle.New(sc.Steps*sc.BatchSize + m)
+		for _, b := range ds.batches {
+			orc.Add(b...)
+		}
+		orc.Add(ds.stream...)
+		ds.orc = orc
+
+		run, err := newHybridRun(ds, hybridConfig{eps: eps, kappa: kappa, blockSize: sc.BlockSize, pin: true}, root)
+		if err != nil {
+			return nil, err
+		}
+		loadT, sortT, mergeT, sumT := run.avgUpdate()
+		updIO, updMergeIO := run.avgUpdateIO()
+		v, qs, err := run.queryAccurate(QueryPhi)
+		if err != nil {
+			run.Close()
+			return nil, err
+		}
+		relErr := orc.RelativeSpanError(QueryPhi, v)
+		run.Close()
+		t.AddRow(float64(m),
+			relErr, loadT+sortT+mergeT+sumT, updIO, updMergeIO,
+			qs.Elapsed.Seconds()*1000, float64(qs.RandReads))
+	}
+	return []*Table{t}, nil
+}

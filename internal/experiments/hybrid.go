@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+)
+
+// hybridRun is one full run of the paper's algorithm over a dataset.
+type hybridRun struct {
+	eng *hsq.Engine
+	dir string
+
+	updates []hsq.UpdateStats
+	// perStepIO records total block accesses per time step (Figure 8).
+	perStepIO []uint64
+}
+
+// hybridConfig parametrizes a hybrid run.
+type hybridConfig struct {
+	eps       float64
+	kappa     int
+	blockSize int
+	pin       bool
+}
+
+// newHybridRun builds an engine in a fresh directory under root and loads
+// every batch of the dataset, then plays the in-flight stream.
+func newHybridRun(ds *dataset, cfg hybridConfig, root string) (*hybridRun, error) {
+	dir, err := os.MkdirTemp(root, "hybrid-*")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	eng, err := hsq.New(hsq.Config{
+		Epsilon:    cfg.eps,
+		Kappa:      cfg.kappa,
+		Dir:        dir,
+		BlockSize:  cfg.blockSize,
+		NoBlockPin: !cfg.pin,
+	})
+	if err != nil {
+		os.RemoveAll(dir) //nolint:errcheck
+		return nil, err
+	}
+	run := &hybridRun{eng: eng, dir: dir}
+	for _, b := range ds.batches {
+		eng.ObserveSlice(b)
+		us, err := eng.EndStep()
+		if err != nil {
+			run.Close()
+			return nil, err
+		}
+		run.updates = append(run.updates, us)
+		run.perStepIO = append(run.perStepIO, us.TotalIO())
+	}
+	eng.ObserveSlice(ds.stream)
+	return run, nil
+}
+
+// Close destroys the run's on-disk state.
+func (r *hybridRun) Close() {
+	r.eng.Destroy()     //nolint:errcheck
+	os.RemoveAll(r.dir) //nolint:errcheck
+}
+
+// queryAccurate runs one accurate query and returns the answer with stats.
+func (r *hybridRun) queryAccurate(phi float64) (int64, hsq.QueryStats, error) {
+	return r.eng.Quantile(phi)
+}
+
+// queryQuick runs one quick query, timing it.
+func (r *hybridRun) queryQuick(phi float64) (int64, time.Duration, error) {
+	t0 := time.Now()
+	v, err := r.eng.QuantileQuick(phi)
+	return v, time.Since(t0), err
+}
+
+// avgUpdate aggregates per-phase means across all time steps, in seconds.
+func (r *hybridRun) avgUpdate() (load, sort, merge, summary float64) {
+	if len(r.updates) == 0 {
+		return
+	}
+	for _, u := range r.updates {
+		load += u.Load.Seconds()
+		sort += u.Sort.Seconds()
+		merge += u.Merge.Seconds()
+		summary += u.Summary.Seconds()
+	}
+	n := float64(len(r.updates))
+	return load / n, sort / n, merge / n, summary / n
+}
+
+// avgUpdateIO returns mean block accesses per step, total and merge-only.
+func (r *hybridRun) avgUpdateIO() (total, mergeOnly float64) {
+	if len(r.updates) == 0 {
+		return
+	}
+	for _, u := range r.updates {
+		total += float64(u.TotalIO())
+		mergeOnly += float64(u.MergeIO.Total())
+	}
+	n := float64(len(r.updates))
+	return total / n, mergeOnly / n
+}
+
+// planEps picks ε for a memory budget under this scale's geometry.
+func planEps(budget int64, sc Scale, kappa int) (float64, error) {
+	return hsq.Plan(budget, int64(sc.StreamSize), sc.Steps, kappa)
+}

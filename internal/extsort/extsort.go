@@ -1,0 +1,365 @@
+// Package extsort implements bounded-memory external sorting and k-way
+// merging of element files on the disk substrate. The paper sorts each
+// arriving batch with an external sort [Graefe 14] before installing it as a
+// level-0 partition, and multi-way merges sorted partitions when a level
+// overflows (Algorithm 3); both operations are provided here and both cost
+// only sequential I/O, as required by Lemma 6.
+package extsort
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/disk"
+)
+
+// DefaultFanIn is the maximum number of runs merged in one pass.
+const DefaultFanIn = 64
+
+// Source yields elements in non-decreasing order.
+type Source interface {
+	// Next returns the next element; ok=false signals exhaustion.
+	Next() (v int64, ok bool, err error)
+}
+
+// sliceSource adapts a sorted slice to a Source.
+type sliceSource struct {
+	data []int64
+	pos  int
+}
+
+func (s *sliceSource) Next() (int64, bool, error) {
+	if s.pos >= len(s.data) {
+		return 0, false, nil
+	}
+	v := s.data[s.pos]
+	s.pos++
+	return v, true, nil
+}
+
+// SliceSource returns a Source over a sorted slice. It panics if the slice
+// is not sorted, because merging unsorted inputs silently corrupts output.
+func SliceSource(sorted []int64) Source {
+	if !slices.IsSorted(sorted) {
+		panic("extsort: SliceSource input not sorted")
+	}
+	return &sliceSource{data: sorted}
+}
+
+// readerSource adapts a sequential disk reader to a Source.
+type readerSource struct{ r *disk.Reader }
+
+func (s readerSource) Next() (int64, bool, error) { return s.r.Next() }
+
+// ReaderSource returns a Source over a sequential file reader. The file
+// contents must be sorted.
+func ReaderSource(r *disk.Reader) Source { return readerSource{r} }
+
+// Merger performs a streaming k-way merge over sorted sources using a binary
+// min-heap of (value, source) pairs. It is the core of both external sort
+// merge passes and partition-level merges.
+type Merger struct {
+	heap []mergeItem
+}
+
+type mergeItem struct {
+	v   int64
+	src Source
+}
+
+// NewMerger primes a merger from the given sorted sources. Empty sources are
+// dropped.
+func NewMerger(sources ...Source) (*Merger, error) {
+	m := &Merger{heap: make([]mergeItem, 0, len(sources))}
+	for _, s := range sources {
+		v, ok, err := s.Next()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			m.heap = append(m.heap, mergeItem{v, s})
+		}
+	}
+	// Build heap bottom-up.
+	for i := len(m.heap)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
+	return m, nil
+}
+
+func (m *Merger) siftDown(i int) {
+	n := len(m.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && m.heap[l].v < m.heap[small].v {
+			small = l
+		}
+		if r < n && m.heap[r].v < m.heap[small].v {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		m.heap[i], m.heap[small] = m.heap[small], m.heap[i]
+		i = small
+	}
+}
+
+// Next returns the globally smallest remaining element.
+func (m *Merger) Next() (int64, bool, error) {
+	if len(m.heap) == 0 {
+		return 0, false, nil
+	}
+	top := m.heap[0]
+	v, ok, err := top.src.Next()
+	if err != nil {
+		return 0, false, err
+	}
+	if ok {
+		m.heap[0].v = v
+		m.siftDown(0)
+	} else {
+		last := len(m.heap) - 1
+		m.heap[0] = m.heap[last]
+		m.heap = m.heap[:last]
+		if len(m.heap) > 0 {
+			m.siftDown(0)
+		}
+	}
+	return top.v, true, nil
+}
+
+// SortSlice sorts data in memory and writes it to the named output file.
+// It is the fast path for batches that fit in the configured sort memory.
+func SortSlice(dev *disk.Manager, data []int64, out string) error {
+	sorted := slices.Clone(data)
+	slices.Sort(sorted)
+	w, err := dev.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := w.AppendSlice(sorted); err != nil {
+		w.Abort()
+		return err
+	}
+	return w.Close()
+}
+
+// Config controls external sorting.
+type Config struct {
+	// MemElements is the maximum number of elements held in memory while
+	// forming sorted runs. Must be at least one block's worth of elements.
+	MemElements int
+	// FanIn bounds how many runs are merged per pass (DefaultFanIn if 0).
+	FanIn int
+	// TempPrefix names intermediate run files (default "extsort-run").
+	TempPrefix string
+}
+
+func (c *Config) setDefaults(dev *disk.Manager) error {
+	if c.MemElements <= 0 {
+		return fmt.Errorf("extsort: MemElements must be positive, got %d", c.MemElements)
+	}
+	if c.MemElements < dev.ElementsPerBlock() {
+		return fmt.Errorf("extsort: MemElements %d smaller than one block (%d elements)",
+			c.MemElements, dev.ElementsPerBlock())
+	}
+	if c.FanIn <= 1 {
+		c.FanIn = DefaultFanIn
+	}
+	if c.TempPrefix == "" {
+		c.TempPrefix = "extsort-run"
+	}
+	return nil
+}
+
+// SortFile externally sorts the unsorted element file `in` into `out` using
+// at most cfg.MemElements elements of memory: it generates sorted runs, then
+// merges them in passes of at most cfg.FanIn runs. Returns the element
+// count. Intermediate run files are removed on success and best-effort
+// removed on failure.
+func SortFile(dev *disk.Manager, in, out string, cfg Config) (int64, error) {
+	if err := cfg.setDefaults(dev); err != nil {
+		return 0, err
+	}
+	r, err := dev.OpenSequential(in)
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+
+	var runs []string
+	cleanup := func() {
+		for _, name := range runs {
+			dev.Remove(name) //nolint:errcheck // best-effort cleanup
+		}
+	}
+
+	// Pass 0: cut the input into sorted runs.
+	buf := make([]int64, 0, cfg.MemElements)
+	total := int64(0)
+	runIdx := 0
+	flushRun := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		slices.Sort(buf)
+		name := fmt.Sprintf("%s-%d", cfg.TempPrefix, runIdx)
+		runIdx++
+		w, err := dev.Create(name)
+		if err != nil {
+			return err
+		}
+		if err := w.AppendSlice(buf); err != nil {
+			w.Abort()
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		runs = append(runs, name)
+		buf = buf[:0]
+		return nil
+	}
+	for {
+		v, ok, err := r.Next()
+		if err != nil {
+			cleanup()
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		buf = append(buf, v)
+		total++
+		if len(buf) == cfg.MemElements {
+			if err := flushRun(); err != nil {
+				cleanup()
+				return 0, err
+			}
+		}
+	}
+	if err := flushRun(); err != nil {
+		cleanup()
+		return 0, err
+	}
+	if len(runs) == 0 {
+		// Empty input: still produce an empty output file.
+		w, err := dev.Create(out)
+		if err != nil {
+			return 0, err
+		}
+		return 0, w.Close()
+	}
+
+	// Merge passes until a single run remains, then rename by final merge
+	// into `out`.
+	pass := 0
+	for len(runs) > 1 {
+		pass++
+		var next []string
+		for lo := 0; lo < len(runs); lo += cfg.FanIn {
+			hi := min(lo+cfg.FanIn, len(runs))
+			group := runs[lo:hi]
+			var name string
+			if len(runs) <= cfg.FanIn {
+				name = out // final merge writes the destination directly
+			} else {
+				name = fmt.Sprintf("%s-p%d-%d", cfg.TempPrefix, pass, lo)
+			}
+			if err := MergeFiles(dev, group, name); err != nil {
+				cleanup()
+				return 0, err
+			}
+			for _, g := range group {
+				if err := dev.Remove(g); err != nil {
+					cleanup()
+					return 0, err
+				}
+			}
+			next = append(next, name)
+		}
+		runs = next
+	}
+	if runs[0] != out {
+		// Single run produced in pass 0: copy it into place.
+		if err := copyFile(dev, runs[0], out); err != nil {
+			cleanup()
+			return 0, err
+		}
+		if err := dev.Remove(runs[0]); err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}
+
+// MergeFiles k-way merges the sorted input files into out.
+func MergeFiles(dev *disk.Manager, inputs []string, out string) error {
+	readers := make([]*disk.Reader, 0, len(inputs))
+	defer func() {
+		for _, r := range readers {
+			r.Close() //nolint:errcheck // read-only close on cleanup
+		}
+	}()
+	sources := make([]Source, 0, len(inputs))
+	for _, name := range inputs {
+		r, err := dev.OpenSequential(name)
+		if err != nil {
+			return err
+		}
+		readers = append(readers, r)
+		sources = append(sources, ReaderSource(r))
+	}
+	merger, err := NewMerger(sources...)
+	if err != nil {
+		return err
+	}
+	w, err := dev.Create(out)
+	if err != nil {
+		return err
+	}
+	for {
+		v, ok, err := merger.Next()
+		if err != nil {
+			w.Abort()
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := w.Append(v); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+func copyFile(dev *disk.Manager, from, to string) error {
+	r, err := dev.OpenSequential(from)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	w, err := dev.Create(to)
+	if err != nil {
+		return err
+	}
+	for {
+		v, ok, err := r.Next()
+		if err != nil {
+			w.Abort()
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := w.Append(v); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	return w.Close()
+}

@@ -1,0 +1,312 @@
+package extsort
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/disk"
+)
+
+func newDev(t *testing.T) *disk.Manager {
+	t.Helper()
+	m, err := disk.NewManager(t.TempDir(), 64) // 8 elements per block
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func writeFile(t *testing.T, dev *disk.Manager, name string, vals []int64) {
+	t.Helper()
+	w, err := dev.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendSlice(vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readAll(t *testing.T, dev *disk.Manager, name string) []int64 {
+	t.Helper()
+	r, err := dev.OpenSequential(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var out []int64
+	for {
+		v, ok, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+func TestSliceSourcePanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on unsorted input")
+		}
+	}()
+	SliceSource([]int64{3, 1, 2})
+}
+
+func TestMergerBasic(t *testing.T) {
+	m, err := NewMerger(
+		SliceSource([]int64{1, 4, 7}),
+		SliceSource([]int64{2, 5, 8}),
+		SliceSource([]int64{3, 6, 9}),
+		SliceSource(nil),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for {
+		v, ok, err := m.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	want := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if !slices.Equal(got, want) {
+		t.Errorf("merged = %v, want %v", got, want)
+	}
+}
+
+func TestMergerEmpty(t *testing.T) {
+	m, err := NewMerger()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := m.Next(); ok {
+		t.Error("empty merger should be exhausted")
+	}
+}
+
+// Property: merging any set of sorted slices yields the sorted multiset
+// union.
+func TestQuickMerger(t *testing.T) {
+	f := func(a, b, c []int64) bool {
+		slices.Sort(a)
+		slices.Sort(b)
+		slices.Sort(c)
+		m, err := NewMerger(SliceSource(a), SliceSource(b), SliceSource(c))
+		if err != nil {
+			return false
+		}
+		var got []int64
+		for {
+			v, ok, err := m.Next()
+			if err != nil {
+				return false
+			}
+			if !ok {
+				break
+			}
+			got = append(got, v)
+		}
+		want := append(append(append([]int64{}, a...), b...), c...)
+		slices.Sort(want)
+		return slices.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortSlice(t *testing.T) {
+	dev := newDev(t)
+	data := []int64{5, 3, 9, 1, 1, 7}
+	if err := SortSlice(dev, data, "out"); err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, dev, "out")
+	want := []int64{1, 1, 3, 5, 7, 9}
+	if !slices.Equal(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	// Input must be untouched.
+	if !slices.Equal(data, []int64{5, 3, 9, 1, 1, 7}) {
+		t.Error("SortSlice mutated its input")
+	}
+}
+
+func TestSortFileSmall(t *testing.T) {
+	dev := newDev(t)
+	writeFile(t, dev, "in", []int64{9, 2, 5, 2, 8})
+	n, err := SortFile(dev, "in", "out", Config{MemElements: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("count = %d, want 5", n)
+	}
+	got := readAll(t, dev, "out")
+	if !slices.Equal(got, []int64{2, 2, 5, 8, 9}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestSortFileEmpty(t *testing.T) {
+	dev := newDev(t)
+	writeFile(t, dev, "in", nil)
+	n, err := SortFile(dev, "in", "out", Config{MemElements: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("count = %d", n)
+	}
+	if got := readAll(t, dev, "out"); len(got) != 0 {
+		t.Errorf("got %v, want empty", got)
+	}
+}
+
+func TestSortFileMultiRunMultiPass(t *testing.T) {
+	dev := newDev(t)
+	rng := rand.New(rand.NewSource(42))
+	data := make([]int64, 1000)
+	for i := range data {
+		data[i] = rng.Int63n(1 << 30)
+	}
+	writeFile(t, dev, "in", data)
+	// MemElements=8 forces 125 runs; FanIn=4 forces multiple merge passes.
+	n, err := SortFile(dev, "in", "out", Config{MemElements: 8, FanIn: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 {
+		t.Errorf("count = %d", n)
+	}
+	got := readAll(t, dev, "out")
+	want := slices.Clone(data)
+	slices.Sort(want)
+	if !slices.Equal(got, want) {
+		t.Error("multi-pass sort output incorrect")
+	}
+	// All intermediate run files must be gone: only in and out remain.
+	if dev.Exists("extsort-run-0") {
+		t.Error("run files not cleaned up")
+	}
+}
+
+func TestSortFileConfigValidation(t *testing.T) {
+	dev := newDev(t)
+	writeFile(t, dev, "in", []int64{1})
+	if _, err := SortFile(dev, "in", "out", Config{MemElements: 0}); err == nil {
+		t.Error("want error for MemElements=0")
+	}
+	if _, err := SortFile(dev, "in", "out", Config{MemElements: 4}); err == nil {
+		t.Error("want error for MemElements below one block")
+	}
+}
+
+func TestMergeFiles(t *testing.T) {
+	dev := newDev(t)
+	writeFile(t, dev, "a", []int64{1, 3, 5})
+	writeFile(t, dev, "b", []int64{2, 4, 6})
+	if err := MergeFiles(dev, []string{"a", "b"}, "out"); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, dev, "out"); !slices.Equal(got, []int64{1, 2, 3, 4, 5, 6}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestSortedStream(t *testing.T) {
+	dev := newDev(t)
+	rng := rand.New(rand.NewSource(7))
+	data := make([]int64, 500)
+	for i := range data {
+		data[i] = rng.Int63n(1000)
+	}
+	writeFile(t, dev, "in", data)
+	src, count, cleanup, err := SortedStream(dev, "in", Config{MemElements: 16, FanIn: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	if count != 500 {
+		t.Errorf("count = %d", count)
+	}
+	var got []int64
+	for {
+		v, ok, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	want := slices.Clone(data)
+	slices.Sort(want)
+	if !slices.Equal(got, want) {
+		t.Error("SortedStream output incorrect")
+	}
+}
+
+// Property: external sort is equivalent to slices.Sort for any input.
+func TestQuickSortFile(t *testing.T) {
+	dev := newDev(t)
+	idx := 0
+	f := func(data []int64) bool {
+		idx++
+		in := "qin"
+		out := "qout"
+		w, err := dev.Create(in)
+		if err != nil {
+			return false
+		}
+		if err := w.AppendSlice(data); err != nil {
+			return false
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		if _, err := SortFile(dev, in, out, Config{MemElements: 8, FanIn: 3}); err != nil {
+			return false
+		}
+		got := readAll(t, dev, out)
+		want := slices.Clone(data)
+		slices.Sort(want)
+		return slices.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortFileIsSequentialIOOnly(t *testing.T) {
+	dev := newDev(t)
+	rng := rand.New(rand.NewSource(3))
+	data := make([]int64, 300)
+	for i := range data {
+		data[i] = rng.Int63()
+	}
+	writeFile(t, dev, "in", data)
+	before := dev.Stats()
+	if _, err := SortFile(dev, "in", "out", Config{MemElements: 16, FanIn: 4}); err != nil {
+		t.Fatal(err)
+	}
+	d := dev.Stats().Sub(before)
+	if d.RandReads != 0 {
+		t.Errorf("external sort made %d random reads; want 0 (Lemma 6 requires sequential I/O)", d.RandReads)
+	}
+}

@@ -1,0 +1,129 @@
+package extsort
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/disk"
+)
+
+// SortedStream externally sorts the unsorted element file `in` and returns a
+// Source that yields its elements in sorted order, together with the total
+// element count (known before the stream is drained) and a cleanup function
+// that removes intermediate run files. The caller must drain or abandon the
+// Source and then call cleanup.
+//
+// This streaming form lets the partition store capture its in-memory summary
+// while writing the sorted partition, so that — as the paper requires — "no
+// additional disk access is required for computing the summary, beyond those
+// taken for generating the new data partition".
+func SortedStream(dev *disk.Manager, in string, cfg Config) (src Source, count int64, cleanup func(), err error) {
+	if err := cfg.setDefaults(dev); err != nil {
+		return nil, 0, nil, err
+	}
+	r, err := dev.OpenSequential(in)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	defer r.Close()
+
+	var runs []string
+	var readers []*disk.Reader
+	cleanup = func() {
+		for _, rr := range readers {
+			rr.Close() //nolint:errcheck // cleanup
+		}
+		for _, name := range runs {
+			dev.Remove(name) //nolint:errcheck // cleanup
+		}
+	}
+
+	buf := make([]int64, 0, cfg.MemElements)
+	total := int64(0)
+	runIdx := 0
+	flushRun := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		slices.Sort(buf)
+		name := fmt.Sprintf("%s-s%d", cfg.TempPrefix, runIdx)
+		runIdx++
+		w, err := dev.Create(name)
+		if err != nil {
+			return err
+		}
+		if err := w.AppendSlice(buf); err != nil {
+			w.Abort()
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		runs = append(runs, name)
+		buf = buf[:0]
+		return nil
+	}
+	for {
+		v, ok, err := r.Next()
+		if err != nil {
+			cleanup()
+			return nil, 0, nil, err
+		}
+		if !ok {
+			break
+		}
+		buf = append(buf, v)
+		total++
+		if len(buf) == cfg.MemElements {
+			if err := flushRun(); err != nil {
+				cleanup()
+				return nil, 0, nil, err
+			}
+		}
+	}
+	if err := flushRun(); err != nil {
+		cleanup()
+		return nil, 0, nil, err
+	}
+
+	// Reduce the number of runs below FanIn with intermediate merge passes,
+	// then stream the final merge.
+	pass := 0
+	for len(runs) > cfg.FanIn {
+		pass++
+		var next []string
+		for lo := 0; lo < len(runs); lo += cfg.FanIn {
+			hi := min(lo+cfg.FanIn, len(runs))
+			name := fmt.Sprintf("%s-sp%d-%d", cfg.TempPrefix, pass, lo)
+			if err := MergeFiles(dev, runs[lo:hi], name); err != nil {
+				cleanup()
+				return nil, 0, nil, err
+			}
+			for _, g := range runs[lo:hi] {
+				if err := dev.Remove(g); err != nil {
+					cleanup()
+					return nil, 0, nil, err
+				}
+			}
+			next = append(next, name)
+		}
+		runs = next
+	}
+
+	sources := make([]Source, 0, len(runs))
+	for _, name := range runs {
+		rr, err := dev.OpenSequential(name)
+		if err != nil {
+			cleanup()
+			return nil, 0, nil, err
+		}
+		readers = append(readers, rr)
+		sources = append(sources, ReaderSource(rr))
+	}
+	merger, err := NewMerger(sources...)
+	if err != nil {
+		cleanup()
+		return nil, 0, nil, err
+	}
+	return merger, total, cleanup, nil
+}

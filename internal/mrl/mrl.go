@@ -1,0 +1,323 @@
+// Package mrl implements a Manku-Rajagopalan-Lindsay multi-level buffer
+// quantile sketch in the randomized MRL99 style (SIGMOD 1998/1999): b
+// buffers of k elements each, filled from the stream through level-dependent
+// random sampling and collapsed into higher-weight buffers when space runs
+// out. Wang et al.'s experimental study — which the paper leans on to pick
+// its baselines — found MRL99 the strongest randomized streaming algorithm,
+// slightly ahead of Greenwald-Khanna; it is included here as an additional
+// baseline for the ablation experiments.
+//
+// Structure: a buffer at level l holds k sorted elements, each standing for
+// weight(l) = 2^l stream elements. New buffers are filled at the sketch's
+// current base level by sampling one element uniformly from each window of
+// 2^base consecutive arrivals. When all b buffers are full, all buffers at
+// the lowest occupied level are collapsed into a single buffer one level up
+// via a weighted merge that keeps every (W/k)-th unit of weight at a random
+// offset — the classic COLLAPSE with random cursor, which keeps the
+// estimate unbiased.
+package mrl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"slices"
+)
+
+// buffer is one full MRL buffer.
+type buffer struct {
+	level int
+	// weight of each element: 2^level, except after uneven collapses where
+	// it is the exact summed weight divided by k in weighted units.
+	weight int64
+	data   []int64 // sorted
+}
+
+// Sketch is an MRL-style quantile summary. Construct with New. Not safe for
+// concurrent use.
+type Sketch struct {
+	b, k int
+	bufs []*buffer
+	rng  *rand.Rand
+
+	// Current fill state.
+	cur       []int64
+	baseLevel int
+	window    int64 // sampling window size = 2^baseLevel
+	winSeen   int64 // arrivals in the current window
+	winPick   int64 // which arrival within the window is kept
+	pickVal   int64
+
+	n int64
+}
+
+// New returns a sketch with b buffers of k elements. Memory is ~8·b·k
+// bytes.
+func New(b, k int, seed int64) (*Sketch, error) {
+	if b < 2 {
+		return nil, fmt.Errorf("mrl: need at least 2 buffers, got %d", b)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("mrl: buffer capacity must be positive, got %d", k)
+	}
+	s := &Sketch{b: b, k: k, rng: rand.New(rand.NewSource(seed)), window: 1}
+	s.resetWindow()
+	return s, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(b, k int, seed int64) *Sketch {
+	s, err := New(b, k, seed)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ForBudget sizes a sketch for a memory budget in bytes: b=8 buffers (a
+// common MRL choice) of k = budget/(8·8) elements.
+func ForBudget(budgetBytes int64, seed int64) (*Sketch, error) {
+	k := int(budgetBytes / (8 * 8))
+	if k < 1 {
+		k = 1
+	}
+	return New(8, k, seed)
+}
+
+// Count returns the number of observed stream elements.
+func (s *Sketch) Count() int64 { return s.n }
+
+// BufferCount returns the number of full buffers.
+func (s *Sketch) BufferCount() int { return len(s.bufs) }
+
+// MemoryBytes is the committed footprint: 8 bytes per slot across all b
+// buffers.
+func (s *Sketch) MemoryBytes() int64 { return int64(s.b) * int64(s.k) * 8 }
+
+// Reset empties the sketch.
+func (s *Sketch) Reset() {
+	s.bufs = nil
+	s.cur = nil
+	s.baseLevel = 0
+	s.window = 1
+	s.n = 0
+	s.resetWindow()
+}
+
+func (s *Sketch) resetWindow() {
+	s.winSeen = 0
+	if s.window <= 1 {
+		s.winPick = 0
+	} else {
+		s.winPick = s.rng.Int63n(s.window)
+	}
+}
+
+// Insert observes one element.
+func (s *Sketch) Insert(v int64) {
+	s.n++
+	if s.winSeen == s.winPick {
+		s.pickVal = v
+	}
+	s.winSeen++
+	if s.winSeen < s.window {
+		return
+	}
+	// Window complete: commit the sampled element.
+	s.cur = append(s.cur, s.pickVal)
+	s.resetWindow()
+	if len(s.cur) == s.k {
+		s.sealCurrent()
+	}
+}
+
+// sealCurrent promotes the fill buffer to a full buffer and collapses if
+// the sketch is out of space.
+func (s *Sketch) sealCurrent() {
+	data := slices.Clone(s.cur)
+	slices.Sort(data)
+	s.bufs = append(s.bufs, &buffer{level: s.baseLevel, weight: s.window, data: data})
+	s.cur = s.cur[:0]
+	if len(s.bufs) >= s.b {
+		s.collapse()
+	}
+}
+
+// collapse merges all buffers at the lowest occupied level into one buffer
+// one level up. If only one buffer sits at the lowest level it is joined
+// with the next-lowest level's buffers (MRL98 policy).
+func (s *Sketch) collapse() {
+	low := s.bufs[0].level
+	for _, b := range s.bufs {
+		if b.level < low {
+			low = b.level
+		}
+	}
+	var group []*buffer
+	var rest []*buffer
+	for _, b := range s.bufs {
+		if b.level == low {
+			group = append(group, b)
+		} else {
+			rest = append(rest, b)
+		}
+	}
+	if len(group) == 1 {
+		// Pull in the next-lowest level too.
+		next := math.MaxInt
+		for _, b := range rest {
+			if b.level < next {
+				next = b.level
+			}
+		}
+		var rest2 []*buffer
+		for _, b := range rest {
+			if b.level == next {
+				group = append(group, b)
+			} else {
+				rest2 = append(rest2, b)
+			}
+		}
+		rest = rest2
+	}
+	merged := s.weightedCollapse(group)
+	s.bufs = append(rest, merged)
+
+	// New fills happen at the sketch's lowest live level so weights stay
+	// balanced.
+	newBase := merged.level
+	for _, b := range s.bufs {
+		if b.level < newBase {
+			newBase = b.level
+		}
+	}
+	if newBase != s.baseLevel {
+		s.baseLevel = newBase
+		s.window = int64(1) << uint(newBase)
+		// Restart the current window at the new rate, preserving any
+		// partially filled buffer (its elements keep their old, smaller
+		// weight contribution; the bias is O(k) elements and vanishes).
+		s.resetWindow()
+	}
+}
+
+// weightedCollapse merges the group into one k-element buffer whose level
+// is max(level)+1, picking every (W/k)-th unit of weight starting at a
+// random offset.
+func (s *Sketch) weightedCollapse(group []*buffer) *buffer {
+	maxLevel := group[0].level
+	var totalW int64
+	for _, b := range group {
+		if b.level > maxLevel {
+			maxLevel = b.level
+		}
+		totalW += b.weight * int64(len(b.data))
+	}
+	stride := totalW / int64(s.k)
+	if stride < 1 {
+		stride = 1
+	}
+	offset := s.rng.Int63n(stride)
+
+	// k-way weighted merge via index cursors.
+	idx := make([]int, len(group))
+	out := make([]int64, 0, s.k)
+	var cum int64
+	next := offset
+	for {
+		// Find the smallest current element.
+		bi := -1
+		var best int64
+		for i, b := range group {
+			if idx[i] >= len(b.data) {
+				continue
+			}
+			if bi == -1 || b.data[idx[i]] < best {
+				bi, best = i, b.data[idx[i]]
+			}
+		}
+		if bi == -1 {
+			break
+		}
+		w := group[bi].weight
+		for next < cum+w && len(out) < s.k {
+			out = append(out, best)
+			next += stride
+		}
+		cum += w
+		idx[bi]++
+	}
+	for len(out) < s.k && len(out) > 0 {
+		out = append(out, out[len(out)-1])
+	}
+	if len(out) == 0 {
+		out = append(out, 0)
+	}
+	return &buffer{level: maxLevel + 1, weight: totalW / int64(s.k), data: out}
+}
+
+// Query returns a value whose rank approximates r (clamped to [1, n]).
+func (s *Sketch) Query(r int64) (int64, bool) {
+	if s.n == 0 {
+		return 0, false
+	}
+	if r < 1 {
+		r = 1
+	}
+	if r > s.n {
+		r = s.n
+	}
+	type wv struct {
+		v int64
+		w int64
+	}
+	var items []wv
+	var totalW int64
+	for _, b := range s.bufs {
+		for _, v := range b.data {
+			items = append(items, wv{v, b.weight})
+			totalW += b.weight
+		}
+	}
+	// The partial fill buffer participates with its window weight; the
+	// in-flight window contributes nothing (≤ window elements unaccounted).
+	for _, v := range s.cur {
+		items = append(items, wv{v, s.window})
+		totalW += s.window
+	}
+	if len(items) == 0 {
+		return 0, false
+	}
+	slices.SortFunc(items, func(a, b wv) int {
+		switch {
+		case a.v < b.v:
+			return -1
+		case a.v > b.v:
+			return 1
+		default:
+			return 0
+		}
+	})
+	// Scale the requested rank into the weighted domain.
+	target := int64(float64(r) / float64(s.n) * float64(totalW))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for _, it := range items {
+		cum += it.w
+		if cum >= target {
+			return it.v, true
+		}
+	}
+	return items[len(items)-1].v, true
+}
+
+// Quantile returns an approximation of the φ-quantile.
+func (s *Sketch) Quantile(phi float64) (int64, bool) {
+	if s.n == 0 {
+		return 0, false
+	}
+	r := int64(math.Ceil(phi * float64(s.n)))
+	return s.Query(r)
+}

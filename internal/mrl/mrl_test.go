@@ -1,0 +1,179 @@
+package mrl
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 10, 0); err == nil {
+		t.Error("b=1: want error")
+	}
+	if _, err := New(4, 0, 0); err == nil {
+		t.Error("k=0: want error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew invalid: want panic")
+		}
+	}()
+	MustNew(0, 0, 0)
+}
+
+func TestEmpty(t *testing.T) {
+	s := MustNew(4, 16, 1)
+	if _, ok := s.Query(1); ok {
+		t.Error("empty query: want ok=false")
+	}
+	if _, ok := s.Quantile(0.5); ok {
+		t.Error("empty quantile: want ok=false")
+	}
+}
+
+func TestSmallStreamNearExact(t *testing.T) {
+	// While everything fits in the buffers (no collapse, no sampling),
+	// answers are exact.
+	s := MustNew(4, 100, 2)
+	for i := int64(1); i <= 300; i++ {
+		s.Insert(i)
+	}
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		want := int64(math.Ceil(phi * 300))
+		got, ok := s.Quantile(phi)
+		if !ok || got < want-3 || got > want+3 {
+			t.Errorf("Quantile(%.1f) = %d, want ~%d", phi, got, want)
+		}
+	}
+}
+
+func TestLargeStreamAccuracy(t *testing.T) {
+	s := MustNew(8, 1024, 3)
+	rng := rand.New(rand.NewSource(7))
+	n := 300000
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = rng.Int63n(1 << 30)
+		s.Insert(data[i])
+	}
+	slices.Sort(data)
+	// b=8, k=1024 → expected error well under 2% of n.
+	for _, phi := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		r := int64(math.Ceil(phi * float64(n)))
+		v, ok := s.Query(r)
+		if !ok {
+			t.Fatal("query failed")
+		}
+		got := int64(sort.Search(len(data), func(i int) bool { return data[i] > v }))
+		if math.Abs(float64(got-r)) > 0.02*float64(n) {
+			t.Errorf("phi=%.2f: rank %d vs target %d (Δ=%.3f%%)", phi, got, r, 100*math.Abs(float64(got-r))/float64(n))
+		}
+	}
+}
+
+func TestSortedAdversary(t *testing.T) {
+	s := MustNew(8, 512, 5)
+	n := 200000
+	for i := 0; i < n; i++ {
+		s.Insert(int64(i))
+	}
+	for _, phi := range []float64{0.25, 0.5, 0.75} {
+		r := int64(math.Ceil(phi * float64(n)))
+		v, ok := s.Query(r)
+		if !ok {
+			t.Fatal("query failed")
+		}
+		if math.Abs(float64(v-r)) > 0.03*float64(n) {
+			t.Errorf("sorted: phi=%.2f got %d want ~%d", phi, v, r)
+		}
+	}
+}
+
+func TestBufferBound(t *testing.T) {
+	s := MustNew(6, 64, 9)
+	for i := 0; i < 500000; i++ {
+		s.Insert(int64(i % 9973))
+	}
+	if s.BufferCount() > 6 {
+		t.Errorf("buffers = %d > b", s.BufferCount())
+	}
+	if s.MemoryBytes() != 6*64*8 {
+		t.Errorf("MemoryBytes = %d", s.MemoryBytes())
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := MustNew(4, 32, 11)
+	for i := 0; i < 10000; i++ {
+		s.Insert(int64(i))
+	}
+	s.Reset()
+	if s.Count() != 0 || s.BufferCount() != 0 {
+		t.Error("Reset incomplete")
+	}
+	s.Insert(42)
+	if v, ok := s.Query(1); !ok || v != 42 {
+		t.Errorf("post-reset Query = %d,%v", v, ok)
+	}
+}
+
+func TestForBudget(t *testing.T) {
+	s, err := ForBudget(64<<10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MemoryBytes() > 64<<10 {
+		t.Errorf("budget exceeded: %d", s.MemoryBytes())
+	}
+	if _, err := ForBudget(1, 1); err != nil {
+		t.Errorf("tiny budget should clamp: %v", err)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	run := func() int64 {
+		s := MustNew(4, 64, 77)
+		for i := 0; i < 100000; i++ {
+			s.Insert(int64((i * 2654435761) % 1000003))
+		}
+		v, _ := s.Quantile(0.5)
+		return v
+	}
+	if run() != run() {
+		t.Error("same seed produced different answers")
+	}
+}
+
+// Property: answers always lie within the observed min/max.
+func TestQuickAnswersInRange(t *testing.T) {
+	f := func(raw []int32, seed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := MustNew(4, 8, seed)
+		mn, mx := int64(math.MaxInt64), int64(math.MinInt64)
+		for _, x := range raw {
+			v := int64(x)
+			s.Insert(v)
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		v, ok := s.Quantile(0.5)
+		if !ok {
+			// Possible only if all arrivals are still inside one sampling
+			// window; then nothing is committed yet.
+			return s.Count() < 4
+		}
+		return v >= mn && v <= mx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+// Package oracle maintains the exact multiset of everything observed, as
+// ground truth for measuring the rank error of approximate answers. The
+// evaluation's "relative error" metric (paper §3.1) is
+// |r − rank(e,T)| / (φ·N).
+package oracle
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+)
+
+// Oracle is an exact rank/quantile oracle. Not safe for concurrent use.
+type Oracle struct {
+	data   []int64
+	sorted bool
+}
+
+// New returns an empty oracle, optionally pre-sized.
+func New(capacity int) *Oracle {
+	return &Oracle{data: make([]int64, 0, capacity)}
+}
+
+// Add observes elements.
+func (o *Oracle) Add(vs ...int64) {
+	o.data = append(o.data, vs...)
+	o.sorted = false
+}
+
+// Count returns the number of observed elements.
+func (o *Oracle) Count() int64 { return int64(len(o.data)) }
+
+// Reset forgets everything.
+func (o *Oracle) Reset() {
+	o.data = o.data[:0]
+	o.sorted = false
+}
+
+func (o *Oracle) ensureSorted() {
+	if !o.sorted {
+		slices.Sort(o.data)
+		o.sorted = true
+	}
+}
+
+// Rank returns the exact rank of v: the number of observed elements ≤ v.
+func (o *Oracle) Rank(v int64) int64 {
+	o.ensureSorted()
+	return int64(sort.Search(len(o.data), func(i int) bool { return o.data[i] > v }))
+}
+
+// Quantile returns the exact φ-quantile: the smallest element whose rank is
+// at least ⌈φ·N⌉ (Definition 1).
+func (o *Oracle) Quantile(phi float64) (int64, error) {
+	if len(o.data) == 0 {
+		return 0, fmt.Errorf("oracle: empty")
+	}
+	if phi <= 0 || phi > 1 {
+		return 0, fmt.Errorf("oracle: phi must be in (0,1], got %g", phi)
+	}
+	o.ensureSorted()
+	r := int64(math.Ceil(phi * float64(len(o.data))))
+	if r < 1 {
+		r = 1
+	}
+	return o.data[r-1], nil
+}
+
+// ElementAtRank returns the element of the given rank (1-based).
+func (o *Oracle) ElementAtRank(r int64) (int64, error) {
+	if r < 1 || r > int64(len(o.data)) {
+		return 0, fmt.Errorf("oracle: rank %d out of [1,%d]", r, len(o.data))
+	}
+	o.ensureSorted()
+	return o.data[r-1], nil
+}
+
+// RankSpan returns the closed rank interval [lo, hi] occupied by copies of
+// v: lo = (#elements < v) + 1 and hi = #elements ≤ v. For a value absent
+// from the data the interval is empty (lo = hi+1).
+func (o *Oracle) RankSpan(v int64) (lo, hi int64) {
+	o.ensureSorted()
+	lo = int64(sort.Search(len(o.data), func(i int) bool { return o.data[i] >= v })) + 1
+	hi = int64(sort.Search(len(o.data), func(i int) bool { return o.data[i] > v }))
+	return lo, hi
+}
+
+// SpanError returns the distance from targetRank to the rank span of
+// answer: zero when the span covers the target. With duplicated values even
+// the exact quantile's point rank can jump far beyond the target, so span
+// distance is the right measure of an approximation's rank error.
+func (o *Oracle) SpanError(targetRank int64, answer int64) int64 {
+	lo, hi := o.RankSpan(answer)
+	switch {
+	case targetRank < lo:
+		return lo - targetRank
+	case targetRank > hi:
+		return targetRank - hi
+	default:
+		return 0
+	}
+}
+
+// RankError returns |targetRank − rank(answer)|, the paper's absolute error.
+func (o *Oracle) RankError(targetRank int64, answer int64) int64 {
+	d := o.Rank(answer) - targetRank
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// RelativeError returns the paper's relative error |r − rank(e)| / (φ·N)
+// for a φ-quantile query answered with e, where r = ⌈φ·N⌉.
+func (o *Oracle) RelativeError(phi float64, answer int64) float64 {
+	n := float64(len(o.data))
+	if n == 0 {
+		return 0
+	}
+	r := int64(math.Ceil(phi * n))
+	if r < 1 {
+		r = 1
+	}
+	return float64(o.RankError(r, answer)) / (phi * n)
+}
+
+// RelativeSpanError is RelativeError with rank-span semantics: the distance
+// from r = ⌈φ·N⌉ to the answer's rank span, over φ·N. On duplicate-free
+// data it equals RelativeError; with ties it measures the error actually
+// attributable to the algorithm (even the exact quantile can have a point
+// rank far beyond r when r falls inside a run of equal values).
+func (o *Oracle) RelativeSpanError(phi float64, answer int64) float64 {
+	n := float64(len(o.data))
+	if n == 0 {
+		return 0
+	}
+	r := int64(math.Ceil(phi * n))
+	if r < 1 {
+		r = 1
+	}
+	return float64(o.SpanError(r, answer)) / (phi * n)
+}

@@ -1,0 +1,193 @@
+package oracle
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	o := New(0)
+	if _, err := o.Quantile(0.5); err == nil {
+		t.Error("empty quantile: want error")
+	}
+	if o.Count() != 0 {
+		t.Error("count != 0")
+	}
+	if o.Rank(5) != 0 {
+		t.Error("rank on empty != 0")
+	}
+}
+
+func TestRankAndQuantile(t *testing.T) {
+	o := New(0)
+	o.Add(5, 1, 3, 3, 9)
+	cases := []struct {
+		v, want int64
+	}{{0, 0}, {1, 1}, {3, 3}, {5, 4}, {9, 5}, {100, 5}}
+	for _, c := range cases {
+		if got := o.Rank(c.v); got != c.want {
+			t.Errorf("Rank(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// φ-quantiles: smallest element with rank ≥ ⌈φ·5⌉.
+	qcases := []struct {
+		phi  float64
+		want int64
+	}{{0.2, 1}, {0.4, 3}, {0.6, 3}, {0.8, 5}, {1.0, 9}, {0.01, 1}}
+	for _, c := range qcases {
+		got, err := o.Quantile(c.phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Quantile(%g) = %d, want %d", c.phi, got, c.want)
+		}
+	}
+	if _, err := o.Quantile(0); err == nil {
+		t.Error("phi=0: want error")
+	}
+	if _, err := o.Quantile(1.5); err == nil {
+		t.Error("phi>1: want error")
+	}
+}
+
+func TestElementAtRank(t *testing.T) {
+	o := New(0)
+	o.Add(10, 20, 30)
+	if v, err := o.ElementAtRank(2); err != nil || v != 20 {
+		t.Errorf("ElementAtRank(2) = %d, %v", v, err)
+	}
+	if _, err := o.ElementAtRank(0); err == nil {
+		t.Error("rank 0: want error")
+	}
+	if _, err := o.ElementAtRank(4); err == nil {
+		t.Error("rank 4: want error")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	o := New(0)
+	for i := int64(1); i <= 100; i++ {
+		o.Add(i)
+	}
+	if e := o.RankError(50, 50); e != 0 {
+		t.Errorf("RankError exact = %d", e)
+	}
+	if e := o.RankError(50, 60); e != 10 {
+		t.Errorf("RankError = %d", e)
+	}
+	if rel := o.RelativeError(0.5, 50); rel != 0 {
+		t.Errorf("RelativeError exact = %g", rel)
+	}
+	if rel := o.RelativeError(0.5, 55); rel != 0.1 {
+		t.Errorf("RelativeError = %g", rel)
+	}
+}
+
+func TestReset(t *testing.T) {
+	o := New(0)
+	o.Add(1, 2, 3)
+	o.Reset()
+	if o.Count() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+// Property: the quantile is always an observed element and its rank meets
+// the definition (Definition 1).
+func TestQuickQuantileDefinition(t *testing.T) {
+	f := func(raw []int16, phiRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		phi := (float64(phiRaw%100) + 1) / 100
+		o := New(len(raw))
+		seen := map[int64]bool{}
+		for _, x := range raw {
+			o.Add(int64(x))
+			seen[int64(x)] = true
+		}
+		q, err := o.Quantile(phi)
+		if err != nil || !seen[q] {
+			return false
+		}
+		r := o.Rank(q)
+		target := int64(float64(len(raw)) * phi)
+		if r < target {
+			return false
+		}
+		// Minimality: any strictly smaller observed element has rank < target.
+		prev := int64(-1 << 62)
+		hasPrev := false
+		for v := range seen {
+			if v < q && v > prev {
+				prev, hasPrev = v, true
+			}
+		}
+		if hasPrev && o.Rank(prev) >= o.Rank(q) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankSpanAndSpanError(t *testing.T) {
+	o := New(0)
+	o.Add(1, 3, 3, 3, 5)
+	// Spans: 1 → [1,1]; 3 → [2,4]; 5 → [5,5]; absent 4 → empty (lo>hi).
+	if lo, hi := o.RankSpan(3); lo != 2 || hi != 4 {
+		t.Errorf("RankSpan(3) = [%d,%d]", lo, hi)
+	}
+	if lo, hi := o.RankSpan(1); lo != 1 || hi != 1 {
+		t.Errorf("RankSpan(1) = [%d,%d]", lo, hi)
+	}
+	if lo, hi := o.RankSpan(4); lo != 5 || hi != 4 {
+		t.Errorf("RankSpan(absent 4) = [%d,%d], want empty", lo, hi)
+	}
+	// SpanError: target inside span is 0, outside is distance to span edge.
+	if e := o.SpanError(3, 3); e != 0 {
+		t.Errorf("SpanError(3, v=3) = %d", e)
+	}
+	if e := o.SpanError(5, 3); e != 1 {
+		t.Errorf("SpanError(5, v=3) = %d", e)
+	}
+	if e := o.SpanError(1, 3); e != 1 {
+		t.Errorf("SpanError(1, v=3) = %d", e)
+	}
+	// RelativeSpanError: exact quantile scores 0 even on ties.
+	q, _ := o.Quantile(0.6) // r=3 → quantile is 3
+	if rel := o.RelativeSpanError(0.6, q); rel != 0 {
+		t.Errorf("RelativeSpanError(exact) = %g", rel)
+	}
+	if rel := o.RelativeSpanError(1.0, 3); rel <= 0 {
+		t.Errorf("RelativeSpanError(off) = %g", rel)
+	}
+	if rel := (&Oracle{}).RelativeSpanError(0.5, 1); rel != 0 {
+		t.Errorf("empty oracle rel err = %g", rel)
+	}
+}
+
+// Property: SpanError is 0 exactly when RankSpan covers the target.
+func TestQuickSpanConsistency(t *testing.T) {
+	f := func(raw []int8, target uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		o := New(len(raw))
+		for _, x := range raw {
+			o.Add(int64(x))
+		}
+		r := int64(target)%o.Count() + 1
+		v := int64(raw[int(target)%len(raw)])
+		lo, hi := o.RankSpan(v)
+		e := o.SpanError(r, v)
+		covered := lo <= r && r <= hi
+		return (e == 0) == covered
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

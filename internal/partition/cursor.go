@@ -1,0 +1,186 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+)
+
+// Cursor performs block-granular rank searches against one partition during
+// an accurate query (Algorithm 8). It maintains a closed index bracket
+// [lo, hi] guaranteed to contain boundary(z) — the number of partition
+// elements ≤ z — for every probe value z in the query's current filter range
+// [u, v]. The bracket is seeded from the partition summary (Summary.Bracket)
+// and narrowed by the engine as the filters tighten.
+//
+// When the candidate range fits inside one disk block, the block is pinned
+// in memory and subsequent probes cost no I/O — the paper's §2.4
+// optimization.
+type Cursor struct {
+	sum     *Summary
+	rr      *disk.RandomReader
+	lo, hi  int64
+	lastIdx int64
+	pinning bool
+	pinBase int64
+	pinned  []int64
+	reads   int
+}
+
+// NewCursor opens a cursor over the summarized partition for probe values
+// confined to [u, v]. pinning enables the single-block caching optimization.
+// The caller must Close the cursor.
+func NewCursor(sum *Summary, u, v int64, pinning bool) (*Cursor, error) {
+	rr, err := sum.Part.OpenRandom()
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := sum.Bracket(u, v)
+	return &Cursor{sum: sum, rr: rr, lo: lo, hi: hi, pinning: pinning}, nil
+}
+
+// Close releases the underlying file handle.
+func (c *Cursor) Close() error { return c.rr.Close() }
+
+// Reads returns the number of random block reads this cursor has issued.
+func (c *Cursor) Reads() int { return c.reads }
+
+// Bracket returns the current candidate bracket (for tests and diagnostics).
+func (c *Cursor) Bracket() (lo, hi int64) { return c.lo, c.hi }
+
+// block reads block idx, counting the access, and pins it if pinning is
+// enabled.
+func (c *Cursor) block(idx int64) ([]int64, error) {
+	if c.pinned != nil {
+		per := int64(c.sum.Part.dev.ElementsPerBlock())
+		if idx == c.pinBase/per {
+			return c.pinned, nil
+		}
+	}
+	vals, err := c.rr.Block(idx)
+	if err != nil {
+		return nil, err
+	}
+	c.reads++
+	return vals, nil
+}
+
+// pin caches a block so later probes in the same range are free.
+func (c *Cursor) pin(vals []int64, base int64) {
+	if c.pinning {
+		c.pinned = vals
+		c.pinBase = base
+	}
+}
+
+// boundaryWithin binary-searches for boundary(z) inside vals (covering
+// positions [base, base+len)), restricted to candidates [lo, hi].
+func boundaryWithin(vals []int64, base, z, lo, hi int64) int64 {
+	a := max(lo, base)
+	b := min(base+int64(len(vals)), hi)
+	for a < b {
+		m := (a + b) / 2
+		if vals[m-base] > z {
+			b = m
+		} else {
+			a = m + 1
+		}
+	}
+	return a
+}
+
+// Rank returns boundary(z) = the exact number of partition elements ≤ z,
+// for z within the cursor's filter range. It performs O(log(blocks in
+// bracket)) random block reads, or none once the bracket is pinned.
+func (c *Cursor) Rank(z int64) (int64, error) {
+	lo, hi := c.lo, c.hi
+	per := int64(c.sum.Part.dev.ElementsPerBlock())
+	for {
+		if lo >= hi {
+			c.lastIdx = lo
+			return lo, nil
+		}
+		// Fully answerable from the pinned block?
+		if c.pinned != nil && lo >= c.pinBase && hi <= c.pinBase+int64(len(c.pinned)) {
+			b := boundaryWithin(c.pinned, c.pinBase, z, lo, hi)
+			c.lastIdx = b
+			return b, nil
+		}
+		loBlk := lo / per
+		hiBlk := (hi - 1) / per
+		if loBlk == hiBlk {
+			vals, err := c.block(loBlk)
+			if err != nil {
+				return 0, err
+			}
+			base := loBlk * per
+			c.pin(vals, base)
+			b := boundaryWithin(vals, base, z, lo, hi)
+			c.lastIdx = b
+			return b, nil
+		}
+		midBlk := (loBlk + hiBlk) / 2
+		vals, err := c.block(midBlk)
+		if err != nil {
+			return 0, err
+		}
+		base := midBlk * per
+		firstPos := max(base, lo)
+		lastPos := min(base+int64(len(vals))-1, hi-1)
+		switch {
+		case z < vals[firstPos-base]:
+			hi = firstPos
+		case z >= vals[lastPos-base]:
+			lo = lastPos + 1
+		default:
+			c.pin(vals, base)
+			b := boundaryWithin(vals, base, z, lo, hi)
+			c.lastIdx = b
+			return b, nil
+		}
+	}
+}
+
+// LastBoundary returns the boundary index found by the most recent Rank
+// call.
+func (c *Cursor) LastBoundary() int64 { return c.lastIdx }
+
+// Count returns the number of elements in the underlying partition.
+func (c *Cursor) Count() int64 { return c.sum.Part.Count }
+
+// Element returns the partition element at index i, preferring the pinned
+// block; otherwise it costs one random block read.
+func (c *Cursor) Element(i int64) (int64, error) {
+	if i < 0 || i >= c.sum.Part.Count {
+		return 0, fmt.Errorf("partition: element index %d out of [0,%d)", i, c.sum.Part.Count)
+	}
+	per := int64(c.sum.Part.dev.ElementsPerBlock())
+	if c.pinned != nil && i >= c.pinBase && i < c.pinBase+int64(len(c.pinned)) {
+		return c.pinned[i-c.pinBase], nil
+	}
+	vals, err := c.block(i / per)
+	if err != nil {
+		return 0, err
+	}
+	base := (i / per) * per
+	c.pin(vals, base)
+	return vals[i-base], nil
+}
+
+// NarrowUpper records that the query's upper filter moved down to the value
+// of the last Rank probe: future probes are ≤ z, so the boundary cannot
+// exceed the last result.
+func (c *Cursor) NarrowUpper() {
+	if c.lastIdx < c.hi {
+		c.hi = c.lastIdx
+	}
+}
+
+// NarrowLower records that the query's lower filter moved up to the value of
+// the last Rank probe: future probes are ≥ z, so the boundary cannot fall
+// below the last result.
+func (c *Cursor) NarrowLower() {
+	if c.lastIdx > c.lo {
+		c.lo = c.lastIdx
+	}
+}

@@ -1,0 +1,153 @@
+package partition
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+
+	"repro/internal/disk"
+)
+
+// manifestVersion guards against loading manifests from incompatible builds.
+const manifestVersion = 1
+
+// Manifest is the durable description of a Store: enough to reopen the
+// warehouse after a restart. Summaries are not persisted — they are rebuilt
+// with one sequential scan per partition on load, which is the same I/O
+// class as the merge that produced the partition.
+type Manifest struct {
+	Version int             `json:"version"`
+	Kappa   int             `json:"kappa"`
+	Eps1    float64         `json:"eps1"`
+	NextID  int64           `json:"next_id"`
+	Steps   int             `json:"steps"`
+	Parts   []ManifestEntry `json:"partitions"`
+}
+
+// ManifestEntry describes one partition.
+type ManifestEntry struct {
+	ID        int64  `json:"id"`
+	Level     int    `json:"level"`
+	Count     int64  `json:"count"`
+	StartStep int    `json:"start_step"`
+	EndStep   int    `json:"end_step"`
+	Name      string `json:"name"`
+}
+
+// SaveManifest writes the store's manifest atomically (write + rename) to
+// the named file inside the device directory.
+func (s *Store) SaveManifest(name string) error {
+	m := Manifest{
+		Version: manifestVersion,
+		Kappa:   s.cfg.Kappa,
+		Eps1:    s.cfg.Eps1,
+		NextID:  s.nextID,
+		Steps:   s.steps,
+	}
+	for lvl, entries := range s.levels {
+		for _, e := range entries {
+			m.Parts = append(m.Parts, ManifestEntry{
+				ID:        e.part.ID,
+				Level:     lvl,
+				Count:     e.part.Count,
+				StartStep: e.part.StartStep,
+				EndStep:   e.part.EndStep,
+				Name:      e.part.name,
+			})
+		}
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("partition: marshal manifest: %w", err)
+	}
+	path := filepath.Join(s.dev.Dir(), name)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("partition: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("partition: install manifest: %w", err)
+	}
+	return nil
+}
+
+// LoadStore reopens a Store from a manifest, rebuilding each partition's
+// in-memory summary with a sequential scan.
+func LoadStore(dev *disk.Manager, manifestName string, cfg Config) (*Store, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(dev.Dir(), manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("partition: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("partition: parse manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("partition: manifest version %d, want %d", m.Version, manifestVersion)
+	}
+	if m.Kappa != cfg.Kappa {
+		return nil, fmt.Errorf("partition: manifest kappa %d != config kappa %d", m.Kappa, cfg.Kappa)
+	}
+	s := &Store{dev: dev, cfg: cfg, beta1: cfg.Beta1(), nextID: m.NextID, steps: m.Steps}
+	for _, pe := range m.Parts {
+		p := &Partition{
+			ID:        pe.ID,
+			Level:     pe.Level,
+			Count:     pe.Count,
+			StartStep: pe.StartStep,
+			EndStep:   pe.EndStep,
+			dev:       dev,
+			name:      pe.Name,
+		}
+		sum, err := rebuildSummary(p, cfg.Eps1, s.beta1)
+		if err != nil {
+			return nil, err
+		}
+		for len(s.levels) <= pe.Level {
+			s.levels = append(s.levels, nil)
+		}
+		s.levels[pe.Level] = append(s.levels[pe.Level], entry{p, sum})
+		s.total += p.Count
+	}
+	for lvl := range s.levels {
+		slices.SortFunc(s.levels[lvl], func(a, b entry) int {
+			return a.part.StartStep - b.part.StartStep
+		})
+	}
+	return s, nil
+}
+
+// rebuildSummary reconstructs HSᵢ for a partition with one sequential scan.
+func rebuildSummary(p *Partition, eps1 float64, beta1 int) (*Summary, error) {
+	r, err := p.OpenSequential()
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	if r.Count() != p.Count {
+		return nil, fmt.Errorf("partition: %s has %d elements on disk, manifest says %d", p.name, r.Count(), p.Count)
+	}
+	cap := newCapture(p.Count, eps1, beta1)
+	prev := int64(0)
+	first := true
+	for {
+		v, ok, err := r.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if !first && v < prev {
+			return nil, fmt.Errorf("partition: %s is not sorted on disk", p.name)
+		}
+		prev, first = v, false
+		cap.feed(v)
+	}
+	return cap.summary(p)
+}

@@ -1,0 +1,295 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+
+	"repro/internal/disk"
+	"repro/internal/extsort"
+)
+
+// Parallel level merging — the paper's §4 future-work direction ("the
+// on-disk index HD is updated using a set of sort and merge operations,
+// which can potentially be parallelized"). The value domain is split into
+// W ranges at split points drawn from the input partitions' summaries; each
+// worker k-way merges its range (seeking each input to the range start, a
+// few random reads) into a private run; the runs are then concatenated into
+// the final partition while its summary is captured. Total I/O is one extra
+// sequential pass over the data compared to the serial merge; wall-clock
+// time drops by up to W on hardware with parallel read paths.
+
+// splitPoints picks up to workers-1 values that divide the group's combined
+// summaries roughly evenly. Duplicates collapse, so the effective worker
+// count may be smaller.
+func splitPoints(group []entry, workers int) []int64 {
+	var all []int64
+	for _, e := range group {
+		all = append(all, e.sum.Values...)
+	}
+	slices.Sort(all)
+	var splits []int64
+	for i := 1; i < workers; i++ {
+		idx := i * len(all) / workers
+		if idx >= len(all) {
+			idx = len(all) - 1
+		}
+		v := all[idx]
+		if len(splits) == 0 || v > splits[len(splits)-1] {
+			splits = append(splits, v)
+		}
+	}
+	return splits
+}
+
+// rangeBoundaries returns, for one partition, the element index at which
+// each range begins: pos[j] = number of elements < splits[j-1] (pos[0]=0,
+// pos[len(splits)+1]=Count). Boundary search costs O(log blocks) random
+// reads per split.
+func rangeBoundaries(e entry, splits []int64) ([]int64, error) {
+	pos := make([]int64, len(splits)+2)
+	pos[len(pos)-1] = e.part.Count
+	for j, sp := range splits {
+		// # elements < sp == # elements ≤ sp-1.
+		z := sp - 1
+		if sp == math.MinInt64 {
+			z = math.MinInt64
+		}
+		cur, err := NewCursor(e.sum, z, z, false)
+		if err != nil {
+			return nil, err
+		}
+		b, err := cur.Rank(z)
+		cerr := cur.Close()
+		if err != nil {
+			return nil, err
+		}
+		if cerr != nil {
+			return nil, cerr
+		}
+		pos[j+1] = b
+	}
+	// Boundaries must be monotone (splits are increasing).
+	for j := 1; j < len(pos); j++ {
+		if pos[j] < pos[j-1] {
+			return nil, fmt.Errorf("partition: non-monotone range boundaries %v", pos)
+		}
+	}
+	return pos, nil
+}
+
+// boundedSource yields at most remaining elements from a sequential reader.
+type boundedSource struct {
+	r         *disk.Reader
+	remaining int64
+}
+
+func (b *boundedSource) Next() (int64, bool, error) {
+	if b.remaining <= 0 {
+		return 0, false, nil
+	}
+	v, ok, err := b.r.Next()
+	if err != nil || !ok {
+		return 0, false, err
+	}
+	b.remaining--
+	return v, true, nil
+}
+
+// mergeRange merges elements [pos[i][j], pos[i][j+1]) of every input
+// partition into the named run file.
+func (s *Store) mergeRange(group []entry, bounds [][]int64, j int, name string) (err error) {
+	readers := make([]*disk.Reader, 0, len(group))
+	defer func() {
+		for _, r := range readers {
+			if cerr := r.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+	}()
+	sources := make([]extsort.Source, 0, len(group))
+	for i, e := range group {
+		start, end := bounds[i][j], bounds[i][j+1]
+		if start == end {
+			continue
+		}
+		r, oerr := e.part.OpenSequential()
+		if oerr != nil {
+			return oerr
+		}
+		readers = append(readers, r)
+		if serr := r.SeekElement(start); serr != nil {
+			return serr
+		}
+		sources = append(sources, &boundedSource{r: r, remaining: end - start})
+	}
+	merger, err := extsort.NewMerger(sources...)
+	if err != nil {
+		return err
+	}
+	w, err := s.dev.Create(name)
+	if err != nil {
+		return err
+	}
+	for {
+		v, ok, nerr := merger.Next()
+		if nerr != nil {
+			w.Abort()
+			return nerr
+		}
+		if !ok {
+			break
+		}
+		if werr := w.Append(v); werr != nil {
+			w.Abort()
+			return werr
+		}
+	}
+	return w.Close()
+}
+
+// mergeLevelParallel is the W-way-parallel variant of mergeLevel.
+func (s *Store) mergeLevelParallel(lvl, workers int) error {
+	group := s.levels[lvl]
+	if len(group) == 0 {
+		return nil
+	}
+	splits := splitPoints(group, workers)
+	nRanges := len(splits) + 1
+
+	bounds := make([][]int64, len(group))
+	for i, e := range group {
+		b, err := rangeBoundaries(e, splits)
+		if err != nil {
+			return err
+		}
+		bounds[i] = b
+	}
+
+	// Merge each range concurrently into a private run.
+	runNames := make([]string, nRanges)
+	errs := make([]error, nRanges)
+	var wg sync.WaitGroup
+	for j := 0; j < nRanges; j++ {
+		runNames[j] = fmt.Sprintf("pmerge-%06d-r%d.tmp", s.nextID, j)
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			errs[j] = s.mergeRange(group, bounds, j, runNames[j])
+		}(j)
+	}
+	wg.Wait()
+	cleanupRuns := func() {
+		for _, name := range runNames {
+			if s.dev.Exists(name) {
+				s.dev.Remove(name) //nolint:errcheck // cleanup
+			}
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			cleanupRuns()
+			return err
+		}
+	}
+
+	// Build the merged partition by concatenating the runs in range order,
+	// capturing the summary in flight.
+	id := s.nextID
+	s.nextID++
+	var count int64
+	startStep, endStep := group[0].part.StartStep, group[0].part.EndStep
+	for _, e := range group {
+		count += e.part.Count
+		if e.part.StartStep < startStep {
+			startStep = e.part.StartStep
+		}
+		if e.part.EndStep > endStep {
+			endStep = e.part.EndStep
+		}
+	}
+	merged := &Partition{
+		ID:        id,
+		Level:     lvl + 1,
+		Count:     count,
+		StartStep: startStep,
+		EndStep:   endStep,
+		dev:       s.dev,
+		name:      fmt.Sprintf("part-%06d.dat", id),
+	}
+	cap := newCapture(count, s.cfg.Eps1, s.beta1)
+	w, err := s.dev.Create(merged.name)
+	if err != nil {
+		cleanupRuns()
+		return err
+	}
+	var written int64
+	prev := int64(math.MinInt64)
+	for _, name := range runNames {
+		r, err := s.dev.OpenSequential(name)
+		if err != nil {
+			w.Abort()
+			cleanupRuns()
+			return err
+		}
+		for {
+			v, ok, nerr := r.Next()
+			if nerr != nil {
+				r.Close() //nolint:errcheck
+				w.Abort()
+				cleanupRuns()
+				return nerr
+			}
+			if !ok {
+				break
+			}
+			if v < prev {
+				r.Close() //nolint:errcheck
+				w.Abort()
+				cleanupRuns()
+				return fmt.Errorf("partition: parallel merge produced out-of-order output")
+			}
+			prev = v
+			cap.feed(v)
+			written++
+			if werr := w.Append(v); werr != nil {
+				r.Close() //nolint:errcheck
+				w.Abort()
+				cleanupRuns()
+				return werr
+			}
+		}
+		if err := r.Close(); err != nil {
+			w.Abort()
+			cleanupRuns()
+			return err
+		}
+	}
+	cleanupRuns()
+	if written != count {
+		w.Abort()
+		return fmt.Errorf("partition: parallel merge wrote %d elements, expected %d", written, count)
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	sum, err := cap.summary(merged)
+	if err != nil {
+		return err
+	}
+	for _, e := range group {
+		if err := e.part.remove(); err != nil {
+			return err
+		}
+	}
+	s.levels[lvl] = nil
+	if lvl+1 >= len(s.levels) {
+		s.levels = append(s.levels, nil)
+	}
+	s.levels[lvl+1] = append(s.levels[lvl+1], entry{merged, sum})
+	slices.SortFunc(s.levels[lvl+1], func(a, b entry) int {
+		return a.part.StartStep - b.part.StartStep
+	})
+	return nil
+}

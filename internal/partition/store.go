@@ -1,0 +1,470 @@
+package partition
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/extsort"
+)
+
+// Config parametrizes a Store.
+type Config struct {
+	// Kappa is the merge threshold κ (> 1): each level holds at most κ
+	// partitions; exceeding it triggers a full-level merge.
+	Kappa int
+	// Eps1 is the historical summary parameter ε₁ = ε/2 (Algorithm 1).
+	Eps1 float64
+	// SortMemElements bounds the in-memory working set during batch sorting;
+	// larger batches fall back to external sort. Defaults to 1M elements.
+	SortMemElements int
+	// SpillBatches, when true, writes the raw (unsorted) batch to disk
+	// before sorting — the paper's "load" phase — so that load I/O is
+	// accounted. When false, loading is skipped and batches sort directly
+	// from memory (useful for unit tests).
+	SpillBatches bool
+	// MergeWorkers > 1 parallelizes level merges across value ranges (the
+	// paper's §4 future-work direction). Costs one extra sequential pass
+	// over the merged data; reduces wall-clock on parallel storage.
+	MergeWorkers int
+}
+
+func (c *Config) validate() error {
+	if c.Kappa < 2 {
+		return fmt.Errorf("partition: kappa must be >= 2, got %d", c.Kappa)
+	}
+	if c.Eps1 <= 0 || c.Eps1 >= 1 {
+		return fmt.Errorf("partition: eps1 must be in (0,1), got %g", c.Eps1)
+	}
+	if c.SortMemElements <= 0 {
+		c.SortMemElements = 1 << 20
+	}
+	return nil
+}
+
+// Beta1 returns β₁ = ⌈1/ε₁ + 1⌉ for the configured ε₁.
+func (c Config) Beta1() int {
+	b := int(1.0/c.Eps1) + 1
+	if float64(b-1) < 1.0/c.Eps1 {
+		b++
+	}
+	return b
+}
+
+// UpdateBreakdown reports where an AddBatch spent its time and I/O,
+// mirroring the paper's Figure 6/7 decomposition into load, sort, merge and
+// summary phases.
+type UpdateBreakdown struct {
+	Load    time.Duration
+	Sort    time.Duration
+	Merge   time.Duration
+	Summary time.Duration
+
+	LoadIO  disk.Stats
+	SortIO  disk.Stats
+	MergeIO disk.Stats
+
+	// Merges is the number of level merges this update triggered.
+	Merges int
+}
+
+// Total returns the total update time.
+func (u UpdateBreakdown) Total() time.Duration { return u.Load + u.Sort + u.Merge + u.Summary }
+
+// TotalIO returns total block accesses across all phases.
+func (u UpdateBreakdown) TotalIO() uint64 {
+	return u.LoadIO.Total() + u.SortIO.Total() + u.MergeIO.Total()
+}
+
+// entry pairs a partition with its in-memory summary.
+type entry struct {
+	part *Partition
+	sum  *Summary
+}
+
+// Store is HD + HS: the on-disk leveled partition structure together with
+// per-partition in-memory summaries. Store is not safe for concurrent use;
+// the engine provides locking.
+type Store struct {
+	dev    *disk.Manager
+	cfg    Config
+	beta1  int
+	levels [][]entry
+	nextID int64
+	total  int64
+	steps  int
+}
+
+// NewStore creates an empty historical store on the given device.
+func NewStore(dev *disk.Manager, cfg Config) (*Store, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Store{dev: dev, cfg: cfg, beta1: cfg.Beta1()}, nil
+}
+
+// Kappa returns the merge threshold.
+func (s *Store) Kappa() int { return s.cfg.Kappa }
+
+// Eps1 returns the historical summary parameter.
+func (s *Store) Eps1() float64 { return s.cfg.Eps1 }
+
+// Beta1 returns the per-partition summary length.
+func (s *Store) Beta1() int { return s.beta1 }
+
+// TotalCount returns n, the number of historical elements.
+func (s *Store) TotalCount() int64 { return s.total }
+
+// Steps returns the number of time steps loaded so far.
+func (s *Store) Steps() int { return s.steps }
+
+// Levels returns the number of non-empty levels.
+func (s *Store) Levels() int { return len(s.levels) }
+
+// PartitionCount returns the total number of live partitions.
+func (s *Store) PartitionCount() int {
+	n := 0
+	for _, lvl := range s.levels {
+		n += len(lvl)
+	}
+	return n
+}
+
+// Entries returns all live (partition, summary) pairs, newest level first
+// within chronological order. The returned slices alias internal state and
+// must not be mutated.
+func (s *Store) Entries() []*Summary {
+	var out []*Summary
+	for _, lvl := range s.levels {
+		for _, e := range lvl {
+			out = append(out, e.sum)
+		}
+	}
+	return out
+}
+
+// MemoryBytes returns the footprint of HS — Lemma 8's O(κ·log_κ(T)/ε).
+func (s *Store) MemoryBytes() int64 {
+	var b int64
+	for _, lvl := range s.levels {
+		for _, e := range lvl {
+			b += e.sum.MemoryBytes()
+		}
+	}
+	return b
+}
+
+// AddBatch loads one time step's batch into the warehouse: the batch is
+// (optionally spilled and) sorted into a new level-0 partition with its
+// summary captured in-flight, then levels holding more than κ partitions are
+// recursively merged (Algorithm 3, HistUpdate).
+func (s *Store) AddBatch(data []int64, step int) (UpdateBreakdown, error) {
+	var bd UpdateBreakdown
+	if len(data) == 0 {
+		return bd, fmt.Errorf("partition: empty batch at step %d", step)
+	}
+
+	id := s.nextID
+	s.nextID++
+	part := &Partition{
+		ID:        id,
+		Level:     0,
+		Count:     int64(len(data)),
+		StartStep: step,
+		EndStep:   step,
+		dev:       s.dev,
+		name:      fmt.Sprintf("part-%06d.dat", id),
+	}
+
+	// Phase 1: load. Write the raw batch to the warehouse, as the paper's
+	// loading paradigm does for both our algorithm and the pure-streaming
+	// comparators.
+	rawName := fmt.Sprintf("batch-raw-%06d.dat", id)
+	if s.cfg.SpillBatches {
+		t0 := time.Now()
+		io0 := s.dev.Stats()
+		w, err := s.dev.Create(rawName)
+		if err != nil {
+			return bd, err
+		}
+		if err := w.AppendSlice(data); err != nil {
+			w.Abort()
+			return bd, err
+		}
+		if err := w.Close(); err != nil {
+			return bd, err
+		}
+		bd.Load = time.Since(t0)
+		bd.LoadIO = s.dev.Stats().Sub(io0)
+	}
+
+	// Phase 2: sort into the level-0 partition, capturing the summary as
+	// the sorted elements stream to disk.
+	t0 := time.Now()
+	io0 := s.dev.Stats()
+	var sum *Summary
+	var err error
+	if len(data) <= s.cfg.SortMemElements {
+		sum, err = s.sortInMemory(data, part)
+	} else {
+		if !s.cfg.SpillBatches {
+			// External sort requires the raw file; write it now (charged to
+			// the sort phase since loading was disabled).
+			w, werr := s.dev.Create(rawName)
+			if werr != nil {
+				return bd, werr
+			}
+			if werr := w.AppendSlice(data); werr != nil {
+				w.Abort()
+				return bd, werr
+			}
+			if werr := w.Close(); werr != nil {
+				return bd, werr
+			}
+		}
+		sum, err = s.sortExternal(rawName, part)
+	}
+	if err != nil {
+		return bd, err
+	}
+	if s.cfg.SpillBatches || len(data) > s.cfg.SortMemElements {
+		if rerr := s.dev.Remove(rawName); rerr != nil {
+			return bd, rerr
+		}
+	}
+	bd.Sort = time.Since(t0)
+	bd.SortIO = s.dev.Stats().Sub(io0)
+
+	// Install at level 0.
+	t0 = time.Now()
+	if len(s.levels) == 0 {
+		s.levels = append(s.levels, nil)
+	}
+	s.levels[0] = append(s.levels[0], entry{part, sum})
+	s.total += part.Count
+	s.steps++
+	bd.Summary = time.Since(t0)
+
+	// Phase 3: cascade merges while any level exceeds κ.
+	t0 = time.Now()
+	io0 = s.dev.Stats()
+	for lvl := 0; lvl < len(s.levels); lvl++ {
+		if len(s.levels[lvl]) <= s.cfg.Kappa {
+			continue
+		}
+		if s.cfg.MergeWorkers > 1 {
+			if err := s.mergeLevelParallel(lvl, s.cfg.MergeWorkers); err != nil {
+				return bd, err
+			}
+		} else if err := s.mergeLevel(lvl); err != nil {
+			return bd, err
+		}
+		bd.Merges++
+	}
+	bd.Merge = time.Since(t0)
+	bd.MergeIO = s.dev.Stats().Sub(io0)
+	return bd, nil
+}
+
+// sortInMemory sorts data in memory, writes the partition and captures its
+// summary from the in-memory slice.
+func (s *Store) sortInMemory(data []int64, part *Partition) (*Summary, error) {
+	sorted := slices.Clone(data)
+	slices.Sort(sorted)
+	cap := newCapture(part.Count, s.cfg.Eps1, s.beta1)
+	w, err := s.dev.Create(part.name)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range sorted {
+		cap.feed(v)
+		if err := w.Append(v); err != nil {
+			w.Abort()
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return cap.summary(part)
+}
+
+// sortExternal externally sorts the raw batch file into the partition,
+// capturing the summary during the final merge pass.
+func (s *Store) sortExternal(rawName string, part *Partition) (*Summary, error) {
+	src, count, cleanup, err := extsort.SortedStream(s.dev, rawName, extsort.Config{
+		MemElements: s.cfg.SortMemElements,
+		TempPrefix:  fmt.Sprintf("sort-%06d", part.ID),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	if count != part.Count {
+		return nil, fmt.Errorf("partition: external sort saw %d elements, expected %d", count, part.Count)
+	}
+	cap := newCapture(count, s.cfg.Eps1, s.beta1)
+	w, err := s.dev.Create(part.name)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		v, ok, err := src.Next()
+		if err != nil {
+			w.Abort()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		cap.feed(v)
+		if err := w.Append(v); err != nil {
+			w.Abort()
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return cap.summary(part)
+}
+
+// mergeLevel multi-way merges every partition at level lvl into a single
+// partition at lvl+1 with a single sequential pass (Algorithm 3 lines 9-13),
+// capturing the merged partition's summary in-flight.
+func (s *Store) mergeLevel(lvl int) error {
+	group := s.levels[lvl]
+	if len(group) == 0 {
+		return nil
+	}
+	id := s.nextID
+	s.nextID++
+	var count int64
+	startStep, endStep := group[0].part.StartStep, group[0].part.EndStep
+	for _, e := range group {
+		count += e.part.Count
+		if e.part.StartStep < startStep {
+			startStep = e.part.StartStep
+		}
+		if e.part.EndStep > endStep {
+			endStep = e.part.EndStep
+		}
+	}
+	merged := &Partition{
+		ID:        id,
+		Level:     lvl + 1,
+		Count:     count,
+		StartStep: startStep,
+		EndStep:   endStep,
+		dev:       s.dev,
+		name:      fmt.Sprintf("part-%06d.dat", id),
+	}
+
+	readers := make([]*disk.Reader, 0, len(group))
+	closeAll := func() {
+		for _, r := range readers {
+			r.Close() //nolint:errcheck // cleanup
+		}
+	}
+	sources := make([]extsort.Source, 0, len(group))
+	for _, e := range group {
+		r, err := e.part.OpenSequential()
+		if err != nil {
+			closeAll()
+			return err
+		}
+		readers = append(readers, r)
+		sources = append(sources, extsort.ReaderSource(r))
+	}
+	merger, err := extsort.NewMerger(sources...)
+	if err != nil {
+		closeAll()
+		return err
+	}
+	cap := newCapture(count, s.cfg.Eps1, s.beta1)
+	w, err := s.dev.Create(merged.name)
+	if err != nil {
+		closeAll()
+		return err
+	}
+	for {
+		v, ok, err := merger.Next()
+		if err != nil {
+			w.Abort()
+			closeAll()
+			return err
+		}
+		if !ok {
+			break
+		}
+		cap.feed(v)
+		if err := w.Append(v); err != nil {
+			w.Abort()
+			closeAll()
+			return err
+		}
+	}
+	closeAll()
+	if err := w.Close(); err != nil {
+		return err
+	}
+	sum, err := cap.summary(merged)
+	if err != nil {
+		return err
+	}
+
+	// Remove the merged-away partitions and install the new one.
+	for _, e := range group {
+		if err := e.part.remove(); err != nil {
+			return err
+		}
+	}
+	s.levels[lvl] = nil
+	if lvl+1 >= len(s.levels) {
+		s.levels = append(s.levels, nil)
+	}
+	s.levels[lvl+1] = append(s.levels[lvl+1], entry{merged, sum})
+	// Keep chronological order within the level (older first).
+	slices.SortFunc(s.levels[lvl+1], func(a, b entry) int {
+		return a.part.StartStep - b.part.StartStep
+	})
+	return nil
+}
+
+// Destroy removes every partition file. The store is unusable afterwards.
+func (s *Store) Destroy() error {
+	for _, lvl := range s.levels {
+		for _, e := range lvl {
+			if err := e.part.remove(); err != nil {
+				return err
+			}
+		}
+	}
+	s.levels = nil
+	s.total = 0
+	return nil
+}
+
+// LevelInfo describes one level of HD for diagnostics.
+type LevelInfo struct {
+	Level      int
+	Partitions int
+	Elements   int64
+	Steps      int
+}
+
+// Describe returns a per-level summary of the store layout, oldest level
+// data last (level order ascending).
+func (s *Store) Describe() []LevelInfo {
+	out := make([]LevelInfo, 0, len(s.levels))
+	for lvl, es := range s.levels {
+		info := LevelInfo{Level: lvl, Partitions: len(es)}
+		for _, e := range es {
+			info.Elements += e.part.Count
+			info.Steps += e.part.Steps()
+		}
+		out = append(out, info)
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package partition
+
+import (
+	"fmt"
+	"slices"
+)
+
+// ChronologicalEntries returns all (partition, summary) pairs ordered from
+// oldest to newest by covered time steps. Partitions cover disjoint step
+// ranges, so StartStep orders them totally.
+func (s *Store) ChronologicalEntries() []*Summary {
+	out := s.Entries()
+	slices.SortFunc(out, func(a, b *Summary) int {
+		return a.Part.StartStep - b.Part.StartStep
+	})
+	return out
+}
+
+// AvailableWindows returns the window sizes (in time steps, counting only
+// historical steps) over which a query can be answered exactly on partition
+// boundaries — the paper's partition-aligned windows (Figure 11). The sizes
+// are cumulative step counts of partitions taken newest-first, in increasing
+// order. A window additionally always includes the current stream.
+func (s *Store) AvailableWindows() []int {
+	chron := s.ChronologicalEntries()
+	var out []int
+	cum := 0
+	for i := len(chron) - 1; i >= 0; i-- {
+		cum += chron[i].Part.Steps()
+		out = append(out, cum)
+	}
+	return out
+}
+
+// WindowEntries returns the summaries whose partitions exactly cover the
+// most recent `steps` historical time steps. It returns an error if the
+// requested window does not align with partition boundaries; callers should
+// pick from AvailableWindows.
+func (s *Store) WindowEntries(steps int) ([]*Summary, error) {
+	if steps <= 0 {
+		return nil, nil
+	}
+	chron := s.ChronologicalEntries()
+	var out []*Summary
+	cum := 0
+	for i := len(chron) - 1; i >= 0; i-- {
+		out = append(out, chron[i])
+		cum += chron[i].Part.Steps()
+		if cum == steps {
+			return out, nil
+		}
+		if cum > steps {
+			break
+		}
+	}
+	return nil, fmt.Errorf("partition: window of %d steps does not align with partition boundaries (available: %v)",
+		steps, s.AvailableWindows())
+}
+
+// WindowCount returns the number of historical elements inside the aligned
+// window of the given size.
+func (s *Store) WindowCount(steps int) (int64, error) {
+	ents, err := s.WindowEntries(steps)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, e := range ents {
+		n += e.Part.Count
+	}
+	return n, nil
+}

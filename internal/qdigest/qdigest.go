@@ -1,0 +1,269 @@
+// Package qdigest implements the Q-Digest quantile sketch of Shrivastava,
+// Buragohain, Agrawal and Suri (SenSys 2004), the second pure-streaming
+// baseline in the paper's evaluation. A Q-Digest summarizes a stream over a
+// fixed integer universe [0, 2^bits) in O((1/ε)·log U) space with rank error
+// εn.
+//
+// The digest is a sparse binary tree over the universe: node 1 is the root
+// covering the whole range, node k has children 2k and 2k+1, and leaves sit
+// at depth `bits`. Each node carries a count; the compression invariant
+// keeps every non-root node's family (itself + sibling + parent) above the
+// threshold ⌊εn / bits⌋, pushing sparse counts toward the root.
+package qdigest
+
+import (
+	"fmt"
+	"math"
+	mathbits "math/bits"
+	"sort"
+)
+
+// Digest is a Q-Digest sketch. Construct with New. Not safe for concurrent
+// use.
+type Digest struct {
+	eps      float64
+	bits     uint // universe is [0, 2^bits)
+	n        int64
+	counts   map[uint64]int64 // node id -> count
+	sinceCmp int64
+	cmpEvery int64
+	// sizeTrigger compresses when the map doubles past the last compressed
+	// size (never below a floor of 4·bits/ε). The multiplicative schedule
+	// keeps insert cost amortized O(log n) even when the digest's
+	// steady-state size drifts, where a fixed cadence degenerates into
+	// compressing an unshrinkable map every few inserts.
+	sizeTrigger int
+	floor       int
+	maxNodes    int
+}
+
+// New returns an empty digest with error eps over the universe [0, 2^bits).
+// bits must be in [1, 62].
+func New(eps float64, universeBits uint) (*Digest, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("qdigest: eps must be in (0,1), got %g", eps)
+	}
+	if universeBits < 1 || universeBits > 62 {
+		return nil, fmt.Errorf("qdigest: universe bits must be in [1,62], got %d", universeBits)
+	}
+	every := int64(1.0 / eps)
+	if every < 1 {
+		every = 1
+	}
+	floor := int(4*float64(universeBits)/eps) + 64
+	return &Digest{
+		eps:         eps,
+		bits:        universeBits,
+		counts:      make(map[uint64]int64),
+		cmpEvery:    every,
+		sizeTrigger: floor,
+		floor:       floor,
+	}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(eps float64, universeBits uint) *Digest {
+	d, err := New(eps, universeBits)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Epsilon returns the error parameter.
+func (d *Digest) Epsilon() float64 { return d.eps }
+
+// UniverseBits returns the number of universe bits.
+func (d *Digest) UniverseBits() uint { return d.bits }
+
+// Count returns the number of inserted elements.
+func (d *Digest) Count() int64 { return d.n }
+
+// NodeCount returns the current number of tree nodes with non-zero count.
+func (d *Digest) NodeCount() int { return len(d.counts) }
+
+// MemoryBytes estimates the live footprint: ~16 bytes of payload per map
+// entry plus map overhead (we charge 48 bytes per entry, a typical Go map
+// cost for uint64->int64).
+func (d *Digest) MemoryBytes() int64 { return int64(len(d.counts)) * 48 }
+
+// MaxMemoryBytes estimates the peak footprint.
+func (d *Digest) MaxMemoryBytes() int64 { return int64(d.maxNodes) * 48 }
+
+// Reset empties the digest, keeping parameters.
+func (d *Digest) Reset() {
+	d.n = 0
+	d.counts = make(map[uint64]int64)
+	d.sinceCmp = 0
+	d.sizeTrigger = d.floor
+}
+
+// Insert adds value v. v must lie in [0, 2^bits).
+func (d *Digest) Insert(v int64) error {
+	if v < 0 || uint64(v) >= uint64(1)<<d.bits {
+		return fmt.Errorf("qdigest: value %d outside universe [0,2^%d)", v, d.bits)
+	}
+	leaf := (uint64(1) << d.bits) | uint64(v)
+	d.counts[leaf]++
+	d.n++
+	if len(d.counts) > d.maxNodes {
+		d.maxNodes = len(d.counts)
+	}
+	d.sinceCmp++
+	if d.sinceCmp >= d.cmpEvery && len(d.counts) >= d.sizeTrigger {
+		d.Compress()
+		d.sinceCmp = 0
+		next := 2 * len(d.counts)
+		if next < d.floor {
+			next = d.floor
+		}
+		d.sizeTrigger = next
+	}
+	return nil
+}
+
+// threshold is ⌊εn / bits⌋, the Q-Digest family floor.
+func (d *Digest) threshold() int64 {
+	return int64(d.eps * float64(d.n) / float64(d.bits))
+}
+
+// Compress restores the digest property, merging undersized families
+// upward. Nodes are bucketed by depth and processed bottom-up; a merge
+// appends the parent to its depth bucket, so cascades complete in one pass
+// with no sorting (cost O(size + merges)).
+func (d *Digest) Compress() {
+	thr := d.threshold()
+	if thr < 1 {
+		return
+	}
+	levels := make([][]uint64, d.bits+1)
+	for id := range d.counts {
+		dep := depthOf(id)
+		levels[dep] = append(levels[dep], id)
+	}
+	for dep := int(d.bits); dep >= 1; dep-- {
+		for _, id := range levels[dep] {
+			c, ok := d.counts[id]
+			if !ok {
+				continue // already merged away as someone's sibling
+			}
+			sib := id ^ 1
+			parent := id >> 1
+			family := c + d.counts[sib] + d.counts[parent]
+			if family < thr {
+				_, parentExisted := d.counts[parent]
+				d.counts[parent] = family
+				delete(d.counts, id)
+				delete(d.counts, sib)
+				if !parentExisted {
+					levels[dep-1] = append(levels[dep-1], parent)
+				}
+			}
+		}
+	}
+	if len(d.counts) > d.maxNodes {
+		d.maxNodes = len(d.counts)
+	}
+}
+
+// depthOf returns the tree depth of node id (root = 0).
+func depthOf(id uint64) int {
+	return mathbits.Len64(id) - 1
+}
+
+// nodeRange returns the value interval [lo, hi] covered by node id.
+func (d *Digest) nodeRange(id uint64) (lo, hi uint64) {
+	depth := uint(0)
+	for x := id; x > 1; x >>= 1 {
+		depth++
+	}
+	span := d.bits - depth
+	lo = (id - (uint64(1) << depth)) << span
+	hi = lo + (uint64(1) << span) - 1
+	return lo, hi
+}
+
+// Query returns a value whose rank approximates r (clamped to [1, n]).
+// Traversal follows the canonical Q-Digest answer procedure: nodes sorted by
+// (hi, depth descending) — i.e. value order with more specific nodes first —
+// accumulating counts until r is reached.
+func (d *Digest) Query(r int64) (int64, bool) {
+	if d.n == 0 {
+		return 0, false
+	}
+	if r < 1 {
+		r = 1
+	}
+	if r > d.n {
+		r = d.n
+	}
+	type nd struct {
+		id     uint64
+		lo, hi uint64
+		c      int64
+	}
+	nodes := make([]nd, 0, len(d.counts))
+	for id, c := range d.counts {
+		lo, hi := d.nodeRange(id)
+		nodes = append(nodes, nd{id, lo, hi, c})
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].hi != nodes[j].hi {
+			return nodes[i].hi < nodes[j].hi
+		}
+		return nodes[i].lo > nodes[j].lo // narrower (deeper) first
+	})
+	cum := int64(0)
+	for _, nd := range nodes {
+		cum += nd.c
+		if cum >= r {
+			return int64(nd.hi), true
+		}
+	}
+	return int64(nodes[len(nodes)-1].hi), true
+}
+
+// Quantile returns an approximation of the φ-quantile.
+func (d *Digest) Quantile(phi float64) (int64, bool) {
+	if d.n == 0 {
+		return 0, false
+	}
+	r := int64(math.Ceil(phi * float64(d.n)))
+	return d.Query(r)
+}
+
+// RankEstimate estimates the rank of v: the sum of counts of nodes whose
+// range lies entirely at or below v, plus half the counts of straddling
+// nodes.
+func (d *Digest) RankEstimate(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	uv := uint64(v)
+	est := int64(0)
+	for id, c := range d.counts {
+		lo, hi := d.nodeRange(id)
+		switch {
+		case hi <= uv:
+			est += c
+		case lo <= uv && uv < hi:
+			est += c / 2
+		}
+	}
+	return est
+}
+
+// checkInvariant verifies the counts sum to n; used by tests.
+func (d *Digest) checkInvariant() error {
+	total := int64(0)
+	for _, c := range d.counts {
+		if c < 0 {
+			return fmt.Errorf("qdigest: negative count")
+		}
+		total += c
+	}
+	if total != d.n {
+		return fmt.Errorf("qdigest: count sum %d != n %d", total, d.n)
+	}
+	return nil
+}

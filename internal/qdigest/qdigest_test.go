@@ -1,0 +1,233 @@
+package qdigest
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func exactRank(sorted []int64, v int64) int64 {
+	return int64(sort.Search(len(sorted), func(i int) bool { return sorted[i] > v }))
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 16); err == nil {
+		t.Error("eps=0: want error")
+	}
+	if _, err := New(1.0, 16); err == nil {
+		t.Error("eps=1: want error")
+	}
+	if _, err := New(0.1, 0); err == nil {
+		t.Error("bits=0: want error")
+	}
+	if _, err := New(0.1, 63); err == nil {
+		t.Error("bits=63: want error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew invalid: want panic")
+		}
+	}()
+	MustNew(0, 8)
+}
+
+func TestInsertRangeValidation(t *testing.T) {
+	d := MustNew(0.1, 8)
+	if err := d.Insert(-1); err == nil {
+		t.Error("negative: want error")
+	}
+	if err := d.Insert(256); err == nil {
+		t.Error("2^bits: want error")
+	}
+	if err := d.Insert(255); err != nil {
+		t.Errorf("255: %v", err)
+	}
+	if d.UniverseBits() != 8 || d.Epsilon() != 0.1 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	d := MustNew(0.1, 16)
+	if _, ok := d.Query(1); ok {
+		t.Error("Query on empty: want ok=false")
+	}
+	if _, ok := d.Quantile(0.5); ok {
+		t.Error("Quantile on empty: want ok=false")
+	}
+}
+
+func TestNodeRange(t *testing.T) {
+	d := MustNew(0.1, 3) // universe [0,8)
+	if lo, hi := d.nodeRange(1); lo != 0 || hi != 7 {
+		t.Errorf("root range = [%d,%d]", lo, hi)
+	}
+	if lo, hi := d.nodeRange(2); lo != 0 || hi != 3 {
+		t.Errorf("left child = [%d,%d]", lo, hi)
+	}
+	if lo, hi := d.nodeRange(3); lo != 4 || hi != 7 {
+		t.Errorf("right child = [%d,%d]", lo, hi)
+	}
+	if lo, hi := d.nodeRange(8 + 5); lo != 5 || hi != 5 {
+		t.Errorf("leaf 5 = [%d,%d]", lo, hi)
+	}
+}
+
+// qdigestBound is the sketch's rank error guarantee: εn (the log U factor is
+// inside the compression threshold). We allow a small slack constant for
+// rounding.
+func checkAccuracy(t *testing.T, d *Digest, sorted []int64, eps float64) {
+	t.Helper()
+	n := int64(len(sorted))
+	bound := int64(math.Ceil(1.5*eps*float64(n))) + 1
+	for _, phi := range []float64{0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+		r := int64(math.Ceil(phi * float64(n)))
+		if r < 1 {
+			r = 1
+		}
+		v, ok := d.Query(r)
+		if !ok {
+			t.Fatalf("Query(%d) not ok", r)
+		}
+		hi := exactRank(sorted, v)
+		lo := int64(sort.Search(len(sorted), func(i int) bool { return sorted[i] >= v })) + 1
+		if hi < r-bound || lo > r+bound {
+			t.Errorf("phi=%.2f r=%d: value %d rank span [%d,%d] outside ±%d", phi, r, v, lo, hi, bound)
+		}
+	}
+}
+
+func TestAccuracyUniform(t *testing.T) {
+	for _, eps := range []float64{0.05, 0.01} {
+		d := MustNew(eps, 20)
+		rng := rand.New(rand.NewSource(11))
+		data := make([]int64, 40000)
+		for i := range data {
+			data[i] = rng.Int63n(1 << 20)
+			if err := d.Insert(data[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.checkInvariant(); err != nil {
+			t.Fatal(err)
+		}
+		slices.Sort(data)
+		checkAccuracy(t, d, data, eps)
+	}
+}
+
+func TestAccuracySkewed(t *testing.T) {
+	d := MustNew(0.02, 20)
+	rng := rand.New(rand.NewSource(13))
+	z := rand.NewZipf(rng, 1.3, 1, 1<<20-1)
+	data := make([]int64, 40000)
+	for i := range data {
+		data[i] = int64(z.Uint64())
+		if err := d.Insert(data[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	slices.Sort(data)
+	checkAccuracy(t, d, data, 0.02)
+}
+
+func TestSpaceBound(t *testing.T) {
+	eps := 0.01
+	bitsU := uint(20)
+	d := MustNew(eps, bitsU)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 200000; i++ {
+		if err := d.Insert(rng.Int63n(1 << 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Compress()
+	// Space is O((log U)/ε); allow constant 6.
+	bound := int(6 * float64(bitsU) / eps)
+	if d.NodeCount() > bound {
+		t.Errorf("nodes = %d, bound = %d", d.NodeCount(), bound)
+	}
+	if d.MemoryBytes() != int64(d.NodeCount())*48 {
+		t.Error("MemoryBytes mismatch")
+	}
+	if d.MaxMemoryBytes() < d.MemoryBytes() {
+		t.Error("peak below current")
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := MustNew(0.1, 16)
+	for i := int64(0); i < 100; i++ {
+		d.Insert(i) //nolint:errcheck
+	}
+	d.Reset()
+	if d.Count() != 0 || d.NodeCount() != 0 {
+		t.Error("Reset incomplete")
+	}
+	d.Insert(7) //nolint:errcheck
+	if v, ok := d.Query(1); !ok || v != 7 {
+		t.Errorf("after reset Query = %d,%v", v, ok)
+	}
+}
+
+func TestRankEstimate(t *testing.T) {
+	d := MustNew(0.02, 16)
+	data := make([]int64, 20000)
+	rng := rand.New(rand.NewSource(19))
+	for i := range data {
+		data[i] = rng.Int63n(1 << 16)
+		d.Insert(data[i]) //nolint:errcheck
+	}
+	slices.Sort(data)
+	n := float64(len(data))
+	for _, v := range []int64{data[100], data[10000], data[19999]} {
+		est := d.RankEstimate(v)
+		exact := exactRank(data, v)
+		if math.Abs(float64(est-exact)) > 0.1*n {
+			t.Errorf("RankEstimate(%d) = %d, exact %d", v, est, exact)
+		}
+	}
+	if d.RankEstimate(-1) != 0 {
+		t.Error("RankEstimate(-1) should be 0")
+	}
+}
+
+// Property: counts always sum to n and quantile queries stay in the
+// inserted value range.
+func TestQuickDigestInvariants(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		d := MustNew(0.05, 16)
+		mn, mx := int64(math.MaxInt64), int64(math.MinInt64)
+		for _, x := range raw {
+			v := int64(x)
+			if err := d.Insert(v); err != nil {
+				return false
+			}
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		if err := d.checkInvariant(); err != nil {
+			return false
+		}
+		v, ok := d.Quantile(0.5)
+		if !ok {
+			return false
+		}
+		// Q-Digest answers are node upper bounds: they may overshoot the max
+		// by at most the node range, but never undershoot the min.
+		return v >= mn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

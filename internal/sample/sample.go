@@ -1,0 +1,153 @@
+// Package sample implements the RANDOM subsampling quantile sketch, the
+// simplified Manku-Rajagopalan-Lindsay (MRL99) variant proposed by Wang,
+// Luo, Yi and Cormode ("Quantiles over data streams: an experimental study",
+// SIGMOD 2013), which the paper's related-work section identifies as the
+// strongest randomized streaming competitor. It is included as an extra
+// baseline for the ablation experiments.
+//
+// The sketch keeps a fixed-capacity buffer of elements sampled at rate
+// 2^-level. When the buffer overflows, the level increases and the buffer is
+// subsampled by an unbiased half-split. Rank estimates scale buffer ranks by
+// 2^level. The guarantee is probabilistic: with buffer size k the rank error
+// is O(n·sqrt(log(1/δ)/k)) with probability 1-δ.
+package sample
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"slices"
+)
+
+// Sketch is a RANDOM subsampling quantile summary. Not safe for concurrent
+// use.
+type Sketch struct {
+	capacity int
+	level    uint // sampling rate is 2^-level
+	buf      []int64
+	n        int64
+	rng      *rand.Rand
+	skip     int64 // elements remaining to skip at the current rate
+}
+
+// New returns a sketch holding at most capacity samples, with deterministic
+// behaviour for a given seed.
+func New(capacity int, seed int64) (*Sketch, error) {
+	if capacity < 2 {
+		return nil, fmt.Errorf("sample: capacity must be >= 2, got %d", capacity)
+	}
+	return &Sketch{
+		capacity: capacity,
+		buf:      make([]int64, 0, capacity),
+		rng:      rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(capacity int, seed int64) *Sketch {
+	s, err := New(capacity, seed)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Count returns the number of stream elements observed.
+func (s *Sketch) Count() int64 { return s.n }
+
+// SampleCount returns the number of retained samples.
+func (s *Sketch) SampleCount() int { return len(s.buf) }
+
+// MemoryBytes estimates the footprint: 8 bytes per retained sample slot.
+func (s *Sketch) MemoryBytes() int64 { return int64(s.capacity) * 8 }
+
+// Reset empties the sketch.
+func (s *Sketch) Reset() {
+	s.buf = s.buf[:0]
+	s.n = 0
+	s.level = 0
+	s.skip = 0
+}
+
+// Insert observes one element.
+func (s *Sketch) Insert(v int64) {
+	s.n++
+	if s.skip > 0 {
+		s.skip--
+		return
+	}
+	s.buf = append(s.buf, v)
+	if len(s.buf) > s.capacity {
+		s.collapse()
+	}
+	s.resetSkip()
+}
+
+// resetSkip draws the gap until the next retained element: geometric with
+// parameter 2^-level, drawn via inverse transform so a single uniform drives
+// each gap.
+func (s *Sketch) resetSkip() {
+	if s.level == 0 {
+		s.skip = 0
+		return
+	}
+	p := math.Pow(0.5, float64(s.level))
+	u := s.rng.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	// Geometric: number of failures before first success.
+	s.skip = int64(math.Floor(math.Log(u) / math.Log(1-p)))
+}
+
+// collapse halves the sampling rate and subsamples the buffer, keeping each
+// element independently with probability 1/2.
+func (s *Sketch) collapse() {
+	s.level++
+	kept := s.buf[:0]
+	for _, v := range s.buf {
+		if s.rng.Intn(2) == 0 {
+			kept = append(kept, v)
+		}
+	}
+	s.buf = kept
+	// Degenerate protection: an empty buffer after collapse would lose the
+	// stream entirely; extremely unlikely for capacity >= 2 but cheap to
+	// guard.
+	if len(s.buf) == 0 && s.capacity > 0 {
+		s.level--
+	}
+}
+
+// Query returns a value whose rank approximates r (clamped to [1, n]).
+func (s *Sketch) Query(r int64) (int64, bool) {
+	if len(s.buf) == 0 {
+		return 0, false
+	}
+	if r < 1 {
+		r = 1
+	}
+	if r > s.n {
+		r = s.n
+	}
+	sorted := slices.Clone(s.buf)
+	slices.Sort(sorted)
+	scale := math.Pow(2, float64(s.level))
+	idx := int(math.Ceil(float64(r)/scale)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx], true
+}
+
+// Quantile returns an approximation of the φ-quantile.
+func (s *Sketch) Quantile(phi float64) (int64, bool) {
+	if s.n == 0 {
+		return 0, false
+	}
+	r := int64(math.Ceil(phi * float64(s.n)))
+	return s.Query(r)
+}

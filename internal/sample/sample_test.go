@@ -1,0 +1,139 @@
+package sample
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 0); err == nil {
+		t.Error("capacity 1: want error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(0): want panic")
+		}
+	}()
+	MustNew(0, 0)
+}
+
+func TestSmallStreamExact(t *testing.T) {
+	// While the stream fits in the buffer, answers are exact.
+	s := MustNew(1000, 42)
+	for i := int64(1); i <= 100; i++ {
+		s.Insert(i)
+	}
+	if s.SampleCount() != 100 {
+		t.Errorf("SampleCount = %d", s.SampleCount())
+	}
+	for _, phi := range []float64{0.1, 0.5, 0.9, 1.0} {
+		want := int64(math.Ceil(phi * 100))
+		got, ok := s.Quantile(phi)
+		if !ok || got != want {
+			t.Errorf("Quantile(%.1f) = %d, want %d", phi, got, want)
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	s := MustNew(10, 1)
+	if _, ok := s.Query(1); ok {
+		t.Error("Query on empty: want ok=false")
+	}
+	if _, ok := s.Quantile(0.5); ok {
+		t.Error("Quantile on empty: want ok=false")
+	}
+}
+
+func TestLargeStreamApproximate(t *testing.T) {
+	s := MustNew(4096, 7)
+	rng := rand.New(rand.NewSource(21))
+	n := 200000
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = rng.Int63n(1 << 30)
+		s.Insert(data[i])
+	}
+	if s.SampleCount() > 4096 {
+		t.Errorf("buffer overflow: %d", s.SampleCount())
+	}
+	slices.Sort(data)
+	// With k=4096 samples the expected rank error is ~n/sqrt(k) ≈ 1.6%;
+	// assert a loose 6% to keep the test deterministic-ish across seeds.
+	for _, phi := range []float64{0.25, 0.5, 0.75, 0.95} {
+		r := int64(math.Ceil(phi * float64(n)))
+		v, ok := s.Query(r)
+		if !ok {
+			t.Fatal("not ok")
+		}
+		got := int64(sort.Search(len(data), func(i int) bool { return data[i] > v }))
+		if math.Abs(float64(got-r)) > 0.06*float64(n) {
+			t.Errorf("phi=%.2f: rank %d vs target %d", phi, got, r)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := MustNew(16, 3)
+	for i := int64(0); i < 1000; i++ {
+		s.Insert(i)
+	}
+	s.Reset()
+	if s.Count() != 0 || s.SampleCount() != 0 {
+		t.Error("Reset incomplete")
+	}
+	s.Insert(5)
+	if v, ok := s.Query(1); !ok || v != 5 {
+		t.Errorf("post-reset Query = %d,%v", v, ok)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	s := MustNew(100, 1)
+	if s.MemoryBytes() != 800 {
+		t.Errorf("MemoryBytes = %d", s.MemoryBytes())
+	}
+}
+
+// Property: answers are always elements that were actually inserted.
+func TestQuickAnswersAreInserted(t *testing.T) {
+	f := func(raw []int32, seed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := MustNew(32, seed)
+		seen := make(map[int64]bool, len(raw))
+		for _, x := range raw {
+			s.Insert(int64(x))
+			seen[int64(x)] = true
+		}
+		v, ok := s.Quantile(0.5)
+		return ok && seen[v]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	run := func() []int64 {
+		s := MustNew(64, 99)
+		for i := int64(0); i < 50000; i++ {
+			s.Insert(i % 1000)
+		}
+		out := make([]int64, 0, 3)
+		for _, phi := range []float64{0.25, 0.5, 0.75} {
+			v, _ := s.Quantile(phi)
+			out = append(out, v)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if !slices.Equal(a, b) {
+		t.Errorf("non-deterministic: %v vs %v", a, b)
+	}
+}

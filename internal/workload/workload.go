@@ -1,0 +1,224 @@
+// Package workload provides the deterministic dataset generators used by
+// the evaluation, mirroring the paper's four datasets: two synthetic
+// (Normal, Uniform Random) and two modelled on the real traces the authors
+// used (Wikipedia page-view sizes, an ISP packet trace of source-destination
+// pairs). The real traces are not redistributable; DESIGN.md §2 documents
+// why the synthetic stand-ins preserve the behaviour the experiments
+// exercise (value-distribution shape, duplication, burstiness).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Generator yields an endless stream of elements from a totally ordered
+// universe (int64, non-negative).
+type Generator interface {
+	// Next returns the next element.
+	Next() int64
+	// Name identifies the workload in tables and file names.
+	Name() string
+	// UniverseBits returns the number of bits b such that all generated
+	// values lie in [0, 2^b); used to size Q-Digest baselines.
+	UniverseBits() uint
+}
+
+// Fill draws n elements from g.
+func Fill(g Generator, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Names lists the available workloads in the paper's presentation order.
+func Names() []string { return []string{"uniform", "normal", "wikipedia", "nettrace"} }
+
+// ByName constructs the named workload with the given seed.
+func ByName(name string, seed int64) (Generator, error) {
+	switch name {
+	case "uniform":
+		return NewUniform(seed), nil
+	case "normal":
+		return NewNormal(seed), nil
+	case "wikipedia":
+		return NewWikipedia(seed), nil
+	case "nettrace":
+		return NewNetTrace(seed), nil
+	case "zipf":
+		return NewZipf(seed, 1.2, 1<<26), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown workload %q (have %v)", name, Names())
+	}
+}
+
+// Normal draws from N(mean=1e8, sd=1e7), truncated at zero — the paper's
+// Normal dataset.
+type Normal struct {
+	rng          *rand.Rand
+	mean, stddev float64
+}
+
+// NewNormal returns the paper's Normal generator.
+func NewNormal(seed int64) *Normal {
+	return &Normal{rng: rand.New(rand.NewSource(seed)), mean: 1e8, stddev: 1e7}
+}
+
+// Name implements Generator.
+func (g *Normal) Name() string { return "normal" }
+
+// UniverseBits implements Generator: values stay well under 2^28.
+func (g *Normal) UniverseBits() uint { return 28 }
+
+// Next implements Generator.
+func (g *Normal) Next() int64 {
+	for {
+		v := g.rng.NormFloat64()*g.stddev + g.mean
+		if v >= 0 && v < float64(int64(1)<<g.UniverseBits()) {
+			return int64(v)
+		}
+	}
+}
+
+// Uniform draws uniformly from [1e8, 1e9) — the paper's Uniform Random
+// dataset.
+type Uniform struct {
+	rng    *rand.Rand
+	lo, hi int64
+}
+
+// NewUniform returns the paper's Uniform generator.
+func NewUniform(seed int64) *Uniform {
+	return &Uniform{rng: rand.New(rand.NewSource(seed)), lo: 1e8, hi: 1e9}
+}
+
+// Name implements Generator.
+func (g *Uniform) Name() string { return "uniform" }
+
+// UniverseBits implements Generator: 1e9 < 2^30.
+func (g *Uniform) UniverseBits() uint { return 30 }
+
+// Next implements Generator.
+func (g *Uniform) Next() int64 { return g.lo + g.rng.Int63n(g.hi-g.lo) }
+
+// Wikipedia models page sizes returned by page-view requests: a log-normal
+// body (most pages are tens of KB) with a Pareto tail (a few very large
+// pages), plus heavy duplication because popular pages are requested over
+// and over. This matches the skew/duplication profile of the paper's
+// Wikipedia page-counts dataset.
+type Wikipedia struct {
+	rng      *rand.Rand
+	zipf     *rand.Zipf
+	pageSize []int64 // size of each "page", indexed by popularity rank
+}
+
+// NewWikipedia returns the Wikipedia-like generator with one million
+// distinct pages.
+func NewWikipedia(seed int64) *Wikipedia {
+	rng := rand.New(rand.NewSource(seed))
+	const pages = 1 << 20
+	sizes := make([]int64, pages)
+	for i := range sizes {
+		// Log-normal body: median ~30 KB, sigma 1.0.
+		v := math.Exp(rng.NormFloat64()*1.0 + math.Log(30_000))
+		if rng.Float64() < 0.01 {
+			// Pareto tail: 1% of pages are large media, alpha=1.5.
+			v = 1_000_000 * math.Pow(rng.Float64(), -1.0/1.5)
+		}
+		if v > 1e9 {
+			v = 1e9
+		}
+		sizes[i] = int64(v)
+	}
+	return &Wikipedia{
+		rng:      rng,
+		zipf:     rand.NewZipf(rng, 1.1, 1, pages-1),
+		pageSize: sizes,
+	}
+}
+
+// Name implements Generator.
+func (g *Wikipedia) Name() string { return "wikipedia" }
+
+// UniverseBits implements Generator: sizes capped at 1e9 < 2^30.
+func (g *Wikipedia) UniverseBits() uint { return 30 }
+
+// Next implements Generator: a request for a Zipf-popular page yields that
+// page's size.
+func (g *Wikipedia) Next() int64 { return g.pageSize[g.zipf.Uint64()] }
+
+// NetTrace models the OC48 peering-link trace: each element is a
+// source-destination pair packed into one ordered 32-bit key
+// (src<<16 | dst). Sources and destinations are Zipf-popular, and flows are
+// bursty: with high probability the next element repeats one of the most
+// recent pairs, mimicking packet trains within a flow.
+type NetTrace struct {
+	rng      *rand.Rand
+	srcZipf  *rand.Zipf
+	dstZipf  *rand.Zipf
+	recent   []int64
+	recentAt int
+}
+
+// NewNetTrace returns the network-trace generator.
+func NewNetTrace(seed int64) *NetTrace {
+	rng := rand.New(rand.NewSource(seed))
+	return &NetTrace{
+		rng:     rng,
+		srcZipf: rand.NewZipf(rng, 1.2, 1, 1<<16-1),
+		dstZipf: rand.NewZipf(rng, 1.1, 1, 1<<16-1),
+		recent:  make([]int64, 0, 64),
+	}
+}
+
+// Name implements Generator.
+func (g *NetTrace) Name() string { return "nettrace" }
+
+// UniverseBits implements Generator: packed pairs fit in 32 bits.
+func (g *NetTrace) UniverseBits() uint { return 32 }
+
+// Next implements Generator.
+func (g *NetTrace) Next() int64 {
+	// 60% of packets continue a recent flow.
+	if len(g.recent) > 0 && g.rng.Float64() < 0.6 {
+		return g.recent[g.rng.Intn(len(g.recent))]
+	}
+	v := int64(g.srcZipf.Uint64())<<16 | int64(g.dstZipf.Uint64())
+	if len(g.recent) < cap(g.recent) {
+		g.recent = append(g.recent, v)
+	} else {
+		g.recent[g.recentAt] = v
+		g.recentAt = (g.recentAt + 1) % len(g.recent)
+	}
+	return v
+}
+
+// Zipf is a plain Zipf-distributed generator over [0, n), useful for
+// adversarially skewed ablations.
+type Zipf struct {
+	zipf *rand.Zipf
+	bits uint
+	name string
+}
+
+// NewZipf returns a Zipf(s) generator over [0, n).
+func NewZipf(seed int64, s float64, n uint64) *Zipf {
+	rng := rand.New(rand.NewSource(seed))
+	bits := uint(1)
+	for uint64(1)<<bits < n {
+		bits++
+	}
+	return &Zipf{zipf: rand.NewZipf(rng, s, 1, n-1), bits: bits, name: "zipf"}
+}
+
+// Name implements Generator.
+func (g *Zipf) Name() string { return g.name }
+
+// UniverseBits implements Generator.
+func (g *Zipf) UniverseBits() uint { return g.bits }
+
+// Next implements Generator.
+func (g *Zipf) Next() int64 { return int64(g.zipf.Uint64()) }

@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"math"
+	"slices"
+	"testing"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		g, err := ByName(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.Name() != name {
+			t.Errorf("Name() = %q, want %q", g.Name(), name)
+		}
+	}
+	if _, err := ByName("zipf", 1); err != nil {
+		t.Errorf("zipf: %v", err)
+	}
+	if _, err := ByName("nope", 1); err == nil {
+		t.Error("unknown workload: want error")
+	}
+}
+
+func TestValuesWithinUniverse(t *testing.T) {
+	for _, name := range append(Names(), "zipf") {
+		g, err := ByName(name, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		limit := int64(1) << g.UniverseBits()
+		for i := 0; i < 20000; i++ {
+			v := g.Next()
+			if v < 0 || v >= limit {
+				t.Fatalf("%s: value %d outside [0,2^%d)", name, v, g.UniverseBits())
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		g1, _ := ByName(name, 42)
+		g2, _ := ByName(name, 42)
+		a := Fill(g1, 1000)
+		b := Fill(g2, 1000)
+		if !slices.Equal(a, b) {
+			t.Errorf("%s: same seed, different streams", name)
+		}
+		g3, _ := ByName(name, 43)
+		c := Fill(g3, 1000)
+		if slices.Equal(a, c) {
+			t.Errorf("%s: different seeds, identical streams", name)
+		}
+	}
+}
+
+func TestNormalShape(t *testing.T) {
+	g := NewNormal(7)
+	n := 100000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := float64(g.Next())
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	sd := math.Sqrt(sumSq/float64(n) - mean*mean)
+	if math.Abs(mean-1e8) > 3e5 {
+		t.Errorf("mean = %g, want ~1e8", mean)
+	}
+	if math.Abs(sd-1e7) > 5e5 {
+		t.Errorf("sd = %g, want ~1e7", sd)
+	}
+}
+
+func TestUniformShape(t *testing.T) {
+	g := NewUniform(11)
+	n := 100000
+	var mn, mx int64 = math.MaxInt64, 0
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := g.Next()
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+		sum += float64(v)
+	}
+	if mn < 1e8 || mx >= 1e9 {
+		t.Errorf("range [%d,%d] outside [1e8,1e9)", mn, mx)
+	}
+	if mean := sum / float64(n); math.Abs(mean-5.5e8) > 1e7 {
+		t.Errorf("mean = %g, want ~5.5e8", mean)
+	}
+}
+
+func TestWikipediaHeavyTail(t *testing.T) {
+	g := NewWikipedia(13)
+	n := 100000
+	vals := Fill(g, n)
+	slices.Sort(vals)
+	median := vals[n/2]
+	p99 := vals[n*99/100]
+	// Heavy tail: p99 well above median; median in a plausible page-size
+	// range.
+	if median < 1000 || median > 1e6 {
+		t.Errorf("median page size %d implausible", median)
+	}
+	if p99 < 4*median {
+		t.Errorf("tail too light: p99=%d median=%d", p99, median)
+	}
+	// Duplication: far fewer distinct values than samples (popular pages).
+	distinct := 1
+	for i := 1; i < n; i++ {
+		if vals[i] != vals[i-1] {
+			distinct++
+		}
+	}
+	if distinct > n/2 {
+		t.Errorf("only %d/%d duplicated — expected popularity skew", n-distinct, n)
+	}
+}
+
+func TestNetTraceBurstiness(t *testing.T) {
+	g := NewNetTrace(17)
+	n := 100000
+	vals := Fill(g, n)
+	// Burstiness: immediate repeats should be common (flows).
+	repeats := 0
+	freq := map[int64]int{}
+	for i, v := range vals {
+		freq[v]++
+		if i > 0 && vals[i-1] == v {
+			repeats++
+		}
+	}
+	if repeats < n/100 {
+		t.Errorf("only %d immediate repeats; trace not bursty", repeats)
+	}
+	// Zipf popularity: the most frequent pair dominates.
+	maxF := 0
+	for _, f := range freq {
+		if f > maxF {
+			maxF = f
+		}
+	}
+	if maxF < n/100 {
+		t.Errorf("top pair frequency %d too low for Zipf skew", maxF)
+	}
+}
+
+func TestFill(t *testing.T) {
+	g := NewUniform(1)
+	if got := Fill(g, 17); len(got) != 17 {
+		t.Errorf("Fill length = %d", len(got))
+	}
+	if got := Fill(g, 0); len(got) != 0 {
+		t.Errorf("Fill(0) length = %d", len(got))
+	}
+}
+
+func TestZipfBits(t *testing.T) {
+	g := NewZipf(1, 1.2, 1000)
+	if lim := uint64(1) << g.UniverseBits(); lim < 1000 {
+		t.Errorf("universe 2^%d too small for n=1000", g.UniverseBits())
+	}
+}
