@@ -158,6 +158,45 @@ func BenchmarkWindowQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryCached quantifies the block cache on the accurate-query
+// path: the same store (mem backend, simulated HDD latency so wall-clock
+// tracks the paper's I/O cost model) is queried with the cache off and on.
+// Expect cache=on to cut both ns/op and randReads/op sharply once the hot
+// blocks are resident.
+func BenchmarkQueryCached(b *testing.B) {
+	for _, cacheBlocks := range []int{0, 4096} {
+		b.Run(fmt.Sprintf("cache=%d", cacheBlocks), func(b *testing.B) {
+			eng, err := hsq.New(hsq.Config{
+				Epsilon: 0.01, Kappa: 10, Backend: "mem", BlockSize: 4096,
+				CacheBlocks: cacheBlocks, SimulateDisk: "hdd",
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen := workload.NewUniform(6)
+			for s := 0; s < 10; s++ {
+				eng.ObserveSlice(workload.Fill(gen, 20000))
+				if _, err := eng.EndStep(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			eng.ObserveSlice(workload.Fill(gen, 5000))
+			io0 := eng.DiskStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				phi := 0.1 + 0.8*float64(i%9)/9
+				if _, _, err := eng.Quantile(phi); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			d := eng.DiskStats().Sub(io0)
+			b.ReportMetric(float64(d.RandReads)/float64(b.N), "randReads/op")
+			b.ReportMetric(float64(d.CacheHits)/float64(b.N), "cacheHits/op")
+		})
+	}
+}
+
 // BenchmarkUpdateAmortized reports the per-element amortized loading cost
 // across enough steps to include multi-level merges (Lemma 6).
 func BenchmarkUpdateAmortized(b *testing.B) {

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	hsqbench [-figure all|4|5|...|13|ablation-split|ablation-pinning|baselines|theory]
-//	         [-scale small|medium|large] [-out results/]
+//	         [-scale small|medium|large] [-backend file|mem] [-cache-blocks N]
+//	         [-out results/]
 //
 // Each figure prints one aligned text table per panel (matching the paper's
 // figure layout) and, with -out, writes one CSV per panel.
@@ -27,10 +28,12 @@ func main() {
 
 func run() error {
 	var (
-		figure = flag.String("figure", "all", "figure id to regenerate, or 'all'")
-		scale  = flag.String("scale", "medium", "experiment scale: small|medium|large")
-		out    = flag.String("out", "", "directory for CSV output (optional)")
-		list   = flag.Bool("list", false, "list available figures and exit")
+		figure  = flag.String("figure", "all", "figure id to regenerate, or 'all'")
+		scale   = flag.String("scale", "medium", "experiment scale: small|medium|large")
+		backend = flag.String("backend", "file", "warehouse storage backend: file|mem")
+		cache   = flag.Int("cache-blocks", 0, "block-cache capacity in blocks (0 = no cache)")
+		out     = flag.String("out", "", "directory for CSV output (optional)")
+		list    = flag.Bool("list", false, "list available figures and exit")
 	)
 	flag.Parse()
 
@@ -44,6 +47,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	sc.Backend = *backend
+	sc.CacheBlocks = *cache
 	ids := []string{*figure}
 	if *figure == "all" {
 		ids = experiments.FigureIDs()

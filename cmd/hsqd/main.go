@@ -13,6 +13,7 @@
 // Usage:
 //
 //	hsqd -dir /var/lib/hsq -epsilon 0.001 -kappa 10 -addr :8080
+//	hsqd -backend mem -cache-blocks 1024 -epsilon 0.001    # volatile, no dir
 package main
 
 import (
@@ -28,21 +29,30 @@ import (
 
 func main() {
 	var (
-		dir     = flag.String("dir", "", "warehouse directory (required)")
+		dir     = flag.String("dir", "", "warehouse directory (required for -backend file)")
+		backend = flag.String("backend", "file", "storage backend: file|mem")
+		cache   = flag.Int("cache-blocks", 0, "block-cache capacity in blocks (0 = no cache)")
 		epsilon = flag.Float64("epsilon", 0.001, "approximation parameter ε")
 		kappa   = flag.Int("kappa", 10, "merge threshold κ")
 		addr    = flag.String("addr", ":8080", "listen address")
 		resume  = flag.Bool("resume", false, "resume from an existing checkpoint in -dir")
 	)
 	flag.Parse()
-	if *dir == "" {
-		log.Fatal("hsqd: -dir is required")
+	if *dir == "" && *backend != "mem" {
+		log.Fatal("hsqd: -dir is required for the file backend")
 	}
-	srv, err := newServer(*dir, *epsilon, *kappa, *resume)
+	if *resume && *backend == "mem" {
+		log.Fatal("hsqd: -resume requires the file backend (mem state dies with the process)")
+	}
+	srv, err := newServer(serverConfig{
+		dir: *dir, backend: *backend, cacheBlocks: *cache,
+		epsilon: *epsilon, kappa: *kappa, resume: *resume,
+	})
 	if err != nil {
 		log.Fatalf("hsqd: %v", err)
 	}
-	log.Printf("hsqd: serving on %s (dir=%s ε=%g κ=%d)", *addr, *dir, *epsilon, *kappa)
+	log.Printf("hsqd: serving on %s (backend=%s dir=%s ε=%g κ=%d cache=%d)",
+		*addr, *backend, *dir, *epsilon, *kappa, *cache)
 	log.Fatal(http.ListenAndServe(*addr, srv.mux()))
 }
 
@@ -216,5 +226,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"io_seq_reads":  io.SeqReads,
 		"io_seq_writes": io.SeqWrites,
 		"io_rand_reads": io.RandReads,
+		"io_cache_hits": io.CacheHits,
+		"io_cache_miss": io.CacheMisses,
 	})
 }

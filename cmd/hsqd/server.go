@@ -10,14 +10,30 @@ type server struct {
 	eng *hsq.Engine
 }
 
-// newServer builds or resumes an engine in dir.
-func newServer(dir string, epsilon float64, kappa int, resume bool) (*server, error) {
-	cfg := hsq.Config{Epsilon: epsilon, Kappa: kappa, Dir: dir}
+// serverConfig carries the engine knobs from flags (or tests) to newServer.
+type serverConfig struct {
+	dir         string
+	backend     string
+	cacheBlocks int
+	epsilon     float64
+	kappa       int
+	resume      bool
+}
+
+// newServer builds or resumes an engine on the configured backend.
+func newServer(sc serverConfig) (*server, error) {
+	cfg := hsq.Config{
+		Epsilon:     sc.epsilon,
+		Kappa:       sc.kappa,
+		Backend:     sc.backend,
+		Dir:         sc.dir,
+		CacheBlocks: sc.cacheBlocks,
+	}
 	var (
 		eng *hsq.Engine
 		err error
 	)
-	if resume {
+	if sc.resume {
 		eng, err = hsq.Open(cfg)
 	} else {
 		eng, err = hsq.New(cfg)

@@ -11,7 +11,7 @@ import (
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	srv, err := newServer(t.TempDir(), 0.05, 3, false)
+	srv, err := newServer(serverConfig{dir: t.TempDir(), epsilon: 0.05, kappa: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestServerErrors(t *testing.T) {
 
 func TestServerResume(t *testing.T) {
 	dir := t.TempDir()
-	srv, err := newServer(dir, 0.05, 3, false)
+	srv, err := newServer(serverConfig{dir: dir, epsilon: 0.05, kappa: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestServerResume(t *testing.T) {
 	postBody(t, ts.URL+"/endstep", "")
 	ts.Close()
 
-	srv2, err := newServer(dir, 0.05, 3, true)
+	srv2, err := newServer(serverConfig{dir: dir, epsilon: 0.05, kappa: 3, resume: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,6 +21,19 @@
 //	med, _, err := eng.Quantile(0.5)   // accurate: error ≤ ε·|stream|
 //	p99fast, err := eng.QuantileQuick(0.99) // in-memory only: error ≤ 1.5·ε·N
 //
+// # Storage
+//
+// The warehouse sits on a pluggable storage seam (internal/disk.Backend):
+// Config.Backend selects "file" (a directory of flat files rooted at
+// Config.Dir, the default) or "mem" (heap-resident, volatile — for tests,
+// benchmarks and cache simulation). Config.CacheBlocks layers a sharded LRU
+// block cache over either backend; random reads absorbed by the cache cost
+// no disk access and are reported separately as CacheHits in IOStats and
+// QueryStats, preserving the paper's "number of disk accesses" metric for
+// the reads that actually reach storage.
+//
+//	fast, err := hsq.New(hsq.Config{Epsilon: 0.01, Backend: "mem", CacheBlocks: 4096})
+//
 // See DESIGN.md for the full mapping from the paper's algorithms to this
 // package and EXPERIMENTS.md for the reproduced evaluation.
 package hsq

@@ -12,8 +12,9 @@ import (
 	"repro/internal/partition"
 )
 
-// Config parametrizes an Engine. Epsilon and Dir are required; every other
-// field has a sensible default matching the paper's experimental setup.
+// Config parametrizes an Engine. Epsilon is always required; Dir is
+// required for the file backend. Every other field has a sensible default
+// matching the paper's experimental setup.
 type Config struct {
 	// Epsilon is the approximation parameter ε ∈ (0,1): accurate queries
 	// return elements whose rank errs by at most ε·m where m is the current
@@ -21,8 +22,18 @@ type Config struct {
 	Epsilon float64
 	// Kappa is the merge threshold κ ≥ 2 (default 10, the paper's default).
 	Kappa int
-	// Dir is the directory backing the on-disk warehouse.
+	// Backend selects the warehouse storage backend: "file" (default, a
+	// directory of flat files rooted at Dir) or "mem" (heap-resident, for
+	// tests, benchmarks and cache simulation; state dies with the process).
+	Backend string
+	// Dir is the directory backing the on-disk warehouse. Required for the
+	// file backend; ignored by "mem".
 	Dir string
+	// CacheBlocks, when positive, installs a sharded LRU block cache of
+	// that many blocks between the engine and the backend. Cached random
+	// reads cost no disk access: they are reported as CacheHits instead of
+	// RandReads in IOStats and QueryStats.
+	CacheBlocks int
 	// BlockSize is the disk block size in bytes (default 100 KB, the
 	// paper's B).
 	BlockSize int
@@ -60,8 +71,11 @@ func (c *Config) withDefaults() (Config, error) {
 	if out.Kappa < 2 {
 		return out, fmt.Errorf("hsq: Kappa must be >= 2, got %d", out.Kappa)
 	}
-	if out.Dir == "" {
-		return out, fmt.Errorf("hsq: Dir is required")
+	if out.Dir == "" && (out.Backend == "" || out.Backend == "file") {
+		return out, fmt.Errorf("hsq: Dir is required for the file backend")
+	}
+	if out.CacheBlocks < 0 {
+		return out, fmt.Errorf("hsq: CacheBlocks must be >= 0, got %d", out.CacheBlocks)
 	}
 	if out.BlockSize == 0 {
 		out.BlockSize = disk.DefaultBlockSize
@@ -73,22 +87,46 @@ func (c *Config) withDefaults() (Config, error) {
 }
 
 // IOStats mirrors the block-level I/O counters of the warehouse device.
+// RandReads counts only reads that reached the storage backend; random
+// probes absorbed by the block cache appear as CacheHits.
 type IOStats struct {
-	SeqReads  uint64
-	SeqWrites uint64
-	RandReads uint64
+	SeqReads    uint64
+	SeqWrites   uint64
+	RandReads   uint64
+	CacheHits   uint64
+	CacheMisses uint64
 }
 
 // Total returns the total number of block accesses.
 func (s IOStats) Total() uint64 { return s.SeqReads + s.SeqWrites + s.RandReads }
 
-// Sub returns the element-wise difference.
+// Sub returns the element-wise difference, with each counter clamped at
+// zero (counters may have been reset between the two snapshots).
 func (s IOStats) Sub(t IOStats) IOStats {
-	return IOStats{s.SeqReads - t.SeqReads, s.SeqWrites - t.SeqWrites, s.RandReads - t.RandReads}
+	return IOStats{
+		SeqReads:    subClamp(s.SeqReads, t.SeqReads),
+		SeqWrites:   subClamp(s.SeqWrites, t.SeqWrites),
+		RandReads:   subClamp(s.RandReads, t.RandReads),
+		CacheHits:   subClamp(s.CacheHits, t.CacheHits),
+		CacheMisses: subClamp(s.CacheMisses, t.CacheMisses),
+	}
+}
+
+func subClamp(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
 }
 
 func fromDisk(d disk.Stats) IOStats {
-	return IOStats{SeqReads: d.SeqReads, SeqWrites: d.SeqWrites, RandReads: d.RandReads}
+	return IOStats{
+		SeqReads:    d.SeqReads,
+		SeqWrites:   d.SeqWrites,
+		RandReads:   d.RandReads,
+		CacheHits:   d.CacheHits,
+		CacheMisses: d.CacheMisses,
+	}
 }
 
 // UpdateStats reports the cost of one EndStep, split into the paper's four
@@ -113,8 +151,12 @@ func (u UpdateStats) TotalIO() uint64 {
 type QueryStats struct {
 	// Iterations is the number of value-space bisection probes.
 	Iterations int
-	// RandReads is the number of random block reads performed.
+	// RandReads is the number of random block reads that reached the
+	// storage backend.
 	RandReads int
+	// CacheHits is the number of block probes served by the block cache,
+	// costing no disk access.
+	CacheHits int
 	// FilterU and FilterV bracket the search (Algorithm 7 output).
 	FilterU, FilterV int64
 	// Elapsed is the wall-clock query time.
@@ -161,17 +203,35 @@ type Engine struct {
 	step   int
 }
 
-// New creates an engine rooted at cfg.Dir.
+// newDevice builds the warehouse block device described by cfg: backend,
+// block size, block cache and simulated latency profile.
+func newDevice(cfg Config) (*disk.Manager, error) {
+	b, err := disk.OpenBackend(cfg.Backend, cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	dev, err := disk.NewManagerOn(b, cfg.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CacheBlocks > 0 {
+		dev.SetCache(cfg.CacheBlocks)
+	}
+	if err := applyDiskProfile(dev, cfg.SimulateDisk); err != nil {
+		return nil, err
+	}
+	return dev, nil
+}
+
+// New creates an engine over the configured backend (rooted at cfg.Dir for
+// the default file backend).
 func New(cfg Config) (*Engine, error) {
 	full, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	dev, err := disk.NewManager(full.Dir, full.BlockSize)
+	dev, err := newDevice(full)
 	if err != nil {
-		return nil, err
-	}
-	if err := applyDiskProfile(dev, full.SimulateDisk); err != nil {
 		return nil, err
 	}
 	eps1 := full.Epsilon / 2
@@ -360,6 +420,7 @@ func (e *Engine) rankQueryOptsLocked(r int64, sums []*partition.Summary, opts Qu
 	return v, QueryStats{
 		Iterations: cost.Iterations,
 		RandReads:  cost.RandReads,
+		CacheHits:  cost.CacheHits,
 		FilterU:    cost.FilterU,
 		FilterV:    cost.FilterV,
 		Elapsed:    time.Since(t0),
@@ -499,7 +560,7 @@ func Open(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	dev, err := disk.NewManager(full.Dir, full.BlockSize)
+	dev, err := newDevice(full)
 	if err != nil {
 		return nil, err
 	}
@@ -553,6 +614,7 @@ func (e *Engine) Rank(v int64) (int64, QueryStats, error) {
 	return r, QueryStats{
 		Iterations: cost.Iterations,
 		RandReads:  cost.RandReads,
+		CacheHits:  cost.CacheHits,
 		Elapsed:    time.Since(t0),
 	}, nil
 }
@@ -605,6 +667,7 @@ func (e *Engine) Quantiles(phis []float64) ([]int64, QueryStats, error) {
 		out[i] = v
 		agg.Iterations += cost.Iterations
 		agg.RandReads += cost.RandReads
+		agg.CacheHits += cost.CacheHits
 	}
 	agg.Elapsed = time.Since(t0)
 	return out, agg, nil

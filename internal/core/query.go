@@ -13,8 +13,12 @@ type QueryCost struct {
 	// Iterations is the number of bisection probes (Algorithm 8 recursion
 	// depth).
 	Iterations int
-	// RandReads is the number of random block reads across all partitions.
+	// RandReads is the number of random block reads across all partitions
+	// that reached the storage backend.
 	RandReads int
+	// CacheHits is the number of probes absorbed by the device block cache
+	// (they cost no disk access).
+	CacheHits int
 	// FilterU and FilterV are the initial filters from Algorithm 7.
 	FilterU, FilterV int64
 	// Truncated reports that an I/O budget stopped the search early, so the
@@ -116,7 +120,7 @@ func AccurateQueryOpts(c *Combined, eps float64, r int64, opts QueryOptions) (in
 			}
 		default:
 			ans, err := snapDown(c, cursors, z)
-			cost.RandReads = sumReads(cursors)
+			captureIO(&cost, cursors)
 			if err != nil {
 				return 0, cost, err
 			}
@@ -126,7 +130,7 @@ func AccurateQueryOpts(c *Combined, eps float64, r int64, opts QueryOptions) (in
 			// I/O budget exhausted: return the best current answer. The
 			// last probe's cursor state matches z, so snapping is valid.
 			ans, err := snapDown(c, cursors, z)
-			cost.RandReads = sumReads(cursors)
+			captureIO(&cost, cursors)
 			cost.Truncated = true
 			if err != nil {
 				return 0, cost, err
@@ -140,7 +144,7 @@ func AccurateQueryOpts(c *Combined, eps float64, r int64, opts QueryOptions) (in
 	cost.Iterations++
 	rhoU, err := rankAt(u)
 	if err != nil {
-		cost.RandReads = sumReads(cursors)
+		captureIO(&cost, cursors)
 		return 0, cost, err
 	}
 	var ans int64
@@ -149,7 +153,7 @@ func AccurateQueryOpts(c *Combined, eps float64, r int64, opts QueryOptions) (in
 	} else {
 		ans, err = snapUp(c, cursors, u)
 	}
-	cost.RandReads = sumReads(cursors)
+	captureIO(&cost, cursors)
 	if err != nil {
 		return 0, cost, err
 	}
@@ -275,6 +279,15 @@ func sumReads(cursors []*partition.Cursor) int {
 		n += cur.Reads()
 	}
 	return n
+}
+
+// captureIO records the cursors' cumulative I/O counters into cost.
+func captureIO(cost *QueryCost, cursors []*partition.Cursor) {
+	cost.RandReads, cost.CacheHits = 0, 0
+	for _, cur := range cursors {
+		cost.RandReads += cur.Reads()
+		cost.CacheHits += cur.CacheHits()
+	}
 }
 
 // ExactStreamRank is a helper for engines that also track the raw batch in

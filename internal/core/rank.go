@@ -37,6 +37,7 @@ func RankOfValue(c *Combined, v int64, pinBlocks bool) (int64, QueryCost, error)
 			return 0, cost, err
 		}
 		cost.RandReads += cur.Reads()
+		cost.CacheHits += cur.CacheHits()
 		if err := cur.Close(); err != nil {
 			return 0, cost, err
 		}

@@ -1,0 +1,148 @@
+package disk
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+)
+
+// blockCache is a sharded LRU cache of decoded blocks, keyed by (file,
+// block index). It sits between the Manager's random-read path and the
+// backend: a hit returns the decoded elements without touching the backend,
+// without a simulated-latency sleep, and without counting a random read —
+// in the paper's cost model a cached block is free, exactly like the §2.4
+// pinned block, but shared across queries and partitions.
+//
+// Sequential scans deliberately bypass the cache: a merge or summary rebuild
+// touches each block once, and letting scans through would evict the hot
+// query working set (classic scan resistance).
+//
+// Coherence rests on the Manager's write discipline: blocks reach the
+// backend only through Manager.Create (which invalidates the name) and the
+// Writer, whose partial tail block is flushed only at Close — after which
+// the file can never grow again. Cached blocks therefore describe immutable
+// data. Writing to a shared backend through a second Manager (or directly)
+// bypasses this cache and voids that guarantee.
+//
+// Cached slices are shared between the cache and all readers, so callers
+// must treat blocks returned by the read path as immutable. Every current
+// consumer (cursor binary search, element snapping) only reads them.
+type blockCache struct {
+	shards []cacheShard
+	seed   maphash.Seed
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	cap   int // this shard's capacity in blocks
+	items map[cacheKey]*list.Element
+	order *list.List // front = most recently used
+}
+
+type cacheKey struct {
+	name  string
+	block int64
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	vals []int64
+}
+
+// cacheShards is the shard count: enough to keep lock contention negligible
+// for ParallelQuery workloads without fragmenting small caches.
+const cacheShards = 16
+
+// newBlockCache builds a cache holding at most capBlocks blocks in total.
+// The budget is distributed exactly across the shards (remainder to the
+// first few); when the budget is smaller than cacheShards the shard count
+// shrinks to the budget so every shard can hold at least one block.
+func newBlockCache(capBlocks int) *blockCache {
+	if capBlocks <= 0 {
+		return nil
+	}
+	n := cacheShards
+	if capBlocks < n {
+		n = capBlocks
+	}
+	c := &blockCache{shards: make([]cacheShard, n), seed: maphash.MakeSeed()}
+	base, extra := capBlocks/n, capBlocks%n
+	for i := range c.shards {
+		c.shards[i].cap = base
+		if i < extra {
+			c.shards[i].cap++
+		}
+		c.shards[i].items = make(map[cacheKey]*list.Element)
+		c.shards[i].order = list.New()
+	}
+	return c
+}
+
+func (c *blockCache) shard(key cacheKey) *cacheShard {
+	var h maphash.Hash
+	h.SetSeed(c.seed)
+	h.WriteString(key.name)
+	return &c.shards[(h.Sum64()^uint64(key.block)*0x9e3779b97f4a7c15)%uint64(len(c.shards))]
+}
+
+// get returns the cached block and true on a hit, bumping its recency.
+func (c *blockCache) get(name string, block int64) ([]int64, bool) {
+	key := cacheKey{name, block}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).vals, true
+}
+
+// put inserts (or refreshes) a block, evicting the shard's LRU tail.
+func (c *blockCache) put(name string, block int64, vals []int64) {
+	key := cacheKey{name, block}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*cacheEntry).vals = vals
+		s.order.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.order.PushFront(&cacheEntry{key: key, vals: vals})
+	for s.order.Len() > s.cap {
+		tail := s.order.Back()
+		s.order.Remove(tail)
+		delete(s.items, tail.Value.(*cacheEntry).key)
+	}
+}
+
+// invalidate drops every cached block of the named file. Called on Remove
+// and on Create (truncation), the only two ways an immutable partition file
+// can change identity.
+func (c *blockCache) invalidate(name string) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for key, el := range s.items {
+			if key.name == name {
+				s.order.Remove(el)
+				delete(s.items, key)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// len returns the number of cached blocks (for tests).
+func (c *blockCache) len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

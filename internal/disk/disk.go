@@ -5,6 +5,11 @@
 // "number of disk accesses" is the primary cost metric of the paper's
 // evaluation (Lemmas 6 and 7, Figures 6-13).
 //
+// Storage is pluggable: the Manager layers accounting, fault injection,
+// latency simulation and an optional sharded LRU block cache over a Backend
+// (see backend.go). The file backend reproduces the seed's directory-of-flat-
+// files layout; MemBackend keeps everything in heap memory.
+//
 // The default block size is 100 KB, the value assumed throughout the paper's
 // experiments, giving 12,800 elements per block.
 package disk
@@ -12,8 +17,6 @@ package disk
 import (
 	"encoding/binary"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sync"
 	"sync/atomic"
 )
@@ -56,17 +59,20 @@ func (o Op) String() string {
 
 // FaultFunc may return a non-nil error to inject a failure for the given
 // operation on the given file and block index. A nil FaultFunc injects
-// nothing. Fault hooks run before the real I/O is attempted.
+// nothing. Fault hooks run before the real I/O is attempted; block-cache
+// hits never reach the hook because no I/O is attempted for them.
 type FaultFunc func(op Op, name string, block int64) error
 
 // Stats is a snapshot of cumulative I/O counters.
 type Stats struct {
 	SeqReads     uint64 // sequential block reads
 	SeqWrites    uint64 // sequential block writes
-	RandReads    uint64 // random block reads
+	RandReads    uint64 // random block reads that reached the backend
 	BytesRead    uint64
 	BytesWritten uint64
 	Opens        uint64
+	CacheHits    uint64 // random block reads served by the block cache
+	CacheMisses  uint64 // random block reads that missed the cache
 }
 
 // Total returns the total number of block accesses (reads + writes).
@@ -75,16 +81,29 @@ func (s Stats) Total() uint64 { return s.SeqReads + s.SeqWrites + s.RandReads }
 // Reads returns the total number of block reads.
 func (s Stats) Reads() uint64 { return s.SeqReads + s.RandReads }
 
+// sub64 returns a - b, clamped at zero. Counters only grow, but ResetStats
+// between two snapshots would otherwise wrap the unsigned difference to an
+// absurd huge value; clamping keeps such a window readable as "no I/O".
+func sub64(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
 // Sub returns the element-wise difference s - t, for measuring the I/O cost
-// of a region of execution bracketed by two snapshots.
+// of a region of execution bracketed by two snapshots. Each counter clamps
+// at zero rather than underflowing when t exceeds s (e.g. after ResetStats).
 func (s Stats) Sub(t Stats) Stats {
 	return Stats{
-		SeqReads:     s.SeqReads - t.SeqReads,
-		SeqWrites:    s.SeqWrites - t.SeqWrites,
-		RandReads:    s.RandReads - t.RandReads,
-		BytesRead:    s.BytesRead - t.BytesRead,
-		BytesWritten: s.BytesWritten - t.BytesWritten,
-		Opens:        s.Opens - t.Opens,
+		SeqReads:     sub64(s.SeqReads, t.SeqReads),
+		SeqWrites:    sub64(s.SeqWrites, t.SeqWrites),
+		RandReads:    sub64(s.RandReads, t.RandReads),
+		BytesRead:    sub64(s.BytesRead, t.BytesRead),
+		BytesWritten: sub64(s.BytesWritten, t.BytesWritten),
+		Opens:        sub64(s.Opens, t.Opens),
+		CacheHits:    sub64(s.CacheHits, t.CacheHits),
+		CacheMisses:  sub64(s.CacheMisses, t.CacheMisses),
 	}
 }
 
@@ -97,18 +116,22 @@ func (s Stats) Add(t Stats) Stats {
 		BytesRead:    s.BytesRead + t.BytesRead,
 		BytesWritten: s.BytesWritten + t.BytesWritten,
 		Opens:        s.Opens + t.Opens,
+		CacheHits:    s.CacheHits + t.CacheHits,
+		CacheMisses:  s.CacheMisses + t.CacheMisses,
 	}
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("seqR=%d seqW=%d randR=%d total=%d", s.SeqReads, s.SeqWrites, s.RandReads, s.Total())
+	return fmt.Sprintf("seqR=%d seqW=%d randR=%d total=%d cacheHit=%d cacheMiss=%d",
+		s.SeqReads, s.SeqWrites, s.RandReads, s.Total(), s.CacheHits, s.CacheMisses)
 }
 
-// Manager is a block device rooted at a directory. It creates, reads and
-// deletes element files, and accounts for every block-level access. A
-// Manager is safe for concurrent use.
+// Manager is a block device over a storage backend. It creates, reads and
+// deletes element files, and accounts for every block-level access; an
+// optional block cache absorbs repeated random reads. A Manager is safe for
+// concurrent use.
 type Manager struct {
-	dir       string
+	backend   Backend
 	blockSize int
 	perBlock  int // elements per block
 
@@ -118,6 +141,10 @@ type Manager struct {
 	bytesRead    atomic.Uint64
 	bytesWritten atomic.Uint64
 	opens        atomic.Uint64
+	cacheHits    atomic.Uint64
+	cacheMisses  atomic.Uint64
+
+	cache atomic.Pointer[blockCache]
 
 	mu    sync.RWMutex
 	fault FaultFunc
@@ -125,27 +152,53 @@ type Manager struct {
 	latencyFields
 }
 
-// NewManager creates a block device rooted at dir (created if absent) with
-// the given block size in bytes. blockSize must be a positive multiple of
-// ElementSize.
+// NewManager creates a file-backed block device rooted at dir (created if
+// absent) with the given block size in bytes — the seed-compatible
+// constructor. blockSize must be a positive multiple of ElementSize.
 func NewManager(dir string, blockSize int) (*Manager, error) {
+	b, err := NewFileBackend(dir)
+	if err != nil {
+		return nil, err
+	}
+	return NewManagerOn(b, blockSize)
+}
+
+// NewManagerOn creates a block device over an arbitrary backend.
+func NewManagerOn(b Backend, blockSize int) (*Manager, error) {
 	if blockSize <= 0 || blockSize%ElementSize != 0 {
 		return nil, fmt.Errorf("disk: block size %d must be a positive multiple of %d", blockSize, ElementSize)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("disk: create root: %w", err)
-	}
-	return &Manager{dir: dir, blockSize: blockSize, perBlock: blockSize / ElementSize}, nil
+	return &Manager{backend: b, blockSize: blockSize, perBlock: blockSize / ElementSize}, nil
 }
 
-// Dir returns the root directory of the device.
-func (m *Manager) Dir() string { return m.dir }
+// Backend returns the underlying storage backend.
+func (m *Manager) Backend() Backend { return m.backend }
+
+// Dir returns the root directory of the device, or "" for backends without
+// one (e.g. MemBackend).
+func (m *Manager) Dir() string { return m.backend.Root() }
 
 // BlockSize returns the block size in bytes.
 func (m *Manager) BlockSize() int { return m.blockSize }
 
 // ElementsPerBlock returns how many elements fit in one block.
 func (m *Manager) ElementsPerBlock() int { return m.perBlock }
+
+// SetCache installs a block cache holding up to blocks decoded blocks on
+// the random-read path; blocks <= 0 removes the cache. Safe to call
+// concurrently with I/O.
+func (m *Manager) SetCache(blocks int) {
+	m.cache.Store(newBlockCache(blocks))
+}
+
+// CacheBlocks returns the number of blocks currently cached (0 without a
+// cache).
+func (m *Manager) CacheBlocks() int {
+	if c := m.cache.Load(); c != nil {
+		return c.len()
+	}
+	return 0
+}
 
 // SetFault installs a fault-injection hook; nil removes it.
 func (m *Manager) SetFault(f FaultFunc) {
@@ -173,6 +226,8 @@ func (m *Manager) Stats() Stats {
 		BytesRead:    m.bytesRead.Load(),
 		BytesWritten: m.bytesWritten.Load(),
 		Opens:        m.opens.Load(),
+		CacheHits:    m.cacheHits.Load(),
+		CacheMisses:  m.cacheMisses.Load(),
 	}
 }
 
@@ -184,31 +239,59 @@ func (m *Manager) ResetStats() {
 	m.bytesRead.Store(0)
 	m.bytesWritten.Store(0)
 	m.opens.Store(0)
+	m.cacheHits.Store(0)
+	m.cacheMisses.Store(0)
 }
 
-func (m *Manager) path(name string) string { return filepath.Join(m.dir, name) }
+// invalidate drops cached blocks of name after a remove or truncation.
+func (m *Manager) invalidate(name string) {
+	if c := m.cache.Load(); c != nil {
+		c.invalidate(name)
+	}
+}
 
 // Remove deletes the named file. Removing a non-existent file is an error.
+// The cache is invalidated after the backend delete so a concurrent read of
+// the old file cannot slip a block in between invalidation and removal.
 func (m *Manager) Remove(name string) error {
-	if err := os.Remove(m.path(name)); err != nil {
+	if err := m.backend.Remove(name); err != nil {
 		return fmt.Errorf("disk: remove %s: %w", name, err)
 	}
+	m.invalidate(name)
 	return nil
 }
 
 // Exists reports whether the named file exists.
 func (m *Manager) Exists(name string) bool {
-	_, err := os.Stat(m.path(name))
-	return err == nil
+	return m.backend.Exists(name)
 }
 
 // Size returns the number of elements stored in the named file.
 func (m *Manager) Size(name string) (int64, error) {
-	fi, err := os.Stat(m.path(name))
+	n, err := m.backend.Size(name)
 	if err != nil {
 		return 0, fmt.Errorf("disk: stat %s: %w", name, err)
 	}
-	return fi.Size() / ElementSize, nil
+	return n / ElementSize, nil
+}
+
+// WriteMeta atomically replaces a small metadata file (e.g. a manifest) on
+// the backend. Metadata I/O is not block-accounted: the paper's cost model
+// covers element data only.
+func (m *Manager) WriteMeta(name string, data []byte) error {
+	if err := m.backend.WriteMeta(name, data); err != nil {
+		return fmt.Errorf("disk: write meta %s: %w", name, err)
+	}
+	return nil
+}
+
+// ReadMeta reads a metadata file written with WriteMeta.
+func (m *Manager) ReadMeta(name string) ([]byte, error) {
+	data, err := m.backend.ReadMeta(name)
+	if err != nil {
+		return nil, fmt.Errorf("disk: read meta %s: %w", name, err)
+	}
+	return data, nil
 }
 
 // encodeInto writes vals as little-endian int64 into buf, which must be at

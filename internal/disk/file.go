@@ -1,0 +1,117 @@
+package disk
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// FileBackend stores each element file as a flat file inside a root
+// directory — the seed's original (and the paper's implicit) storage model.
+type FileBackend struct {
+	root string
+}
+
+// NewFileBackend creates (if absent) and roots a backend at dir.
+func NewFileBackend(dir string) (*FileBackend, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("disk: file backend requires a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("disk: create root: %w", err)
+	}
+	return &FileBackend{root: dir}, nil
+}
+
+// Kind returns "file".
+func (b *FileBackend) Kind() string { return "file" }
+
+// Root returns the backing directory.
+func (b *FileBackend) Root() string { return b.root }
+
+func (b *FileBackend) path(name string) string { return filepath.Join(b.root, name) }
+
+// Open returns a random-access read handle for the named file.
+func (b *FileBackend) Open(name string) (ReadHandle, error) {
+	f, err := os.Open(b.path(name))
+	if err != nil {
+		return nil, err
+	}
+	return &fileReadHandle{f: f}, nil
+}
+
+// fileReadHandle adds handle-consistent sizing to *os.File: Size fstats the
+// open descriptor, so it always describes the file ReadAt reads even if the
+// name was recreated meanwhile.
+type fileReadHandle struct {
+	f *os.File
+}
+
+func (h *fileReadHandle) ReadAt(p []byte, off int64) (int, error) { return h.f.ReadAt(p, off) }
+func (h *fileReadHandle) Close() error                            { return h.f.Close() }
+
+func (h *fileReadHandle) Size() (int64, error) {
+	fi, err := h.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// Create truncates (or creates) the named file for appending.
+func (b *FileBackend) Create(name string) (WriteHandle, error) {
+	f, err := os.Create(b.path(name))
+	if err != nil {
+		return nil, err
+	}
+	return &fileWriteHandle{f: f, path: b.path(name)}, nil
+}
+
+// Remove deletes the named file.
+func (b *FileBackend) Remove(name string) error {
+	return os.Remove(b.path(name))
+}
+
+// Size returns the byte length of the named file.
+func (b *FileBackend) Size(name string) (int64, error) {
+	fi, err := os.Stat(b.path(name))
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// Exists reports whether the named file exists.
+func (b *FileBackend) Exists(name string) bool {
+	_, err := os.Stat(b.path(name))
+	return err == nil
+}
+
+// WriteMeta atomically replaces a metadata file via write-to-temp + rename.
+func (b *FileBackend) WriteMeta(name string, data []byte) error {
+	path := b.path(name)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadMeta reads a metadata file.
+func (b *FileBackend) ReadMeta(name string) ([]byte, error) {
+	return os.ReadFile(b.path(name))
+}
+
+// fileWriteHandle adapts *os.File to WriteHandle with Abort support.
+type fileWriteHandle struct {
+	f    *os.File
+	path string
+}
+
+func (h *fileWriteHandle) Write(p []byte) (int, error) { return h.f.Write(p) }
+func (h *fileWriteHandle) Close() error                { return h.f.Close() }
+
+func (h *fileWriteHandle) Abort() {
+	h.f.Close()       //nolint:errcheck // best-effort discard
+	os.Remove(h.path) //nolint:errcheck
+}

@@ -3,15 +3,16 @@ package disk
 import (
 	"fmt"
 	"io"
-	"os"
 )
 
 // Reader scans a file sequentially, one block at a time. Every block read
-// counts as one sequential read. Reader is not safe for concurrent use.
+// counts as one sequential read. Sequential scans bypass the block cache
+// (scan resistance: a merge touches each block exactly once). Reader is not
+// safe for concurrent use.
 type Reader struct {
 	m      *Manager
 	name   string
-	f      *os.File
+	h      ReadHandle
 	buf    []byte
 	vals   []int64
 	pos    int   // next element index within vals
@@ -27,23 +28,25 @@ func (m *Manager) OpenSequential(name string) (*Reader, error) {
 	if err := m.injected(OpOpen, name, 0); err != nil {
 		return nil, fmt.Errorf("disk: open %s: %w", name, err)
 	}
-	f, err := os.Open(m.path(name))
+	h, err := m.backend.Open(name)
 	if err != nil {
 		return nil, fmt.Errorf("disk: open %s: %w", name, err)
 	}
 	m.opens.Add(1)
-	fi, err := f.Stat()
+	// Size via the handle so count describes the file the handle reads,
+	// even if the name is concurrently recreated.
+	size, err := h.Size()
 	if err != nil {
-		f.Close()
+		h.Close() //nolint:errcheck
 		return nil, fmt.Errorf("disk: stat %s: %w", name, err)
 	}
 	return &Reader{
 		m:     m,
 		name:  name,
-		f:     f,
+		h:     h,
 		buf:   make([]byte, m.blockSize),
 		vals:  make([]int64, m.perBlock),
-		count: fi.Size() / ElementSize,
+		count: size / ElementSize,
 	}, nil
 }
 
@@ -77,8 +80,8 @@ func (r *Reader) fill() error {
 		return fmt.Errorf("disk: read %s block %d: %w", r.name, r.block, err)
 	}
 	r.m.sleepFor(OpSeqRead)
-	n, err := io.ReadFull(r.f, r.buf)
-	if err == io.ErrUnexpectedEOF || err == io.EOF {
+	n, err := r.h.ReadAt(r.buf, r.block*int64(r.m.blockSize))
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
 		err = nil
 	}
 	if err != nil {
@@ -98,107 +101,13 @@ func (r *Reader) fill() error {
 	return nil
 }
 
-// Close releases the underlying file.
+// Close releases the underlying handle.
 func (r *Reader) Close() error {
 	if r.closed {
 		return nil
 	}
 	r.closed = true
-	if err := r.f.Close(); err != nil {
-		return fmt.Errorf("disk: close %s: %w", r.name, err)
-	}
-	return nil
-}
-
-// RandomReader reads individual blocks of a file by index. Every Block call
-// that touches the file counts as one random read. RandomReader is not safe
-// for concurrent use.
-type RandomReader struct {
-	m      *Manager
-	name   string
-	f      *os.File
-	count  int64 // elements in the file
-	blocks int64 // number of blocks
-	buf    []byte
-	closed bool
-}
-
-// OpenRandom opens the named element file for random block access.
-func (m *Manager) OpenRandom(name string) (*RandomReader, error) {
-	if err := m.injected(OpOpen, name, 0); err != nil {
-		return nil, fmt.Errorf("disk: open %s: %w", name, err)
-	}
-	f, err := os.Open(m.path(name))
-	if err != nil {
-		return nil, fmt.Errorf("disk: open %s: %w", name, err)
-	}
-	m.opens.Add(1)
-	fi, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("disk: stat %s: %w", name, err)
-	}
-	count := fi.Size() / ElementSize
-	blocks := (count + int64(m.perBlock) - 1) / int64(m.perBlock)
-	return &RandomReader{
-		m:      m,
-		name:   name,
-		f:      f,
-		count:  count,
-		blocks: blocks,
-		buf:    make([]byte, m.blockSize),
-	}, nil
-}
-
-// Count returns the number of elements in the file.
-func (r *RandomReader) Count() int64 { return r.count }
-
-// Blocks returns the number of blocks in the file.
-func (r *RandomReader) Blocks() int64 { return r.blocks }
-
-// Block reads block idx and returns its elements. The returned slice is
-// owned by the caller (freshly allocated) so it can be pinned in memory by
-// the query layer.
-func (r *RandomReader) Block(idx int64) ([]int64, error) {
-	if r.closed {
-		return nil, fmt.Errorf("disk: read from closed reader %s", r.name)
-	}
-	if idx < 0 || idx >= r.blocks {
-		return nil, fmt.Errorf("disk: block %d out of range [0,%d) in %s", idx, r.blocks, r.name)
-	}
-	if err := r.m.injected(OpRandRead, r.name, idx); err != nil {
-		return nil, fmt.Errorf("disk: read %s block %d: %w", r.name, idx, err)
-	}
-	r.m.sleepFor(OpRandRead)
-	off := idx * int64(r.m.blockSize)
-	n, err := r.f.ReadAt(r.buf, off)
-	if err == io.EOF || err == io.ErrUnexpectedEOF {
-		err = nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("disk: read %s block %d: %w", r.name, idx, err)
-	}
-	if n%ElementSize != 0 {
-		return nil, fmt.Errorf("disk: read %s block %d: torn element (%d bytes)", r.name, idx, n)
-	}
-	cnt := n / ElementSize
-	out := make([]int64, cnt)
-	decodeInto(out, r.buf[:n])
-	r.m.randReads.Add(1)
-	r.m.bytesRead.Add(uint64(n))
-	return out, nil
-}
-
-// ElementBlock returns the block index containing element i.
-func (r *RandomReader) ElementBlock(i int64) int64 { return i / int64(r.m.perBlock) }
-
-// Close releases the underlying file.
-func (r *RandomReader) Close() error {
-	if r.closed {
-		return nil
-	}
-	r.closed = true
-	if err := r.f.Close(); err != nil {
+	if err := r.h.Close(); err != nil {
 		return fmt.Errorf("disk: close %s: %w", r.name, err)
 	}
 	return nil
@@ -223,9 +132,6 @@ func (r *Reader) SeekElement(i int64) error {
 		return nil
 	}
 	blk := i / int64(r.m.perBlock)
-	if _, err := r.f.Seek(blk*int64(r.m.blockSize), 0); err != nil {
-		return fmt.Errorf("disk: seek %s: %w", r.name, err)
-	}
 	r.block = blk
 	r.pos, r.n = 0, 0
 	r.read = blk * int64(r.m.perBlock)
@@ -235,5 +141,127 @@ func (r *Reader) SeekElement(i int64) error {
 	skip := int(i - blk*int64(r.m.perBlock))
 	r.pos = skip
 	r.read = i
+	return nil
+}
+
+// RandomReader reads individual blocks of a file by index. Every Block call
+// that reaches the backend counts as one random read; calls absorbed by the
+// Manager's block cache count as cache hits instead. RandomReader is not
+// safe for concurrent use.
+type RandomReader struct {
+	m      *Manager
+	name   string
+	h      ReadHandle
+	count  int64 // elements in the file
+	blocks int64 // number of blocks
+	buf    []byte
+	reads  int // backend block reads issued through this handle
+	hits   int // cache hits served through this handle
+	closed bool
+}
+
+// OpenRandom opens the named element file for random block access.
+func (m *Manager) OpenRandom(name string) (*RandomReader, error) {
+	if err := m.injected(OpOpen, name, 0); err != nil {
+		return nil, fmt.Errorf("disk: open %s: %w", name, err)
+	}
+	h, err := m.backend.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("disk: open %s: %w", name, err)
+	}
+	m.opens.Add(1)
+	size, err := h.Size()
+	if err != nil {
+		h.Close() //nolint:errcheck
+		return nil, fmt.Errorf("disk: stat %s: %w", name, err)
+	}
+	count := size / ElementSize
+	blocks := (count + int64(m.perBlock) - 1) / int64(m.perBlock)
+	return &RandomReader{
+		m:      m,
+		name:   name,
+		h:      h,
+		count:  count,
+		blocks: blocks,
+		buf:    make([]byte, m.blockSize),
+	}, nil
+}
+
+// Count returns the number of elements in the file.
+func (r *RandomReader) Count() int64 { return r.count }
+
+// Blocks returns the number of blocks in the file.
+func (r *RandomReader) Blocks() int64 { return r.blocks }
+
+// Reads returns the number of block reads this handle sent to the backend
+// (cache hits excluded).
+func (r *RandomReader) Reads() int { return r.reads }
+
+// CacheHits returns the number of Block calls served by the block cache.
+func (r *RandomReader) CacheHits() int { return r.hits }
+
+// Block reads block idx and returns its elements. The returned slice is
+// shared with the Manager's block cache when one is installed, so callers
+// must treat it as immutable (the query layer only reads pinned blocks).
+func (r *RandomReader) Block(idx int64) ([]int64, error) {
+	if r.closed {
+		return nil, fmt.Errorf("disk: read from closed reader %s", r.name)
+	}
+	if idx < 0 || idx >= r.blocks {
+		return nil, fmt.Errorf("disk: block %d out of range [0,%d) in %s", idx, r.blocks, r.name)
+	}
+	cache := r.m.cache.Load()
+	if cache != nil {
+		if vals, ok := cache.get(r.name, idx); ok {
+			r.hits++
+			r.m.cacheHits.Add(1)
+			return vals, nil
+		}
+	}
+	if err := r.m.injected(OpRandRead, r.name, idx); err != nil {
+		return nil, fmt.Errorf("disk: read %s block %d: %w", r.name, idx, err)
+	}
+	r.m.sleepFor(OpRandRead)
+	off := idx * int64(r.m.blockSize)
+	n, err := r.h.ReadAt(r.buf, off)
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		err = nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("disk: read %s block %d: %w", r.name, idx, err)
+	}
+	if n%ElementSize != 0 {
+		return nil, fmt.Errorf("disk: read %s block %d: torn element (%d bytes)", r.name, idx, n)
+	}
+	cnt := n / ElementSize
+	out := make([]int64, cnt)
+	decodeInto(out, r.buf[:n])
+	r.reads++
+	r.m.randReads.Add(1)
+	r.m.bytesRead.Add(uint64(n))
+	if cache != nil {
+		r.m.cacheMisses.Add(1)
+		// Caching partial tail blocks is sound within the Manager API: the
+		// Writer only flushes a partial block at Close, after which the
+		// file can never grow (Create truncates), so a visible partial
+		// block is as immutable as a full one. Writing to the backend
+		// directly, bypassing this Manager, voids that guarantee.
+		cache.put(r.name, idx, out)
+	}
+	return out, nil
+}
+
+// ElementBlock returns the block index containing element i.
+func (r *RandomReader) ElementBlock(i int64) int64 { return i / int64(r.m.perBlock) }
+
+// Close releases the underlying handle.
+func (r *RandomReader) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if err := r.h.Close(); err != nil {
+		return fmt.Errorf("disk: close %s: %w", r.name, err)
+	}
 	return nil
 }

@@ -1,9 +1,7 @@
 package disk
 
 import (
-	"bufio"
 	"fmt"
-	"os"
 )
 
 // Writer writes elements sequentially to a file, one block at a time.
@@ -13,8 +11,7 @@ import (
 type Writer struct {
 	m      *Manager
 	name   string
-	f      *os.File
-	bw     *bufio.Writer
+	h      WriteHandle
 	buf    []byte // one block of staging space
 	fill   int    // elements staged in buf
 	count  int64  // elements written so far
@@ -28,16 +25,21 @@ func (m *Manager) Create(name string) (*Writer, error) {
 	if err := m.injected(OpOpen, name, 0); err != nil {
 		return nil, fmt.Errorf("disk: create %s: %w", name, err)
 	}
-	f, err := os.Create(m.path(name))
+	h, err := m.backend.Create(name)
 	if err != nil {
 		return nil, fmt.Errorf("disk: create %s: %w", name, err)
 	}
+	// Truncation makes any cached blocks of the old content stale;
+	// invalidate after the backend mutation so a read completing just
+	// before the truncation cannot repopulate behind the invalidation.
+	// (Reusing a name while readers of the old content are still active is
+	// not supported — the store's monotonic IDs never do this.)
+	m.invalidate(name)
 	m.opens.Add(1)
 	return &Writer{
 		m:    m,
 		name: name,
-		f:    f,
-		bw:   bufio.NewWriterSize(f, m.blockSize),
+		h:    h,
 		buf:  make([]byte, m.blockSize),
 	}, nil
 }
@@ -75,7 +77,7 @@ func (w *Writer) flushBlock() error {
 	}
 	w.m.sleepFor(OpSeqWrite)
 	n := w.fill * ElementSize
-	if _, err := w.bw.Write(w.buf[:n]); err != nil {
+	if _, err := w.h.Write(w.buf[:n]); err != nil {
 		return fmt.Errorf("disk: write %s block %d: %w", w.name, w.blocks, err)
 	}
 	w.m.seqWrites.Add(1)
@@ -95,14 +97,10 @@ func (w *Writer) Close() error {
 	}
 	w.closed = true
 	if err := w.flushBlock(); err != nil {
-		w.f.Close()
+		w.h.Close() //nolint:errcheck // already failing
 		return err
 	}
-	if err := w.bw.Flush(); err != nil {
-		w.f.Close()
-		return fmt.Errorf("disk: flush %s: %w", w.name, err)
-	}
-	if err := w.f.Close(); err != nil {
+	if err := w.h.Close(); err != nil {
 		return fmt.Errorf("disk: close %s: %w", w.name, err)
 	}
 	return nil
@@ -111,6 +109,5 @@ func (w *Writer) Close() error {
 // Abort closes and removes the file, ignoring errors. Used on failed writes.
 func (w *Writer) Abort() {
 	w.closed = true
-	w.f.Close()
-	os.Remove(w.m.path(w.name))
+	w.h.Abort()
 }

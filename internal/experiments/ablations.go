@@ -36,7 +36,7 @@ func AblationSplit(sc Scale, root string) ([]*Table, error) {
 			t.AddRow(f, math.NaN(), eps)
 			continue
 		}
-		run, err := newHybridRun(ds, hybridConfig{eps: eps, kappa: kappa, blockSize: sc.BlockSize, pin: true}, root)
+		run, err := newHybridRun(ds, sc.hybridCfg(eps, kappa, true), root)
 		if err != nil {
 			return nil, err
 		}
@@ -105,7 +105,7 @@ func AblationPinning(sc Scale, root string) ([]*Table, error) {
 		return nil, err
 	}
 	for pi, pin := range []bool{false, true} {
-		run, err := newHybridRun(ds, hybridConfig{eps: eps, kappa: kappa, blockSize: sc.BlockSize, pin: pin}, root)
+		run, err := newHybridRun(ds, sc.hybridCfg(eps, kappa, pin), root)
 		if err != nil {
 			return nil, err
 		}
@@ -146,7 +146,7 @@ func AblationBaselines(sc Scale, root string) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		run, err := newHybridRun(ds, hybridConfig{eps: eps, kappa: kappa, blockSize: sc.BlockSize, pin: true}, root)
+		run, err := newHybridRun(ds, sc.hybridCfg(eps, kappa, true), root)
 		if err != nil {
 			return nil, err
 		}
@@ -204,7 +204,7 @@ func TheoryTable(sc Scale, root string) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	run, err := newHybridRun(ds, hybridConfig{eps: eps, kappa: kappa, blockSize: sc.BlockSize, pin: true}, root)
+	run, err := newHybridRun(ds, sc.hybridCfg(eps, kappa, true), root)
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +252,7 @@ func AblationIOBudget(sc Scale, root string) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	run, err := newHybridRun(ds, hybridConfig{eps: eps, kappa: kappa, blockSize: sc.BlockSize, pin: true}, root)
+	run, err := newHybridRun(ds, sc.hybridCfg(eps, kappa, true), root)
 	if err != nil {
 		return nil, err
 	}

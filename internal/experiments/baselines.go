@@ -337,3 +337,13 @@ func (s *plainStore) mergeLevel(lvl int) error {
 func diskManager(dir string, blockSize int) (*disk.Manager, error) {
 	return disk.NewManager(dir, blockSize)
 }
+
+// newDevice builds a block device for one baseline run, honoring the
+// scale's backend selection.
+func (s Scale) newDevice(dir string) (*disk.Manager, error) {
+	b, err := disk.OpenBackend(s.Backend, dir)
+	if err != nil {
+		return nil, err
+	}
+	return disk.NewManagerOn(b, s.BlockSize)
+}

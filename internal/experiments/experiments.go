@@ -38,6 +38,14 @@ type Scale struct {
 	Kappas []int
 	// BlockSize is the device block size in bytes.
 	BlockSize int
+	// Backend selects the warehouse storage backend for every run in the
+	// campaign: "file" (default) or "mem". The memory backend removes real
+	// file I/O from the measurement loop, isolating the algorithmic block
+	// counts (cmd/hsqbench exposes this as --backend).
+	Backend string
+	// CacheBlocks, when positive, gives every engine in the campaign a
+	// block cache of that many blocks.
+	CacheBlocks int
 	// Datasets optionally restricts the workloads swept (default: all of
 	// Workloads, the paper's four panels).
 	Datasets []string

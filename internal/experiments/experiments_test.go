@@ -345,3 +345,22 @@ func TestMoreFiguresSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestRunMemBackend drives a full figure through the registry with the
+// memory backend and a block cache — the cmd/hsqbench --backend=mem path.
+func TestRunMemBackend(t *testing.T) {
+	sc := tiny
+	sc.Backend = "mem"
+	sc.CacheBlocks = 256
+	var buf bytes.Buffer
+	if err := Run("ablation-pinning", sc, &buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ablation-pinning") {
+		t.Error("missing header")
+	}
+	// Fig6 exercises the plainStore/pureStreamingUpdate path as well.
+	if err := Run("6", sc, &buf, ""); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -35,7 +35,7 @@ func Fig4(sc Scale, root string) ([]*Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				run, err := newHybridRun(ds, hybridConfig{eps: eps, kappa: kappa, blockSize: sc.BlockSize, pin: true}, root)
+				run, err := newHybridRun(ds, sc.hybridCfg(eps, kappa, true), root)
 				if err != nil {
 					return nil, err
 				}
@@ -100,7 +100,7 @@ func Fig5(sc Scale, root string) ([]*Table, error) {
 					return nil, err
 				}
 				theory = eps * float64(sc.StreamSize) / (QueryPhi * float64(sc.TotalElements()))
-				run, err := newHybridRun(ds, hybridConfig{eps: eps, kappa: kappa, blockSize: sc.BlockSize, pin: true}, root)
+				run, err := newHybridRun(ds, sc.hybridCfg(eps, kappa, true), root)
 				if err != nil {
 					return nil, err
 				}

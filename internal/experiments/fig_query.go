@@ -32,7 +32,7 @@ func Fig9(sc Scale, root string) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			run, err := newHybridRun(ds, hybridConfig{eps: eps, kappa: kappa, blockSize: sc.BlockSize, pin: true}, root)
+			run, err := newHybridRun(ds, sc.hybridCfg(eps, kappa, true), root)
 			if err != nil {
 				return nil, err
 			}
@@ -89,7 +89,7 @@ func Fig10(sc Scale, root string) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			run, err := newHybridRun(ds, hybridConfig{eps: eps, kappa: kappa, blockSize: sc.BlockSize, pin: true}, root)
+			run, err := newHybridRun(ds, sc.hybridCfg(eps, kappa, true), root)
 			if err != nil {
 				return nil, err
 			}
@@ -133,7 +133,7 @@ func Fig11(sc Scale, root string) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		run, err := newHybridRun(ds, hybridConfig{eps: eps, kappa: kappa, blockSize: sc.BlockSize, pin: true}, root)
+		run, err := newHybridRun(ds, sc.hybridCfg(eps, kappa, true), root)
 		if err != nil {
 			return nil, err
 		}

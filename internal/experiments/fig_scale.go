@@ -48,7 +48,7 @@ func Fig12(sc Scale, root string) ([]*Table, error) {
 		orc.Add(ds.stream...)
 		ds.orc = orc
 
-		run, err := newHybridRun(ds, hybridConfig{eps: eps, kappa: kappa, blockSize: sc.BlockSize, pin: true}, root)
+		run, err := newHybridRun(ds, sc.hybridCfg(eps, kappa, true), root)
 		if err != nil {
 			return nil, err
 		}
@@ -109,7 +109,7 @@ func Fig13(sc Scale, root string) ([]*Table, error) {
 		orc.Add(ds.stream...)
 		ds.orc = orc
 
-		run, err := newHybridRun(ds, hybridConfig{eps: eps, kappa: kappa, blockSize: sc.BlockSize, pin: true}, root)
+		run, err := newHybridRun(ds, sc.hybridCfg(eps, kappa, true), root)
 		if err != nil {
 			return nil, err
 		}

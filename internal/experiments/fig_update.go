@@ -6,7 +6,6 @@ import (
 	"slices"
 	"time"
 
-	"repro/internal/disk"
 	"repro/internal/gk"
 	"repro/internal/qdigest"
 )
@@ -40,7 +39,7 @@ func Fig6(sc Scale, root string) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			run, err := newHybridRun(ds, hybridConfig{eps: eps, kappa: kappa, blockSize: sc.BlockSize, pin: true}, root)
+			run, err := newHybridRun(ds, sc.hybridCfg(eps, kappa, true), root)
 			if err != nil {
 				return nil, err
 			}
@@ -72,7 +71,7 @@ func pureStreamingUpdate(ds *dataset, sc Scale, kappa int, budget int64, root, a
 		return 0, err
 	}
 	defer os.RemoveAll(dir) //nolint:errcheck
-	dev, err := disk.NewManager(dir, sc.BlockSize)
+	dev, err := sc.newDevice(dir)
 	if err != nil {
 		return 0, err
 	}
@@ -141,7 +140,7 @@ func Fig7(sc Scale, root string) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			run, err := newHybridRun(ds, hybridConfig{eps: eps, kappa: kappa, blockSize: sc.BlockSize, pin: true}, root)
+			run, err := newHybridRun(ds, sc.hybridCfg(eps, kappa, true), root)
 			if err != nil {
 				return nil, err
 			}
@@ -180,7 +179,7 @@ func Fig8(sc Scale, root string) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		run, err := newHybridRun(ds, hybridConfig{eps: eps, kappa: kappa, blockSize: sc.BlockSize, pin: true}, root)
+		run, err := newHybridRun(ds, sc.hybridCfg(eps, kappa, true), root)
 		if err != nil {
 			return nil, err
 		}

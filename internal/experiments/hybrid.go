@@ -20,28 +20,48 @@ type hybridRun struct {
 
 // hybridConfig parametrizes a hybrid run.
 type hybridConfig struct {
-	eps       float64
-	kappa     int
-	blockSize int
-	pin       bool
+	eps         float64
+	kappa       int
+	blockSize   int
+	pin         bool
+	backend     string
+	cacheBlocks int
 }
 
-// newHybridRun builds an engine in a fresh directory under root and loads
-// every batch of the dataset, then plays the in-flight stream.
+// hybridCfg derives a run configuration from the campaign scale, inheriting
+// the scale's block size, backend and cache sizing.
+func (s Scale) hybridCfg(eps float64, kappa int, pin bool) hybridConfig {
+	return hybridConfig{
+		eps: eps, kappa: kappa, pin: pin,
+		blockSize: s.BlockSize, backend: s.Backend, cacheBlocks: s.CacheBlocks,
+	}
+}
+
+// newHybridRun builds an engine in a fresh directory under root (for the
+// file backend) and loads every batch of the dataset, then plays the
+// in-flight stream.
 func newHybridRun(ds *dataset, cfg hybridConfig, root string) (*hybridRun, error) {
-	dir, err := os.MkdirTemp(root, "hybrid-*")
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %w", err)
+	var dir string
+	if cfg.backend == "" || cfg.backend == "file" {
+		var err error
+		dir, err = os.MkdirTemp(root, "hybrid-*")
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
 	}
 	eng, err := hsq.New(hsq.Config{
-		Epsilon:    cfg.eps,
-		Kappa:      cfg.kappa,
-		Dir:        dir,
-		BlockSize:  cfg.blockSize,
-		NoBlockPin: !cfg.pin,
+		Epsilon:     cfg.eps,
+		Kappa:       cfg.kappa,
+		Backend:     cfg.backend,
+		Dir:         dir,
+		BlockSize:   cfg.blockSize,
+		CacheBlocks: cfg.cacheBlocks,
+		NoBlockPin:  !cfg.pin,
 	})
 	if err != nil {
-		os.RemoveAll(dir) //nolint:errcheck
+		if dir != "" {
+			os.RemoveAll(dir) //nolint:errcheck
+		}
 		return nil, err
 	}
 	run := &hybridRun{eng: eng, dir: dir}

@@ -24,7 +24,6 @@ type Cursor struct {
 	pinning bool
 	pinBase int64
 	pinned  []int64
-	reads   int
 }
 
 // NewCursor opens a cursor over the summarized partition for probe values
@@ -42,8 +41,12 @@ func NewCursor(sum *Summary, u, v int64, pinning bool) (*Cursor, error) {
 // Close releases the underlying file handle.
 func (c *Cursor) Close() error { return c.rr.Close() }
 
-// Reads returns the number of random block reads this cursor has issued.
-func (c *Cursor) Reads() int { return c.reads }
+// Reads returns the number of random block reads this cursor sent to the
+// backend (block-cache hits excluded — they cost no disk access).
+func (c *Cursor) Reads() int { return c.rr.Reads() }
+
+// CacheHits returns the number of probes served by the device block cache.
+func (c *Cursor) CacheHits() int { return c.rr.CacheHits() }
 
 // Bracket returns the current candidate bracket (for tests and diagnostics).
 func (c *Cursor) Bracket() (lo, hi int64) { return c.lo, c.hi }
@@ -57,12 +60,7 @@ func (c *Cursor) block(idx int64) ([]int64, error) {
 			return c.pinned, nil
 		}
 	}
-	vals, err := c.rr.Block(idx)
-	if err != nil {
-		return nil, err
-	}
-	c.reads++
-	return vals, nil
+	return c.rr.Block(idx)
 }
 
 // pin caches a block so later probes in the same range are free.

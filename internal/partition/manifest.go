@@ -3,8 +3,6 @@ package partition
 import (
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 	"slices"
 
 	"repro/internal/disk"
@@ -36,8 +34,8 @@ type ManifestEntry struct {
 	Name      string `json:"name"`
 }
 
-// SaveManifest writes the store's manifest atomically (write + rename) to
-// the named file inside the device directory.
+// SaveManifest writes the store's manifest atomically to the named metadata
+// file on the device's backend.
 func (s *Store) SaveManifest(name string) error {
 	m := Manifest{
 		Version: manifestVersion,
@@ -62,13 +60,8 @@ func (s *Store) SaveManifest(name string) error {
 	if err != nil {
 		return fmt.Errorf("partition: marshal manifest: %w", err)
 	}
-	path := filepath.Join(s.dev.Dir(), name)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := s.dev.WriteMeta(name, data); err != nil {
 		return fmt.Errorf("partition: write manifest: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("partition: install manifest: %w", err)
 	}
 	return nil
 }
@@ -79,7 +72,7 @@ func LoadStore(dev *disk.Manager, manifestName string, cfg Config) (*Store, erro
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	data, err := os.ReadFile(filepath.Join(dev.Dir(), manifestName))
+	data, err := dev.ReadMeta(manifestName)
 	if err != nil {
 		return nil, fmt.Errorf("partition: read manifest: %w", err)
 	}

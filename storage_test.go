@@ -1,0 +1,168 @@
+package hsq
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// loadEngine fills an engine with deterministic data: steps batches plus an
+// in-flight stream.
+func loadEngine(t *testing.T, cfg Config, steps, batch, stream int) *Engine {
+	t.Helper()
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewUniform(42)
+	for s := 0; s < steps; s++ {
+		eng.ObserveSlice(workload.Fill(gen, batch))
+		if _, err := eng.EndStep(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.ObserveSlice(workload.Fill(gen, stream))
+	return eng
+}
+
+// TestMemBackendMatchesFile: the same data through the same algorithm must
+// give identical answers regardless of where blocks live.
+func TestMemBackendMatchesFile(t *testing.T) {
+	fileEng := loadEngine(t, Config{Epsilon: 0.02, Kappa: 3, Dir: t.TempDir(), BlockSize: 1024}, 7, 3000, 1000)
+	memEng := loadEngine(t, Config{Epsilon: 0.02, Kappa: 3, Backend: "mem", BlockSize: 1024}, 7, 3000, 1000)
+
+	if fileEng.HistCount() != memEng.HistCount() || fileEng.PartitionCount() != memEng.PartitionCount() {
+		t.Fatalf("layouts diverge: file %d/%d, mem %d/%d",
+			fileEng.HistCount(), fileEng.PartitionCount(), memEng.HistCount(), memEng.PartitionCount())
+	}
+	for _, phi := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+		vf, qf, err := fileEng.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm, qm, err := memEng.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vf != vm {
+			t.Errorf("phi=%g: file=%d mem=%d", phi, vf, vm)
+		}
+		if qf.RandReads != qm.RandReads {
+			t.Errorf("phi=%g: disk accesses diverge: file=%d mem=%d", phi, qf.RandReads, qm.RandReads)
+		}
+		qvf, err := fileEng.QuantileQuick(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qvm, err := memEng.QuantileQuick(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qvf != qvm {
+			t.Errorf("phi=%g quick: file=%d mem=%d", phi, qvf, qvm)
+		}
+	}
+}
+
+// TestConfigBackendValidation pins the Dir/Backend contract.
+func TestConfigBackendValidation(t *testing.T) {
+	if _, err := New(Config{Epsilon: 0.1}); err == nil {
+		t.Error("file backend without Dir: want error")
+	}
+	if _, err := New(Config{Epsilon: 0.1, Backend: "mem"}); err != nil {
+		t.Errorf("mem backend without Dir: %v", err)
+	}
+	if _, err := New(Config{Epsilon: 0.1, Backend: "tape", Dir: t.TempDir()}); err == nil {
+		t.Error("unknown backend: want error")
+	}
+	if _, err := New(Config{Epsilon: 0.1, Backend: "mem", CacheBlocks: -1}); err == nil {
+		t.Error("negative CacheBlocks: want error")
+	}
+}
+
+// TestBlockCacheReducesQueryIO is the acceptance check for the cache: on
+// the same store, a cached engine answers repeated accurate queries with
+// strictly fewer backend random reads, and the absorbed probes show up as
+// cache hits in QueryStats and IOStats.
+func TestBlockCacheReducesQueryIO(t *testing.T) {
+	phis := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	queryAll := func(eng *Engine) (randReads, cacheHits int) {
+		t.Helper()
+		for round := 0; round < 3; round++ {
+			for _, phi := range phis {
+				_, qs, err := eng.Quantile(phi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				randReads += qs.RandReads
+				cacheHits += qs.CacheHits
+			}
+		}
+		return
+	}
+
+	cold := loadEngine(t, Config{Epsilon: 0.02, Kappa: 3, Backend: "mem", BlockSize: 512}, 7, 3000, 1000)
+	warm := loadEngine(t, Config{Epsilon: 0.02, Kappa: 3, Backend: "mem", BlockSize: 512, CacheBlocks: 4096}, 7, 3000, 1000)
+
+	coldReads, coldHits := queryAll(cold)
+	warmReads, warmHits := queryAll(warm)
+
+	if coldHits != 0 {
+		t.Errorf("cache-off engine reported %d cache hits", coldHits)
+	}
+	if warmReads >= coldReads {
+		t.Errorf("cache did not reduce disk accesses: %d with cache, %d without", warmReads, coldReads)
+	}
+	if warmHits == 0 {
+		t.Error("cached engine reported no cache hits")
+	}
+	if warmReads+warmHits < coldReads {
+		// Hits + misses must cover at least the uncached probe count: the
+		// cache only removes I/O, never probes.
+		t.Errorf("probe accounting lost probes: %d reads + %d hits < %d uncached reads",
+			warmReads, warmHits, coldReads)
+	}
+
+	io := warm.DiskStats()
+	if io.CacheHits == 0 || io.CacheHits < uint64(warmHits) {
+		t.Errorf("engine IOStats.CacheHits = %d, want >= %d", io.CacheHits, warmHits)
+	}
+}
+
+// TestIOStatsSubClamps is the regression test for the uint64 underflow when
+// counters are reset between snapshots.
+func TestIOStatsSubClamps(t *testing.T) {
+	a := IOStats{SeqReads: 1, RandReads: 2, CacheHits: 3}
+	b := IOStats{SeqReads: 5, SeqWrites: 5, RandReads: 5, CacheHits: 5, CacheMisses: 5}
+	if d := a.Sub(b); d != (IOStats{}) {
+		t.Errorf("a.Sub(b) with b > a = %+v, want all-zero", d)
+	}
+	d := b.Sub(a)
+	want := IOStats{SeqReads: 4, SeqWrites: 5, RandReads: 3, CacheHits: 2, CacheMisses: 5}
+	if d != want {
+		t.Errorf("b.Sub(a) = %+v, want %+v", d, want)
+	}
+}
+
+// TestMemEngineLifecycle: a mem engine supports the full API surface that
+// does not require durability — windows, ranks, checkpoint, destroy.
+func TestMemEngineLifecycle(t *testing.T) {
+	eng := loadEngine(t, Config{Epsilon: 0.05, Kappa: 2, Backend: "mem", BlockSize: 512}, 5, 1000, 500)
+	if _, _, err := eng.Rank(0); err != nil {
+		t.Fatal(err)
+	}
+	wins := eng.AvailableWindows()
+	if len(wins) == 0 {
+		t.Fatal("no windows on mem engine")
+	}
+	if _, _, err := eng.WindowQuantile(0.5, wins[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint writes the manifest to the mem backend (in-process only).
+	if err := eng.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+}
