@@ -1,14 +1,25 @@
-// Command hsqd exposes an Engine over HTTP — a minimal "data stream
-// warehouse" service in the spirit of the paper's deployment setting
+// Command hsqd exposes a multi-stream quantile DB over HTTP — a "data
+// stream warehouse" service in the spirit of the paper's deployment setting
 // (Figure 1): producers POST stream elements, a scheduler POSTs step
-// boundaries, and dashboards GET quantiles.
+// boundaries, and dashboards GET quantiles. Many named streams (per-user
+// latencies, per-endpoint sizes, ...) multiplex one storage backend, one
+// block-cache budget and one manifest root; the DB resumes every stream
+// automatically on restart.
 //
-// Endpoints:
+// Multi-stream endpoints:
 //
-//	POST /observe   body: newline-separated integers
-//	POST /endstep   (no body) — load the current batch into the warehouse
-//	GET  /quantile?phi=0.99[&quick=1][&window=K]
-//	GET  /stats
+//	GET    /streams                         list streams with per-stream stats
+//	DELETE /streams/{name}                  drop a stream and its on-disk state
+//	POST   /streams/{name}/observe          body: newline-separated integers
+//	POST   /streams/{name}/endstep          load the stream's batch + checkpoint
+//	GET    /streams/{name}/quantile?phi=0.99[&quick=1][&window=K]
+//	GET    /streams/{name}/quantiles?phi=0.5,0.95,0.99[&max-reads=N]
+//	GET    /streams/{name}/rank?v=12345[&quick=1]
+//	GET    /streams/{name}/stats
+//
+// The original single-stream endpoints (POST /observe, POST /endstep,
+// GET /quantile, /quantiles, /rank, /stats) remain and operate on the
+// stream named "default".
 //
 // Usage:
 //
@@ -19,40 +30,43 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"strconv"
 	"strings"
+
+	"repro"
 )
 
 func main() {
 	var (
 		dir     = flag.String("dir", "", "warehouse directory (required for -backend file)")
 		backend = flag.String("backend", "file", "storage backend: file|mem")
-		cache   = flag.Int("cache-blocks", 0, "block-cache capacity in blocks (0 = no cache)")
+		cache   = flag.Int("cache-blocks", 0, "shared block-cache capacity in blocks (0 = no cache)")
 		epsilon = flag.Float64("epsilon", 0.001, "approximation parameter ε")
 		kappa   = flag.Int("kappa", 10, "merge threshold κ")
 		addr    = flag.String("addr", ":8080", "listen address")
-		resume  = flag.Bool("resume", false, "resume from an existing checkpoint in -dir")
+		resume  = flag.Bool("resume", false, "deprecated: resume is automatic when -dir holds a DB manifest")
 	)
 	flag.Parse()
 	if *dir == "" && *backend != "mem" {
 		log.Fatal("hsqd: -dir is required for the file backend")
 	}
-	if *resume && *backend == "mem" {
-		log.Fatal("hsqd: -resume requires the file backend (mem state dies with the process)")
+	if *resume {
+		log.Print("hsqd: -resume is deprecated; the DB resumes automatically from its manifest")
 	}
 	srv, err := newServer(serverConfig{
 		dir: *dir, backend: *backend, cacheBlocks: *cache,
-		epsilon: *epsilon, kappa: *kappa, resume: *resume,
+		epsilon: *epsilon, kappa: *kappa,
 	})
 	if err != nil {
 		log.Fatalf("hsqd: %v", err)
 	}
-	log.Printf("hsqd: serving on %s (backend=%s dir=%s ε=%g κ=%d cache=%d)",
-		*addr, *backend, *dir, *epsilon, *kappa, *cache)
+	log.Printf("hsqd: serving on %s (backend=%s dir=%s ε=%g κ=%d cache=%d streams=%v)",
+		*addr, *backend, *dir, *epsilon, *kappa, *cache, srv.db.Streams())
 	log.Fatal(http.ListenAndServe(*addr, srv.mux()))
 }
 
@@ -67,20 +81,58 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-func (s *server) mux() *http.ServeMux {
-	m := http.NewServeMux()
-	m.HandleFunc("POST /observe", s.handleObserve)
-	m.HandleFunc("POST /endstep", s.handleEndStep)
-	m.HandleFunc("GET /quantile", s.handleQuantile)
-	m.HandleFunc("GET /quantiles", s.handleQuantiles)
-	m.HandleFunc("GET /rank", s.handleRank)
-	m.HandleFunc("GET /stats", s.handleStats)
-	return m
+// handleStreams lists every live stream with its counters, plus the shared
+// device aggregate the per-stream counters sum to.
+func (s *server) handleStreams(w http.ResponseWriter, r *http.Request) {
+	perStream := s.db.StreamStats()
+	streams := make([]map[string]any, 0, len(perStream))
+	for _, name := range s.db.Streams() {
+		st, ok := s.db.Lookup(name)
+		if !ok {
+			continue
+		}
+		io := perStream[name]
+		streams = append(streams, map[string]any{
+			"name":          name,
+			"stream_count":  st.StreamCount(),
+			"hist_count":    st.HistCount(),
+			"steps":         st.Steps(),
+			"partitions":    st.PartitionCount(),
+			"io_seq_reads":  io.SeqReads,
+			"io_seq_writes": io.SeqWrites,
+			"io_rand_reads": io.RandReads,
+			"io_cache_hits": io.CacheHits,
+		})
+	}
+	agg := s.db.DiskStats()
+	writeJSON(w, map[string]any{
+		"streams": streams,
+		"device": map[string]any{
+			"io_seq_reads":  agg.SeqReads,
+			"io_seq_writes": agg.SeqWrites,
+			"io_rand_reads": agg.RandReads,
+			"io_cache_hits": agg.CacheHits,
+			"cache_blocks":  s.db.CacheBlocks(),
+		},
+	})
 }
 
-// handleQuantiles answers a batch of φ targets in one shot:
-// GET /quantiles?phi=0.5,0.95,0.99
-func (s *server) handleQuantiles(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleDeleteStream(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	// DropStream resolves the name under the DB lock, so concurrent
+	// deletes race safely: the loser gets ErrUnknownStream → 404.
+	if err := s.db.DropStream(name); err != nil {
+		if errors.Is(err, hsq.ErrUnknownStream) {
+			httpError(w, http.StatusNotFound, "unknown stream %q", name)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "drop stream %q: %v", name, err)
+		return
+	}
+	writeJSON(w, map[string]any{"dropped": name, "streams": s.db.Streams()})
+}
+
+func (s *server) handleQuantiles(st *hsq.Stream, w http.ResponseWriter, r *http.Request) {
 	var phis []float64
 	for _, part := range strings.Split(r.URL.Query().Get("phi"), ",") {
 		part = strings.TrimSpace(part)
@@ -98,16 +150,27 @@ func (s *server) handleQuantiles(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "no phi values")
 		return
 	}
-	vals, qs, err := s.eng.Quantiles(phis)
+	var opts hsq.QueryOpts
+	if mr := r.URL.Query().Get("max-reads"); mr != "" {
+		n, err := strconv.Atoi(mr)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "bad max-reads %q", mr)
+			return
+		}
+		opts.MaxReads = n
+	}
+	vals, qs, err := st.QuantilesOptsCtx(r.Context(), phis, opts)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "quantiles: %v", err)
 		return
 	}
-	writeJSON(w, map[string]any{"phi": phis, "values": vals, "disk_reads": qs.RandReads})
+	writeJSON(w, map[string]any{
+		"stream": st.Name(), "phi": phis, "values": vals,
+		"disk_reads": qs.RandReads, "truncated": qs.Truncated,
+	})
 }
 
-// handleRank estimates the rank of a value: GET /rank?v=12345[&quick=1]
-func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleRank(st *hsq.Stream, w http.ResponseWriter, r *http.Request) {
 	v, err := strconv.ParseInt(r.URL.Query().Get("v"), 10, 64)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad v: %v", err)
@@ -115,18 +178,18 @@ func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
 	}
 	var rank int64
 	if r.URL.Query().Get("quick") == "1" {
-		rank, err = s.eng.RankQuick(v)
+		rank, err = st.RankQuick(v)
 	} else {
-		rank, _, err = s.eng.Rank(v)
+		rank, _, err = st.RankCtx(r.Context(), v)
 	}
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "rank: %v", err)
 		return
 	}
-	writeJSON(w, map[string]any{"v": v, "rank": rank, "total": s.eng.TotalCount()})
+	writeJSON(w, map[string]any{"stream": st.Name(), "v": v, "rank": rank, "total": st.TotalCount()})
 }
 
-func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleObserve(st *hsq.Stream, w http.ResponseWriter, r *http.Request) {
 	sc := bufio.NewScanner(r.Body)
 	count := 0
 	for sc.Scan() {
@@ -139,36 +202,40 @@ func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "bad element %q: %v", line, err)
 			return
 		}
-		s.eng.Observe(v)
+		if err := st.ObserveCtx(r.Context(), v); err != nil {
+			httpError(w, http.StatusBadRequest, "observe: %v", err)
+			return
+		}
 		count++
 	}
 	if err := sc.Err(); err != nil {
 		httpError(w, http.StatusBadRequest, "read body: %v", err)
 		return
 	}
-	writeJSON(w, map[string]any{"observed": count, "stream": s.eng.StreamCount()})
+	writeJSON(w, map[string]any{"stream": st.Name(), "observed": count, "stream_count": st.StreamCount()})
 }
 
-func (s *server) handleEndStep(w http.ResponseWriter, r *http.Request) {
-	us, err := s.eng.EndStep()
+func (s *server) handleEndStep(st *hsq.Stream, w http.ResponseWriter, r *http.Request) {
+	us, err := st.EndStepCtx(r.Context())
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "end step: %v", err)
 		return
 	}
-	if err := s.eng.Checkpoint(); err != nil {
+	if err := st.Checkpoint(); err != nil {
 		httpError(w, http.StatusInternalServerError, "checkpoint: %v", err)
 		return
 	}
 	writeJSON(w, map[string]any{
+		"stream":   st.Name(),
 		"batch":    us.BatchSize,
 		"total_ms": us.TotalTime().Milliseconds(),
 		"io":       us.TotalIO(),
 		"merges":   us.Merges,
-		"steps":    s.eng.Steps(),
+		"steps":    st.Steps(),
 	})
 }
 
-func (s *server) handleQuantile(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleQuantile(st *hsq.Stream, w http.ResponseWriter, r *http.Request) {
 	phi, err := strconv.ParseFloat(r.URL.Query().Get("phi"), 64)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad phi: %v", err)
@@ -186,47 +253,50 @@ func (s *server) handleQuantile(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if quick {
-			v, err = s.eng.WindowQuantileQuick(phi, win)
+			v, err = st.WindowQuantileQuick(phi, win)
 		} else {
-			v, _, err = s.eng.WindowQuantile(phi, win)
+			v, _, err = st.WindowQuantileCtx(r.Context(), phi, win)
 		}
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "window quantile: %v", err)
 			return
 		}
 	case quick:
-		v, err = s.eng.QuantileQuick(phi)
+		v, err = st.QuantileQuick(phi)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "quick quantile: %v", err)
 			return
 		}
 	default:
-		v, _, err = s.eng.Quantile(phi)
+		v, _, err = st.QuantileCtx(r.Context(), phi)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "quantile: %v", err)
 			return
 		}
 	}
-	writeJSON(w, map[string]any{"phi": phi, "value": v, "quick": quick})
+	writeJSON(w, map[string]any{"stream": st.Name(), "phi": phi, "value": v, "quick": quick})
 }
 
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	mu := s.eng.MemoryUsage()
-	io := s.eng.DiskStats()
+func (s *server) handleStreamStats(st *hsq.Stream, w http.ResponseWriter, r *http.Request) {
+	mu := st.MemoryUsage()
+	io := st.DiskStats() // per-stream: this stream's namespaced device view
+	agg := s.db.DiskStats()
 	writeJSON(w, map[string]any{
-		"levels":        s.eng.Describe(),
-		"stream_count":  s.eng.StreamCount(),
-		"hist_count":    s.eng.HistCount(),
-		"total_count":   s.eng.TotalCount(),
-		"steps":         s.eng.Steps(),
-		"partitions":    s.eng.PartitionCount(),
-		"windows":       s.eng.AvailableWindows(),
-		"mem_hist":      mu.HistBytes,
-		"mem_stream":    mu.StreamBytes,
-		"io_seq_reads":  io.SeqReads,
-		"io_seq_writes": io.SeqWrites,
-		"io_rand_reads": io.RandReads,
-		"io_cache_hits": io.CacheHits,
-		"io_cache_miss": io.CacheMisses,
+		"stream":               st.Name(),
+		"levels":               st.Describe(),
+		"stream_count":         st.StreamCount(),
+		"hist_count":           st.HistCount(),
+		"total_count":          st.TotalCount(),
+		"steps":                st.Steps(),
+		"partitions":           st.PartitionCount(),
+		"windows":              st.AvailableWindows(),
+		"mem_hist":             mu.HistBytes,
+		"mem_stream":           mu.StreamBytes,
+		"io_seq_reads":         io.SeqReads,
+		"io_seq_writes":        io.SeqWrites,
+		"io_rand_reads":        io.RandReads,
+		"io_cache_hits":        io.CacheHits,
+		"io_cache_miss":        io.CacheMisses,
+		"device_io_rand_reads": agg.RandReads,
 	})
 }

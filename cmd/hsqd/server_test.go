@@ -7,6 +7,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"repro"
 )
 
 func newTestServer(t *testing.T) *httptest.Server {
@@ -148,7 +150,9 @@ func TestServerResume(t *testing.T) {
 	postBody(t, ts.URL+"/endstep", "")
 	ts.Close()
 
-	srv2, err := newServer(serverConfig{dir: dir, epsilon: 0.05, kappa: 3, resume: true})
+	// Resume is automatic: a fresh server on the same dir reopens the DB
+	// manifest and with it the "default" stream.
+	srv2, err := newServer(serverConfig{dir: dir, epsilon: 0.05, kappa: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,6 +161,140 @@ func TestServerResume(t *testing.T) {
 	q, code := getJSON(t, ts2.URL+"/quantile?phi=0.5")
 	if code != 200 || q["value"].(float64) != 3 {
 		t.Errorf("resumed quantile = %v (code %d)", q, code)
+	}
+}
+
+// TestServerMultiStream drives two named streams end-to-end over HTTP —
+// independent data, per-stream queries and stats, a restart that resumes
+// both streams, and a DELETE — the tentpole's REST surface.
+func TestServerMultiStream(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := newServer(serverConfig{dir: dir, epsilon: 0.05, kappa: 3, cacheBlocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.mux())
+
+	// Two streams with disjoint value ranges.
+	var lat, size strings.Builder
+	for i := 1; i <= 500; i++ {
+		fmt.Fprintf(&lat, "%d\n", i)
+		fmt.Fprintf(&size, "%d\n", 100000+i)
+	}
+	out := postBody(t, ts.URL+"/streams/api.latency/observe", lat.String())
+	if out["stream"].(string) != "api.latency" || out["observed"].(float64) != 500 {
+		t.Errorf("observe = %v", out)
+	}
+	postBody(t, ts.URL+"/streams/api.size/observe", size.String())
+	postBody(t, ts.URL+"/streams/api.latency/endstep", "")
+	postBody(t, ts.URL+"/streams/api.size/endstep", "")
+
+	// Per-stream quantiles see only their own data.
+	q, code := getJSON(t, ts.URL+"/streams/api.latency/quantile?phi=0.5")
+	if code != 200 || q["value"].(float64) != 250 {
+		t.Errorf("latency median = %v (code %d)", q, code)
+	}
+	q, code = getJSON(t, ts.URL+"/streams/api.size/quantile?phi=0.5")
+	if code != 200 || q["value"].(float64) != 100250 {
+		t.Errorf("size median = %v (code %d)", q, code)
+	}
+	// Batched quantiles with an I/O budget.
+	q, code = getJSON(t, ts.URL+"/streams/api.latency/quantiles?phi=0.25,0.75&max-reads=1000")
+	if code != 200 {
+		t.Fatalf("quantiles code %d", code)
+	}
+	if vals := q["values"].([]any); len(vals) != 2 || vals[0].(float64) != 125 {
+		t.Errorf("latency quantiles = %v", vals)
+	}
+	// Unknown stream → 404 on queries; listing shows both streams.
+	if _, code := getJSON(t, ts.URL+"/streams/nope/quantile?phi=0.5"); code != 404 {
+		t.Errorf("unknown stream: code %d", code)
+	}
+	ls, code := getJSON(t, ts.URL+"/streams")
+	if code != 200 {
+		t.Fatalf("streams code %d", code)
+	}
+	if streams := ls["streams"].([]any); len(streams) != 2 {
+		t.Errorf("streams = %v", streams)
+	}
+	// Per-stream stats carry per-stream I/O.
+	st, code := getJSON(t, ts.URL+"/streams/api.latency/stats")
+	if code != 200 || st["hist_count"].(float64) != 500 {
+		t.Errorf("latency stats = %v (code %d)", st, code)
+	}
+	ts.Close()
+
+	// Restart: both streams resume from the DB manifest.
+	srv2, err := newServer(serverConfig{dir: dir, epsilon: 0.05, kappa: 3, cacheBlocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.mux())
+	defer ts2.Close()
+	q, code = getJSON(t, ts2.URL+"/streams/api.size/quantile?phi=0.5")
+	if code != 200 || q["value"].(float64) != 100250 {
+		t.Errorf("resumed size median = %v (code %d)", q, code)
+	}
+	q, code = getJSON(t, ts2.URL+"/streams/api.latency/quantile?phi=0.99")
+	if code != 200 || q["value"].(float64) != 495 {
+		t.Errorf("resumed latency p99 = %v (code %d)", q, code)
+	}
+
+	// DELETE drops the stream; it is gone from the listing and queries 404.
+	req, err := http.NewRequest(http.MethodDelete, ts2.URL+"/streams/api.size", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("delete code %d", resp.StatusCode)
+	}
+	if _, code := getJSON(t, ts2.URL+"/streams/api.size/quantile?phi=0.5"); code != 404 {
+		t.Errorf("deleted stream query: code %d", code)
+	}
+	ls, _ = getJSON(t, ts2.URL+"/streams")
+	if streams := ls["streams"].([]any); len(streams) != 1 {
+		t.Errorf("streams after delete = %v", streams)
+	}
+}
+
+// TestServerLegacyMigration upgrades a pre-multi-stream warehouse (flat
+// part files + root MANIFEST.json, as older hsqd wrote) in place: the data
+// must come back as the "default" stream.
+func TestServerLegacyMigration(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := hsq.New(hsq.Config{Epsilon: 0.05, Kappa: 3, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 1000; i++ {
+		eng.Observe(i)
+	}
+	if _, err := eng.EndStep(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil { // writes the legacy root manifest
+		t.Fatal(err)
+	}
+
+	srv, err := newServer(serverConfig{dir: dir, epsilon: 0.05, kappa: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+	// Legacy endpoint answers from the migrated history.
+	q, code := getJSON(t, ts.URL+"/quantile?phi=0.5")
+	if code != 200 || q["value"].(float64) != 500 {
+		t.Errorf("migrated quantile = %v (code %d)", q, code)
+	}
+	st, code := getJSON(t, ts.URL+"/streams/default/stats")
+	if code != 200 || st["hist_count"].(float64) != 1000 {
+		t.Errorf("migrated stats = %v (code %d)", st, code)
 	}
 }
 

@@ -1,0 +1,101 @@
+package hsq
+
+import (
+	"context"
+)
+
+// Context variants of the mutating and query methods. Each checks the
+// context before starting; the accurate-query variants additionally poll it
+// between bisection probes, so a cancelled dashboard request abandons its
+// remaining random disk reads mid-search. Load-side work (EndStepCtx) is
+// checked only at entry: a partition load or level merge must run to
+// completion once started, or the warehouse would be left with a
+// half-written partition.
+
+// ObserveCtx is Observe with error reporting: the element is dropped (and
+// the context error returned) if ctx is already done, and ErrClosed is
+// returned — unlike Observe's silent no-op — on a closed engine.
+func (e *Engine) ObserveCtx(ctx context.Context, v int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return e.observe(v)
+}
+
+// ObserveSliceCtx is ObserveSlice with error reporting; the slice is
+// observed atomically or not at all.
+func (e *Engine) ObserveSliceCtx(ctx context.Context, vs []int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return e.observeSlice(vs)
+}
+
+// EndStepCtx is EndStep with cancellation, checked at entry only (a started
+// load/merge runs to completion to keep the warehouse consistent).
+func (e *Engine) EndStepCtx(ctx context.Context) (UpdateStats, error) {
+	if err := ctx.Err(); err != nil {
+		return UpdateStats{}, err
+	}
+	return e.EndStep()
+}
+
+// QuantileCtx is Quantile with cancellation, polled between bisection
+// probes.
+func (e *Engine) QuantileCtx(ctx context.Context, phi float64) (int64, QueryStats, error) {
+	return e.QuantileOptsCtx(ctx, phi, QueryOpts{})
+}
+
+// QuantileOptsCtx is QuantileOpts with cancellation.
+func (e *Engine) QuantileOptsCtx(ctx context.Context, phi float64, opts QueryOpts) (int64, QueryStats, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, QueryStats{}, err
+	}
+	return e.quantileOpts(phi, opts, ctx.Err)
+}
+
+// QuantilesCtx is Quantiles with cancellation, polled between bisection
+// probes of every target.
+func (e *Engine) QuantilesCtx(ctx context.Context, phis []float64) ([]int64, QueryStats, error) {
+	return e.QuantilesOptsCtx(ctx, phis, QueryOpts{})
+}
+
+// QuantilesOptsCtx is QuantilesOpts with cancellation.
+func (e *Engine) QuantilesOptsCtx(ctx context.Context, phis []float64, opts QueryOpts) ([]int64, QueryStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, QueryStats{}, err
+	}
+	return e.quantilesOpts(phis, opts, ctx.Err)
+}
+
+// RankQueryCtx is RankQuery with cancellation, polled between bisection
+// probes.
+func (e *Engine) RankQueryCtx(ctx context.Context, r int64) (int64, QueryStats, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, QueryStats{}, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return 0, QueryStats{}, ErrClosed
+	}
+	return e.rankQueryOptsLocked(r, e.store.Entries(), QueryOpts{}, ctx.Err)
+}
+
+// RankCtx is Rank with cancellation, checked at entry (a rank probe costs
+// at most one block read per partition, so mid-flight polling buys little).
+func (e *Engine) RankCtx(ctx context.Context, v int64) (int64, QueryStats, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, QueryStats{}, err
+	}
+	return e.Rank(v)
+}
+
+// WindowQuantileCtx is WindowQuantile with cancellation, polled between
+// bisection probes.
+func (e *Engine) WindowQuantileCtx(ctx context.Context, phi float64, steps int) (int64, QueryStats, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, QueryStats{}, err
+	}
+	return e.windowQuantile(phi, steps, ctx.Err)
+}

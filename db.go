@@ -1,0 +1,285 @@
+package hsq
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/disk"
+)
+
+// ErrUnknownStream is returned (wrapped, with the name) by operations on a
+// stream the DB does not host; test with errors.Is.
+var ErrUnknownStream = errors.New("hsq: unknown stream")
+
+// Options configures a DB. It is the same knob set as Config: Epsilon,
+// Kappa and the accuracy/behavior options apply to every stream the DB
+// hosts, while Backend, Dir, CacheBlocks, BlockSize and SimulateDisk
+// describe the one shared device all streams multiplex.
+type Options = Config
+
+// dbManifestName is the DB-level manifest (stream directory) on the root
+// of the device.
+const dbManifestName = "DB.json"
+
+// streamNamespacePrefix is where stream state lives on the device:
+// streams/<name>/{MANIFEST.json, part-*.dat}.
+const streamNamespacePrefix = "streams"
+
+const dbManifestVersion = 1
+
+// dbManifest is the durable stream directory: which named streams exist,
+// so Open can resume all of them after a restart. Per-stream layout lives
+// in each stream's own manifest under its namespace.
+type dbManifest struct {
+	Version int      `json:"version"`
+	Streams []string `json:"streams"`
+}
+
+// DB hosts many named quantile streams over one shared device: one storage
+// backend, one block-cache budget, one manifest root. Each stream is a full
+// Engine (Observe/EndStep/Quantile/Rank/Window surface) running on a
+// namespaced view of the device, so streams are isolated on disk and in
+// per-stream I/O accounting while competing for — and benefiting from —
+// the same cache. DB is safe for concurrent use.
+//
+//	db, err := hsq.Open(hsq.Options{Epsilon: 0.01, Dir: dir, CacheBlocks: 4096})
+//	lat, err := db.Stream("api.latency")
+//	lat.Observe(17)
+//	...
+//	p99, _, err := lat.Quantile(0.99)
+type DB struct {
+	mu      sync.Mutex
+	opts    Config
+	dev     *disk.Manager // root view: aggregate stats, shared cache
+	streams map[string]*Stream
+	closed  bool
+}
+
+// Open opens (or creates) a multi-stream DB on the configured device. If
+// the device holds a DB manifest from a previous run, every stream listed
+// in it is reopened — partition summaries are rebuilt with one sequential
+// scan each — so a daemon restarts with its full stream directory.
+func Open(opts Options) (*DB, error) {
+	full, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	dev, err := newDevice(full)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{opts: full, dev: dev, streams: make(map[string]*Stream)}
+	if !dev.Exists(dbManifestName) && dev.Exists(manifestName) {
+		// A root-level store manifest without a DB manifest is a legacy
+		// single-stream warehouse (written by Engine.Checkpoint/Close).
+		// Opening a DB over it would silently ignore all its data.
+		return nil, fmt.Errorf("hsq: %s holds a legacy single-stream warehouse (root %s, no %s); resume it with OpenEngine, or move its files into %s/<name>/ (setting the manifest's \"namespace\") to adopt it as a DB stream",
+			full.Dir, manifestName, dbManifestName, streamNamespacePrefix)
+	}
+	if dev.Exists(dbManifestName) {
+		data, err := dev.ReadMeta(dbManifestName)
+		if err != nil {
+			return nil, fmt.Errorf("hsq: read DB manifest: %w", err)
+		}
+		var m dbManifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, fmt.Errorf("hsq: parse DB manifest: %w", err)
+		}
+		if m.Version != dbManifestVersion {
+			return nil, fmt.Errorf("hsq: DB manifest version %d, want %d", m.Version, dbManifestVersion)
+		}
+		for _, name := range m.Streams {
+			if _, err := db.openStreamLocked(name); err != nil {
+				return nil, fmt.Errorf("hsq: reopen stream %q: %w", name, err)
+			}
+		}
+	}
+	return db, nil
+}
+
+// ValidStreamName reports whether name can name a stream: one namespace
+// segment (letters, digits, '.', '_', '-'; no '/').
+func ValidStreamName(name string) error {
+	if strings.Contains(name, "/") {
+		return fmt.Errorf("hsq: stream name %q must not contain '/'", name)
+	}
+	if err := disk.ValidNamespace(name); err != nil {
+		return fmt.Errorf("hsq: invalid stream name %q", name)
+	}
+	return nil
+}
+
+// openStreamLocked opens (resuming if its manifest exists) or creates the
+// named stream. Caller holds db.mu.
+func (db *DB) openStreamLocked(name string) (*Stream, error) {
+	if s, ok := db.streams[name]; ok {
+		return s, nil
+	}
+	if err := ValidStreamName(name); err != nil {
+		return nil, err
+	}
+	ns := streamNamespacePrefix + "/" + name
+	view, err := db.dev.Namespace(ns)
+	if err != nil {
+		return nil, err
+	}
+	resume := view.Exists(manifestName)
+	eng, err := newEngineOn(view, db.opts, ns, resume)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stream{Engine: eng, name: name, db: db}
+	db.streams[name] = s
+	return s, nil
+}
+
+// Stream returns the named stream, creating it on first use (and recording
+// it in the DB manifest so a restart finds it). The returned *Stream is
+// shared: every caller asking for the same name gets the same stream.
+func (db *DB) Stream(name string) (*Stream, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	if s, ok := db.streams[name]; ok {
+		return s, nil
+	}
+	s, err := db.openStreamLocked(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.saveManifestLocked(); err != nil {
+		delete(db.streams, name)
+		return nil, err
+	}
+	return s, nil
+}
+
+// Lookup returns the named stream without creating it.
+func (db *DB) Lookup(name string) (*Stream, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s, ok := db.streams[name]
+	return s, ok
+}
+
+// Streams returns the names of all live streams, sorted.
+func (db *DB) Streams() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, 0, len(db.streams))
+	for name := range db.streams {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DropStream destroys the named stream: its partitions and manifest are
+// removed from the device and it disappears from the stream directory.
+func (db *DB) DropStream(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	s, ok := db.streams[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownStream, name)
+	}
+	if err := s.Engine.Destroy(); err != nil {
+		return err
+	}
+	delete(db.streams, name)
+	return db.saveManifestLocked()
+}
+
+// saveManifestLocked writes the stream directory atomically. Caller holds
+// db.mu.
+func (db *DB) saveManifestLocked() error {
+	m := dbManifest{Version: dbManifestVersion}
+	for name := range db.streams {
+		m.Streams = append(m.Streams, name)
+	}
+	sort.Strings(m.Streams)
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("hsq: marshal DB manifest: %w", err)
+	}
+	if err := db.dev.WriteMeta(dbManifestName, data); err != nil {
+		return fmt.Errorf("hsq: write DB manifest: %w", err)
+	}
+	return nil
+}
+
+// Checkpoint persists every stream's manifest plus the stream directory,
+// each write atomic on the backend, so a multi-stream daemon can restart
+// cleanly with Open. As with Engine.Checkpoint, in-flight (unloaded) stream
+// batches are volatile by design.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	for name, s := range db.streams {
+		if err := s.Engine.Checkpoint(); err != nil {
+			return fmt.Errorf("hsq: checkpoint stream %q: %w", name, err)
+		}
+	}
+	return db.saveManifestLocked()
+}
+
+// Close checkpoints every stream and the stream directory, marks every
+// stream closed, and releases the shared backend (when it implements
+// io.Closer). Close is idempotent; Destroy-like cleanup is per-stream via
+// DropStream.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	for name, s := range db.streams {
+		if err := s.Engine.Close(); err != nil {
+			return fmt.Errorf("hsq: close stream %q: %w", name, err)
+		}
+	}
+	if err := db.saveManifestLocked(); err != nil {
+		return err
+	}
+	db.closed = true
+	if c, ok := db.dev.Backend().(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// DiskStats returns the device-wide aggregate I/O counters: the sum of
+// every stream's per-stream IOStats (metadata I/O is never counted).
+func (db *DB) DiskStats() IOStats {
+	return fromDisk(db.dev.Stats())
+}
+
+// StreamStats returns the per-stream I/O counters for every live stream.
+// Each stream's counters cover exactly the block I/O issued through its
+// namespaced device view, so the values sum to DiskStats.
+func (db *DB) StreamStats() map[string]IOStats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make(map[string]IOStats, len(db.streams))
+	for name, s := range db.streams {
+		out[name] = s.DiskStats()
+	}
+	return out
+}
+
+// CacheBlocks returns the number of blocks currently resident in the
+// shared cache.
+func (db *DB) CacheBlocks() int { return db.dev.CacheBlocks() }

@@ -34,6 +34,26 @@
 //
 //	fast, err := hsq.New(hsq.Config{Epsilon: 0.01, Backend: "mem", CacheBlocks: 4096})
 //
+// # Multiple streams
+//
+// A DB hosts many named quantile streams over one shared device: one
+// backend, one block-cache budget, one manifest root. Each stream carries
+// the full Engine surface; per-stream IOStats sum to the DB's aggregate,
+// and the shared cache budget flows to whichever stream is hot (see
+// BenchmarkMultiStream). Open resumes every stream recorded in the DB
+// manifest, so a multi-stream daemon restarts cleanly.
+//
+//	db, err := hsq.Open(hsq.Options{Epsilon: 0.01, Dir: dir, CacheBlocks: 4096})
+//	lat, err := db.Stream("api.latency")     // get-or-create
+//	lat.Observe(17)
+//	lat.EndStep()
+//	p99, _, err := lat.Quantile(0.99)
+//	db.Close()                               // checkpoint all streams, release backend
+//
+// Mutating and query methods have context variants (ObserveCtx,
+// EndStepCtx, QuantileCtx, QuantilesOptsCtx, ...) that honor cancellation,
+// polling the context between the random disk reads of an accurate query.
+//
 // See DESIGN.md for the full mapping from the paper's algorithms to this
 // package and EXPERIMENTS.md for the reproduced evaluation.
 package hsq

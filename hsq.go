@@ -1,7 +1,9 @@
 package hsq
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"math"
 	"sync"
 	"time"
@@ -11,6 +13,14 @@ import (
 	"repro/internal/gk"
 	"repro/internal/partition"
 )
+
+// manifestName is the per-store manifest file (relative to the store's
+// namespace on the device).
+const manifestName = "MANIFEST.json"
+
+// ErrClosed is returned by operations on an Engine, Stream or DB after
+// Close.
+var ErrClosed = errors.New("hsq: closed")
 
 // Config parametrizes an Engine. Epsilon is always required; Dir is
 // required for the file backend. Every other field has a sensible default
@@ -191,6 +201,11 @@ func (m MemoryUsage) Total() int64 { return m.HistBytes + m.StreamBytes }
 // Engine answers quantile queries over the union of a historical warehouse
 // and the current stream. It is safe for concurrent use: observations and
 // step boundaries take a write lock, queries a read lock.
+//
+// An Engine is the single-stream core of the package: the multi-stream DB
+// hosts one Engine per named stream (wrapped in a Stream) over namespaced
+// views of one shared device, while New and OpenEngine build a standalone
+// Engine owning its whole device — the original single-tenant shape.
 type Engine struct {
 	mu     sync.RWMutex
 	cfg    Config
@@ -201,6 +216,10 @@ type Engine struct {
 	sketch *gk.Sketch
 	batch  []int64
 	step   int
+	closed bool
+	// ownsDev marks standalone engines whose Close releases the backend;
+	// DB-hosted engines share the device, which the DB releases once.
+	ownsDev bool
 }
 
 // newDevice builds the warehouse block device described by cfg: backend,
@@ -223,6 +242,51 @@ func newDevice(cfg Config) (*disk.Manager, error) {
 	return dev, nil
 }
 
+// storeConfig derives the partition-store configuration from an engine
+// config — the one place every knob is forwarded, shared by fresh and
+// resumed stores so they cannot drift apart.
+func storeConfig(cfg Config, eps1 float64, namespace string) partition.Config {
+	return partition.Config{
+		Kappa:           cfg.Kappa,
+		Eps1:            eps1,
+		SortMemElements: cfg.SortMemElements,
+		SpillBatches:    !cfg.NoSpill,
+		MergeWorkers:    cfg.MergeWorkers,
+		Namespace:       namespace,
+	}
+}
+
+// newEngineOn builds (or, with resume, reopens) an engine core over an
+// already-constructed device view. full must have passed withDefaults.
+// namespace identifies the stream when the view is namespaced ("" for
+// standalone engines on a root view).
+func newEngineOn(dev *disk.Manager, full Config, namespace string, resume bool) (*Engine, error) {
+	eps1 := full.Epsilon / 2
+	eps2 := full.Epsilon / 4
+	pcfg := storeConfig(full, eps1, namespace)
+	var (
+		store *partition.Store
+		err   error
+	)
+	if resume {
+		store, err = partition.LoadStore(dev, manifestName, pcfg)
+	} else {
+		store, err = partition.NewStore(dev, pcfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// The GK sketch runs at ε₂/2 so the extracted stream summary satisfies
+	// Lemma 1's one-sided band; see internal/gk.
+	sketch, err := gk.New(eps2 / 2)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: full, eps1: eps1, eps2: eps2, dev: dev, store: store, sketch: sketch}
+	e.step = store.Steps()
+	return e, nil
+}
+
 // New creates an engine over the configured backend (rooted at cfg.Dir for
 // the default file backend).
 func New(cfg Config) (*Engine, error) {
@@ -234,25 +298,12 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	eps1 := full.Epsilon / 2
-	eps2 := full.Epsilon / 4
-	store, err := partition.NewStore(dev, partition.Config{
-		Kappa:           full.Kappa,
-		Eps1:            eps1,
-		SortMemElements: full.SortMemElements,
-		SpillBatches:    !full.NoSpill,
-		MergeWorkers:    full.MergeWorkers,
-	})
+	e, err := newEngineOn(dev, full, "", false)
 	if err != nil {
 		return nil, err
 	}
-	// The GK sketch runs at ε₂/2 so the extracted stream summary satisfies
-	// Lemma 1's one-sided band; see internal/gk.
-	sketch, err := gk.New(eps2 / 2)
-	if err != nil {
-		return nil, err
-	}
-	return &Engine{cfg: full, eps1: eps1, eps2: eps2, dev: dev, store: store, sketch: sketch}, nil
+	e.ownsDev = true
+	return e, nil
 }
 
 // Epsilon returns the engine's approximation parameter.
@@ -263,21 +314,42 @@ func (e *Engine) Kappa() int { return e.cfg.Kappa }
 
 // Observe feeds one stream element (StreamUpdate, Algorithm 4). The element
 // is both summarized in the GK sketch and buffered for end-of-step loading.
+// On a closed engine Observe is a no-op (the signature predates Close and
+// cannot report an error); producers that need the failure signal should
+// use ObserveCtx, which returns ErrClosed.
 func (e *Engine) Observe(v int64) {
-	e.mu.Lock()
-	e.sketch.Insert(v)
-	e.batch = append(e.batch, v)
-	e.mu.Unlock()
+	e.observe(v) //nolint:errcheck // ErrClosed intentionally dropped, see doc
 }
 
 // ObserveSlice feeds a slice of stream elements under one lock acquisition.
+// Like Observe, it is a no-op on a closed engine; ObserveSliceCtx reports
+// ErrClosed instead.
 func (e *Engine) ObserveSlice(vs []int64) {
+	e.observeSlice(vs) //nolint:errcheck // ErrClosed intentionally dropped, see doc
+}
+
+func (e *Engine) observe(v int64) error {
 	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.sketch.Insert(v)
+	e.batch = append(e.batch, v)
+	return nil
+}
+
+func (e *Engine) observeSlice(vs []int64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
 	for _, v := range vs {
 		e.sketch.Insert(v)
 	}
 	e.batch = append(e.batch, vs...)
-	e.mu.Unlock()
+	return nil
 }
 
 // StreamCount returns m, the number of elements in the current (unloaded)
@@ -323,6 +395,9 @@ func (e *Engine) PartitionCount() int {
 func (e *Engine) EndStep() (UpdateStats, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.closed {
+		return UpdateStats{}, ErrClosed
+	}
 	if len(e.batch) == 0 {
 		return UpdateStats{}, nil
 	}
@@ -376,28 +451,29 @@ func rankTarget(phi float64, n int64) (int64, error) {
 // error ≤ ε·m (Algorithm 6 / Theorem 2), using a small number of random
 // disk reads.
 func (e *Engine) Quantile(phi float64) (int64, QueryStats, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	n := e.store.TotalCount() + e.sketch.Count()
-	r, err := rankTarget(phi, n)
-	if err != nil {
-		return 0, QueryStats{}, err
-	}
-	return e.rankQueryLocked(r, e.store.Entries())
+	return e.QuantileOpts(phi, QueryOpts{})
 }
 
 // RankQuery answers an accurate query for the element of rank r in T.
 func (e *Engine) RankQuery(r int64) (int64, QueryStats, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	if e.closed {
+		return 0, QueryStats{}, ErrClosed
+	}
 	return e.rankQueryLocked(r, e.store.Entries())
 }
 
 func (e *Engine) rankQueryLocked(r int64, sums []*partition.Summary) (int64, QueryStats, error) {
-	return e.rankQueryOptsLocked(r, sums, QueryOpts{})
+	return e.rankQueryOptsLocked(r, sums, QueryOpts{}, nil)
 }
 
-func (e *Engine) rankQueryOptsLocked(r int64, sums []*partition.Summary, opts QueryOpts) (int64, QueryStats, error) {
+// rankQueryOptsLocked is the accurate-query core. interrupt, when non-nil,
+// is polled between bisection probes (context cancellation).
+func (e *Engine) rankQueryOptsLocked(r int64, sums []*partition.Summary, opts QueryOpts, interrupt func() error) (int64, QueryStats, error) {
+	if e.closed {
+		return 0, QueryStats{}, ErrClosed
+	}
 	m := e.sketch.Count()
 	var histN int64
 	for _, s := range sums {
@@ -413,6 +489,7 @@ func (e *Engine) rankQueryOptsLocked(r int64, sums []*partition.Summary, opts Qu
 		PinBlocks: !e.cfg.NoBlockPin,
 		Parallel:  e.cfg.ParallelQuery,
 		MaxReads:  opts.MaxReads,
+		Interrupt: interrupt,
 	})
 	if err != nil {
 		return 0, QueryStats{}, err
@@ -431,14 +508,21 @@ func (e *Engine) rankQueryOptsLocked(r int64, sums []*partition.Summary, opts Qu
 // QuantileOpts answers an accurate φ-quantile with per-query options (e.g.
 // an I/O budget).
 func (e *Engine) QuantileOpts(phi float64, opts QueryOpts) (int64, QueryStats, error) {
+	return e.quantileOpts(phi, opts, nil)
+}
+
+func (e *Engine) quantileOpts(phi float64, opts QueryOpts, interrupt func() error) (int64, QueryStats, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	if e.closed {
+		return 0, QueryStats{}, ErrClosed
+	}
 	n := e.store.TotalCount() + e.sketch.Count()
 	r, err := rankTarget(phi, n)
 	if err != nil {
 		return 0, QueryStats{}, err
 	}
-	return e.rankQueryOptsLocked(r, e.store.Entries(), opts)
+	return e.rankQueryOptsLocked(r, e.store.Entries(), opts, interrupt)
 }
 
 // QuantileQuick answers a φ-quantile query from in-memory summaries only
@@ -462,6 +546,9 @@ func (e *Engine) RankQueryQuick(r int64) (int64, error) {
 }
 
 func (e *Engine) quickLocked(r int64, sums []*partition.Summary) (int64, error) {
+	if e.closed {
+		return 0, ErrClosed
+	}
 	m := e.sketch.Count()
 	var histN int64
 	for _, s := range sums {
@@ -488,8 +575,15 @@ func (e *Engine) AvailableWindows() []int {
 // current stream and the most recent `steps` historical time steps. The
 // window must be one of AvailableWindows.
 func (e *Engine) WindowQuantile(phi float64, steps int) (int64, QueryStats, error) {
+	return e.windowQuantile(phi, steps, nil)
+}
+
+func (e *Engine) windowQuantile(phi float64, steps int, interrupt func() error) (int64, QueryStats, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	if e.closed {
+		return 0, QueryStats{}, ErrClosed
+	}
 	sums, err := e.store.WindowEntries(steps)
 	if err != nil {
 		return 0, QueryStats{}, err
@@ -503,7 +597,7 @@ func (e *Engine) WindowQuantile(phi float64, steps int) (int64, QueryStats, erro
 	if err != nil {
 		return 0, QueryStats{}, err
 	}
-	return e.rankQueryLocked(r, sums)
+	return e.rankQueryOptsLocked(r, sums, QueryOpts{}, interrupt)
 }
 
 // WindowQuantileQuick is the in-memory-only windowed query.
@@ -543,19 +637,23 @@ func (e *Engine) DiskStats() IOStats {
 	return fromDisk(e.dev.Stats())
 }
 
-// Checkpoint persists the warehouse layout so Open can resume after a
+// Checkpoint persists the warehouse layout so OpenEngine can resume after a
 // restart. The in-flight stream is volatile by design (it will be replayed
 // or lost, exactly as a DSMS would); only historical state is durable.
 func (e *Engine) Checkpoint() error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return e.store.SaveManifest("MANIFEST.json")
+	if e.closed {
+		return ErrClosed
+	}
+	return e.store.SaveManifest(manifestName)
 }
 
-// Open resumes an engine from a directory previously checkpointed with the
-// same Epsilon and Kappa. Partition summaries are rebuilt with one
-// sequential scan each.
-func Open(cfg Config) (*Engine, error) {
+// OpenEngine resumes a standalone engine from a directory previously
+// checkpointed with the same Epsilon and Kappa. Partition summaries are
+// rebuilt with one sequential scan each. (It was named Open before the
+// multi-stream redesign; Open now builds a DB.)
+func OpenEngine(cfg Config) (*Engine, error) {
 	full, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -564,31 +662,56 @@ func Open(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	eps1 := full.Epsilon / 2
-	eps2 := full.Epsilon / 4
-	store, err := partition.LoadStore(dev, "MANIFEST.json", partition.Config{
-		Kappa:           full.Kappa,
-		Eps1:            eps1,
-		SortMemElements: full.SortMemElements,
-		SpillBatches:    !full.NoSpill,
-	})
+	e, err := newEngineOn(dev, full, "", true)
 	if err != nil {
 		return nil, err
 	}
-	sketch, err := gk.New(eps2 / 2)
-	if err != nil {
-		return nil, err
-	}
-	eng := &Engine{cfg: full, eps1: eps1, eps2: eps2, dev: dev, store: store, sketch: sketch}
-	eng.step = store.Steps()
-	return eng, nil
+	e.ownsDev = true
+	return e, nil
 }
 
-// Destroy removes all on-disk state. The engine is unusable afterwards.
+// Close checkpoints the engine and releases it: the manifest is persisted,
+// the engine transitions to a terminal state in which every subsequent
+// mutation or query fails with ErrClosed, and — for standalone engines that
+// own their device — the storage backend is released (closed, when the
+// backend implements io.Closer). Close is idempotent.
+//
+// Destroy supersedes Close: a destroyed engine's on-disk state is gone, so
+// there is nothing left to checkpoint and no need to call Close after it.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	if err := e.store.SaveManifest(manifestName); err != nil {
+		return err
+	}
+	e.closed = true
+	if e.ownsDev {
+		if c, ok := e.dev.Backend().(io.Closer); ok {
+			return c.Close()
+		}
+	}
+	return nil
+}
+
+// Destroy removes all on-disk state. The engine is unusable afterwards (it
+// behaves as closed). Destroy supersedes Close — after Destroy there is no
+// state left to checkpoint.
 func (e *Engine) Destroy() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.store.Destroy()
+	if err := e.store.Destroy(); err != nil {
+		return err
+	}
+	if e.dev.Exists(manifestName) {
+		if err := e.dev.Remove(manifestName); err != nil {
+			return err
+		}
+	}
+	e.closed = true
+	return nil
 }
 
 // Rank estimates the rank of an arbitrary value v within T = H ∪ R: the
@@ -599,6 +722,9 @@ func (e *Engine) Destroy() error {
 func (e *Engine) Rank(v int64) (int64, QueryStats, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	if e.closed {
+		return 0, QueryStats{}, ErrClosed
+	}
 	sums := e.store.Entries()
 	m := e.sketch.Count()
 	if e.store.TotalCount()+m == 0 {
@@ -624,6 +750,9 @@ func (e *Engine) Rank(v int64) (int64, QueryStats, error) {
 func (e *Engine) RankQuick(v int64) (int64, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	if e.closed {
+		return 0, ErrClosed
+	}
 	sums := e.store.Entries()
 	m := e.sketch.Count()
 	if e.store.TotalCount()+m == 0 {
@@ -639,8 +768,25 @@ func (e *Engine) RankQuick(v int64) (int64, error) {
 // common "p50/p95/p99" dashboard pattern). Results are positionally aligned
 // with phis; the stats aggregate all queries.
 func (e *Engine) Quantiles(phis []float64) ([]int64, QueryStats, error) {
+	return e.quantilesOpts(phis, QueryOpts{}, nil)
+}
+
+// QuantilesOpts is Quantiles with per-call options. opts.MaxReads, when
+// positive, is a total random-read budget for the whole batch: each query
+// runs with whatever budget its predecessors left, and once the budget is
+// exhausted the remaining targets are answered from in-memory summaries
+// alone (zero disk reads, QuantileQuick accuracy). Any truncation is
+// aggregated into the returned QueryStats.Truncated.
+func (e *Engine) QuantilesOpts(phis []float64, opts QueryOpts) ([]int64, QueryStats, error) {
+	return e.quantilesOpts(phis, opts, nil)
+}
+
+func (e *Engine) quantilesOpts(phis []float64, opts QueryOpts, interrupt func() error) ([]int64, QueryStats, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, QueryStats{}, ErrClosed
+	}
 	sums := e.store.Entries()
 	m := e.sketch.Count()
 	n := e.store.TotalCount() + m
@@ -652,14 +798,28 @@ func (e *Engine) Quantiles(phis []float64) ([]int64, QueryStats, error) {
 	c := core.BuildCombined(sums, ss, m, e.eps1, e.eps2)
 	out := make([]int64, len(phis))
 	var agg QueryStats
+	remaining := opts.MaxReads
 	for i, phi := range phis {
 		r, err := rankTarget(phi, n)
 		if err != nil {
 			return nil, QueryStats{}, err
 		}
+		if opts.MaxReads > 0 && remaining <= 0 {
+			// Budget exhausted: answer the rest from the in-memory
+			// summaries, which cost no disk access.
+			v, err := c.QuickQuery(r)
+			if err != nil {
+				return nil, QueryStats{}, err
+			}
+			out[i] = v
+			agg.Truncated = true
+			continue
+		}
 		v, cost, err := core.AccurateQueryOpts(c, e.cfg.Epsilon, r, core.QueryOptions{
 			PinBlocks: !e.cfg.NoBlockPin,
 			Parallel:  e.cfg.ParallelQuery,
+			MaxReads:  remaining,
+			Interrupt: interrupt,
 		})
 		if err != nil {
 			return nil, QueryStats{}, err
@@ -668,6 +828,10 @@ func (e *Engine) Quantiles(phis []float64) ([]int64, QueryStats, error) {
 		agg.Iterations += cost.Iterations
 		agg.RandReads += cost.RandReads
 		agg.CacheHits += cost.CacheHits
+		agg.Truncated = agg.Truncated || cost.Truncated
+		if opts.MaxReads > 0 {
+			remaining -= cost.RandReads
+		}
 	}
 	agg.Elapsed = time.Since(t0)
 	return out, agg, nil

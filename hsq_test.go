@@ -440,7 +440,7 @@ func TestCheckpointAndOpen(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	re, err := Open(cfg)
+	re, err := OpenEngine(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -459,8 +459,8 @@ func TestCheckpointAndOpen(t *testing.T) {
 		}
 	}
 	// Opening a directory without a manifest fails cleanly.
-	if _, err := Open(Config{Epsilon: 0.05, Kappa: 3, Dir: t.TempDir()}); err == nil {
-		t.Error("Open without manifest: want error")
+	if _, err := OpenEngine(Config{Epsilon: 0.05, Kappa: 3, Dir: t.TempDir()}); err == nil {
+		t.Error("OpenEngine without manifest: want error")
 	}
 }
 

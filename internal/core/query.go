@@ -40,6 +40,11 @@ type QueryOptions struct {
 	// accuracy-vs-disk-access tradeoff ("stopping the search of the
 	// on-disk structure early").
 	MaxReads int
+	// Interrupt, when non-nil, is polled before each bisection probe; a
+	// non-nil return aborts the query with that error. The engine wires
+	// context cancellation through this hook so a slow disk search can be
+	// abandoned mid-flight.
+	Interrupt func() error
 }
 
 // AccurateQuery implements Algorithms 6-8: generate filters from the
@@ -101,6 +106,11 @@ func AccurateQueryOpts(c *Combined, eps float64, r int64, opts QueryOptions) (in
 	}
 
 	for v-u > 1 {
+		if opts.Interrupt != nil {
+			if err := opts.Interrupt(); err != nil {
+				return 0, cost, err
+			}
+		}
 		z := u + (v-u)/2
 		cost.Iterations++
 		rho, err := rankAt(z)

@@ -33,9 +33,12 @@ type blockCache struct {
 }
 
 type cacheShard struct {
-	mu    sync.Mutex
-	cap   int // this shard's capacity in blocks
-	items map[cacheKey]*list.Element
+	mu  sync.Mutex
+	cap int // this shard's capacity in blocks
+	// items indexes entries by file name first so that invalidate(name) —
+	// which runs on every Remove and Create, i.e. on every level merge —
+	// touches only that file's blocks instead of scanning the whole shard.
+	items map[string]map[int64]*list.Element
 	order *list.List // front = most recently used
 }
 
@@ -72,7 +75,7 @@ func newBlockCache(capBlocks int) *blockCache {
 		if i < extra {
 			c.shards[i].cap++
 		}
-		c.shards[i].items = make(map[cacheKey]*list.Element)
+		c.shards[i].items = make(map[string]map[int64]*list.Element)
 		c.shards[i].order = list.New()
 	}
 	return c
@@ -87,16 +90,26 @@ func (c *blockCache) shard(key cacheKey) *cacheShard {
 
 // get returns the cached block and true on a hit, bumping its recency.
 func (c *blockCache) get(name string, block int64) ([]int64, bool) {
-	key := cacheKey{name, block}
-	s := c.shard(key)
+	s := c.shard(cacheKey{name, block})
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	el, ok := s.items[key]
+	el, ok := s.items[name][block]
 	if !ok {
 		return nil, false
 	}
 	s.order.MoveToFront(el)
 	return el.Value.(*cacheEntry).vals, true
+}
+
+// remove drops one entry from the shard's indexes. Caller holds s.mu.
+func (s *cacheShard) remove(el *list.Element) {
+	key := el.Value.(*cacheEntry).key
+	s.order.Remove(el)
+	blocks := s.items[key.name]
+	delete(blocks, key.block)
+	if len(blocks) == 0 {
+		delete(s.items, key.name)
+	}
 }
 
 // put inserts (or refreshes) a block, evicting the shard's LRU tail.
@@ -105,32 +118,35 @@ func (c *blockCache) put(name string, block int64, vals []int64) {
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if el, ok := s.items[key]; ok {
+	if el, ok := s.items[name][block]; ok {
 		el.Value.(*cacheEntry).vals = vals
 		s.order.MoveToFront(el)
 		return
 	}
-	s.items[key] = s.order.PushFront(&cacheEntry{key: key, vals: vals})
+	blocks := s.items[name]
+	if blocks == nil {
+		blocks = make(map[int64]*list.Element)
+		s.items[name] = blocks
+	}
+	blocks[block] = s.order.PushFront(&cacheEntry{key: key, vals: vals})
 	for s.order.Len() > s.cap {
-		tail := s.order.Back()
-		s.order.Remove(tail)
-		delete(s.items, tail.Value.(*cacheEntry).key)
+		s.remove(s.order.Back())
 	}
 }
 
 // invalidate drops every cached block of the named file. Called on Remove
 // and on Create (truncation), the only two ways an immutable partition file
-// can change identity.
+// can change identity. Cost is proportional to the file's cached blocks,
+// not to the cache size — merges on large multi-tenant caches would
+// otherwise scan the world per removed partition.
 func (c *blockCache) invalidate(name string) {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		for key, el := range s.items {
-			if key.name == name {
-				s.order.Remove(el)
-				delete(s.items, key)
-			}
+		for _, el := range s.items[name] {
+			s.order.Remove(el)
 		}
+		delete(s.items, name)
 		s.mu.Unlock()
 	}
 }

@@ -126,15 +126,9 @@ func (s Stats) String() string {
 		s.SeqReads, s.SeqWrites, s.RandReads, s.Total(), s.CacheHits, s.CacheMisses)
 }
 
-// Manager is a block device over a storage backend. It creates, reads and
-// deletes element files, and accounts for every block-level access; an
-// optional block cache absorbs repeated random reads. A Manager is safe for
-// concurrent use.
-type Manager struct {
-	backend   Backend
-	blockSize int
-	perBlock  int // elements per block
-
+// ioCounters is one set of cumulative I/O counters. The device aggregate
+// and every namespaced view each own one.
+type ioCounters struct {
 	seqReads     atomic.Uint64
 	seqWrites    atomic.Uint64
 	randReads    atomic.Uint64
@@ -143,6 +137,44 @@ type Manager struct {
 	opens        atomic.Uint64
 	cacheHits    atomic.Uint64
 	cacheMisses  atomic.Uint64
+}
+
+func (c *ioCounters) snapshot() Stats {
+	return Stats{
+		SeqReads:     c.seqReads.Load(),
+		SeqWrites:    c.seqWrites.Load(),
+		RandReads:    c.randReads.Load(),
+		BytesRead:    c.bytesRead.Load(),
+		BytesWritten: c.bytesWritten.Load(),
+		Opens:        c.opens.Load(),
+		CacheHits:    c.cacheHits.Load(),
+		CacheMisses:  c.cacheMisses.Load(),
+	}
+}
+
+func (c *ioCounters) reset() {
+	c.seqReads.Store(0)
+	c.seqWrites.Store(0)
+	c.randReads.Store(0)
+	c.bytesRead.Store(0)
+	c.bytesWritten.Store(0)
+	c.opens.Store(0)
+	c.cacheHits.Store(0)
+	c.cacheMisses.Store(0)
+}
+
+// device is the state shared by every view of one physical block device:
+// the backend, the block geometry, the block cache, fault injection, the
+// simulated-latency profile and the aggregate I/O counters. Namespaced
+// views (Manager.Namespace) multiplex many logical stores over one device,
+// so the cache budget, latency model and aggregate accounting are shared by
+// construction.
+type device struct {
+	backend   Backend
+	blockSize int
+	perBlock  int // elements per block
+
+	agg ioCounters // device-wide counters, summed across all views
 
 	cache atomic.Pointer[blockCache]
 
@@ -150,6 +182,24 @@ type Manager struct {
 	fault FaultFunc
 
 	latencyFields
+}
+
+// Manager is a block device over a storage backend. It creates, reads and
+// deletes element files, and accounts for every block-level access; an
+// optional block cache absorbs repeated random reads. A Manager is safe for
+// concurrent use.
+//
+// A Manager is a view of an underlying shared device. The root view (from
+// NewManager/NewManagerOn) addresses the backend's flat namespace directly
+// and its Stats are the device aggregate. Namespace derives a prefixed view
+// that shares the device (backend, cache budget, latency, fault hook,
+// aggregate counters) but maps every file and metadata name under its
+// prefix and keeps its own Stats — the per-stream accounting used by the
+// multi-stream engine.
+type Manager struct {
+	dev    *device
+	prefix string      // "" for the root view, "a/b/" for a namespaced view
+	stats  *ioCounters // per-view counters; == &dev.agg for the root view
 }
 
 // NewManager creates a file-backed block device rooted at dir (created if
@@ -168,85 +218,137 @@ func NewManagerOn(b Backend, blockSize int) (*Manager, error) {
 	if blockSize <= 0 || blockSize%ElementSize != 0 {
 		return nil, fmt.Errorf("disk: block size %d must be a positive multiple of %d", blockSize, ElementSize)
 	}
-	return &Manager{backend: b, blockSize: blockSize, perBlock: blockSize / ElementSize}, nil
+	d := &device{backend: b, blockSize: blockSize, perBlock: blockSize / ElementSize}
+	return &Manager{dev: d, stats: &d.agg}, nil
 }
 
+// key maps a view-relative name to the device-wide name.
+func (m *Manager) key(name string) string { return m.prefix + name }
+
+// Prefix returns the view's namespace prefix ("" for the root view).
+func (m *Manager) Prefix() string { return m.prefix }
+
 // Backend returns the underlying storage backend.
-func (m *Manager) Backend() Backend { return m.backend }
+func (m *Manager) Backend() Backend { return m.dev.backend }
 
 // Dir returns the root directory of the device, or "" for backends without
 // one (e.g. MemBackend).
-func (m *Manager) Dir() string { return m.backend.Root() }
+func (m *Manager) Dir() string { return m.dev.backend.Root() }
 
 // BlockSize returns the block size in bytes.
-func (m *Manager) BlockSize() int { return m.blockSize }
+func (m *Manager) BlockSize() int { return m.dev.blockSize }
 
 // ElementsPerBlock returns how many elements fit in one block.
-func (m *Manager) ElementsPerBlock() int { return m.perBlock }
+func (m *Manager) ElementsPerBlock() int { return m.dev.perBlock }
 
 // SetCache installs a block cache holding up to blocks decoded blocks on
-// the random-read path; blocks <= 0 removes the cache. Safe to call
-// concurrently with I/O.
+// the random-read path; blocks <= 0 removes the cache. The cache is a
+// device-wide budget shared by every view. Safe to call concurrently with
+// I/O.
 func (m *Manager) SetCache(blocks int) {
-	m.cache.Store(newBlockCache(blocks))
+	m.dev.cache.Store(newBlockCache(blocks))
 }
 
-// CacheBlocks returns the number of blocks currently cached (0 without a
-// cache).
+// CacheBlocks returns the number of blocks currently cached device-wide (0
+// without a cache).
 func (m *Manager) CacheBlocks() int {
-	if c := m.cache.Load(); c != nil {
+	if c := m.dev.cache.Load(); c != nil {
 		return c.len()
 	}
 	return 0
 }
 
-// SetFault installs a fault-injection hook; nil removes it.
+// SetFault installs a device-wide fault-injection hook; nil removes it. The
+// hook sees device-wide (prefixed) names.
 func (m *Manager) SetFault(f FaultFunc) {
-	m.mu.Lock()
-	m.fault = f
-	m.mu.Unlock()
+	m.dev.mu.Lock()
+	m.dev.fault = f
+	m.dev.mu.Unlock()
 }
 
+// injected runs the fault hook for an operation on a device-wide name.
 func (m *Manager) injected(op Op, name string, block int64) error {
-	m.mu.RLock()
-	f := m.fault
-	m.mu.RUnlock()
+	m.dev.mu.RLock()
+	f := m.dev.fault
+	m.dev.mu.RUnlock()
 	if f == nil {
 		return nil
 	}
 	return f(op, name, block)
 }
 
-// Stats returns a snapshot of the cumulative I/O counters.
-func (m *Manager) Stats() Stats {
-	return Stats{
-		SeqReads:     m.seqReads.Load(),
-		SeqWrites:    m.seqWrites.Load(),
-		RandReads:    m.randReads.Load(),
-		BytesRead:    m.bytesRead.Load(),
-		BytesWritten: m.bytesWritten.Load(),
-		Opens:        m.opens.Load(),
-		CacheHits:    m.cacheHits.Load(),
-		CacheMisses:  m.cacheMisses.Load(),
+// count helpers attribute one operation to this view and, for namespaced
+// views, to the device aggregate as well — so per-view Stats always sum to
+// the root view's Stats.
+
+func (m *Manager) countOpen() {
+	m.stats.opens.Add(1)
+	if m.stats != &m.dev.agg {
+		m.dev.agg.opens.Add(1)
 	}
 }
 
-// ResetStats zeroes all counters. Intended for experiment harnesses.
-func (m *Manager) ResetStats() {
-	m.seqReads.Store(0)
-	m.seqWrites.Store(0)
-	m.randReads.Store(0)
-	m.bytesRead.Store(0)
-	m.bytesWritten.Store(0)
-	m.opens.Store(0)
-	m.cacheHits.Store(0)
-	m.cacheMisses.Store(0)
+func (m *Manager) countSeqRead(nbytes int) {
+	m.stats.seqReads.Add(1)
+	m.stats.bytesRead.Add(uint64(nbytes))
+	if m.stats != &m.dev.agg {
+		m.dev.agg.seqReads.Add(1)
+		m.dev.agg.bytesRead.Add(uint64(nbytes))
+	}
 }
 
-// invalidate drops cached blocks of name after a remove or truncation.
-func (m *Manager) invalidate(name string) {
-	if c := m.cache.Load(); c != nil {
-		c.invalidate(name)
+func (m *Manager) countSeqWrite(nbytes int) {
+	m.stats.seqWrites.Add(1)
+	m.stats.bytesWritten.Add(uint64(nbytes))
+	if m.stats != &m.dev.agg {
+		m.dev.agg.seqWrites.Add(1)
+		m.dev.agg.bytesWritten.Add(uint64(nbytes))
+	}
+}
+
+func (m *Manager) countRandRead(nbytes int) {
+	m.stats.randReads.Add(1)
+	m.stats.bytesRead.Add(uint64(nbytes))
+	if m.stats != &m.dev.agg {
+		m.dev.agg.randReads.Add(1)
+		m.dev.agg.bytesRead.Add(uint64(nbytes))
+	}
+}
+
+func (m *Manager) countCacheHit() {
+	m.stats.cacheHits.Add(1)
+	if m.stats != &m.dev.agg {
+		m.dev.agg.cacheHits.Add(1)
+	}
+}
+
+func (m *Manager) countCacheMiss() {
+	m.stats.cacheMisses.Add(1)
+	if m.stats != &m.dev.agg {
+		m.dev.agg.cacheMisses.Add(1)
+	}
+}
+
+// Stats returns a snapshot of this view's cumulative I/O counters. For the
+// root view this is the device aggregate; for a namespaced view it covers
+// only I/O issued through that view.
+func (m *Manager) Stats() Stats {
+	return m.stats.snapshot()
+}
+
+// ResetStats zeroes this view's counters. Resetting the root view does not
+// touch per-namespace counters (and vice versa), so mixing ResetStats with
+// per-stream accounting breaks the sum-to-aggregate invariant; it is
+// intended for experiment harnesses on root-view devices.
+func (m *Manager) ResetStats() {
+	m.stats.reset()
+}
+
+// invalidate drops cached blocks of a device-wide name after a remove or
+// truncation.
+func (m *Manager) invalidate(key string) {
+	if c := m.dev.cache.Load(); c != nil {
+		c.invalidate(key)
 	}
 }
 
@@ -254,23 +356,24 @@ func (m *Manager) invalidate(name string) {
 // The cache is invalidated after the backend delete so a concurrent read of
 // the old file cannot slip a block in between invalidation and removal.
 func (m *Manager) Remove(name string) error {
-	if err := m.backend.Remove(name); err != nil {
-		return fmt.Errorf("disk: remove %s: %w", name, err)
+	key := m.key(name)
+	if err := m.dev.backend.Remove(key); err != nil {
+		return fmt.Errorf("disk: remove %s: %w", key, err)
 	}
-	m.invalidate(name)
+	m.invalidate(key)
 	return nil
 }
 
 // Exists reports whether the named file exists.
 func (m *Manager) Exists(name string) bool {
-	return m.backend.Exists(name)
+	return m.dev.backend.Exists(m.key(name))
 }
 
 // Size returns the number of elements stored in the named file.
 func (m *Manager) Size(name string) (int64, error) {
-	n, err := m.backend.Size(name)
+	n, err := m.dev.backend.Size(m.key(name))
 	if err != nil {
-		return 0, fmt.Errorf("disk: stat %s: %w", name, err)
+		return 0, fmt.Errorf("disk: stat %s: %w", m.key(name), err)
 	}
 	return n / ElementSize, nil
 }
@@ -279,17 +382,17 @@ func (m *Manager) Size(name string) (int64, error) {
 // the backend. Metadata I/O is not block-accounted: the paper's cost model
 // covers element data only.
 func (m *Manager) WriteMeta(name string, data []byte) error {
-	if err := m.backend.WriteMeta(name, data); err != nil {
-		return fmt.Errorf("disk: write meta %s: %w", name, err)
+	if err := m.dev.backend.WriteMeta(m.key(name), data); err != nil {
+		return fmt.Errorf("disk: write meta %s: %w", m.key(name), err)
 	}
 	return nil
 }
 
 // ReadMeta reads a metadata file written with WriteMeta.
 func (m *Manager) ReadMeta(name string) ([]byte, error) {
-	data, err := m.backend.ReadMeta(name)
+	data, err := m.dev.backend.ReadMeta(m.key(name))
 	if err != nil {
-		return nil, fmt.Errorf("disk: read meta %s: %w", name, err)
+		return nil, fmt.Errorf("disk: read meta %s: %w", m.key(name), err)
 	}
 	return data, nil
 }

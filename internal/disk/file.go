@@ -29,7 +29,19 @@ func (b *FileBackend) Kind() string { return "file" }
 // Root returns the backing directory.
 func (b *FileBackend) Root() string { return b.root }
 
-func (b *FileBackend) path(name string) string { return filepath.Join(b.root, name) }
+func (b *FileBackend) path(name string) string {
+	return filepath.Join(b.root, filepath.FromSlash(name))
+}
+
+// ensureParent creates the parent directory chain of path, so namespaced
+// names ("streams/api.latency/part-000001.dat") map onto subdirectories.
+func ensureParent(path string) error {
+	dir := filepath.Dir(path)
+	if dir == "." || dir == "" {
+		return nil
+	}
+	return os.MkdirAll(dir, 0o755)
+}
 
 // Open returns a random-access read handle for the named file.
 func (b *FileBackend) Open(name string) (ReadHandle, error) {
@@ -58,13 +70,18 @@ func (h *fileReadHandle) Size() (int64, error) {
 	return fi.Size(), nil
 }
 
-// Create truncates (or creates) the named file for appending.
+// Create truncates (or creates) the named file for appending, creating
+// parent directories for namespaced names.
 func (b *FileBackend) Create(name string) (WriteHandle, error) {
-	f, err := os.Create(b.path(name))
+	path := b.path(name)
+	if err := ensureParent(path); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
 	}
-	return &fileWriteHandle{f: f, path: b.path(name)}, nil
+	return &fileWriteHandle{f: f, path: path}, nil
 }
 
 // Remove deletes the named file.
@@ -90,6 +107,9 @@ func (b *FileBackend) Exists(name string) bool {
 // WriteMeta atomically replaces a metadata file via write-to-temp + rename.
 func (b *FileBackend) WriteMeta(name string, data []byte) error {
 	path := b.path(name)
+	if err := ensureParent(path); err != nil {
+		return err
+	}
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return err

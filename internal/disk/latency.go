@@ -25,12 +25,13 @@ var HDD = Latency{SeqRead: 50 * time.Microsecond, SeqWrite: 50 * time.Microsecon
 // transfers.
 var SSD = Latency{SeqRead: 20 * time.Microsecond, SeqWrite: 20 * time.Microsecond, RandRead: 80 * time.Microsecond}
 
-// SetLatency installs a simulated latency profile; the zero Latency
-// disables simulation. Safe to call concurrently with I/O.
+// SetLatency installs a simulated latency profile device-wide (it applies
+// to every namespaced view of the device); the zero Latency disables
+// simulation. Safe to call concurrently with I/O.
 func (m *Manager) SetLatency(l Latency) {
-	m.latSeqRead.Store(int64(l.SeqRead))
-	m.latSeqWrite.Store(int64(l.SeqWrite))
-	m.latRandRead.Store(int64(l.RandRead))
+	m.dev.latSeqRead.Store(int64(l.SeqRead))
+	m.dev.latSeqWrite.Store(int64(l.SeqWrite))
+	m.dev.latRandRead.Store(int64(l.RandRead))
 }
 
 // sleepFor blocks for the simulated duration of op, if any.
@@ -38,25 +39,26 @@ func (m *Manager) sleepFor(op Op) {
 	var d int64
 	switch op {
 	case OpSeqRead:
-		d = m.latSeqRead.Load()
+		d = m.dev.latSeqRead.Load()
 	case OpSeqWrite:
-		d = m.latSeqWrite.Load()
+		d = m.dev.latSeqWrite.Load()
 	case OpRandRead:
-		d = m.latRandRead.Load()
+		d = m.dev.latRandRead.Load()
 	}
 	if d > 0 {
 		time.Sleep(time.Duration(d))
-		m.simulatedNs.Add(d)
+		m.dev.simulatedNs.Add(d)
 	}
 }
 
-// SimulatedLatency returns the total simulated delay injected so far.
+// SimulatedLatency returns the total simulated delay injected so far,
+// device-wide.
 func (m *Manager) SimulatedLatency() time.Duration {
-	return time.Duration(m.simulatedNs.Load())
+	return time.Duration(m.dev.simulatedNs.Load())
 }
 
-// latencyFields are embedded in Manager (declared here to keep the latency
-// concern in one file).
+// latencyFields are embedded in the shared device (declared here to keep
+// the latency concern in one file).
 type latencyFields struct {
 	latSeqRead  atomic.Int64
 	latSeqWrite atomic.Int64

@@ -25,27 +25,28 @@ type Reader struct {
 
 // OpenSequential opens the named element file for a sequential scan.
 func (m *Manager) OpenSequential(name string) (*Reader, error) {
-	if err := m.injected(OpOpen, name, 0); err != nil {
-		return nil, fmt.Errorf("disk: open %s: %w", name, err)
+	key := m.key(name)
+	if err := m.injected(OpOpen, key, 0); err != nil {
+		return nil, fmt.Errorf("disk: open %s: %w", key, err)
 	}
-	h, err := m.backend.Open(name)
+	h, err := m.dev.backend.Open(key)
 	if err != nil {
-		return nil, fmt.Errorf("disk: open %s: %w", name, err)
+		return nil, fmt.Errorf("disk: open %s: %w", key, err)
 	}
-	m.opens.Add(1)
+	m.countOpen()
 	// Size via the handle so count describes the file the handle reads,
 	// even if the name is concurrently recreated.
 	size, err := h.Size()
 	if err != nil {
 		h.Close() //nolint:errcheck
-		return nil, fmt.Errorf("disk: stat %s: %w", name, err)
+		return nil, fmt.Errorf("disk: stat %s: %w", key, err)
 	}
 	return &Reader{
 		m:     m,
-		name:  name,
+		name:  key,
 		h:     h,
-		buf:   make([]byte, m.blockSize),
-		vals:  make([]int64, m.perBlock),
+		buf:   make([]byte, m.dev.blockSize),
+		vals:  make([]int64, m.dev.perBlock),
 		count: size / ElementSize,
 	}, nil
 }
@@ -80,7 +81,7 @@ func (r *Reader) fill() error {
 		return fmt.Errorf("disk: read %s block %d: %w", r.name, r.block, err)
 	}
 	r.m.sleepFor(OpSeqRead)
-	n, err := r.h.ReadAt(r.buf, r.block*int64(r.m.blockSize))
+	n, err := r.h.ReadAt(r.buf, r.block*int64(r.m.dev.blockSize))
 	if err == io.EOF || err == io.ErrUnexpectedEOF {
 		err = nil
 	}
@@ -94,8 +95,7 @@ func (r *Reader) fill() error {
 	decodeInto(r.vals[:cnt], r.buf[:n])
 	r.pos, r.n = 0, cnt
 	if cnt > 0 {
-		r.m.seqReads.Add(1)
-		r.m.bytesRead.Add(uint64(n))
+		r.m.countSeqRead(n)
 		r.block++
 	}
 	return nil
@@ -128,17 +128,17 @@ func (r *Reader) SeekElement(i int64) error {
 		// Position at EOF.
 		r.pos, r.n = 0, 0
 		r.read = r.count
-		r.block = (r.count + int64(r.m.perBlock) - 1) / int64(r.m.perBlock)
+		r.block = (r.count + int64(r.m.dev.perBlock) - 1) / int64(r.m.dev.perBlock)
 		return nil
 	}
-	blk := i / int64(r.m.perBlock)
+	blk := i / int64(r.m.dev.perBlock)
 	r.block = blk
 	r.pos, r.n = 0, 0
-	r.read = blk * int64(r.m.perBlock)
+	r.read = blk * int64(r.m.dev.perBlock)
 	if err := r.fill(); err != nil {
 		return err
 	}
-	skip := int(i - blk*int64(r.m.perBlock))
+	skip := int(i - blk*int64(r.m.dev.perBlock))
 	r.pos = skip
 	r.read = i
 	return nil
@@ -162,28 +162,29 @@ type RandomReader struct {
 
 // OpenRandom opens the named element file for random block access.
 func (m *Manager) OpenRandom(name string) (*RandomReader, error) {
-	if err := m.injected(OpOpen, name, 0); err != nil {
-		return nil, fmt.Errorf("disk: open %s: %w", name, err)
+	key := m.key(name)
+	if err := m.injected(OpOpen, key, 0); err != nil {
+		return nil, fmt.Errorf("disk: open %s: %w", key, err)
 	}
-	h, err := m.backend.Open(name)
+	h, err := m.dev.backend.Open(key)
 	if err != nil {
-		return nil, fmt.Errorf("disk: open %s: %w", name, err)
+		return nil, fmt.Errorf("disk: open %s: %w", key, err)
 	}
-	m.opens.Add(1)
+	m.countOpen()
 	size, err := h.Size()
 	if err != nil {
 		h.Close() //nolint:errcheck
-		return nil, fmt.Errorf("disk: stat %s: %w", name, err)
+		return nil, fmt.Errorf("disk: stat %s: %w", key, err)
 	}
 	count := size / ElementSize
-	blocks := (count + int64(m.perBlock) - 1) / int64(m.perBlock)
+	blocks := (count + int64(m.dev.perBlock) - 1) / int64(m.dev.perBlock)
 	return &RandomReader{
 		m:      m,
-		name:   name,
+		name:   key,
 		h:      h,
 		count:  count,
 		blocks: blocks,
-		buf:    make([]byte, m.blockSize),
+		buf:    make([]byte, m.dev.blockSize),
 	}, nil
 }
 
@@ -210,11 +211,11 @@ func (r *RandomReader) Block(idx int64) ([]int64, error) {
 	if idx < 0 || idx >= r.blocks {
 		return nil, fmt.Errorf("disk: block %d out of range [0,%d) in %s", idx, r.blocks, r.name)
 	}
-	cache := r.m.cache.Load()
+	cache := r.m.dev.cache.Load()
 	if cache != nil {
 		if vals, ok := cache.get(r.name, idx); ok {
 			r.hits++
-			r.m.cacheHits.Add(1)
+			r.m.countCacheHit()
 			return vals, nil
 		}
 	}
@@ -222,7 +223,7 @@ func (r *RandomReader) Block(idx int64) ([]int64, error) {
 		return nil, fmt.Errorf("disk: read %s block %d: %w", r.name, idx, err)
 	}
 	r.m.sleepFor(OpRandRead)
-	off := idx * int64(r.m.blockSize)
+	off := idx * int64(r.m.dev.blockSize)
 	n, err := r.h.ReadAt(r.buf, off)
 	if err == io.EOF || err == io.ErrUnexpectedEOF {
 		err = nil
@@ -237,10 +238,9 @@ func (r *RandomReader) Block(idx int64) ([]int64, error) {
 	out := make([]int64, cnt)
 	decodeInto(out, r.buf[:n])
 	r.reads++
-	r.m.randReads.Add(1)
-	r.m.bytesRead.Add(uint64(n))
+	r.m.countRandRead(n)
 	if cache != nil {
-		r.m.cacheMisses.Add(1)
+		r.m.countCacheMiss()
 		// Caching partial tail blocks is sound within the Manager API: the
 		// Writer only flushes a partial block at Close, after which the
 		// file can never grow (Create truncates), so a visible partial
@@ -252,7 +252,7 @@ func (r *RandomReader) Block(idx int64) ([]int64, error) {
 }
 
 // ElementBlock returns the block index containing element i.
-func (r *RandomReader) ElementBlock(i int64) int64 { return i / int64(r.m.perBlock) }
+func (r *RandomReader) ElementBlock(i int64) int64 { return i / int64(r.m.dev.perBlock) }
 
 // Close releases the underlying handle.
 func (r *RandomReader) Close() error {

@@ -22,25 +22,26 @@ type Writer struct {
 // Create creates (truncating if present) the named element file and returns
 // a sequential Writer for it.
 func (m *Manager) Create(name string) (*Writer, error) {
-	if err := m.injected(OpOpen, name, 0); err != nil {
-		return nil, fmt.Errorf("disk: create %s: %w", name, err)
+	key := m.key(name)
+	if err := m.injected(OpOpen, key, 0); err != nil {
+		return nil, fmt.Errorf("disk: create %s: %w", key, err)
 	}
-	h, err := m.backend.Create(name)
+	h, err := m.dev.backend.Create(key)
 	if err != nil {
-		return nil, fmt.Errorf("disk: create %s: %w", name, err)
+		return nil, fmt.Errorf("disk: create %s: %w", key, err)
 	}
 	// Truncation makes any cached blocks of the old content stale;
 	// invalidate after the backend mutation so a read completing just
 	// before the truncation cannot repopulate behind the invalidation.
 	// (Reusing a name while readers of the old content are still active is
 	// not supported — the store's monotonic IDs never do this.)
-	m.invalidate(name)
-	m.opens.Add(1)
+	m.invalidate(key)
+	m.countOpen()
 	return &Writer{
 		m:    m,
-		name: name,
+		name: key,
 		h:    h,
-		buf:  make([]byte, m.blockSize),
+		buf:  make([]byte, m.dev.blockSize),
 	}, nil
 }
 
@@ -52,7 +53,7 @@ func (w *Writer) Append(v int64) error {
 	encodeInto(w.buf[w.fill*ElementSize:], []int64{v})
 	w.fill++
 	w.count++
-	if w.fill == w.m.perBlock {
+	if w.fill == w.m.dev.perBlock {
 		return w.flushBlock()
 	}
 	return nil
@@ -80,8 +81,7 @@ func (w *Writer) flushBlock() error {
 	if _, err := w.h.Write(w.buf[:n]); err != nil {
 		return fmt.Errorf("disk: write %s block %d: %w", w.name, w.blocks, err)
 	}
-	w.m.seqWrites.Add(1)
-	w.m.bytesWritten.Add(uint64(n))
+	w.m.countSeqWrite(n)
 	w.blocks++
 	w.fill = 0
 	return nil

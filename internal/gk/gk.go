@@ -21,6 +21,7 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"sync"
 )
 
 // tuple is one summary entry. g is the gap rmin(i) - rmin(i-1); delta is
@@ -32,9 +33,12 @@ type tuple struct {
 }
 
 // Sketch is a Greenwald-Khanna ε-approximate quantile summary. The zero
-// value is not usable; construct with New. Sketch is not safe for concurrent
-// use; the engine layer provides locking.
+// value is not usable; construct with New. A Sketch is safe for concurrent
+// use: an internal mutex serializes mutation, including the lazy
+// buffer-flush that read paths trigger — necessary because the engine layer
+// allows concurrent read-locked queries over one sketch.
 type Sketch struct {
+	mu     sync.Mutex
 	eps    float64
 	n      int64 // includes buffered-but-unmerged elements
 	tuples []tuple
@@ -78,31 +82,49 @@ func MustNew(eps float64) *Sketch {
 func (s *Sketch) Epsilon() float64 { return s.eps }
 
 // Count returns the number of elements inserted.
-func (s *Sketch) Count() int64 { return s.n }
+func (s *Sketch) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
 
 // TupleCount returns the current number of summary tuples (after merging
 // any buffered inserts).
 func (s *Sketch) TupleCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.flush()
 	return len(s.tuples)
 }
 
 // MaxTupleCount returns the high-water mark of the tuple list.
-func (s *Sketch) MaxTupleCount() int { return s.maxTuples }
+func (s *Sketch) MaxTupleCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxTuples
+}
 
 // MemoryBytes estimates the live memory footprint of the summary: 24 bytes
 // per tuple (three int64 fields) plus 8 bytes per buffered insert.
 func (s *Sketch) MemoryBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return int64(len(s.tuples))*24 + int64(cap(s.pending))*8
 }
 
 // MaxMemoryBytes estimates the peak memory footprint.
-func (s *Sketch) MaxMemoryBytes() int64 { return int64(s.maxTuples) * 24 }
+func (s *Sketch) MaxMemoryBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(s.maxTuples) * 24
+}
 
 // Reset empties the sketch, keeping its parameters. Used at the end of each
 // time step when the batch is loaded into the warehouse (StreamReset,
 // Algorithm 4).
 func (s *Sketch) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.n = 0
 	s.tuples = s.tuples[:0]
 	s.pending = s.pending[:0]
@@ -110,6 +132,8 @@ func (s *Sketch) Reset() {
 
 // Insert adds one element to the summary.
 func (s *Sketch) Insert(v int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.pending = append(s.pending, v)
 	s.n++
 	if len(s.pending) >= s.flushEvery {
@@ -192,6 +216,12 @@ func (s *Sketch) compress() {
 // Query returns a value whose rank in the stream is within ±εn of r.
 // r is clamped to [1, n]. Query on an empty sketch returns ok=false.
 func (s *Sketch) Query(r int64) (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queryLocked(r)
+}
+
+func (s *Sketch) queryLocked(r int64) (int64, bool) {
 	s.flush()
 	if len(s.tuples) == 0 {
 		return 0, false
@@ -220,15 +250,19 @@ func (s *Sketch) Query(r int64) (int64, bool) {
 // Quantile returns an element approximating the φ-quantile (smallest element
 // with rank ≥ ⌈φn⌉), within ±εn rank error.
 func (s *Sketch) Quantile(phi float64) (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.n == 0 {
 		return 0, false
 	}
 	r := int64(math.Ceil(phi * float64(s.n)))
-	return s.Query(r)
+	return s.queryLocked(r)
 }
 
 // Min returns the exact minimum seen so far.
 func (s *Sketch) Min() (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.flush()
 	if len(s.tuples) == 0 {
 		return 0, false
@@ -238,6 +272,8 @@ func (s *Sketch) Min() (int64, bool) {
 
 // Max returns the exact maximum seen so far.
 func (s *Sketch) Max() (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.flush()
 	if len(s.tuples) == 0 {
 		return 0, false
@@ -248,6 +284,12 @@ func (s *Sketch) Max() (int64, bool) {
 // RankBounds returns lower and upper bounds on the rank of v in the stream
 // (number of elements ≤ v), derived from the summary invariants.
 func (s *Sketch) RankBounds(v int64) (lo, hi int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rankBoundsLocked(v)
+}
+
+func (s *Sketch) rankBoundsLocked(v int64) (lo, hi int64) {
 	s.flush()
 	if len(s.tuples) == 0 {
 		return 0, 0
@@ -271,13 +313,17 @@ func (s *Sketch) RankBounds(v int64) (lo, hi int64) {
 // RankEstimate returns a point estimate of the rank of v (midpoint of the
 // bounds).
 func (s *Sketch) RankEstimate(v int64) int64 {
-	lo, hi := s.RankBounds(v)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lo, hi := s.rankBoundsLocked(v)
 	return (lo + hi) / 2
 }
 
 // checkInvariant verifies g_i + Δ_i ≤ ⌊2εn⌋ + 1 for all tuples and that
 // values are sorted; used by tests.
 func (s *Sketch) checkInvariant() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.flush()
 	p := int64(2*s.eps*float64(s.n)) + 1
 	total := int64(0)

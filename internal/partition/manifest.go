@@ -16,12 +16,15 @@ const manifestVersion = 1
 // with one sequential scan per partition on load, which is the same I/O
 // class as the merge that produced the partition.
 type Manifest struct {
-	Version int             `json:"version"`
-	Kappa   int             `json:"kappa"`
-	Eps1    float64         `json:"eps1"`
-	NextID  int64           `json:"next_id"`
-	Steps   int             `json:"steps"`
-	Parts   []ManifestEntry `json:"partitions"`
+	Version int `json:"version"`
+	// Namespace is the logical stream this store belongs to ("" for
+	// single-stream stores). Checked against Config.Namespace on load.
+	Namespace string          `json:"namespace,omitempty"`
+	Kappa     int             `json:"kappa"`
+	Eps1      float64         `json:"eps1"`
+	NextID    int64           `json:"next_id"`
+	Steps     int             `json:"steps"`
+	Parts     []ManifestEntry `json:"partitions"`
 }
 
 // ManifestEntry describes one partition.
@@ -38,11 +41,12 @@ type ManifestEntry struct {
 // file on the device's backend.
 func (s *Store) SaveManifest(name string) error {
 	m := Manifest{
-		Version: manifestVersion,
-		Kappa:   s.cfg.Kappa,
-		Eps1:    s.cfg.Eps1,
-		NextID:  s.nextID,
-		Steps:   s.steps,
+		Version:   manifestVersion,
+		Namespace: s.cfg.Namespace,
+		Kappa:     s.cfg.Kappa,
+		Eps1:      s.cfg.Eps1,
+		NextID:    s.nextID,
+		Steps:     s.steps,
 	}
 	for lvl, entries := range s.levels {
 		for _, e := range entries {
@@ -82,6 +86,9 @@ func LoadStore(dev *disk.Manager, manifestName string, cfg Config) (*Store, erro
 	}
 	if m.Version != manifestVersion {
 		return nil, fmt.Errorf("partition: manifest version %d, want %d", m.Version, manifestVersion)
+	}
+	if m.Namespace != cfg.Namespace {
+		return nil, fmt.Errorf("partition: manifest namespace %q != config namespace %q", m.Namespace, cfg.Namespace)
 	}
 	if m.Kappa != cfg.Kappa {
 		return nil, fmt.Errorf("partition: manifest kappa %d != config kappa %d", m.Kappa, cfg.Kappa)

@@ -28,6 +28,12 @@ type Config struct {
 	// paper's §4 future-work direction). Costs one extra sequential pass
 	// over the merged data; reduces wall-clock on parallel storage.
 	MergeWorkers int
+	// Namespace identifies the logical stream this store belongs to when
+	// several stores multiplex one device through namespaced disk views
+	// (disk.Manager.Namespace). It is recorded in the manifest and checked
+	// on load, so a store cannot silently resume from another stream's
+	// state. Empty for single-stream stores on the root view.
+	Namespace string
 }
 
 func (c *Config) validate() error {

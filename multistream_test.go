@@ -1,0 +1,153 @@
+// Multi-stream cache-sharing evaluation: N streams on one DB draw on a
+// single shared LRU budget, so cache capacity flows to whichever stream is
+// hot; N independent engines must statically split the same budget N ways
+// and strand capacity on cold streams. The test asserts the effect, the
+// benchmark measures it.
+package hsq_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+const (
+	msStreams    = 4
+	msSteps      = 3
+	msBatch      = 4096
+	msCacheTotal = 96 // blocks; each stream holds ~96 blocks of data
+	msRounds     = 30
+)
+
+// msPhis is the dashboard query mix run against the hot stream each round.
+var msPhis = []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}
+
+func msConfig(cacheBlocks int) hsq.Options {
+	return hsq.Options{
+		Epsilon:     0.02,
+		Kappa:       4,
+		Backend:     "mem",
+		BlockSize:   1024, // 128 elements per block
+		CacheBlocks: cacheBlocks,
+		NoSpill:     true,
+	}
+}
+
+// msQuery runs one round of the skewed dashboard workload: the hot stream
+// (index 0) answers the full phi mix; cold streams answer one phi each.
+func msQuery(tb testing.TB, round int, quantile func(i int, phi float64)) {
+	for _, phi := range msPhis {
+		quantile(0, phi)
+	}
+	for i := 1; i < msStreams; i++ {
+		quantile(i, msPhis[round%len(msPhis)])
+	}
+}
+
+// runShared drives the workload against one DB hosting all streams over a
+// single cache budget and returns total backend RandReads.
+func runShared(tb testing.TB) (total uint64, perStream map[string]hsq.IOStats, agg hsq.IOStats) {
+	db, err := hsq.Open(msConfig(msCacheTotal))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	streams := make([]*hsq.Stream, msStreams)
+	for i := range streams {
+		st, err := db.Stream(fmt.Sprintf("s%d", i))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		streams[i] = st
+		loadStream(tb, st, int64(i+1), msSteps, msBatch)
+	}
+	for round := 0; round < msRounds; round++ {
+		msQuery(tb, round, func(i int, phi float64) {
+			if _, _, err := streams[i].Quantile(phi); err != nil {
+				tb.Fatal(err)
+			}
+		})
+	}
+	agg = db.DiskStats()
+	return agg.RandReads, db.StreamStats(), agg
+}
+
+// runSplit drives the identical workload against N independent engines,
+// each with 1/N of the cache budget, and returns total backend RandReads.
+func runSplit(tb testing.TB) uint64 {
+	engines := make([]*hsq.Engine, msStreams)
+	for i := range engines {
+		eng, err := hsq.New(msConfig(msCacheTotal / msStreams))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		engines[i] = eng
+		gen := workload.NewNormal(int64(i + 1))
+		for s := 0; s < msSteps; s++ {
+			eng.ObserveSlice(workload.Fill(gen, msBatch))
+			if _, err := eng.EndStep(); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	for round := 0; round < msRounds; round++ {
+		msQuery(tb, round, func(i int, phi float64) {
+			if _, _, err := engines[i].Quantile(phi); err != nil {
+				tb.Fatal(err)
+			}
+		})
+	}
+	var total uint64
+	for _, eng := range engines {
+		total += eng.DiskStats().RandReads
+	}
+	return total
+}
+
+// TestMultiStreamSharedCache is the tentpole's acceptance check: N streams
+// on one shared DB spend fewer total backend RandReads than N independent
+// engines with the cache split N ways, and per-stream IOStats sum exactly
+// to the device aggregate.
+func TestMultiStreamSharedCache(t *testing.T) {
+	shared, perStream, agg := runShared(t)
+	split := runSplit(t)
+	t.Logf("total RandReads: shared DB = %d, split engines = %d", shared, split)
+	if shared >= split {
+		t.Errorf("shared cache (%d reads) should beat split caches (%d reads)", shared, split)
+	}
+	var sum hsq.IOStats
+	for _, io := range perStream {
+		sum.SeqReads += io.SeqReads
+		sum.SeqWrites += io.SeqWrites
+		sum.RandReads += io.RandReads
+		sum.CacheHits += io.CacheHits
+		sum.CacheMisses += io.CacheMisses
+	}
+	if sum != agg {
+		t.Errorf("per-stream IOStats sum %+v != device aggregate %+v", sum, agg)
+	}
+}
+
+// BenchmarkMultiStream compares the two arrangements under the same skewed
+// dashboard workload; the randreads/op metric is the paper's disk-access
+// cost. Example:
+//
+//	go test -bench BenchmarkMultiStream -benchtime 3x
+func BenchmarkMultiStream(b *testing.B) {
+	b.Run("shared-db", func(b *testing.B) {
+		var reads uint64
+		for i := 0; i < b.N; i++ {
+			r, _, _ := runShared(b)
+			reads += r
+		}
+		b.ReportMetric(float64(reads)/float64(b.N), "randreads/op")
+	})
+	b.Run("split-engines", func(b *testing.B) {
+		var reads uint64
+		for i := 0; i < b.N; i++ {
+			reads += runSplit(b)
+		}
+		b.ReportMetric(float64(reads)/float64(b.N), "randreads/op")
+	})
+}

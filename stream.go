@@ -1,0 +1,26 @@
+package hsq
+
+// Stream is one named quantile stream hosted by a DB. It embeds its
+// per-stream Engine, so the full single-stream surface — Observe,
+// ObserveSlice, EndStep, Quantile(s), Rank, windowed queries, the context
+// variants, MemoryUsage, Checkpoint — applies per stream, while storage,
+// the block-cache budget and aggregate I/O accounting are shared with every
+// other stream of the DB.
+//
+// DiskStats (inherited from Engine) reports only this stream's I/O: the
+// stream's engine runs on a namespaced view of the shared device, and
+// per-view counters always sum to the DB's DiskStats aggregate.
+//
+// Use DB.DropStream to delete a stream rather than calling Destroy
+// directly, so the DB's stream directory stays consistent.
+type Stream struct {
+	*Engine
+	name string
+	db   *DB
+}
+
+// Name returns the stream's name.
+func (s *Stream) Name() string { return s.name }
+
+// DB returns the hosting database.
+func (s *Stream) DB() *DB { return s.db }
