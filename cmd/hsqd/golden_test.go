@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The golden files pin the exact JSON wire format of the read-side REST
+// surface and the exact text of error bodies, so a handler refactor cannot
+// silently change what clients parse. Regenerate intentionally with:
+//
+//	go test ./cmd/hsqd -run TestGolden -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files instead of comparing")
+
+// goldenServer builds a server with a fixed, fully deterministic state: the
+// mem backend (no directory, no platform-dependent I/O), two streams with
+// known data, one completed step each. Nothing here may depend on timing.
+func goldenServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv, err := newServer(serverConfig{backend: "mem", epsilon: 0.05, kappa: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+	var lat, size strings.Builder
+	for i := 1; i <= 500; i++ {
+		fmt.Fprintf(&lat, "%d\n", i)
+		fmt.Fprintf(&size, "%d\n", 100000+i)
+	}
+	postBody(t, ts.URL+"/streams/api.latency/observe", lat.String())
+	postBody(t, ts.URL+"/streams/api.size/observe", size.String())
+	postBody(t, ts.URL+"/streams/api.latency/endstep", "")
+	postBody(t, ts.URL+"/streams/api.size/endstep", "")
+	return ts
+}
+
+// checkGolden compares got against testdata/<name>.golden, or rewrites the
+// file under -update-golden.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("wire format drifted from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// canonicalJSON re-encodes a JSON body with sorted keys and stable
+// indentation, so the golden comparison is about content, not encoder
+// incidentals.
+func canonicalJSON(t *testing.T, body []byte) []byte {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("response is not JSON: %v\n%s", err, body)
+	}
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestGoldenStreams pins GET /streams: the stream directory with per-stream
+// counters plus the shared-device aggregate.
+func TestGoldenStreams(t *testing.T) {
+	ts := goldenServer(t)
+	code, body := get(t, ts.URL+"/streams")
+	if code != http.StatusOK {
+		t.Fatalf("GET /streams: status %d", code)
+	}
+	checkGolden(t, "streams", canonicalJSON(t, body))
+}
+
+// TestGoldenStreamStats pins GET /streams/{name}/stats, the widest response
+// shape on the surface (levels, windows, memory and I/O counters).
+func TestGoldenStreamStats(t *testing.T) {
+	ts := goldenServer(t)
+	code, body := get(t, ts.URL+"/streams/api.latency/stats")
+	if code != http.StatusOK {
+		t.Fatalf("GET stats: status %d", code)
+	}
+	checkGolden(t, "stream_stats", canonicalJSON(t, body))
+	// The legacy /stats route must serve the identical shape (from the
+	// "default" stream); pin it too so the two surfaces cannot drift apart.
+	postBody(t, ts.URL+"/observe", "1\n2\n3\n4\n5\n")
+	postBody(t, ts.URL+"/endstep", "")
+	code, body = get(t, ts.URL+"/stats")
+	if code != http.StatusOK {
+		t.Fatalf("GET /stats: status %d", code)
+	}
+	checkGolden(t, "legacy_stats", canonicalJSON(t, body))
+}
+
+// TestGoldenQueryShapes pins the query response envelopes (quantile,
+// quantiles, rank) on exact, deterministic data.
+func TestGoldenQueryShapes(t *testing.T) {
+	ts := goldenServer(t)
+	var out bytes.Buffer
+	for _, url := range []string{
+		"/streams/api.latency/quantile?phi=0.5",
+		"/streams/api.latency/quantile?phi=0.5&quick=1",
+		"/streams/api.latency/quantile?phi=0.5&window=1",
+		"/streams/api.latency/quantiles?phi=0.25,0.75&max-reads=100",
+		"/streams/api.latency/rank?v=250",
+	} {
+		code, body := get(t, ts.URL+url)
+		if code != http.StatusOK {
+			t.Fatalf("GET %s: status %d", url, code)
+		}
+		fmt.Fprintf(&out, "### GET %s\n%s", url, canonicalJSON(t, body))
+	}
+	checkGolden(t, "queries", out.Bytes())
+}
+
+// TestGoldenErrors pins the error bodies: status codes and exact text.
+func TestGoldenErrors(t *testing.T) {
+	ts := goldenServer(t)
+	var out bytes.Buffer
+	record := func(method, url, body string) {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+url, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&out, "### %s %s\nstatus %d\n%s", method, url, resp.StatusCode, b)
+	}
+	record(http.MethodGet, "/streams/api.latency/quantile?phi=abc", "")
+	record(http.MethodGet, "/streams/api.latency/quantile?phi=0.5&window=99", "")
+	record(http.MethodGet, "/streams/api.latency/quantiles?phi=", "")
+	record(http.MethodGet, "/streams/api.latency/quantiles?phi=0.5&max-reads=-1", "")
+	record(http.MethodGet, "/streams/api.latency/rank?v=abc", "")
+	record(http.MethodGet, "/streams/nope/quantile?phi=0.5", "")
+	record(http.MethodGet, "/streams/nope/stats", "")
+	record(http.MethodDelete, "/streams/nope", "")
+	record(http.MethodPost, "/streams/api.latency/observe", "notanumber\n")
+	record(http.MethodPost, "/streams/bad/name/observe", "1\n")
+	checkGolden(t, "errors", out.Bytes())
+}

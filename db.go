@@ -81,6 +81,7 @@ func Open(opts Options) (*DB, error) {
 		return nil, fmt.Errorf("hsq: %s holds a legacy single-stream warehouse (root %s, no %s); resume it with OpenEngine, or move its files into %s/<name>/ (setting the manifest's \"namespace\") to adopt it as a DB stream",
 			full.Dir, manifestName, dbManifestName, streamNamespacePrefix)
 	}
+	registered := map[string]bool{}
 	if dev.Exists(dbManifestName) {
 		data, err := dev.ReadMeta(dbManifestName)
 		if err != nil {
@@ -94,12 +95,41 @@ func Open(opts Options) (*DB, error) {
 			return nil, fmt.Errorf("hsq: DB manifest version %d, want %d", m.Version, dbManifestVersion)
 		}
 		for _, name := range m.Streams {
+			registered[name] = true
 			if _, err := db.openStreamLocked(name); err != nil {
 				return nil, fmt.Errorf("hsq: reopen stream %q: %w", name, err)
 			}
 		}
 	}
+	if err := db.collectUnregisteredStreams(registered); err != nil {
+		return nil, err
+	}
 	return db, nil
+}
+
+// collectUnregisteredStreams removes the on-disk state of stream
+// namespaces that the (committed) DB manifest does not list. They are
+// crash debris: either a DropStream that committed the directory update
+// but died before finishing the destroy, or a stream created and written
+// whose registration never became durable. Per the durability contract,
+// a stream missing from the committed directory has an empty prefix of
+// completed steps — its files are orphans.
+func (db *DB) collectUnregisteredStreams(registered map[string]bool) error {
+	names, err := db.dev.List(streamNamespacePrefix + "/")
+	if err != nil {
+		return fmt.Errorf("hsq: list stream namespaces: %w", err)
+	}
+	for _, name := range names {
+		rel := strings.TrimPrefix(name, streamNamespacePrefix+"/")
+		stream, _, ok := strings.Cut(rel, "/")
+		if !ok || registered[stream] {
+			continue
+		}
+		if err := db.dev.Remove(name); err != nil {
+			return fmt.Errorf("hsq: collect unregistered stream %q: %w", stream, err)
+		}
+	}
+	return nil
 }
 
 // ValidStreamName reports whether name can name a stream: one namespace
@@ -183,6 +213,12 @@ func (db *DB) Streams() []string {
 
 // DropStream destroys the named stream: its partitions and manifest are
 // removed from the device and it disappears from the stream directory.
+//
+// The drop is committed first — the stream directory without the stream is
+// durably written before any file is deleted — so a crash mid-destroy
+// leaves only unregistered orphan files, which the next Open collects. The
+// reverse order would risk a committed directory pointing at a
+// half-destroyed stream.
 func (db *DB) DropStream(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -193,11 +229,25 @@ func (db *DB) DropStream(name string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownStream, name)
 	}
-	if err := s.Engine.Destroy(); err != nil {
+	delete(db.streams, name)
+	if err := db.saveManifestLocked(); err != nil {
+		// WriteMeta is atomic: the failed write left the old directory (with
+		// the stream) on the device, so memory and disk still agree.
+		db.streams[name] = s
 		return err
 	}
-	delete(db.streams, name)
-	return db.saveManifestLocked()
+	if err := db.dev.Sync(); err != nil {
+		// The device now holds a directory without the stream; abandoning
+		// the drop in memory alone would let any later device-wide sync make
+		// that directory durable and a subsequent Open destroy a live
+		// stream's data. Rewrite the directory with the stream restored.
+		db.streams[name] = s
+		if serr := db.saveManifestLocked(); serr != nil {
+			return errors.Join(err, serr)
+		}
+		return err
+	}
+	return s.Engine.Destroy()
 }
 
 // saveManifestLocked writes the stream directory atomically. Caller holds
@@ -233,7 +283,10 @@ func (db *DB) Checkpoint() error {
 			return fmt.Errorf("hsq: checkpoint stream %q: %w", name, err)
 		}
 	}
-	return db.saveManifestLocked()
+	if err := db.saveManifestLocked(); err != nil {
+		return err
+	}
+	return db.dev.Sync()
 }
 
 // Close checkpoints every stream and the stream directory, marks every
@@ -252,6 +305,9 @@ func (db *DB) Close() error {
 		}
 	}
 	if err := db.saveManifestLocked(); err != nil {
+		return err
+	}
+	if err := db.dev.Sync(); err != nil {
 		return err
 	}
 	db.closed = true

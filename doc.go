@@ -54,6 +54,37 @@
 // EndStepCtx, QuantileCtx, QuantilesOptsCtx, ...) that honor cancellation,
 // polling the context between the random disk reads of an accurate query.
 //
+// # Durability
+//
+// The warehouse is crash-consistent, with one exact guarantee: after a
+// crash, a reopened engine or DB recovers precisely a prefix of the time
+// steps whose EndStep completed — per stream, every batch up to some
+// completed step, never a torn or partial batch, with all quantile bounds
+// intact over the recovered data. When EndStep returns nil that step is
+// already durable, so the recovered prefix is at least everything that was
+// acknowledged (it can exceed it by at most the one step that committed
+// just before the crash). The in-flight batch of the current, unfinished
+// step is volatile by design and is lost on a crash, exactly as a DSMS
+// would replay or drop it.
+//
+// The guarantee comes from a write-data → sync → commit-manifest → sync
+// ordering on every mutation: partition files are immutable once written
+// and durable before the manifest that references them commits, manifests
+// replace atomically, and files superseded by a commit (merged-away
+// partitions, raw batch spills) are removed only after the commit is
+// durable. Opening detects and garbage-collects whatever a half-finished
+// install left behind instead of failing on it.
+//
+// Backend implementations must provide the three primitives this protocol
+// leans on: WriteMeta must be crash-atomic (old content or new, never
+// torn), Sync must be a durability barrier for every previously completed
+// write, and List must enumerate files so recovery can find orphans. The
+// file backend implements them with fsync and atomic renames; the
+// conformance suite in internal/disk covers the contract, and the
+// deterministic crash harness in internal/crashtest proves the end-to-end
+// guarantee by crashing a seeded workload at every backend operation and
+// reopening under adversarial recovery modes.
+//
 // See DESIGN.md for the full mapping from the paper's algorithms to this
 // package and EXPERIMENTS.md for the reproduced evaluation.
 package hsq

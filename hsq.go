@@ -36,6 +36,12 @@ type Config struct {
 	// directory of flat files rooted at Dir) or "mem" (heap-resident, for
 	// tests, benchmarks and cache simulation; state dies with the process).
 	Backend string
+	// Device, when non-nil, is a pre-constructed storage backend that
+	// overrides Backend and Dir — the hook simulation harnesses use to run
+	// an engine or DB over an instrumented backend (e.g. the deterministic
+	// crash simulator in internal/disk). Most callers should leave it nil
+	// and use Backend/Dir.
+	Device disk.Backend
 	// Dir is the directory backing the on-disk warehouse. Required for the
 	// file backend; ignored by "mem".
 	Dir string
@@ -81,7 +87,7 @@ func (c *Config) withDefaults() (Config, error) {
 	if out.Kappa < 2 {
 		return out, fmt.Errorf("hsq: Kappa must be >= 2, got %d", out.Kappa)
 	}
-	if out.Dir == "" && (out.Backend == "" || out.Backend == "file") {
+	if out.Device == nil && out.Dir == "" && (out.Backend == "" || out.Backend == "file") {
 		return out, fmt.Errorf("hsq: Dir is required for the file backend")
 	}
 	if out.CacheBlocks < 0 {
@@ -225,9 +231,13 @@ type Engine struct {
 // newDevice builds the warehouse block device described by cfg: backend,
 // block size, block cache and simulated latency profile.
 func newDevice(cfg Config) (*disk.Manager, error) {
-	b, err := disk.OpenBackend(cfg.Backend, cfg.Dir)
-	if err != nil {
-		return nil, err
+	b := cfg.Device
+	if b == nil {
+		var err error
+		b, err = disk.OpenBackend(cfg.Backend, cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
 	}
 	dev, err := disk.NewManagerOn(b, cfg.BlockSize)
 	if err != nil {
@@ -272,6 +282,16 @@ func newEngineOn(dev *disk.Manager, full Config, namespace string, resume bool) 
 		store, err = partition.LoadStore(dev, manifestName, pcfg)
 	} else {
 		store, err = partition.NewStore(dev, pcfg)
+		if err == nil && namespace != "" {
+			// A DB-hosted stream opening fresh may still find debris from a
+			// crash before its first durable commit (the stream was in the
+			// DB directory but never wrote a manifest). Nothing is
+			// referenced yet, so everything matching the store's file
+			// patterns is an orphan.
+			if _, gcErr := partition.CollectOrphans(dev, nil); gcErr != nil {
+				return nil, gcErr
+			}
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -390,8 +410,16 @@ func (e *Engine) PartitionCount() int {
 
 // EndStep closes the current time step: the buffered batch is loaded into
 // the warehouse (sorted into a level-0 partition, with level merges as
-// needed) and the stream sketch is reset (Algorithm 4, StreamReset). An
-// empty stream is a no-op.
+// needed), the new warehouse state is durably committed, and the stream
+// sketch is reset (Algorithm 4, StreamReset). An empty stream is a no-op.
+//
+// The commit orders write-data → sync → commit-manifest → sync, so when
+// EndStep returns nil the step survives any crash: a reopened engine
+// recovers exactly the prefix of time steps whose EndStep completed. If
+// the commit itself fails, the batch is already installed in memory (and
+// its files on disk) but durability is not guaranteed; the error is
+// surfaced, the step still advances in memory, and the next successful
+// EndStep or Checkpoint re-commits the full state.
 func (e *Engine) EndStep() (UpdateStats, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -414,6 +442,9 @@ func (e *Engine) EndStep() (UpdateStats, error) {
 	e.step++
 	e.batch = e.batch[:0]
 	e.sketch.Reset()
+	if err := e.store.Commit(manifestName); err != nil {
+		return us, fmt.Errorf("hsq: commit step %d: %w", e.step, err)
+	}
 	return us, nil
 }
 
@@ -637,22 +668,28 @@ func (e *Engine) DiskStats() IOStats {
 	return fromDisk(e.dev.Stats())
 }
 
-// Checkpoint persists the warehouse layout so OpenEngine can resume after a
-// restart. The in-flight stream is volatile by design (it will be replayed
-// or lost, exactly as a DSMS would); only historical state is durable.
+// Checkpoint durably persists the warehouse layout so OpenEngine can
+// resume after a restart. EndStep already commits every completed step, so
+// Checkpoint is only needed to retry after a failed commit (or as an
+// explicit barrier). The in-flight stream is volatile by design (it will
+// be replayed or lost, exactly as a DSMS would); only historical state is
+// durable.
 func (e *Engine) Checkpoint() error {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.closed {
 		return ErrClosed
 	}
-	return e.store.SaveManifest(manifestName)
+	return e.store.Commit(manifestName)
 }
 
 // OpenEngine resumes a standalone engine from a directory previously
 // checkpointed with the same Epsilon and Kappa. Partition summaries are
-// rebuilt with one sequential scan each. (It was named Open before the
-// multi-stream redesign; Open now builds a DB.)
+// rebuilt with one sequential scan each, and files left behind by a
+// half-finished install — partitions written but never committed, raw
+// batch spills, sort temporaries — are detected and garbage-collected
+// rather than failing the open. (It was named Open before the multi-stream
+// redesign; Open now builds a DB.)
 func OpenEngine(cfg Config) (*Engine, error) {
 	full, err := cfg.withDefaults()
 	if err != nil {
@@ -684,7 +721,7 @@ func (e *Engine) Close() error {
 	if e.closed {
 		return nil
 	}
-	if err := e.store.SaveManifest(manifestName); err != nil {
+	if err := e.store.Commit(manifestName); err != nil {
 		return err
 	}
 	e.closed = true

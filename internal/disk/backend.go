@@ -34,11 +34,25 @@ type Backend interface {
 	// Exists reports whether the named file exists.
 	Exists(name string) bool
 	// WriteMeta atomically replaces the named metadata file (manifests,
-	// small JSON). Metadata bypasses block accounting.
+	// small JSON). Metadata bypasses block accounting. The replacement must
+	// be all-or-nothing even across a crash: after a restart the file holds
+	// either the previous content or the new content in full, never a torn
+	// mix (the file backend commits via write-temp → fsync → rename).
+	// Durability of the new content is only guaranteed after a subsequent
+	// Sync.
 	WriteMeta(name string, data []byte) error
 	// ReadMeta reads a metadata file written with WriteMeta.
 	ReadMeta(name string) ([]byte, error)
-	// Kind identifies the backend ("file", "mem") for diagnostics.
+	// Sync is the durability barrier: when it returns, every previously
+	// completed write — data appended through a now-Closed WriteHandle,
+	// WriteMeta replacements, Removes — survives a crash. Writes issued
+	// after Sync returns carry no durability promise until the next Sync.
+	Sync() error
+	// List returns the names of all files (data and metadata) whose name
+	// starts with prefix, in unspecified order. Used by crash recovery to
+	// find orphaned files from half-finished installs.
+	List(prefix string) ([]string, error)
+	// Kind identifies the backend ("file", "mem", "crash") for diagnostics.
 	Kind() string
 	// Root returns the filesystem root for backends that have one, else "".
 	Root() string

@@ -2,6 +2,7 @@ package disk
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"os"
 	"testing"
@@ -16,7 +17,7 @@ func backends(t *testing.T) map[string]Backend {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return map[string]Backend{"file": fb, "mem": NewMemBackend()}
+	return map[string]Backend{"file": fb, "mem": NewMemBackend(), "crash": NewCrashBackend()}
 }
 
 func TestBackendConformance(t *testing.T) {
@@ -138,6 +139,36 @@ func conformance(t *testing.T, b Backend, kind string) {
 		}
 	})
 
+	t.Run("sync-and-list", func(t *testing.T) {
+		w, _ := b.Create("ls/one.dat")
+		w.Write([]byte("a")) //nolint:errcheck
+		w.Close()            //nolint:errcheck
+		w, _ = b.Create("ls/two.dat")
+		w.Write([]byte("b")) //nolint:errcheck
+		w.Close()            //nolint:errcheck
+		if err := b.WriteMeta("ls/META.json", []byte("{}")); err != nil {
+			t.Fatal(err)
+		}
+		// Sync after a mix of data writes, a meta commit and a remove.
+		if err := b.Remove("ls/two.dat"); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Sync(); err != nil {
+			t.Fatalf("Sync: %v", err)
+		}
+		names, err := b.List("ls/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"ls/META.json", "ls/one.dat"}
+		if len(names) != len(want) || names[0] != want[0] || names[1] != want[1] {
+			t.Errorf("List(ls/) = %v, want %v", names, want)
+		}
+		if all, err := b.List(""); err != nil || len(all) < 2 {
+			t.Errorf("List(\"\") = %v, %v", all, err)
+		}
+	})
+
 	t.Run("independent-handles", func(t *testing.T) {
 		w, _ := b.Create("h.dat")
 		w.Write([]byte("abcdefgh")) //nolint:errcheck
@@ -228,6 +259,63 @@ func TestManagerOnEveryBackend(t *testing.T) {
 			st := m.Stats()
 			if st.SeqWrites != 3 || st.SeqReads != 3 || st.RandReads != 1 {
 				t.Errorf("stats = %+v", st)
+			}
+		})
+	}
+}
+
+// TestMetaWriteFaultEveryBackend pins the fix for meta writes bypassing the
+// fault hook: on every backend, Manager.WriteMeta must consult the hook
+// (as OpMetaWrite) before touching the backend, and Manager.Sync likewise
+// (as OpSync), so fault-injection tests can fail manifest commits.
+func TestMetaWriteFaultEveryBackend(t *testing.T) {
+	injected := errors.New("injected meta fault")
+	for kind, b := range backends(t) {
+		t.Run(kind, func(t *testing.T) {
+			m, err := NewManagerOn(b, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sawMeta, sawSync bool
+			m.SetFault(func(op Op, name string, block int64) error {
+				switch op {
+				case OpMetaWrite:
+					sawMeta = true
+					return injected
+				case OpSync:
+					sawSync = true
+					return injected
+				}
+				return nil
+			})
+			if err := m.WriteMeta("M.json", []byte("{}")); !errors.Is(err, injected) {
+				t.Errorf("WriteMeta under fault = %v, want injected", err)
+			}
+			if !sawMeta {
+				t.Error("fault hook never saw OpMetaWrite")
+			}
+			if b.Exists("M.json") {
+				t.Error("meta file written despite injected fault")
+			}
+			if err := m.Sync(); !errors.Is(err, injected) {
+				t.Errorf("Sync under fault = %v, want injected", err)
+			}
+			if !sawSync {
+				t.Error("fault hook never saw OpSync")
+			}
+			// The hook sees device-wide (prefixed) names on namespaced views.
+			m.SetFault(func(op Op, name string, block int64) error {
+				if op == OpMetaWrite && name != "ns/M.json" {
+					return fmt.Errorf("hook saw %q, want ns/M.json", name)
+				}
+				return nil
+			})
+			view, err := m.Namespace("ns")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := view.WriteMeta("M.json", []byte("{}")); err != nil {
+				t.Errorf("namespaced WriteMeta: %v", err)
 			}
 		})
 	}

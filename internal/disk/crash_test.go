@@ -1,0 +1,166 @@
+package disk
+
+import (
+	"errors"
+	"testing"
+)
+
+// crashWrite writes one file of the given content through a write handle.
+func crashWrite(t *testing.T, b *CrashBackend, name string, data []byte) {
+	t.Helper()
+	w, err := b.Create(name)
+	if err != nil {
+		t.Fatalf("create %s: %v", name, err)
+	}
+	if _, err := w.Write(data); err != nil {
+		t.Fatalf("write %s: %v", name, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashBackendDropUnsynced: a restart that drops unsynced writes must
+// roll back to exactly the last Sync — later writes, meta commits and
+// removes all vanish.
+func TestCrashBackendDropUnsynced(t *testing.T) {
+	b := NewCrashBackend()
+	crashWrite(t, b, "a.dat", []byte("durable"))
+	if err := b.WriteMeta("M.json", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unsynced tail: new file, meta replacement, removal of the old file.
+	crashWrite(t, b, "b.dat", []byte("volatile"))
+	if err := b.WriteMeta("M.json", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Remove("a.dat"); err != nil {
+		t.Fatal(err)
+	}
+
+	b.SetCrashPoint(b.Ops(), false) // crash on the very next op
+	if _, err := b.Create("c.dat"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("op at crash point = %v, want ErrCrashed", err)
+	}
+	if !b.Crashed() {
+		t.Fatal("Crashed() = false after crash point fired")
+	}
+	// All I/O is frozen, reads included.
+	if _, err := b.Open("a.dat"); !errors.Is(err, ErrCrashed) {
+		t.Errorf("read after crash = %v, want ErrCrashed", err)
+	}
+	if _, err := b.ReadMeta("M.json"); !errors.Is(err, ErrCrashed) {
+		t.Errorf("meta read after crash = %v, want ErrCrashed", err)
+	}
+
+	b.Restart(false) // drop unsynced
+	if !b.Exists("a.dat") {
+		t.Error("synced a.dat lost (unsynced Remove survived the drop)")
+	}
+	if b.Exists("b.dat") {
+		t.Error("unsynced b.dat survived the drop")
+	}
+	if data, err := b.ReadMeta("M.json"); err != nil || string(data) != "v1" {
+		t.Errorf("meta after drop = %q, %v; want v1", data, err)
+	}
+}
+
+// TestCrashBackendKeepUnsynced: a restart that keeps unsynced writes must
+// expose them all, including a torn tail on the crashing write.
+func TestCrashBackendKeepUnsynced(t *testing.T) {
+	b := NewCrashBackend()
+	crashWrite(t, b, "a.dat", []byte("durable!"))
+	if err := b.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	crashWrite(t, b, "b.dat", []byte("unsynced"))
+
+	// Crash tearing the next write: Create is one op, the Write the next.
+	b.SetCrashPoint(b.Ops()+1, true)
+	w, err := b.Create("torn.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 64)
+	if _, err := w.Write(payload); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn write = %v, want ErrCrashed", err)
+	}
+	w.Abort() // a dying writer's deferred Abort must not resurrect I/O
+
+	b.Restart(true) // keep unsynced, torn tail included
+	if !b.Exists("b.dat") {
+		t.Error("unsynced b.dat lost in keep mode")
+	}
+	n, err := b.Size("torn.dat")
+	if err != nil {
+		t.Fatalf("torn.dat gone: %v", err)
+	}
+	if n == 0 || n >= int64(len(payload)) {
+		t.Errorf("torn.dat size = %d, want a strict prefix of %d", n, len(payload))
+	}
+	if n%ElementSize == 0 {
+		t.Errorf("torn.dat size %d is element-aligned; tear should misalign", n)
+	}
+}
+
+// TestCrashBackendDeterministicOps: the mutating-op counter must be
+// independent of interleaved reads, so a counting run predicts crash
+// indices for replays.
+func TestCrashBackendDeterministicOps(t *testing.T) {
+	run := func(withReads bool) int64 {
+		b := NewCrashBackend()
+		crashWrite(t, b, "x.dat", []byte("0123456789abcdef"))
+		if withReads {
+			r, err := b.Open("x.dat")
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 4)
+			r.ReadAt(buf, 2) //nolint:errcheck
+			r.Close()        //nolint:errcheck
+			b.Exists("x.dat")
+			b.Size("x.dat") //nolint:errcheck
+			b.List("")      //nolint:errcheck
+		}
+		if err := b.WriteMeta("M.json", []byte("{}")); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		return b.Ops()
+	}
+	quiet, noisy := run(false), run(true)
+	if quiet != noisy {
+		t.Errorf("op counter depends on reads: %d vs %d", quiet, noisy)
+	}
+	if quiet == 0 {
+		t.Error("no ops counted")
+	}
+}
+
+// TestCrashBackendCrashOnSync: a crash landing on the Sync op must leave
+// the durable image at its previous state.
+func TestCrashBackendCrashOnSync(t *testing.T) {
+	b := NewCrashBackend()
+	crashWrite(t, b, "a.dat", []byte("one"))
+	if err := b.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	crashWrite(t, b, "b.dat", []byte("two"))
+	b.SetCrashPoint(b.Ops(), false)
+	if err := b.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Sync at crash point = %v, want ErrCrashed", err)
+	}
+	b.Restart(false)
+	if b.Exists("b.dat") {
+		t.Error("b.dat durable although its Sync crashed")
+	}
+	if !b.Exists("a.dat") {
+		t.Error("a.dat lost")
+	}
+}

@@ -39,6 +39,10 @@ const (
 	OpRandRead
 	// OpOpen is a file open.
 	OpOpen
+	// OpMetaWrite is an atomic metadata replacement (manifest commit).
+	OpMetaWrite
+	// OpSync is a durability barrier.
+	OpSync
 )
 
 // String returns a human-readable operation name.
@@ -52,6 +56,10 @@ func (o Op) String() string {
 		return "rand-read"
 	case OpOpen:
 		return "open"
+	case OpMetaWrite:
+		return "meta-write"
+	case OpSync:
+		return "sync"
 	default:
 		return fmt.Sprintf("op(%d)", int(o))
 	}
@@ -380,12 +388,49 @@ func (m *Manager) Size(name string) (int64, error) {
 
 // WriteMeta atomically replaces a small metadata file (e.g. a manifest) on
 // the backend. Metadata I/O is not block-accounted: the paper's cost model
-// covers element data only.
+// covers element data only. It does route through the fault hook (as
+// OpMetaWrite), so tests can fail manifest commits like any other I/O.
 func (m *Manager) WriteMeta(name string, data []byte) error {
-	if err := m.dev.backend.WriteMeta(m.key(name), data); err != nil {
-		return fmt.Errorf("disk: write meta %s: %w", m.key(name), err)
+	key := m.key(name)
+	if err := m.injected(OpMetaWrite, key, 0); err != nil {
+		return fmt.Errorf("disk: write meta %s: %w", key, err)
+	}
+	if err := m.dev.backend.WriteMeta(key, data); err != nil {
+		return fmt.Errorf("disk: write meta %s: %w", key, err)
 	}
 	return nil
+}
+
+// Sync is the device's durability barrier: it returns once every previously
+// completed write (data files, metadata commits, removals) is durable on
+// the backend. The barrier is device-wide — syncing any view syncs them
+// all. Sync routes through the fault hook as OpSync.
+func (m *Manager) Sync() error {
+	if err := m.injected(OpSync, m.prefix, 0); err != nil {
+		return fmt.Errorf("disk: sync: %w", err)
+	}
+	if err := m.dev.backend.Sync(); err != nil {
+		return fmt.Errorf("disk: sync: %w", err)
+	}
+	return nil
+}
+
+// List returns the view-relative names of all files under this view whose
+// name starts with prefix, sorted. Crash recovery uses it to find orphaned
+// files from half-finished installs.
+func (m *Manager) List(prefix string) ([]string, error) {
+	names, err := m.dev.backend.List(m.key(prefix))
+	if err != nil {
+		return nil, fmt.Errorf("disk: list %q: %w", m.key(prefix), err)
+	}
+	if m.prefix == "" {
+		return names, nil
+	}
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		out = append(out, n[len(m.prefix):])
+	}
+	return out, nil
 }
 
 // ReadMeta reads a metadata file written with WriteMeta.

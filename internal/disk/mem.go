@@ -3,6 +3,8 @@ package disk
 import (
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 	"sync"
 )
 
@@ -110,6 +112,25 @@ func (b *MemBackend) ReadMeta(name string) ([]byte, error) {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	return append([]byte(nil), f.data...), nil
+}
+
+// Sync is a no-op: heap memory has no separate durable tier. (MemBackend
+// state dies with the process regardless; CrashBackend models the volatile/
+// durable split for crash simulation.)
+func (b *MemBackend) Sync() error { return nil }
+
+// List returns the names of all files with the given prefix, sorted.
+func (b *MemBackend) List(prefix string) ([]string, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []string
+	for name := range b.files {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
 }
 
 // MemoryBytes returns the total bytes held across all files, for tests and

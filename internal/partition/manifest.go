@@ -3,7 +3,9 @@ package partition
 import (
 	"encoding/json"
 	"fmt"
+	"path"
 	"slices"
+	"strings"
 
 	"repro/internal/disk"
 )
@@ -70,8 +72,83 @@ func (s *Store) SaveManifest(name string) error {
 	return nil
 }
 
+// ParseManifest decodes a manifest previously written by SaveManifest,
+// validating its version. Callers inspecting on-disk state directly (the
+// crash harness, tooling) share the store's own decoding rules.
+func ParseManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("partition: parse manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("partition: manifest version %d, want %d", m.Version, manifestVersion)
+	}
+	return &m, nil
+}
+
+// tempFilePatterns matches the transient files an install creates and a
+// crash can strand: raw batch spills, external-sort and parallel-merge
+// temporaries, and interrupted metadata temp files. Any match is removable
+// debris once no install is in flight.
+var tempFilePatterns = []string{
+	"batch-raw-*.dat",
+	"sort-*",
+	"extsort-run*",
+	"pmerge-*",
+	"*.tmp",
+}
+
+// TempFilePatterns returns the patterns of transient install files, for
+// harnesses asserting that recovery leaves none behind. Partition files
+// (part-*.dat) are deliberately excluded: whether one is debris depends on
+// whether a manifest references it.
+func TempFilePatterns() []string {
+	return slices.Clone(tempFilePatterns)
+}
+
+// orphanPatterns is what CollectOrphans removes: the transient files plus
+// partitions written but never committed. Committed partitions share the
+// part-*.dat pattern, so the collector only removes matches that no
+// manifest entry references.
+var orphanPatterns = append([]string{"part-*.dat"}, tempFilePatterns...)
+
+// CollectOrphans removes files in the device view that a crashed or failed
+// install left behind: files matching the store's temporary/partition name
+// patterns that are not in keep. Names containing a path separator (nested
+// namespaces) are never touched. It reports the names it removed.
+func CollectOrphans(dev *disk.Manager, keep map[string]bool) ([]string, error) {
+	names, err := dev.List("")
+	if err != nil {
+		return nil, err
+	}
+	var removed []string
+	for _, name := range names {
+		if strings.Contains(name, "/") || keep[name] {
+			continue
+		}
+		matched := false
+		for _, pat := range orphanPatterns {
+			if ok, _ := path.Match(pat, name); ok {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		if err := dev.Remove(name); err != nil {
+			return removed, fmt.Errorf("partition: collect orphan %s: %w", name, err)
+		}
+		removed = append(removed, name)
+	}
+	return removed, nil
+}
+
 // LoadStore reopens a Store from a manifest, rebuilding each partition's
-// in-memory summary with a sequential scan.
+// in-memory summary with a sequential scan. Files from half-finished
+// installs — partitions written but never committed, raw batches, sort
+// temporaries — are detected and garbage-collected, so a crash between
+// data writes and the manifest commit never poisons a reopen.
 func LoadStore(dev *disk.Manager, manifestName string, cfg Config) (*Store, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -80,12 +157,9 @@ func LoadStore(dev *disk.Manager, manifestName string, cfg Config) (*Store, erro
 	if err != nil {
 		return nil, fmt.Errorf("partition: read manifest: %w", err)
 	}
-	var m Manifest
-	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, fmt.Errorf("partition: parse manifest: %w", err)
-	}
-	if m.Version != manifestVersion {
-		return nil, fmt.Errorf("partition: manifest version %d, want %d", m.Version, manifestVersion)
+	m, err := ParseManifest(data)
+	if err != nil {
+		return nil, err
 	}
 	if m.Namespace != cfg.Namespace {
 		return nil, fmt.Errorf("partition: manifest namespace %q != config namespace %q", m.Namespace, cfg.Namespace)
@@ -118,6 +192,14 @@ func LoadStore(dev *disk.Manager, manifestName string, cfg Config) (*Store, erro
 		slices.SortFunc(s.levels[lvl], func(a, b entry) int {
 			return a.part.StartStep - b.part.StartStep
 		})
+	}
+	keep := make(map[string]bool, len(m.Parts)+1)
+	keep[manifestName] = true
+	for _, pe := range m.Parts {
+		keep[pe.Name] = true
+	}
+	if _, err := CollectOrphans(dev, keep); err != nil {
+		return nil, err
 	}
 	return s, nil
 }

@@ -278,10 +278,9 @@ func (s *Store) mergeLevelParallel(lvl, workers int) error {
 	if err != nil {
 		return err
 	}
+	// Retire the inputs; physically removed at the next manifest commit.
 	for _, e := range group {
-		if err := e.part.remove(); err != nil {
-			return err
-		}
+		s.obsolete = append(s.obsolete, e.part.name)
 	}
 	s.levels[lvl] = nil
 	if lvl+1 >= len(s.levels) {

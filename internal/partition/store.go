@@ -92,6 +92,17 @@ type entry struct {
 // Store is HD + HS: the on-disk leveled partition structure together with
 // per-partition in-memory summaries. Store is not safe for concurrent use;
 // the engine provides locking.
+//
+// Mutations follow a crash-consistent commit protocol: AddBatch only ever
+// writes new files (partitions have monotonically increasing IDs, so names
+// are never reused) and defers the removal of superseded files — merged-away
+// partitions, spilled raw batches — to the obsolete list. Commit then orders
+// the step write-data → sync → commit-manifest → sync and only afterwards
+// physically removes obsolete files. A crash at any point leaves either the
+// old manifest (new files are unreferenced orphans, collected by LoadStore)
+// or the new manifest (whose data the first sync made durable before the
+// commit); the referenced files are immutable once written, so the manifest
+// can never point at torn or missing data.
 type Store struct {
 	dev    *disk.Manager
 	cfg    Config
@@ -100,6 +111,10 @@ type Store struct {
 	nextID int64
 	total  int64
 	steps  int
+	// obsolete holds files superseded by in-memory state but not yet
+	// removable: they may still be referenced by the last committed
+	// manifest. Commit removes them after the next manifest commit.
+	obsolete []string
 }
 
 // NewStore creates an empty historical store on the given device.
@@ -235,9 +250,9 @@ func (s *Store) AddBatch(data []int64, step int) (UpdateBreakdown, error) {
 		return bd, err
 	}
 	if s.cfg.SpillBatches || len(data) > s.cfg.SortMemElements {
-		if rerr := s.dev.Remove(rawName); rerr != nil {
-			return bd, rerr
-		}
+		// The raw file is superseded by the sorted partition, but stays on
+		// disk until the next manifest commit (see the Store doc comment).
+		s.obsolete = append(s.obsolete, rawName)
 	}
 	bd.Sort = time.Since(t0)
 	bd.SortIO = s.dev.Stats().Sub(io0)
@@ -420,11 +435,11 @@ func (s *Store) mergeLevel(lvl int) error {
 		return err
 	}
 
-	// Remove the merged-away partitions and install the new one.
+	// Retire the merged-away partitions (removed at the next commit, since
+	// the last committed manifest may still reference them) and install the
+	// new one.
 	for _, e := range group {
-		if err := e.part.remove(); err != nil {
-			return err
-		}
+		s.obsolete = append(s.obsolete, e.part.name)
 	}
 	s.levels[lvl] = nil
 	if lvl+1 >= len(s.levels) {
@@ -438,7 +453,35 @@ func (s *Store) mergeLevel(lvl int) error {
 	return nil
 }
 
-// Destroy removes every partition file. The store is unusable afterwards.
+// Commit makes the store's current in-memory state durable: a data barrier
+// so every partition the manifest will reference is on stable storage, the
+// atomic manifest commit, and a second barrier making the commit itself
+// durable. Only then are files superseded by this state (merged-away
+// partitions, raw batch spills) physically removed — a failed or crashed
+// removal leaves orphans for the next Commit or for LoadStore's collector,
+// never dangling manifest references.
+func (s *Store) Commit(manifestName string) error {
+	if err := s.dev.Sync(); err != nil {
+		return fmt.Errorf("partition: commit data barrier: %w", err)
+	}
+	if err := s.SaveManifest(manifestName); err != nil {
+		return err
+	}
+	if err := s.dev.Sync(); err != nil {
+		return fmt.Errorf("partition: commit manifest barrier: %w", err)
+	}
+	kept := s.obsolete[:0]
+	for _, name := range s.obsolete {
+		if err := s.dev.Remove(name); err != nil && s.dev.Exists(name) {
+			kept = append(kept, name) // retry at the next commit
+		}
+	}
+	s.obsolete = kept
+	return nil
+}
+
+// Destroy removes every partition file, plus any files awaiting removal at
+// the next commit. The store is unusable afterwards.
 func (s *Store) Destroy() error {
 	for _, lvl := range s.levels {
 		for _, e := range lvl {
@@ -447,6 +490,14 @@ func (s *Store) Destroy() error {
 			}
 		}
 	}
+	for _, name := range s.obsolete {
+		if s.dev.Exists(name) {
+			if err := s.dev.Remove(name); err != nil {
+				return err
+			}
+		}
+	}
+	s.obsolete = nil
 	s.levels = nil
 	s.total = 0
 	return nil

@@ -1,0 +1,162 @@
+package hsq_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	hsq "repro"
+	"repro/internal/oracle"
+	"repro/internal/workload"
+)
+
+// TestPropertyDifferential drives random interleavings of Observe, EndStep,
+// Quantile, QuantileQuick, Rank and RankQuick against the exact oracle, one
+// subtest per paper workload generator. Every decision — batch sizes, step
+// boundaries, query targets — comes from one seeded source, so any failure
+// is reproducible: the failure log prints the seed and the trailing
+// operation log, and HSQ_PROP_SEED replays a specific seed.
+func TestPropertyDifferential(t *testing.T) {
+	seed := int64(1)
+	if s := os.Getenv("HSQ_PROP_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad HSQ_PROP_SEED %q: %v", s, err)
+		}
+		seed = v
+	}
+	for i, name := range workload.Names() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			runDifferential(t, name, seed+int64(i))
+		})
+	}
+}
+
+// opLog is a bounded trail of executed operations, printed on failure so a
+// reproduction does not need a debugger.
+type opLog struct {
+	ops []string
+}
+
+func (l *opLog) add(format string, args ...any) {
+	l.ops = append(l.ops, fmt.Sprintf(format, args...))
+	if len(l.ops) > 40 {
+		l.ops = l.ops[1:]
+	}
+}
+
+func (l *opLog) String() string { return strings.Join(l.ops, "\n") }
+
+func runDifferential(t *testing.T, wname string, seed int64) {
+	const eps = 0.05
+	eng, err := hsq.New(hsq.Config{Epsilon: eps, Kappa: 3, Backend: "mem", BlockSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Destroy() //nolint:errcheck // in-memory state dies anyway
+	gen, err := workload.ByName(wname, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	or := oracle.New(1 << 14)
+	var log opLog
+
+	fail := func(op int, format string, args ...any) {
+		t.Helper()
+		t.Fatalf("workload=%s seed=%d op=%d: %s\n(replay with HSQ_PROP_SEED; trailing ops:)\n%s",
+			wname, seed, op, fmt.Sprintf(format, args...), log.String())
+	}
+
+	for op := 0; op < 400; op++ {
+		n := or.Count()
+		m := eng.StreamCount()
+		switch k := rng.Intn(10); {
+		case k <= 4: // observe a batch
+			batch := workload.Fill(gen, 1+rng.Intn(100))
+			eng.ObserveSlice(batch)
+			or.Add(batch...)
+			log.add("observe %d elements", len(batch))
+		case k == 5: // end the step
+			if _, err := eng.EndStep(); err != nil {
+				fail(op, "EndStep: %v", err)
+			}
+			log.add("endstep (n=%d)", or.Count())
+		case k <= 7: // quantile, accurate or quick
+			if n == 0 {
+				continue
+			}
+			phi := rng.Float64()
+			if phi == 0 {
+				phi = 0.5
+			}
+			target := int64(math.Ceil(phi * float64(n)))
+			if target < 1 {
+				target = 1
+			}
+			if k == 6 {
+				v, _, err := eng.Quantile(phi)
+				if err != nil {
+					fail(op, "Quantile(%g): %v", phi, err)
+				}
+				log.add("quantile %g -> %d", phi, v)
+				// Theorem 2 via Lemma 5: the bisection accepts within ε·m of
+				// the target, the stream estimate itself errs by up to ε₂·m
+				// (= ε·m/4), and snapping to a known element costs a little
+				// more discreteness — O(ε·m) total, asserted as 1.25·ε·m+2.
+				if se := or.SpanError(target, v); se > int64(1.25*eps*float64(m))+2 {
+					fail(op, "Quantile(%g) = %d: rank error %d > 1.25·ε·m = %g (n=%d m=%d)", phi, v, se, 1.25*eps*float64(m), n, m)
+				}
+			} else {
+				v, err := eng.QuantileQuick(phi)
+				if err != nil {
+					fail(op, "QuantileQuick(%g): %v", phi, err)
+				}
+				log.add("quick quantile %g -> %d", phi, v)
+				// Lemma 3: quick rank error ≤ 1.5·ε·N.
+				if se := or.SpanError(target, v); se > int64(1.5*eps*float64(n))+1 {
+					fail(op, "QuantileQuick(%g) = %d: rank error %d > 1.5·ε·N = %g (n=%d)", phi, v, se, 1.5*eps*float64(n), n)
+				}
+			}
+		default: // rank, accurate or quick
+			if n == 0 {
+				continue
+			}
+			v := gen.Next()
+			or.Add(v)
+			eng.Observe(v) // keep oracle and engine identical
+			want := or.Rank(v)
+			if k == 8 {
+				got, _, err := eng.Rank(v)
+				if err != nil {
+					fail(op, "Rank(%d): %v", v, err)
+				}
+				log.add("rank %d -> %d (want %d)", v, got, want)
+				if d := abs64(got - want); d > int64(eps*float64(m+1))+1 {
+					fail(op, "Rank(%d) = %d, oracle %d: error %d > ε·m (m=%d)", v, got, want, d, m+1)
+				}
+			} else {
+				got, err := eng.RankQuick(v)
+				if err != nil {
+					fail(op, "RankQuick(%d): %v", v, err)
+				}
+				log.add("quick rank %d -> %d (want %d)", v, got, want)
+				if d := abs64(got - want); d > int64(2*eps*float64(n+1))+1 {
+					fail(op, "RankQuick(%d) = %d, oracle %d: error %d > 2·ε·N (n=%d)", v, got, want, d, n+1)
+				}
+			}
+		}
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
