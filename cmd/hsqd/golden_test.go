@@ -182,3 +182,50 @@ func TestGoldenErrors(t *testing.T) {
 	record(http.MethodPost, "/streams/bad/name/observe", "1\n")
 	checkGolden(t, "errors", out.Bytes())
 }
+
+// goldenMaintServer builds a deterministic server in manual maintenance
+// mode: every endstep seals without installing, so the maintenance surface
+// shows a reproducible backlog (no timing, no worker pool).
+func goldenMaintServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv, err := newServer(serverConfig{backend: "mem", epsilon: 0.05, kappa: 3, maintenance: "manual"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+	var lat strings.Builder
+	for i := 1; i <= 500; i++ {
+		fmt.Fprintf(&lat, "%d\n", i)
+	}
+	postBody(t, ts.URL+"/streams/api.latency/observe", lat.String())
+	postBody(t, ts.URL+"/streams/api.latency/endstep", "")
+	return ts
+}
+
+// TestGoldenMaintenance pins GET /streams/{name}/maintenance in both the
+// synchronous default (empty backlog) and manual mode (one sealed step
+// pending), plus the scheduler block of GET /streams with a backlog.
+func TestGoldenMaintenance(t *testing.T) {
+	var out bytes.Buffer
+	ts := goldenServer(t)
+	code, body := get(t, ts.URL+"/streams/api.latency/maintenance")
+	if code != http.StatusOK {
+		t.Fatalf("GET maintenance (sync): status %d", code)
+	}
+	fmt.Fprintf(&out, "### sync\n%s", canonicalJSON(t, body))
+
+	tm := goldenMaintServer(t)
+	code, body = get(t, tm.URL+"/streams/api.latency/maintenance")
+	if code != http.StatusOK {
+		t.Fatalf("GET maintenance (manual): status %d", code)
+	}
+	fmt.Fprintf(&out, "### manual, one sealed step\n%s", canonicalJSON(t, body))
+
+	code, body = get(t, tm.URL+"/streams")
+	if code != http.StatusOK {
+		t.Fatalf("GET /streams (manual): status %d", code)
+	}
+	fmt.Fprintf(&out, "### manual /streams scheduler block\n%s", canonicalJSON(t, body))
+	checkGolden(t, "maintenance", out.Bytes())
+}

@@ -16,15 +16,25 @@
 //	GET    /streams/{name}/quantiles?phi=0.5,0.95,0.99[&max-reads=N]
 //	GET    /streams/{name}/rank?v=12345[&quick=1]
 //	GET    /streams/{name}/stats
+//	GET    /streams/{name}/maintenance    background-maintenance state
+//	POST   /streams/{name}/maintenance    drain: install every sealed step now
 //
 // The original single-stream endpoints (POST /observe, POST /endstep,
 // GET /quantile, /quantiles, /rank, /stats) remain and operate on the
 // stream named "default".
 //
+// With -maintenance async (recommended under write-heavy load), EndStep
+// seals the batch durably and returns while a DB-wide worker pool sorts and
+// merges in the background; queries keep answering — within ε — throughout.
+// GET /streams then also reports the scheduler: queued/running streams and
+// the aggregate merge debt. -max-pending-steps bounds how far a stream may
+// fall behind before ingest blocks (backpressure).
+//
 // Usage:
 //
 //	hsqd -dir /var/lib/hsq -epsilon 0.001 -kappa 10 -addr :8080
 //	hsqd -backend mem -cache-blocks 1024 -epsilon 0.001    # volatile, no dir
+//	hsqd -dir /var/lib/hsq -epsilon 0.001 -maintenance async -maint-workers 4
 package main
 
 import (
@@ -50,6 +60,10 @@ func main() {
 		kappa   = flag.Int("kappa", 10, "merge threshold κ")
 		addr    = flag.String("addr", ":8080", "listen address")
 		resume  = flag.Bool("resume", false, "deprecated: resume is automatic when -dir holds a DB manifest")
+
+		maintenance = flag.String("maintenance", "", "maintenance mode: sync (default: install inline in endstep), async (background scheduler), manual (drain on demand via POST maintenance); unset with -max-pending-steps > 0 selects async")
+		maxPending  = flag.Int("max-pending-steps", 0, "async backpressure: sealed steps a stream may queue before endstep blocks (0 = default 4); > 0 alone turns async maintenance on")
+		maintWork   = flag.Int("maint-workers", 0, "async scheduler worker pool size shared by all streams (0 = default 2)")
 	)
 	flag.Parse()
 	if *dir == "" && *backend != "mem" {
@@ -61,12 +75,13 @@ func main() {
 	srv, err := newServer(serverConfig{
 		dir: *dir, backend: *backend, cacheBlocks: *cache,
 		epsilon: *epsilon, kappa: *kappa,
+		maintenance: *maintenance, maxPending: *maxPending, maintWorkers: *maintWork,
 	})
 	if err != nil {
 		log.Fatalf("hsqd: %v", err)
 	}
-	log.Printf("hsqd: serving on %s (backend=%s dir=%s ε=%g κ=%d cache=%d streams=%v)",
-		*addr, *backend, *dir, *epsilon, *kappa, *cache, srv.db.Streams())
+	log.Printf("hsqd: serving on %s (backend=%s dir=%s ε=%g κ=%d cache=%d maintenance=%s streams=%v)",
+		*addr, *backend, *dir, *epsilon, *kappa, *cache, srv.db.MaintenanceMode(), srv.db.Streams())
 	log.Fatal(http.ListenAndServe(*addr, srv.mux()))
 }
 
@@ -105,6 +120,7 @@ func (s *server) handleStreams(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	agg := s.db.DiskStats()
+	sched := s.db.SchedulerStats()
 	writeJSON(w, map[string]any{
 		"streams": streams,
 		"device": map[string]any{
@@ -114,6 +130,58 @@ func (s *server) handleStreams(w http.ResponseWriter, r *http.Request) {
 			"io_cache_hits": agg.CacheHits,
 			"cache_blocks":  s.db.CacheBlocks(),
 		},
+		"scheduler": map[string]any{
+			"workers":         sched.Workers,
+			"queued_streams":  sched.QueuedStreams,
+			"running_streams": sched.RunningStreams,
+			"pending_steps":   sched.PendingSteps,
+			"merge_debt":      sched.MergeDebt,
+			"installs":        sched.Installs,
+			"merges":          sched.Merges,
+			"maint_io_reads":  sched.MaintIO.SeqReads + sched.MaintIO.RandReads,
+			"maint_io_writes": sched.MaintIO.SeqWrites,
+		},
+	})
+}
+
+// handleMaintainNow drains the stream's sealed backlog synchronously
+// (SyncMaintenance): every pending step is sorted, installed and committed
+// before the response. This is the drain hook for -maintenance manual —
+// without periodic drains a manual-mode stream buffers every sealed batch
+// in memory — and a quiescence barrier for async streams.
+func (s *server) handleMaintainNow(st *hsq.Stream, w http.ResponseWriter, r *http.Request) {
+	if err := st.SyncMaintenance(); err != nil {
+		httpError(w, http.StatusInternalServerError, "maintenance: %v", err)
+		return
+	}
+	ms := st.MaintenanceStats()
+	writeJSON(w, map[string]any{
+		"stream":        st.Name(),
+		"pending_steps": ms.PendingSteps,
+		"installs":      ms.Installs,
+		"merges":        ms.Merges,
+	})
+}
+
+// handleMaintenance reports one stream's background-maintenance state:
+// backlog, install/merge counters, backpressure and maintenance-attributed
+// I/O.
+func (s *server) handleMaintenance(st *hsq.Stream, w http.ResponseWriter, r *http.Request) {
+	ms := st.MaintenanceStats()
+	writeJSON(w, map[string]any{
+		"stream":             st.Name(),
+		"mode":               ms.Mode,
+		"pending_steps":      ms.PendingSteps,
+		"pending_elements":   ms.PendingElements,
+		"running":            ms.Running,
+		"installs":           ms.Installs,
+		"merges":             ms.Merges,
+		"install_ms":         ms.InstallTime.Milliseconds(),
+		"backpressure_waits": ms.BackpressureWaits,
+		"backpressure_ms":    ms.BackpressureTime.Milliseconds(),
+		"maint_io_reads":     ms.MaintIO.SeqReads + ms.MaintIO.RandReads,
+		"maint_io_writes":    ms.MaintIO.SeqWrites,
+		"last_error":         ms.LastError,
 	})
 }
 

@@ -24,11 +24,14 @@ const legacyStream = "default"
 
 // serverConfig carries the engine knobs from flags (or tests) to newServer.
 type serverConfig struct {
-	dir         string
-	backend     string
-	cacheBlocks int
-	epsilon     float64
-	kappa       int
+	dir          string
+	backend      string
+	cacheBlocks  int
+	epsilon      float64
+	kappa        int
+	maintenance  string
+	maxPending   int
+	maintWorkers int
 }
 
 // newServer opens (or resumes — the DB manifest decides) a multi-stream DB
@@ -41,11 +44,14 @@ func newServer(sc serverConfig) (*server, error) {
 		}
 	}
 	db, err := hsq.Open(hsq.Options{
-		Epsilon:     sc.epsilon,
-		Kappa:       sc.kappa,
-		Backend:     sc.backend,
-		Dir:         sc.dir,
-		CacheBlocks: sc.cacheBlocks,
+		Epsilon:            sc.epsilon,
+		Kappa:              sc.kappa,
+		Backend:            sc.backend,
+		Dir:                sc.dir,
+		CacheBlocks:        sc.cacheBlocks,
+		Maintenance:        sc.maintenance,
+		MaxPendingSteps:    sc.maxPending,
+		MaintenanceWorkers: sc.maintWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -168,6 +174,8 @@ func (s *server) mux() *http.ServeMux {
 	m.HandleFunc("GET /streams/{name}/quantiles", s.named(s.handleQuantiles, false))
 	m.HandleFunc("GET /streams/{name}/rank", s.named(s.handleRank, false))
 	m.HandleFunc("GET /streams/{name}/stats", s.named(s.handleStreamStats, false))
+	m.HandleFunc("GET /streams/{name}/maintenance", s.named(s.handleMaintenance, false))
+	m.HandleFunc("POST /streams/{name}/maintenance", s.named(s.handleMaintainNow, false))
 	// Legacy single-stream surface, served by the "default" stream.
 	m.HandleFunc("POST /observe", s.legacy(s.handleObserve))
 	m.HandleFunc("POST /endstep", s.legacy(s.handleEndStep))

@@ -31,13 +31,16 @@ func (e *Engine) ObserveSliceCtx(ctx context.Context, vs []int64) error {
 	return e.observeSlice(vs)
 }
 
-// EndStepCtx is EndStep with cancellation, checked at entry only (a started
-// load/merge runs to completion to keep the warehouse consistent).
+// EndStepCtx is EndStep with cancellation. It is checked at entry, and —
+// under async maintenance — while blocked on MaxPendingSteps backpressure:
+// a cancelled producer stops waiting for the maintenance backlog to drain.
+// A started load/merge still runs to completion to keep the warehouse
+// consistent.
 func (e *Engine) EndStepCtx(ctx context.Context) (UpdateStats, error) {
 	if err := ctx.Err(); err != nil {
 		return UpdateStats{}, err
 	}
-	return e.EndStep()
+	return e.endStep(ctx)
 }
 
 // QuantileCtx is Quantile with cancellation, polled between bisection
@@ -74,12 +77,7 @@ func (e *Engine) RankQueryCtx(ctx context.Context, r int64) (int64, QueryStats, 
 	if err := ctx.Err(); err != nil {
 		return 0, QueryStats{}, err
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.closed {
-		return 0, QueryStats{}, ErrClosed
-	}
-	return e.rankQueryOptsLocked(r, e.store.Entries(), QueryOpts{}, ctx.Err)
+	return e.rankQuery(r, ctx.Err)
 }
 
 // RankCtx is Rank with cancellation, checked at entry (a rank probe costs

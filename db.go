@@ -56,6 +56,7 @@ type DB struct {
 	mu      sync.Mutex
 	opts    Config
 	dev     *disk.Manager // root view: aggregate stats, shared cache
+	sched   *scheduler    // DB-wide background maintenance pool (async mode)
 	streams map[string]*Stream
 	closed  bool
 }
@@ -74,6 +75,12 @@ func Open(opts Options) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{opts: full, dev: dev, streams: make(map[string]*Stream)}
+	if full.mode() == maintAsync {
+		// One bounded worker pool shared by every stream of the DB: installs
+		// and merges from all streams compete for the same MaintenanceWorkers
+		// goroutines, with per-stream FIFO ordering (see maintenance.go).
+		db.sched = newScheduler(full.MaintenanceWorkers)
+	}
 	if !dev.Exists(dbManifestName) && dev.Exists(manifestName) {
 		// A root-level store manifest without a DB manifest is a legacy
 		// single-stream warehouse (written by Engine.Checkpoint/Close).
@@ -163,6 +170,7 @@ func (db *DB) openStreamLocked(name string) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
+	eng.sched = db.sched
 	s := &Stream{Engine: eng, name: name, db: db}
 	db.streams[name] = s
 	return s, nil
@@ -271,7 +279,10 @@ func (db *DB) saveManifestLocked() error {
 // Checkpoint persists every stream's manifest plus the stream directory,
 // each write atomic on the backend, so a multi-stream daemon can restart
 // cleanly with Open. As with Engine.Checkpoint, in-flight (unloaded) stream
-// batches are volatile by design.
+// batches are volatile by design — but steps already sealed by EndStep are
+// durable whether or not their background installs have run. Checkpoint
+// does not wait for the maintenance backlog; call WaitIdle first for a
+// fully-merged on-disk layout.
 func (db *DB) Checkpoint() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -289,8 +300,9 @@ func (db *DB) Checkpoint() error {
 	return db.dev.Sync()
 }
 
-// Close checkpoints every stream and the stream directory, marks every
-// stream closed, and releases the shared backend (when it implements
+// Close drains every stream's maintenance backlog, checkpoints every
+// stream and the stream directory, marks every stream closed, stops the
+// background scheduler, and releases the shared backend (when it implements
 // io.Closer). Close is idempotent; Destroy-like cleanup is per-stream via
 // DropStream.
 func (db *DB) Close() error {
@@ -303,6 +315,9 @@ func (db *DB) Close() error {
 		if err := s.Engine.Close(); err != nil {
 			return fmt.Errorf("hsq: close stream %q: %w", name, err)
 		}
+	}
+	if db.sched != nil {
+		db.sched.close()
 	}
 	if err := db.saveManifestLocked(); err != nil {
 		return err
@@ -339,3 +354,8 @@ func (db *DB) StreamStats() map[string]IOStats {
 // CacheBlocks returns the number of blocks currently resident in the
 // shared cache.
 func (db *DB) CacheBlocks() int { return db.dev.CacheBlocks() }
+
+// MaintenanceMode returns the resolved maintenance mode every stream of
+// this DB runs under ("sync", "async" or "manual") — the value after
+// Config defaulting, so callers never re-derive the resolution rule.
+func (db *DB) MaintenanceMode() string { return db.opts.Maintenance }

@@ -52,7 +52,53 @@
 //
 // Mutating and query methods have context variants (ObserveCtx,
 // EndStepCtx, QuantileCtx, QuantilesOptsCtx, ...) that honor cancellation,
-// polling the context between the random disk reads of an accurate query.
+// polling the context between the random disk reads of an accurate query
+// (and, for EndStepCtx under async maintenance, while blocked on
+// backpressure).
+//
+// # Concurrency model
+//
+// Reads are snapshot-isolated. The store's published state is a chain of
+// immutable versions (partition set + summaries); a query takes the engine
+// lock only long enough to pin the current version and capture the
+// memory-resident stream summaries, then runs its whole disk search outside
+// any lock. Files a merge supersedes are reclaimed only once no durable
+// manifest references them AND the last query pinning an older version has
+// finished — so an in-flight query always reads a consistent, existing
+// layout, no matter what maintenance does behind it.
+//
+// Config.Maintenance picks who executes the heavy half of EndStep (the
+// external sort, level-0 install and cascading κ-way merges):
+//
+//   - "sync" (default): inline in EndStep, under the engine write lock —
+//     the paper's loading paradigm, with ingest and queries paused for the
+//     duration of the load.
+//   - "async": EndStep only seals the step — the batch and GK sketch are
+//     cut atomically, the raw batch is spilled, and a manifest referencing
+//     the spill is durably committed — then a DB-wide scheduler (one
+//     bounded pool of Config.MaintenanceWorkers workers shared by all
+//     streams) installs sealed steps in the background, FIFO per stream.
+//     Until a step's install completes, queries cover it through its
+//     frozen stream summary, so answers always span the full observed
+//     history; the rank-error bound degrades gracefully to ε times the
+//     stream-side mass (live stream + sealed backlog), which
+//     MaxPendingSteps bounds.
+//   - "manual": seals like async but installs only when SyncMaintenance is
+//     called — for deterministic harnesses (internal/crashtest).
+//
+// Backpressure: with async maintenance, EndStep blocks once
+// Config.MaxPendingSteps sealed steps await installation, waking as
+// installs complete; EndStepCtx aborts the wait on cancellation. A stream
+// that wants a fully-merged, quiesced layout (before a benchmark, a
+// snapshot copy, a test assertion) calls SyncMaintenance; DB.WaitIdle is
+// the all-streams barrier. MaintenanceStats (per stream) and
+// DB.SchedulerStats (pool occupancy, aggregate merge debt,
+// maintenance-attributed I/O) expose the machinery.
+//
+// The durability guarantee is mode-independent: a nil EndStep return means
+// the step survives any crash. In async/manual modes a sealed step's spill
+// is its durable form — reopening re-installs sealed steps from their
+// spills before serving.
 //
 // # Durability
 //
@@ -72,8 +118,11 @@
 // and durable before the manifest that references them commits, manifests
 // replace atomically, and files superseded by a commit (merged-away
 // partitions, raw batch spills) are removed only after the commit is
-// durable. Opening detects and garbage-collects whatever a half-finished
-// install left behind instead of failing on it.
+// durable — and, with snapshot-isolated reads, only after the last pinned
+// version that could read them is released. Opening detects and
+// garbage-collects whatever a half-finished install left behind instead of
+// failing on it, and re-installs any steps that were sealed but not yet
+// installed when the process died.
 //
 // Backend implementations must provide the three primitives this protocol
 // leans on: WriteMeta must be crash-atomic (old content or new, never

@@ -1,6 +1,7 @@
 package hsq
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -56,9 +57,11 @@ type Config struct {
 	// SortMemElements bounds the memory used when sorting a batch; larger
 	// batches use external sort (default 1M elements).
 	SortMemElements int
-	// NoSpill disables writing the raw batch to disk before sorting. The
-	// paper's loading paradigm spills (the "load" phase of Figure 6);
-	// disable only in tests.
+	// NoSpill disables writing the raw batch to disk before sorting in the
+	// synchronous maintenance mode. The paper's loading paradigm spills
+	// (the "load" phase of Figure 6); disable only in tests. Deferred
+	// maintenance modes always spill — the spill is the sealed step's
+	// durable form.
 	NoSpill bool
 	// NoBlockPin disables the §2.4 optimization that pins a partition's
 	// final block in memory during a query.
@@ -74,18 +77,35 @@ type Config struct {
 	// I/O counts even when the OS page cache hides the real device:
 	// "" (off, default), "hdd" (the paper's ~1 ms random access) or "ssd".
 	SimulateDisk string
+
+	// Maintenance selects who runs the heavy half of EndStep (sort, level-0
+	// install, κ-way merges): "sync" (inline, the default), "async" (the
+	// DB-wide background scheduler) or "manual" (deferred until
+	// SyncMaintenance). See the package docs' "Concurrency model".
+	Maintenance string
+	// MaxPendingSteps bounds how many sealed steps may await background
+	// installation per stream before EndStep blocks (backpressure). Setting
+	// it > 0 with Maintenance unset selects "async"; in async mode 0 means
+	// the default bound (4).
+	MaxPendingSteps int
+	// MaintenanceWorkers sizes the async scheduler's worker pool, shared by
+	// all streams of a DB (default 2).
+	MaintenanceWorkers int
 }
 
 func (c *Config) withDefaults() (Config, error) {
 	out := *c
-	if out.Epsilon <= 0 || out.Epsilon >= 1 {
-		return out, fmt.Errorf("hsq: Epsilon must be in (0,1), got %g", out.Epsilon)
+	// Epsilon/Kappa ranges are validated by the same predicates the
+	// partition store applies to its derived parameters — one source of
+	// truth for both layers (internal/partition/validate.go).
+	if err := partition.ValidateEpsilon(out.Epsilon); err != nil {
+		return out, fmt.Errorf("hsq: %w", err)
 	}
 	if out.Kappa == 0 {
 		out.Kappa = 10
 	}
-	if out.Kappa < 2 {
-		return out, fmt.Errorf("hsq: Kappa must be >= 2, got %d", out.Kappa)
+	if err := partition.ValidateKappa(out.Kappa); err != nil {
+		return out, fmt.Errorf("hsq: %w", err)
 	}
 	if out.Device == nil && out.Dir == "" && (out.Backend == "" || out.Backend == "file") {
 		return out, fmt.Errorf("hsq: Dir is required for the file backend")
@@ -99,7 +119,40 @@ func (c *Config) withDefaults() (Config, error) {
 	if out.SortMemElements == 0 {
 		out.SortMemElements = 1 << 20
 	}
+	switch out.Maintenance {
+	case "":
+		if out.MaxPendingSteps > 0 {
+			out.Maintenance = MaintenanceAsync
+		} else {
+			out.Maintenance = MaintenanceSync
+		}
+	case MaintenanceSync, MaintenanceAsync, MaintenanceManual:
+	default:
+		return out, fmt.Errorf("hsq: unknown Maintenance mode %q (want %q, %q or %q)",
+			out.Maintenance, MaintenanceSync, MaintenanceAsync, MaintenanceManual)
+	}
+	if out.MaxPendingSteps < 0 {
+		return out, fmt.Errorf("hsq: MaxPendingSteps must be >= 0, got %d", out.MaxPendingSteps)
+	}
+	if out.Maintenance == MaintenanceAsync && out.MaxPendingSteps == 0 {
+		out.MaxPendingSteps = 4
+	}
+	if out.MaintenanceWorkers <= 0 {
+		out.MaintenanceWorkers = 2
+	}
 	return out, nil
+}
+
+// mode returns the resolved maintenance mode. Call after withDefaults.
+func (c Config) mode() maintMode {
+	switch c.Maintenance {
+	case MaintenanceAsync:
+		return maintAsync
+	case MaintenanceManual:
+		return maintManual
+	default:
+		return maintSync
+	}
 }
 
 // IOStats mirrors the block-level I/O counters of the warehouse device.
@@ -147,7 +200,10 @@ func fromDisk(d disk.Stats) IOStats {
 
 // UpdateStats reports the cost of one EndStep, split into the paper's four
 // phases (Figure 6): loading the raw batch, sorting it into a level-0
-// partition, merging overflowing levels, and summary maintenance.
+// partition, merging overflowing levels, and summary maintenance. With
+// deferred maintenance (async/manual) EndStep performs only the load (the
+// durable seal); the sort and merge phases run in the background and are
+// accounted in MaintenanceStats instead.
 type UpdateStats struct {
 	Load, Sort, Merge, Summary time.Duration
 	LoadIO, SortIO, MergeIO    IOStats
@@ -199,33 +255,64 @@ type MemoryUsage struct {
 	StreamBytes int64
 	// StreamPeakBytes is the GK sketch's high-water mark this time step.
 	StreamPeakBytes int64
+	// PendingBytes buffers sealed-but-uninstalled batches awaiting
+	// background maintenance (raw data plus frozen summaries); bounded by
+	// MaxPendingSteps batches, zero with synchronous maintenance.
+	PendingBytes int64
 }
 
 // Total returns the combined live footprint.
-func (m MemoryUsage) Total() int64 { return m.HistBytes + m.StreamBytes }
+func (m MemoryUsage) Total() int64 { return m.HistBytes + m.StreamBytes + m.PendingBytes }
 
 // Engine answers quantile queries over the union of a historical warehouse
-// and the current stream. It is safe for concurrent use: observations and
-// step boundaries take a write lock, queries a read lock.
+// and the current stream. It is safe for concurrent use.
+//
+// Reads are snapshot-isolated: a query briefly takes the engine lock to pin
+// an immutable store version plus the frozen summaries of any
+// sealed-but-uninstalled steps, then runs its disk probes entirely outside
+// the lock — so queries proceed while background maintenance sorts and
+// merges behind them, and an in-flight query keeps the partition files of
+// its pinned version alive until it finishes. See the package docs'
+// "Concurrency model" for the full locking contract.
 //
 // An Engine is the single-stream core of the package: the multi-stream DB
 // hosts one Engine per named stream (wrapped in a Stream) over namespaced
 // views of one shared device, while New and OpenEngine build a standalone
 // Engine owning its whole device — the original single-tenant shape.
 type Engine struct {
-	mu     sync.RWMutex
-	cfg    Config
-	eps1   float64
-	eps2   float64
-	dev    *disk.Manager
-	store  *partition.Store
-	sketch *gk.Sketch
-	batch  []int64
-	step   int
-	closed bool
+	cfg   Config
+	mode  maintMode
+	eps1  float64
+	eps2  float64
+	dev   *disk.Manager
+	store *partition.Store
+	sched *scheduler // async mode; shared across a DB's streams
+
+	// loadMu serializes the write path's step logic (EndStep seals, Close,
+	// Destroy) without blocking observes or queries.
+	loadMu sync.Mutex
+	// maintMu serializes store build mutations — deferred installs and
+	// merges. Lock order: loadMu > maintMu > mu.
+	maintMu sync.Mutex
+
+	// mu guards the fast in-memory state below. Queries hold it only long
+	// enough to pin a snapshot.
+	mu       sync.RWMutex
+	sketch   *gk.Sketch
+	batch    []int64
+	sealed   []*sealedPiece
+	step     int
+	closed   bool
+	maintErr error
+	wake     chan struct{}
+	mstats   maintAccum
+
 	// ownsDev marks standalone engines whose Close releases the backend;
 	// DB-hosted engines share the device, which the DB releases once.
-	ownsDev bool
+	// ownsSched likewise marks a standalone async engine owning its worker
+	// pool.
+	ownsDev   bool
+	ownsSched bool
 }
 
 // newDevice builds the warehouse block device described by cfg: backend,
@@ -269,7 +356,10 @@ func storeConfig(cfg Config, eps1 float64, namespace string) partition.Config {
 // newEngineOn builds (or, with resume, reopens) an engine core over an
 // already-constructed device view. full must have passed withDefaults.
 // namespace identifies the stream when the view is namespaced ("" for
-// standalone engines on a root view).
+// standalone engines on a root view). Steps that were sealed but not
+// installed when the previous process died are re-installed synchronously
+// before the engine is returned, so a reopened engine always serves its
+// full recovered prefix from partitions.
 func newEngineOn(dev *disk.Manager, full Config, namespace string, resume bool) (*Engine, error) {
 	eps1 := full.Epsilon / 2
 	eps2 := full.Epsilon / 4
@@ -302,8 +392,22 @@ func newEngineOn(dev *disk.Manager, full Config, namespace string, resume bool) 
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{cfg: full, eps1: eps1, eps2: eps2, dev: dev, store: store, sketch: sketch}
+	e := &Engine{
+		cfg: full, mode: full.mode(), eps1: eps1, eps2: eps2,
+		dev: dev, store: store, sketch: sketch,
+		wake: make(chan struct{}),
+	}
 	e.step = store.Steps()
+	if resume {
+		// Fold sealed-but-uninstalled steps from the recovered manifest back
+		// into partitions before serving: their frozen summaries died with
+		// the old process, so the spills are the only queryable form.
+		for store.PendingSteps() > 0 {
+			if _, _, err := store.InstallOne(manifestName); err != nil {
+				return nil, fmt.Errorf("hsq: recover sealed step: %w", err)
+			}
+		}
+	}
 	return e, nil
 }
 
@@ -323,7 +427,16 @@ func New(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e.ownsDev = true
+	e.attachOwnScheduler()
 	return e, nil
+}
+
+// attachOwnScheduler gives a standalone async engine its own worker pool.
+func (e *Engine) attachOwnScheduler() {
+	if e.mode == maintAsync && e.sched == nil {
+		e.sched = newScheduler(e.cfg.MaintenanceWorkers)
+		e.ownsSched = true
+	}
 }
 
 // Epsilon returns the engine's approximation parameter.
@@ -380,7 +493,9 @@ func (e *Engine) StreamCount() int64 {
 	return e.sketch.Count()
 }
 
-// HistCount returns n, the number of elements in the warehouse.
+// HistCount returns n, the number of elements in the warehouse — installed
+// partitions plus steps sealed by EndStep and awaiting background
+// installation.
 func (e *Engine) HistCount() int64 {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -403,24 +518,44 @@ func (e *Engine) Steps() int {
 
 // PartitionCount returns the number of live partitions in HD.
 func (e *Engine) PartitionCount() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
 	return e.store.PartitionCount()
 }
 
-// EndStep closes the current time step: the buffered batch is loaded into
-// the warehouse (sorted into a level-0 partition, with level merges as
-// needed), the new warehouse state is durably committed, and the stream
-// sketch is reset (Algorithm 4, StreamReset). An empty stream is a no-op.
+// EndStep closes the current time step (Algorithm 4, StreamReset): the
+// buffered batch becomes part of the warehouse and the stream sketch is
+// reset. An empty stream is a no-op.
 //
-// The commit orders write-data → sync → commit-manifest → sync, so when
-// EndStep returns nil the step survives any crash: a reopened engine
-// recovers exactly the prefix of time steps whose EndStep completed. If
-// the commit itself fails, the batch is already installed in memory (and
-// its files on disk) but durability is not guaranteed; the error is
-// surfaced, the step still advances in memory, and the next successful
-// EndStep or Checkpoint re-commits the full state.
+// With synchronous maintenance (the default) the batch is loaded inline —
+// sorted into a level-0 partition, with level merges as needed — and the
+// new warehouse state durably committed before EndStep returns, exactly the
+// original behavior: the commit orders write-data → sync → commit-manifest
+// → sync, so when EndStep returns nil the step survives any crash, and a
+// reopened engine recovers exactly the prefix of time steps whose EndStep
+// completed. If the commit itself fails, the batch is already installed in
+// memory, the error is surfaced, and the next successful EndStep or
+// Checkpoint re-commits the full state.
+//
+// With deferred maintenance (async/manual) EndStep only seals the step:
+// the batch and sketch are cut atomically, the raw batch is spilled and a
+// manifest referencing it durably committed — the same recovery guarantee,
+// at the cost of one sequential write of the batch — while the sort,
+// install and merges run in the background. Queries cover sealed steps
+// through their frozen summaries, so answers always span the full observed
+// history. In async mode EndStep blocks when MaxPendingSteps seals await
+// installation (backpressure); EndStepCtx aborts the wait on cancellation.
 func (e *Engine) EndStep() (UpdateStats, error) {
+	return e.endStep(context.Background())
+}
+
+func (e *Engine) endStep(ctx context.Context) (UpdateStats, error) {
+	if e.mode == maintSync {
+		return e.endStepSync()
+	}
+	return e.endStepDeferred(ctx)
+}
+
+// endStepSync is the original inline install under the write lock.
+func (e *Engine) endStepSync() (UpdateStats, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
@@ -430,7 +565,8 @@ func (e *Engine) EndStep() (UpdateStats, error) {
 		return UpdateStats{}, nil
 	}
 	bd, err := e.store.AddBatch(e.batch, e.step+1)
-	if err != nil {
+	if err != nil && !errors.Is(err, partition.ErrMergeIncomplete) {
+		// The batch never installed: keep it (and the sketch) for a retry.
 		return UpdateStats{}, fmt.Errorf("hsq: end step %d: %w", e.step+1, err)
 	}
 	us := UpdateStats{
@@ -442,10 +578,133 @@ func (e *Engine) EndStep() (UpdateStats, error) {
 	e.step++
 	e.batch = e.batch[:0]
 	e.sketch.Reset()
+	if err != nil {
+		// The step is installed and counted; only the cascade is unfinished
+		// (retried by the next update). Surface it without re-loading the
+		// batch — retrying would double-install the data.
+		return us, fmt.Errorf("hsq: end step %d: %w", e.step, err)
+	}
 	if err := e.store.Commit(manifestName); err != nil {
 		return us, fmt.Errorf("hsq: commit step %d: %w", e.step, err)
 	}
 	return us, nil
+}
+
+// endStepDeferred seals the step and hands the install to maintenance.
+func (e *Engine) endStepDeferred(ctx context.Context) (UpdateStats, error) {
+	e.loadMu.Lock()
+	defer e.loadMu.Unlock()
+	// Backpressure is enforced while holding the seal lock: concurrent
+	// EndStep callers serialize here and each re-validates the bound, so
+	// the sealed backlog can never exceed MaxPendingSteps. Installs need no
+	// engine lock we hold, so the wait always resolves (or surfaces the
+	// maintenance error / cancellation).
+	if err := e.waitBackpressure(ctx); err != nil {
+		return UpdateStats{}, err
+	}
+
+	// Cut the step atomically: the batch, its sketch summary and the step
+	// counter move together, so elements observed from here on belong to
+	// the next step and queries never double-count.
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return UpdateStats{}, ErrClosed
+	}
+	if err := e.maintErr; err != nil {
+		e.mu.Unlock()
+		return UpdateStats{}, maintFailed(err)
+	}
+	if len(e.batch) == 0 {
+		e.mu.Unlock()
+		return UpdateStats{}, nil
+	}
+	data := e.batch
+	e.batch = nil
+	count := e.sketch.Count()
+	ss := core.StreamSummary(e.sketch, e.eps2)
+	e.sketch.Reset()
+	e.step++
+	step := e.step
+	e.sealed = append(e.sealed, &sealedPiece{step: step, count: count, ss: ss})
+	e.mu.Unlock()
+
+	t0 := time.Now()
+	io0 := e.dev.Stats()
+	maint0 := e.dev.MaintStats()
+	sealedStep, err := e.store.Seal(data, manifestName)
+	// Isolate the seal's own I/O: background installs on the same view are
+	// maintenance-tagged (subtracted), and concurrent query reads are
+	// excluded by keeping only the write counters — a seal is one
+	// sequential spill plus the commit.
+	loadIO := fromDisk(e.dev.Stats().Sub(io0).Sub(e.dev.MaintStats().Sub(maint0)))
+	loadIO.SeqReads, loadIO.RandReads, loadIO.CacheHits, loadIO.CacheMisses = 0, 0, 0, 0
+	us := UpdateStats{
+		Load:      time.Since(t0),
+		LoadIO:    loadIO,
+		BatchSize: int64(len(data)),
+	}
+	if err == nil && sealedStep != step {
+		err = fmt.Errorf("engine at step %d but store sealed step %d", step, sealedStep)
+	}
+	if e.mode == maintAsync {
+		e.sched.enqueue(e)
+	}
+	if err != nil {
+		// The step exists in memory and will still be installed; only its
+		// durability is deferred (the next Commit retries the spill), the
+		// same contract as a failed synchronous commit.
+		return us, fmt.Errorf("hsq: seal step %d: %w", step, err)
+	}
+	return us, nil
+}
+
+// waitBackpressure blocks while the stream's sealed backlog is at the
+// MaxPendingSteps bound, waking on maintenance progress. ctx aborts the
+// wait.
+func (e *Engine) waitBackpressure(ctx context.Context) error {
+	if e.mode != maintAsync {
+		return nil
+	}
+	max := e.cfg.MaxPendingSteps
+	waited := false
+	for {
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return ErrClosed
+		}
+		if err := e.maintErr; err != nil {
+			e.mu.Unlock()
+			return maintFailed(err)
+		}
+		if len(e.sealed) < max {
+			e.mu.Unlock()
+			return nil
+		}
+		ch := e.wake
+		if !waited {
+			// One blocked EndStep counts once, however many wakeups it takes.
+			e.mstats.bpWaits++
+			waited = true
+		}
+		e.mu.Unlock()
+		e.sched.enqueue(e)
+		t0 := time.Now()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			e.addBackpressureTime(time.Since(t0))
+			return ctx.Err()
+		}
+		e.addBackpressureTime(time.Since(t0))
+	}
+}
+
+func (e *Engine) addBackpressureTime(d time.Duration) {
+	e.mu.Lock()
+	e.mstats.bpTime += d
+	e.mu.Unlock()
 }
 
 // applyDiskProfile installs a simulated latency profile on the device.
@@ -478,44 +737,61 @@ func rankTarget(phi float64, n int64) (int64, error) {
 	return r, nil
 }
 
-// Quantile answers an accurate φ-quantile query over T = H ∪ R with rank
-// error ≤ ε·m (Algorithm 6 / Theorem 2), using a small number of random
-// disk reads.
-func (e *Engine) Quantile(phi float64) (int64, QueryStats, error) {
-	return e.QuantileOpts(phi, QueryOpts{})
+// querySnap is one snapshot-isolated view of the engine: an immutable,
+// pinned store version plus the memory-resident stream pieces (frozen
+// summaries of sealed steps awaiting installation, then the live sketch's
+// summary). Everything a query reads after the snapshot is immutable, so
+// the whole disk search runs without any engine lock; release returns the
+// pin so reclaimed partitions can be deleted.
+type querySnap struct {
+	ver    *partition.Version
+	sums   []*partition.Summary
+	pieces []core.StreamPiece
+	sealed int   // number of sealed (pending-install) pieces, oldest first
+	m      int64 // live stream count
+	n      int64 // grand total across version, sealed pieces and stream
 }
 
-// RankQuery answers an accurate query for the element of rank r in T.
-func (e *Engine) RankQuery(r int64) (int64, QueryStats, error) {
+func (s *querySnap) release() { s.ver.Release() }
+
+// snapshot pins the engine's current state for one query. The engine lock
+// is held only for the pin and the sketch-summary extraction.
+func (e *Engine) snapshot() (*querySnap, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
-		return 0, QueryStats{}, ErrClosed
+		return nil, ErrClosed
 	}
-	return e.rankQueryLocked(r, e.store.Entries())
+	s := &querySnap{ver: e.store.Pin()}
+	s.sums = s.ver.Entries()
+	s.n = s.ver.TotalCount()
+	s.pieces = make([]core.StreamPiece, 0, len(e.sealed)+1)
+	// Only pieces the pinned version has not installed yet: an install
+	// publishes its version before the engine retires the frozen summary,
+	// and filtering on the version's own step count keeps the snapshot
+	// exact under every interleaving — a step is covered by its partition
+	// or its frozen summary, never both.
+	installed := s.ver.InstalledSteps()
+	for _, p := range e.sealed {
+		if p.step <= installed {
+			continue
+		}
+		s.pieces = append(s.pieces, core.StreamPiece{SS: p.ss, M: p.count})
+		s.n += p.count
+	}
+	s.sealed = len(s.pieces)
+	s.m = e.sketch.Count()
+	if s.m > 0 {
+		s.pieces = append(s.pieces, core.StreamPiece{SS: core.StreamSummary(e.sketch, e.eps2), M: s.m})
+		s.n += s.m
+	}
+	return s, nil
 }
 
-func (e *Engine) rankQueryLocked(r int64, sums []*partition.Summary) (int64, QueryStats, error) {
-	return e.rankQueryOptsLocked(r, sums, QueryOpts{}, nil)
-}
-
-// rankQueryOptsLocked is the accurate-query core. interrupt, when non-nil,
-// is polled between bisection probes (context cancellation).
-func (e *Engine) rankQueryOptsLocked(r int64, sums []*partition.Summary, opts QueryOpts, interrupt func() error) (int64, QueryStats, error) {
-	if e.closed {
-		return 0, QueryStats{}, ErrClosed
-	}
-	m := e.sketch.Count()
-	var histN int64
-	for _, s := range sums {
-		histN += s.Part.Count
-	}
-	if histN+m == 0 {
-		return 0, QueryStats{}, fmt.Errorf("hsq: query on empty dataset")
-	}
+// accurate runs the bisection query over a snapshot subset.
+func (e *Engine) accurate(sums []*partition.Summary, pieces []core.StreamPiece, r int64, opts QueryOpts, interrupt func() error) (int64, QueryStats, error) {
 	t0 := time.Now()
-	ss := core.StreamSummary(e.sketch, e.eps2)
-	c := core.BuildCombined(sums, ss, m, e.eps1, e.eps2)
+	c := core.BuildPieces(sums, pieces, e.eps1, e.eps2)
 	v, cost, err := core.AccurateQueryOpts(c, e.cfg.Epsilon, r, core.QueryOptions{
 		PinBlocks: !e.cfg.NoBlockPin,
 		Parallel:  e.cfg.ParallelQuery,
@@ -536,6 +812,31 @@ func (e *Engine) rankQueryOptsLocked(r int64, sums []*partition.Summary, opts Qu
 	}, nil
 }
 
+// Quantile answers an accurate φ-quantile query over T = H ∪ R with rank
+// error ≤ ε·m (Algorithm 6 / Theorem 2), using a small number of random
+// disk reads. (With a deferred-maintenance backlog, sealed steps count
+// toward the stream side of the bound until their installs complete.)
+func (e *Engine) Quantile(phi float64) (int64, QueryStats, error) {
+	return e.QuantileOpts(phi, QueryOpts{})
+}
+
+// RankQuery answers an accurate query for the element of rank r in T.
+func (e *Engine) RankQuery(r int64) (int64, QueryStats, error) {
+	return e.rankQuery(r, nil)
+}
+
+func (e *Engine) rankQuery(r int64, interrupt func() error) (int64, QueryStats, error) {
+	s, err := e.snapshot()
+	if err != nil {
+		return 0, QueryStats{}, err
+	}
+	defer s.release()
+	if s.n == 0 {
+		return 0, QueryStats{}, fmt.Errorf("hsq: query on empty dataset")
+	}
+	return e.accurate(s.sums, s.pieces, r, QueryOpts{}, interrupt)
+}
+
 // QuantileOpts answers an accurate φ-quantile with per-query options (e.g.
 // an I/O budget).
 func (e *Engine) QuantileOpts(phi float64, opts QueryOpts) (int64, QueryStats, error) {
@@ -543,63 +844,110 @@ func (e *Engine) QuantileOpts(phi float64, opts QueryOpts) (int64, QueryStats, e
 }
 
 func (e *Engine) quantileOpts(phi float64, opts QueryOpts, interrupt func() error) (int64, QueryStats, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.closed {
-		return 0, QueryStats{}, ErrClosed
-	}
-	n := e.store.TotalCount() + e.sketch.Count()
-	r, err := rankTarget(phi, n)
+	s, err := e.snapshot()
 	if err != nil {
 		return 0, QueryStats{}, err
 	}
-	return e.rankQueryOptsLocked(r, e.store.Entries(), opts, interrupt)
+	defer s.release()
+	r, err := rankTarget(phi, s.n)
+	if err != nil {
+		return 0, QueryStats{}, err
+	}
+	if s.n == 0 {
+		return 0, QueryStats{}, fmt.Errorf("hsq: query on empty dataset")
+	}
+	return e.accurate(s.sums, s.pieces, r, opts, interrupt)
 }
 
 // QuantileQuick answers a φ-quantile query from in-memory summaries only
 // (Algorithm 5), with rank error ≤ 1.5·ε·N (Lemma 3) and zero disk reads.
 func (e *Engine) QuantileQuick(phi float64) (int64, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	n := e.store.TotalCount() + e.sketch.Count()
-	r, err := rankTarget(phi, n)
+	s, err := e.snapshot()
 	if err != nil {
 		return 0, err
 	}
-	return e.quickLocked(r, e.store.Entries())
+	defer s.release()
+	r, err := rankTarget(phi, s.n)
+	if err != nil {
+		return 0, err
+	}
+	return e.quick(s, r)
 }
 
 // RankQueryQuick answers a rank query from in-memory summaries only.
 func (e *Engine) RankQueryQuick(r int64) (int64, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.quickLocked(r, e.store.Entries())
+	s, err := e.snapshot()
+	if err != nil {
+		return 0, err
+	}
+	defer s.release()
+	return e.quick(s, r)
 }
 
-func (e *Engine) quickLocked(r int64, sums []*partition.Summary) (int64, error) {
-	if e.closed {
-		return 0, ErrClosed
-	}
-	m := e.sketch.Count()
-	var histN int64
-	for _, s := range sums {
-		histN += s.Part.Count
-	}
-	if histN+m == 0 {
+func (e *Engine) quick(s *querySnap, r int64) (int64, error) {
+	return e.quickOver(s.sums, s.pieces, s.n, r)
+}
+
+// quickOver is the in-memory-only query core shared by the full-history
+// and windowed quick paths.
+func (e *Engine) quickOver(sums []*partition.Summary, pieces []core.StreamPiece, n, r int64) (int64, error) {
+	if n == 0 {
 		return 0, fmt.Errorf("hsq: query on empty dataset")
 	}
-	ss := core.StreamSummary(e.sketch, e.eps2)
-	c := core.BuildCombined(sums, ss, m, e.eps1, e.eps2)
+	c := core.BuildPieces(sums, pieces, e.eps1, e.eps2)
 	return c.QuickQuery(r)
 }
 
 // AvailableWindows returns the historical window sizes (in time steps) that
 // align with partition boundaries; windowed queries also include the
-// current stream (paper §2.4, "Queries Over Windows").
+// current stream (paper §2.4, "Queries Over Windows"). Steps sealed but not
+// yet installed by background maintenance are the newest windows (each
+// sealed step extends every window by one and adds a window of its own).
 func (e *Engine) AvailableWindows() []int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.store.AvailableWindows()
+	s, err := e.snapshot()
+	if err != nil {
+		return nil
+	}
+	defer s.release()
+	var out []int
+	for k := 1; k <= s.sealed; k++ {
+		out = append(out, k)
+	}
+	for _, w := range s.ver.AvailableWindows() {
+		out = append(out, w+s.sealed)
+	}
+	return out
+}
+
+// window selects the snapshot subset covering the most recent `steps`
+// historical time steps: the newest sealed pieces first, then whole
+// partitions. The live stream piece is always included.
+func (s *querySnap) window(steps int) ([]*partition.Summary, []core.StreamPiece, int64, error) {
+	if steps <= 0 {
+		return nil, nil, 0, fmt.Errorf("hsq: window must be positive, got %d", steps)
+	}
+	live := s.pieces[s.sealed:] // the live stream piece, if any
+	n := s.m
+	if steps <= s.sealed {
+		pieces := make([]core.StreamPiece, 0, steps+1)
+		for _, p := range s.pieces[s.sealed-steps : s.sealed] {
+			pieces = append(pieces, p)
+			n += p.M
+		}
+		pieces = append(pieces, live...)
+		return nil, pieces, n, nil
+	}
+	sums, err := s.ver.WindowEntries(steps - s.sealed)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	for _, sum := range sums {
+		n += sum.Part.Count
+	}
+	for _, p := range s.pieces[:s.sealed] {
+		n += p.M
+	}
+	return sums, s.pieces, n, nil
 }
 
 // WindowQuantile answers an accurate φ-quantile over the union of the
@@ -610,55 +958,57 @@ func (e *Engine) WindowQuantile(phi float64, steps int) (int64, QueryStats, erro
 }
 
 func (e *Engine) windowQuantile(phi float64, steps int, interrupt func() error) (int64, QueryStats, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.closed {
-		return 0, QueryStats{}, ErrClosed
-	}
-	sums, err := e.store.WindowEntries(steps)
+	s, err := e.snapshot()
 	if err != nil {
 		return 0, QueryStats{}, err
 	}
-	var histN int64
-	for _, s := range sums {
-		histN += s.Part.Count
+	defer s.release()
+	sums, pieces, n, err := s.window(steps)
+	if err != nil {
+		return 0, QueryStats{}, err
 	}
-	n := histN + e.sketch.Count()
 	r, err := rankTarget(phi, n)
 	if err != nil {
 		return 0, QueryStats{}, err
 	}
-	return e.rankQueryOptsLocked(r, sums, QueryOpts{}, interrupt)
+	if n == 0 {
+		return 0, QueryStats{}, fmt.Errorf("hsq: query on empty dataset")
+	}
+	return e.accurate(sums, pieces, r, QueryOpts{}, interrupt)
 }
 
 // WindowQuantileQuick is the in-memory-only windowed query.
 func (e *Engine) WindowQuantileQuick(phi float64, steps int) (int64, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	sums, err := e.store.WindowEntries(steps)
+	s, err := e.snapshot()
 	if err != nil {
 		return 0, err
 	}
-	var histN int64
-	for _, s := range sums {
-		histN += s.Part.Count
+	defer s.release()
+	sums, pieces, n, err := s.window(steps)
+	if err != nil {
+		return 0, err
 	}
-	n := histN + e.sketch.Count()
 	r, err := rankTarget(phi, n)
 	if err != nil {
 		return 0, err
 	}
-	return e.quickLocked(r, sums)
+	return e.quickOver(sums, pieces, n, r)
 }
 
 // MemoryUsage returns the current summary footprint (Observation 1).
 func (e *Engine) MemoryUsage() MemoryUsage {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	var pendingBytes int64
+	for _, p := range e.sealed {
+		pendingBytes += int64(len(p.ss)) * 8
+	}
+	pendingBytes += e.store.PendingBytes()
 	return MemoryUsage{
 		HistBytes:       e.store.MemoryBytes(),
 		StreamBytes:     e.sketch.MemoryBytes(),
 		StreamPeakBytes: e.sketch.MaxMemoryBytes(),
+		PendingBytes:    pendingBytes,
 	}
 }
 
@@ -669,15 +1019,18 @@ func (e *Engine) DiskStats() IOStats {
 }
 
 // Checkpoint durably persists the warehouse layout so OpenEngine can
-// resume after a restart. EndStep already commits every completed step, so
-// Checkpoint is only needed to retry after a failed commit (or as an
-// explicit barrier). The in-flight stream is volatile by design (it will
-// be replayed or lost, exactly as a DSMS would); only historical state is
-// durable.
+// resume after a restart. EndStep already commits every completed step
+// (seals included), so Checkpoint is only needed to retry after a failed
+// commit (or as an explicit barrier). The in-flight stream is volatile by
+// design (it will be replayed or lost, exactly as a DSMS would); only
+// historical state — including sealed steps awaiting installation — is
+// durable. Checkpoint does not wait for background installs; use
+// SyncMaintenance for a fully-merged quiescent state.
 func (e *Engine) Checkpoint() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
+	e.mu.RLock()
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
 		return ErrClosed
 	}
 	return e.store.Commit(manifestName)
@@ -685,11 +1038,11 @@ func (e *Engine) Checkpoint() error {
 
 // OpenEngine resumes a standalone engine from a directory previously
 // checkpointed with the same Epsilon and Kappa. Partition summaries are
-// rebuilt with one sequential scan each, and files left behind by a
-// half-finished install — partitions written but never committed, raw
-// batch spills, sort temporaries — are detected and garbage-collected
-// rather than failing the open. (It was named Open before the multi-stream
-// redesign; Open now builds a DB.)
+// rebuilt with one sequential scan each; files left behind by a
+// half-finished install — partitions written but never committed, sort
+// temporaries — are garbage-collected, and steps that were sealed but not
+// yet installed are re-installed from their spills. (It was named Open
+// before the multi-stream redesign; Open now builds a DB.)
 func OpenEngine(cfg Config) (*Engine, error) {
 	full, err := cfg.withDefaults()
 	if err != nil {
@@ -704,10 +1057,12 @@ func OpenEngine(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e.ownsDev = true
+	e.attachOwnScheduler()
 	return e, nil
 }
 
-// Close checkpoints the engine and releases it: the manifest is persisted,
+// Close drains background maintenance, checkpoints the engine and releases
+// it: sealed steps are installed and committed, the manifest is persisted,
 // the engine transitions to a terminal state in which every subsequent
 // mutation or query fails with ErrClosed, and — for standalone engines that
 // own their device — the storage backend is released (closed, when the
@@ -716,15 +1071,30 @@ func OpenEngine(cfg Config) (*Engine, error) {
 // Destroy supersedes Close: a destroyed engine's on-disk state is gone, so
 // there is nothing left to checkpoint and no need to call Close after it.
 func (e *Engine) Close() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
+	e.loadMu.Lock()
+	defer e.loadMu.Unlock()
+	e.mu.RLock()
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
 		return nil
+	}
+	if err := e.SyncMaintenance(); err != nil {
+		return err
 	}
 	if err := e.store.Commit(manifestName); err != nil {
 		return err
 	}
+	e.mu.Lock()
 	e.closed = true
+	e.wakeLocked()
+	e.mu.Unlock()
+	// No new pins are possible past closed; wait out in-flight queries so
+	// the backend is never torn down under their reads.
+	e.store.DrainPins()
+	if e.ownsSched {
+		e.sched.close()
+	}
 	if e.ownsDev {
 		if c, ok := e.dev.Backend().(io.Closer); ok {
 			return c.Close()
@@ -733,12 +1103,23 @@ func (e *Engine) Close() error {
 	return nil
 }
 
-// Destroy removes all on-disk state. The engine is unusable afterwards (it
-// behaves as closed). Destroy supersedes Close — after Destroy there is no
-// state left to checkpoint.
+// Destroy removes all on-disk state, including spills of steps awaiting
+// installation. The engine is unusable afterwards (it behaves as closed).
+// Destroy supersedes Close — after Destroy there is no state left to
+// checkpoint.
 func (e *Engine) Destroy() error {
+	e.loadMu.Lock()
+	defer e.loadMu.Unlock()
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.closed = true
+	e.sealed = nil
+	e.wakeLocked()
+	e.mu.Unlock()
+	// Queries that pinned a version before we closed may still be probing
+	// partition files; wait them out before deleting anything.
+	e.store.DrainPins()
 	if err := e.store.Destroy(); err != nil {
 		return err
 	}
@@ -747,29 +1128,29 @@ func (e *Engine) Destroy() error {
 			return err
 		}
 	}
-	e.closed = true
+	if e.ownsSched {
+		e.sched.close()
+	}
 	return nil
 }
 
 // Rank estimates the rank of an arbitrary value v within T = H ∪ R: the
-// number of elements ≤ v. Historical partitions are counted exactly via
-// per-partition binary search; the stream contributes an SS-based estimate,
-// so the error is at most ~ε·m/4. This is the inverse primitive of
+// number of elements ≤ v. Installed partitions are counted exactly via
+// per-partition binary search; the stream — and any sealed steps awaiting
+// installation — contribute summary-based estimates, so the error is at
+// most ~ε₂ times the stream-side mass. This is the inverse primitive of
 // Quantile.
 func (e *Engine) Rank(v int64) (int64, QueryStats, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.closed {
-		return 0, QueryStats{}, ErrClosed
+	s, err := e.snapshot()
+	if err != nil {
+		return 0, QueryStats{}, err
 	}
-	sums := e.store.Entries()
-	m := e.sketch.Count()
-	if e.store.TotalCount()+m == 0 {
+	defer s.release()
+	if s.n == 0 {
 		return 0, QueryStats{}, fmt.Errorf("hsq: rank query on empty dataset")
 	}
 	t0 := time.Now()
-	ss := core.StreamSummary(e.sketch, e.eps2)
-	c := core.BuildCombined(sums, ss, m, e.eps1, e.eps2)
+	c := core.BuildPieces(s.sums, s.pieces, e.eps1, e.eps2)
 	r, cost, err := core.RankOfValue(c, v, !e.cfg.NoBlockPin)
 	if err != nil {
 		return 0, QueryStats{}, err
@@ -785,18 +1166,15 @@ func (e *Engine) Rank(v int64) (int64, QueryStats, error) {
 // RankQuick estimates the rank of v from in-memory summaries only, with
 // O(ε·N) error and zero disk reads.
 func (e *Engine) RankQuick(v int64) (int64, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.closed {
-		return 0, ErrClosed
+	s, err := e.snapshot()
+	if err != nil {
+		return 0, err
 	}
-	sums := e.store.Entries()
-	m := e.sketch.Count()
-	if e.store.TotalCount()+m == 0 {
+	defer s.release()
+	if s.n == 0 {
 		return 0, fmt.Errorf("hsq: rank query on empty dataset")
 	}
-	ss := core.StreamSummary(e.sketch, e.eps2)
-	c := core.BuildCombined(sums, ss, m, e.eps1, e.eps2)
+	c := core.BuildPieces(s.sums, s.pieces, e.eps1, e.eps2)
 	return c.QuickRank(v), nil
 }
 
@@ -819,25 +1197,21 @@ func (e *Engine) QuantilesOpts(phis []float64, opts QueryOpts) ([]int64, QuerySt
 }
 
 func (e *Engine) quantilesOpts(phis []float64, opts QueryOpts, interrupt func() error) ([]int64, QueryStats, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.closed {
-		return nil, QueryStats{}, ErrClosed
+	s, err := e.snapshot()
+	if err != nil {
+		return nil, QueryStats{}, err
 	}
-	sums := e.store.Entries()
-	m := e.sketch.Count()
-	n := e.store.TotalCount() + m
-	if n == 0 {
+	defer s.release()
+	if s.n == 0 {
 		return nil, QueryStats{}, fmt.Errorf("hsq: query on empty dataset")
 	}
 	t0 := time.Now()
-	ss := core.StreamSummary(e.sketch, e.eps2)
-	c := core.BuildCombined(sums, ss, m, e.eps1, e.eps2)
+	c := core.BuildPieces(s.sums, s.pieces, e.eps1, e.eps2)
 	out := make([]int64, len(phis))
 	var agg QueryStats
 	remaining := opts.MaxReads
 	for i, phi := range phis {
-		r, err := rankTarget(phi, n)
+		r, err := rankTarget(phi, s.n)
 		if err != nil {
 			return nil, QueryStats{}, err
 		}
@@ -888,8 +1262,6 @@ type LevelInfo struct {
 
 // Describe returns the warehouse layout, one entry per level.
 func (e *Engine) Describe() []LevelInfo {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
 	var out []LevelInfo
 	for _, li := range e.store.Describe() {
 		out = append(out, LevelInfo{Level: li.Level, Partitions: li.Partitions, Elements: li.Elements, Steps: li.Steps})

@@ -52,26 +52,41 @@ func beta(eps float64) int {
 	return int(math.Ceil(1.0/eps + 1))
 }
 
+// StreamPiece is one memory-resident stream-side source of the combined
+// summary: the live GK sketch's summary, or the frozen summary of a batch
+// that was sealed at an end-of-step but not yet installed as an on-disk
+// partition by background maintenance. Each piece carries Lemma 1's
+// one-sided ε₂·M rank bands independently; queries treat every piece like
+// "the stream" — estimate-only, no disk probes — so snapshot-isolated reads
+// stay correct while installs run behind them.
+type StreamPiece struct {
+	// SS is the piece's summary (sorted): β₂ elements at approximate ranks
+	// i·ε₂·M, as extracted by StreamSummary.
+	SS []int64
+	// M is the number of elements the piece covers.
+	M int64
+}
+
 // tsItem is one element of the combined summary TS with its source: src ==
-// -1 for the stream summary, otherwise the index of the historical summary
-// it came from.
+// -1-j for stream piece j, otherwise the index of the historical summary it
+// came from.
 type tsItem struct {
 	v   int64
 	src int
 }
 
 // Combined is TS — the sorted union of all historical summaries and the
-// stream summary — together with the per-item rank bounds L and U of
-// Lemma 2.
+// stream-side piece summaries — together with the per-item rank bounds L
+// and U of Lemma 2.
 type Combined struct {
 	items []tsItem
 	lower []float64 // L_i
 	upper []float64 // U_i
 
-	sums []*partition.Summary
-	ss   []int64
+	sums    []*partition.Summary
+	streams []StreamPiece
 
-	m     int64 // stream size
+	m     int64 // total stream-side size (Σ piece M)
 	histN int64 // historical size
 	eps1  float64
 	eps2  float64
@@ -89,28 +104,60 @@ func (c *Combined) Value(i int) int64 { return c.items[i].v }
 // Bounds returns (L_i, U_i).
 func (c *Combined) Bounds(i int) (float64, float64) { return c.lower[i], c.upper[i] }
 
-// BuildCombined constructs TS and computes every L_i and U_i with one sweep
-// (the formulas preceding Lemma 2):
-//
-//	L_i = ε₂·m·b·(α_S − 1) + Σ_{P: α_P>0} m_P·ε₁·(α_P − 1)
-//	U_i = ε₂·m·b·(α_S + 1) + Σ_{P: α_P>0} m_P·ε₁·α_P
-//
-// where α_S (resp. α_P) counts summary elements ≤ TS[i] from the stream
-// (resp. partition P) and b = 1 iff α_S > 0.
+// BuildCombined constructs TS over one stream summary — the original
+// single-piece shape, kept for callers and tests that have no maintenance
+// backlog. It is BuildPieces with a single piece.
 func BuildCombined(sums []*partition.Summary, ss []int64, m int64, eps1, eps2 float64) *Combined {
+	var pieces []StreamPiece
+	if m > 0 || len(ss) > 0 {
+		pieces = []StreamPiece{{SS: ss, M: m}}
+	}
+	return BuildPieces(sums, pieces, eps1, eps2)
+}
+
+// BuildVersion constructs TS over a pinned store version plus the
+// memory-resident stream pieces — the snapshot-isolated query entry point:
+// the version's partition set and summaries are immutable, so the query
+// runs entirely outside the engine's write lock while installs and merges
+// publish newer versions behind it.
+func BuildVersion(v *partition.Version, pieces []StreamPiece, eps1, eps2 float64) *Combined {
+	return BuildPieces(v.Entries(), pieces, eps1, eps2)
+}
+
+// BuildPieces constructs TS and computes every L_i and U_i with one sweep
+// (the formulas preceding Lemma 2, with the stream term summed over every
+// memory-resident piece):
+//
+//	L_i = Σ_j ε₂·m_j·b_j·(α_{S_j} − 1) + Σ_{P: α_P>0} m_P·ε₁·(α_P − 1)
+//	U_i = Σ_j ε₂·m_j·b_j·(α_{S_j} + 1) + Σ_{P: α_P>0} m_P·ε₁·α_P
+//
+// where α_{S_j} (resp. α_P) counts summary elements ≤ TS[i] from stream
+// piece j (resp. partition P) and b_j = 1 iff α_{S_j} > 0. With a single
+// piece this is exactly the paper's bound; each extra sealed-batch piece
+// contributes its own independent ε₂·m_j band.
+func BuildPieces(sums []*partition.Summary, pieces []StreamPiece, eps1, eps2 float64) *Combined {
 	var histN int64
 	for _, s := range sums {
 		histN += s.Part.Count
 	}
-	c := &Combined{sums: sums, ss: ss, m: m, histN: histN, eps1: eps1, eps2: eps2}
+	var m int64
+	for _, p := range pieces {
+		m += p.M
+	}
+	c := &Combined{sums: sums, streams: pieces, m: m, histN: histN, eps1: eps1, eps2: eps2}
 
-	total := len(ss)
+	total := 0
+	for _, p := range pieces {
+		total += len(p.SS)
+	}
 	for _, s := range sums {
 		total += len(s.Values)
 	}
 	c.items = make([]tsItem, 0, total)
-	for _, v := range ss {
-		c.items = append(c.items, tsItem{v, -1})
+	for j, p := range pieces {
+		for _, v := range p.SS {
+			c.items = append(c.items, tsItem{v, -1 - j})
+		}
 	}
 	for si, s := range sums {
 		for _, v := range s.Values {
@@ -130,18 +177,19 @@ func BuildCombined(sums []*partition.Summary, ss []int64, m int64, eps1, eps2 fl
 
 	c.lower = make([]float64, len(c.items))
 	c.upper = make([]float64, len(c.items))
-	em2 := eps2 * float64(m)
 	// Running terms, updated as prefix counts per source grow.
-	var streamL, streamU float64 // ε₂m·b·(α_S∓1) terms
+	var streamL, streamU float64 // Σ_j ε₂·m_j·b_j·(α_j∓1) terms
 	var histL, histU float64     // Σ m_P·ε₁·(α_P−1) and Σ m_P·ε₁·α_P
-	alphaS := 0
+	alphaS := make([]int, len(pieces))
 	alphaP := make([]int, len(sums))
 	for i, it := range c.items {
 		if it.src < 0 {
-			alphaS++
-			if alphaS == 1 {
-				streamL = 0       // b·(α_S−1) = 0
-				streamU = 2 * em2 // b·(α_S+1) = 2
+			j := -1 - it.src
+			em2 := eps2 * float64(pieces[j].M)
+			alphaS[j]++
+			if alphaS[j] == 1 {
+				// b_j flips to 1: L gains 0 (α−1 = 0), U gains 2·ε₂m_j.
+				streamU += 2 * em2
 			} else {
 				streamL += em2
 				streamU += em2
@@ -203,9 +251,13 @@ func (c *Combined) Filters(r int64) (u, v int64, err error) {
 	return u, v, nil
 }
 
-// StreamRankEstimate returns ρ₂ of Algorithm 8: ε₂·m times the number of SS
-// entries ≤ z.
+// StreamRankEstimate returns ρ₂ of Algorithm 8, summed across every
+// memory-resident stream piece: Σ_j ε₂·m_j·|{SS_j ≤ z}|.
 func (c *Combined) StreamRankEstimate(z int64) float64 {
-	cnt := sort.Search(len(c.ss), func(i int) bool { return c.ss[i] > z })
-	return float64(cnt) * c.eps2 * float64(c.m)
+	var rho float64
+	for _, p := range c.streams {
+		cnt := sort.Search(len(p.SS), func(i int) bool { return p.SS[i] > z })
+		rho += float64(cnt) * c.eps2 * float64(p.M)
+	}
+	return rho
 }

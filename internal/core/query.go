@@ -225,10 +225,12 @@ func snapDown(c *Combined, cursors []*partition.Cursor, z int64) (int64, error) 
 			best, have = e, true
 		}
 	}
-	// Stream predecessor from SS.
-	if i := sort.Search(len(c.ss), func(i int) bool { return c.ss[i] > z }); i > 0 {
-		if e := c.ss[i-1]; !have || e > best {
-			best, have = e, true
+	// Stream-side predecessors, one per memory-resident piece.
+	for _, p := range c.streams {
+		if i := sort.Search(len(p.SS), func(i int) bool { return p.SS[i] > z }); i > 0 {
+			if e := p.SS[i-1]; !have || e > best {
+				best, have = e, true
+			}
 		}
 	}
 	if have {
@@ -256,9 +258,11 @@ func snapUp(c *Combined, cursors []*partition.Cursor, z int64) (int64, error) {
 			best, have = e, true
 		}
 	}
-	if i := sort.Search(len(c.ss), func(i int) bool { return c.ss[i] > z }); i < len(c.ss) {
-		if e := c.ss[i]; !have || e < best {
-			best, have = e, true
+	for _, p := range c.streams {
+		if i := sort.Search(len(p.SS), func(i int) bool { return p.SS[i] > z }); i < len(p.SS) {
+			if e := p.SS[i]; !have || e < best {
+				best, have = e, true
+			}
 		}
 	}
 	if have {

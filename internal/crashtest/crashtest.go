@@ -12,6 +12,17 @@
 // is checked against an exact oracle over the completed prefix. A final
 // write/query round proves the recovered DB is live, not just readable.
 //
+// With the maintenance scheduler the heavy half of an EndStep — external
+// sort, partition install, level merges — runs after the step is sealed. The
+// harness exercises exactly that split while staying deterministic: streams
+// run in "manual" maintenance mode, the plan interleaves explicit maintain
+// operations that drain sealed backlogs, and the crash sweep therefore lands
+// inside seal commits, sort temporaries, background-style installs, merge
+// cascades and their commits alike. EndStep's durability contract is
+// unchanged (a nil return means the step survives any crash: it is either a
+// partition or a manifest-referenced spill), so the prefix-of-EndSteps
+// guarantee is asserted identically with the scheduler's deferred path.
+//
 // Every run is reproducible from its (seed, crash index, restart mode)
 // triple, which failures report.
 package crashtest
@@ -45,6 +56,10 @@ type Config struct {
 	// BlockSize is the device block size in bytes (small, so batches span
 	// multiple blocks and crashes land inside multi-block writes).
 	BlockSize int
+	// Maintenance is the engine maintenance mode under test: "manual"
+	// (default — the seal/install split with deterministic drains) or
+	// "sync" (the legacy inline install).
+	Maintenance string
 }
 
 // WithDefaults fills zero fields with the harness defaults.
@@ -67,29 +82,40 @@ func (c Config) WithDefaults() Config {
 	if c.BlockSize == 0 {
 		c.BlockSize = 512 // 64 elements per block
 	}
+	if c.Maintenance == "" {
+		c.Maintenance = hsq.MaintenanceManual
+	}
 	return c
 }
 
 func (c Config) options(cb *disk.CrashBackend) hsq.Options {
 	return hsq.Options{
-		Epsilon:   c.Epsilon,
-		Kappa:     c.Kappa,
-		Device:    cb,
-		BlockSize: c.BlockSize,
+		Epsilon:     c.Epsilon,
+		Kappa:       c.Kappa,
+		Device:      cb,
+		BlockSize:   c.BlockSize,
+		Maintenance: c.Maintenance,
 	}
 }
 
-// Op is one workload operation: an observe batch (Batch non-nil) or an end
-// step (Batch nil) on the named stream.
+// Op is one workload operation on the named stream: an observe batch
+// (Batch non-nil), an end step (Batch nil, !Maintain), or a maintenance
+// drain (Maintain) that installs every sealed step — the deterministic
+// stand-in for the background scheduler's work.
 type Op struct {
-	Stream string
-	Batch  []int64
+	Stream   string
+	Batch    []int64
+	Maintain bool
 }
 
 // BuildPlan generates the seeded workload plan: cfg.Ops operations
 // interleaved across cfg.Streams streams, each stream drawing from one of
 // the four paper workload generators. End steps are only emitted for
-// streams with buffered data, so every EndStep in the plan loads a batch.
+// streams with buffered data, so every EndStep in the plan loads a batch;
+// maintain operations only for streams with a sealed backlog, so every
+// drain installs at least one step. Backlogs are allowed to grow several
+// steps deep before a drain, so the sweep crashes inside multi-step
+// recoveries too.
 func BuildPlan(cfg Config) []Op {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	gens := make([]workload.Generator, cfg.Streams)
@@ -102,17 +128,24 @@ func BuildPlan(cfg Config) []Op {
 		gens[i] = g
 	}
 	pending := make([]int, cfg.Streams)
+	sealed := make([]int, cfg.Streams)
 	plan := make([]Op, 0, cfg.Ops)
 	for len(plan) < cfg.Ops {
 		s := rng.Intn(cfg.Streams)
-		if rng.Float64() < 0.3 && pending[s] > 0 {
+		r := rng.Float64()
+		switch {
+		case r < 0.3 && pending[s] > 0:
 			plan = append(plan, Op{Stream: streamName(s)})
 			pending[s] = 0
-			continue
+			sealed[s]++
+		case r < 0.45 && sealed[s] > 0:
+			plan = append(plan, Op{Stream: streamName(s), Maintain: true})
+			sealed[s] = 0
+		default:
+			n := 8 + rng.Intn(57)
+			plan = append(plan, Op{Stream: streamName(s), Batch: workload.Fill(gens[s], n)})
+			pending[s] += n
 		}
-		n := 8 + rng.Intn(57)
-		plan = append(plan, Op{Stream: streamName(s), Batch: workload.Fill(gens[s], n)})
-		pending[s] += n
 	}
 	return plan
 }
@@ -154,6 +187,18 @@ func Replay(cb *disk.CrashBackend, cfg Config, plan []Op) Result {
 			st.ObserveSlice(op.Batch)
 			continue
 		}
+		if op.Maintain {
+			// Drain the sealed backlog — the deterministic equivalent of the
+			// background scheduler's installs and merges. A crash here never
+			// loses a step: every sealed step is already durable.
+			if err := st.SyncMaintenance(); err != nil {
+				if !errors.Is(err, disk.ErrCrashed) {
+					res.Err = fmt.Errorf("maintain %s: %w", op.Stream, err)
+				}
+				return res
+			}
+			continue
+		}
 		if _, err := st.EndStep(); err != nil {
 			if !errors.Is(err, disk.ErrCrashed) {
 				res.Err = fmt.Errorf("endstep %s: %w", op.Stream, err)
@@ -176,7 +221,7 @@ func Replay(cb *disk.CrashBackend, cfg Config, plan []Op) Result {
 	return res
 }
 
-// stepGroups reconstructs, per stream, the batch loaded by each EndStep of
+// stepGroups reconstructs, per stream, the batch sealed by each EndStep of
 // the plan (the ground truth the recovered state must be a prefix of).
 func stepGroups(plan []Op) map[string][][]int64 {
 	pending := make(map[string][]int64)
@@ -184,6 +229,9 @@ func stepGroups(plan []Op) map[string][][]int64 {
 	for _, op := range plan {
 		if op.Batch != nil {
 			pending[op.Stream] = append(pending[op.Stream], op.Batch...)
+			continue
+		}
+		if op.Maintain {
 			continue
 		}
 		groups[op.Stream] = append(groups[op.Stream], pending[op.Stream])
@@ -305,7 +353,9 @@ var debrisPatterns = partition.TempFilePatterns()
 // checkNoOrphans asserts that recovery garbage-collected every file a
 // half-finished install left behind: no temporary debris anywhere, every
 // partition file referenced by its stream's manifest, and no stream
-// namespace outside the DB directory.
+// namespace outside the DB directory. Raw spills never survive either:
+// reopen re-installs every manifest-referenced sealed step and retires its
+// spill before the DB is handed back.
 func checkNoOrphans(cb *disk.CrashBackend) error {
 	names, err := cb.List("")
 	if err != nil {

@@ -12,10 +12,11 @@ var (
 	seedFlag   = flag.Int64("crash.seed", 1, "workload seed for the crash harness")
 	opsFlag    = flag.Int("crash.ops", 520, "workload operations in the crash harness plan")
 	strideFlag = flag.Int("crash.stride", 0, "test every Nth crash point (0 = every point, or a sparse sample under -short)")
+	maintFlag  = flag.String("crash.maintenance", "manual", "maintenance mode under test: manual (seal/install split) or sync (legacy inline)")
 )
 
 func harnessConfig() Config {
-	return Config{Seed: *seedFlag, Ops: *opsFlag}.WithDefaults()
+	return Config{Seed: *seedFlag, Ops: *opsFlag, Maintenance: *maintFlag}.WithDefaults()
 }
 
 // TestCrashEveryPoint is the tentpole assertion: for a ≥500-operation
@@ -28,6 +29,15 @@ func TestCrashEveryPoint(t *testing.T) {
 	plan := BuildPlan(cfg)
 	if len(plan) < 500 {
 		t.Fatalf("plan has %d operations, want >= 500", len(plan))
+	}
+	maintains := 0
+	for _, op := range plan {
+		if op.Maintain {
+			maintains++
+		}
+	}
+	if maintains == 0 {
+		t.Fatal("plan schedules no maintenance drains — background install crash points would go untested")
 	}
 
 	// Counting run: no crash armed; the workload must complete cleanly.
@@ -52,7 +62,8 @@ func TestCrashEveryPoint(t *testing.T) {
 	for k := int64(0); k < total; k += stride {
 		points = append(points, k)
 	}
-	t.Logf("seed=%d ops=%d backend-ops=%d crash-points=%d (stride %d)", cfg.Seed, len(plan), total, len(points), stride)
+	t.Logf("seed=%d ops=%d maintains=%d mode=%s backend-ops=%d crash-points=%d (stride %d)",
+		cfg.Seed, len(plan), maintains, cfg.Maintenance, total, len(points), stride)
 
 	const shards = 8
 	for shard := 0; shard < shards; shard++ {
@@ -85,8 +96,8 @@ func TestCrashEveryPoint(t *testing.T) {
 					clone := cb.Clone()
 					m.restart(clone)
 					if err := Verify(clone, cfg, plan, res); err != nil {
-						t.Errorf("crash@%d mode=%s seed=%d: %v\nreproduce: go test ./internal/crashtest -run TestCrashEveryPoint -crash.seed=%d -crash.ops=%d",
-							k, m.name, cfg.Seed, err, cfg.Seed, cfg.Ops)
+						t.Errorf("crash@%d mode=%s seed=%d: %v\nreproduce: go test ./internal/crashtest -run TestCrashEveryPoint -crash.seed=%d -crash.ops=%d -crash.maintenance=%s",
+							k, m.name, cfg.Seed, err, cfg.Seed, cfg.Ops, cfg.Maintenance)
 					}
 				}
 			}
@@ -107,5 +118,41 @@ func TestCleanShutdownRecovers(t *testing.T) {
 	cb.Restart(false)
 	if err := Verify(cb, cfg, plan, res); err != nil {
 		t.Fatalf("recovery after clean shutdown: %v", err)
+	}
+}
+
+// TestCrashSweepSyncMode runs a sampled sweep with the legacy synchronous
+// maintenance path, so both halves of the EndStep split stay covered no
+// matter which mode the flag selects. (The full sweep for the flagged mode
+// is TestCrashEveryPoint; CI runs it for both modes.)
+func TestCrashSweepSyncMode(t *testing.T) {
+	if *maintFlag == "sync" {
+		t.Skip("flagged sweep already runs sync mode")
+	}
+	cfg := Config{Seed: *seedFlag, Ops: 200, Maintenance: "sync"}.WithDefaults()
+	plan := BuildPlan(cfg)
+	counter := disk.NewCrashBackend()
+	if res := Replay(counter, cfg, plan); res.Err != nil {
+		t.Fatalf("uncrashed replay failed: %v", res.Err)
+	}
+	total := counter.Ops()
+	stride := int64(7)
+	if testing.Short() {
+		stride = 41
+	}
+	for k := int64(0); k < total; k += stride {
+		cb := disk.NewCrashBackend()
+		cb.SetCrashPoint(k, true)
+		res := Replay(cb, cfg, plan)
+		if res.Err != nil {
+			t.Fatalf("crash@%d: replay: %v", k, res.Err)
+		}
+		for _, keep := range []bool{false, true} {
+			clone := cb.Clone()
+			clone.Restart(keep)
+			if err := Verify(clone, cfg, plan, res); err != nil {
+				t.Errorf("crash@%d keep=%v: %v", k, keep, err)
+			}
+		}
 	}
 }

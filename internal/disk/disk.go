@@ -183,6 +183,10 @@ type device struct {
 	perBlock  int // elements per block
 
 	agg ioCounters // device-wide counters, summed across all views
+	// maintAgg attributes the subset of agg issued by maintenance work
+	// (batch installs, sorts, level merges) device-wide, so operators can
+	// tell background amplification from foreground traffic.
+	maintAgg ioCounters
 
 	cache atomic.Pointer[blockCache]
 
@@ -208,6 +212,11 @@ type Manager struct {
 	dev    *device
 	prefix string      // "" for the root view, "a/b/" for a namespaced view
 	stats  *ioCounters // per-view counters; == &dev.agg for the root view
+	// maint holds the view's maintenance-attributed counters; == &dev.maintAgg
+	// for the root view. Only operations issued through a MaintTagged copy of
+	// the view are counted here (in addition to the normal counters).
+	maint    *ioCounters
+	tagMaint bool // this handle attributes its I/O to maintenance
 }
 
 // NewManager creates a file-backed block device rooted at dir (created if
@@ -227,7 +236,7 @@ func NewManagerOn(b Backend, blockSize int) (*Manager, error) {
 		return nil, fmt.Errorf("disk: block size %d must be a positive multiple of %d", blockSize, ElementSize)
 	}
 	d := &device{backend: b, blockSize: blockSize, perBlock: blockSize / ElementSize}
-	return &Manager{dev: d, stats: &d.agg}, nil
+	return &Manager{dev: d, stats: &d.agg, maint: &d.maintAgg}, nil
 }
 
 // key maps a view-relative name to the device-wide name.
@@ -287,12 +296,20 @@ func (m *Manager) injected(op Op, name string, block int64) error {
 
 // count helpers attribute one operation to this view and, for namespaced
 // views, to the device aggregate as well — so per-view Stats always sum to
-// the root view's Stats.
+// the root view's Stats. Handles tagged with MaintTagged additionally
+// attribute the operation to the view's (and device's) maintenance
+// counters, an overlay that never changes the primary Stats.
 
 func (m *Manager) countOpen() {
 	m.stats.opens.Add(1)
 	if m.stats != &m.dev.agg {
 		m.dev.agg.opens.Add(1)
+	}
+	if m.tagMaint {
+		m.maint.opens.Add(1)
+		if m.maint != &m.dev.maintAgg {
+			m.dev.maintAgg.opens.Add(1)
+		}
 	}
 }
 
@@ -303,6 +320,14 @@ func (m *Manager) countSeqRead(nbytes int) {
 		m.dev.agg.seqReads.Add(1)
 		m.dev.agg.bytesRead.Add(uint64(nbytes))
 	}
+	if m.tagMaint {
+		m.maint.seqReads.Add(1)
+		m.maint.bytesRead.Add(uint64(nbytes))
+		if m.maint != &m.dev.maintAgg {
+			m.dev.maintAgg.seqReads.Add(1)
+			m.dev.maintAgg.bytesRead.Add(uint64(nbytes))
+		}
+	}
 }
 
 func (m *Manager) countSeqWrite(nbytes int) {
@@ -311,6 +336,14 @@ func (m *Manager) countSeqWrite(nbytes int) {
 	if m.stats != &m.dev.agg {
 		m.dev.agg.seqWrites.Add(1)
 		m.dev.agg.bytesWritten.Add(uint64(nbytes))
+	}
+	if m.tagMaint {
+		m.maint.seqWrites.Add(1)
+		m.maint.bytesWritten.Add(uint64(nbytes))
+		if m.maint != &m.dev.maintAgg {
+			m.dev.maintAgg.seqWrites.Add(1)
+			m.dev.maintAgg.bytesWritten.Add(uint64(nbytes))
+		}
 	}
 }
 
@@ -321,12 +354,26 @@ func (m *Manager) countRandRead(nbytes int) {
 		m.dev.agg.randReads.Add(1)
 		m.dev.agg.bytesRead.Add(uint64(nbytes))
 	}
+	if m.tagMaint {
+		m.maint.randReads.Add(1)
+		m.maint.bytesRead.Add(uint64(nbytes))
+		if m.maint != &m.dev.maintAgg {
+			m.dev.maintAgg.randReads.Add(1)
+			m.dev.maintAgg.bytesRead.Add(uint64(nbytes))
+		}
+	}
 }
 
 func (m *Manager) countCacheHit() {
 	m.stats.cacheHits.Add(1)
 	if m.stats != &m.dev.agg {
 		m.dev.agg.cacheHits.Add(1)
+	}
+	if m.tagMaint {
+		m.maint.cacheHits.Add(1)
+		if m.maint != &m.dev.maintAgg {
+			m.dev.maintAgg.cacheHits.Add(1)
+		}
 	}
 }
 
@@ -335,6 +382,31 @@ func (m *Manager) countCacheMiss() {
 	if m.stats != &m.dev.agg {
 		m.dev.agg.cacheMisses.Add(1)
 	}
+	if m.tagMaint {
+		m.maint.cacheMisses.Add(1)
+		if m.maint != &m.dev.maintAgg {
+			m.dev.maintAgg.cacheMisses.Add(1)
+		}
+	}
+}
+
+// MaintTagged returns a handle on the same view whose I/O is additionally
+// attributed to the view's maintenance counters — the store routes batch
+// installs, sorts and level merges through it so background work is
+// distinguishable from foreground traffic. The primary Stats are unchanged:
+// maintenance attribution is an overlay, and per-view Stats still sum to
+// the device aggregate.
+func (m *Manager) MaintTagged() *Manager {
+	c := *m
+	c.tagMaint = true
+	return &c
+}
+
+// MaintStats returns the view's maintenance-attributed counters (the root
+// view reports the device-wide maintenance aggregate). Always a subset of
+// Stats.
+func (m *Manager) MaintStats() Stats {
+	return m.maint.snapshot()
 }
 
 // Stats returns a snapshot of this view's cumulative I/O counters. For the

@@ -364,3 +364,36 @@ func TestRunMemBackend(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMaintenanceComparison sanity-checks the sync-vs-async maintenance
+// table: two rows (one per mode), deferred installs only in async mode, and
+// merges actually running there (κ=2 cascades).
+func TestMaintenanceComparison(t *testing.T) {
+	tables, err := MaintenanceComparison(tiny, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 2 {
+		t.Fatalf("want 1 table with 2 rows, got %+v", tables)
+	}
+	cols := tables[0].Columns
+	idx := func(name string) int {
+		for i, c := range cols {
+			if c == name {
+				return i
+			}
+		}
+		t.Fatalf("column %s missing from %v", name, cols)
+		return -1
+	}
+	syncRow, asyncRow := tables[0].Rows[0], tables[0].Rows[1]
+	if got := syncRow.Cells[idx("Installs")]; got != 0 {
+		t.Errorf("sync installs = %v, want 0", got)
+	}
+	if got := asyncRow.Cells[idx("Installs")]; got <= 0 {
+		t.Errorf("async installs = %v, want > 0", got)
+	}
+	if got := asyncRow.Cells[idx("Merges")]; got <= 0 {
+		t.Errorf("async merges = %v, want > 0 (κ=2 must cascade)", got)
+	}
+}

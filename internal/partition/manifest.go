@@ -11,6 +11,8 @@ import (
 )
 
 // manifestVersion guards against loading manifests from incompatible builds.
+// Version 1 gained the optional "pending" section with the seal/install
+// split; manifests without it load as fully-installed stores.
 const manifestVersion = 1
 
 // Manifest is the durable description of a Store: enough to reopen the
@@ -27,6 +29,10 @@ type Manifest struct {
 	NextID    int64           `json:"next_id"`
 	Steps     int             `json:"steps"`
 	Parts     []ManifestEntry `json:"partitions"`
+	// Pending lists time steps that were sealed (their raw spill is durable)
+	// but not yet installed as partitions when the manifest was written, in
+	// step order. A reopened store re-installs them from their spills.
+	Pending []SealedBatch `json:"pending,omitempty"`
 }
 
 // ManifestEntry describes one partition.
@@ -39,29 +45,55 @@ type ManifestEntry struct {
 	Name      string `json:"name"`
 }
 
-// SaveManifest writes the store's manifest atomically to the named metadata
-// file on the device's backend.
-func (s *Store) SaveManifest(name string) error {
+// manifestSnapshotLocked builds the manifest from the published state.
+// Caller holds vmu. Sealed batches whose spill has not succeeded are not
+// durable, so they — and every later step, to keep the durable history a
+// prefix — are omitted and Steps is truncated accordingly; Commit repairs
+// missing spills before taking the snapshot, so this only matters when a
+// spill repair itself failed.
+func (s *Store) manifestSnapshotLocked() (Manifest, int64) {
 	m := Manifest{
 		Version:   manifestVersion,
 		Namespace: s.cfg.Namespace,
 		Kappa:     s.cfg.Kappa,
 		Eps1:      s.cfg.Eps1,
 		NextID:    s.nextID,
-		Steps:     s.steps,
+		Steps:     s.cur.installed,
 	}
-	for lvl, entries := range s.levels {
-		for _, e := range entries {
-			m.Parts = append(m.Parts, ManifestEntry{
-				ID:        e.part.ID,
-				Level:     lvl,
-				Count:     e.part.Count,
-				StartStep: e.part.StartStep,
-				EndStep:   e.part.EndStep,
-				Name:      e.part.name,
-			})
+	for _, e := range s.cur.entries {
+		m.Parts = append(m.Parts, ManifestEntry{
+			ID:        e.Part.ID,
+			Level:     e.Part.Level,
+			Count:     e.Part.Count,
+			StartStep: e.Part.StartStep,
+			EndStep:   e.Part.EndStep,
+			Name:      e.Part.name,
+		})
+	}
+	for _, sb := range s.pending {
+		if sb.Name == "" {
+			break
 		}
+		m.Pending = append(m.Pending, SealedBatch{
+			ID: sb.ID, Name: sb.Name, Count: sb.Count, Step: sb.Step,
+		})
+		m.Steps++
 	}
+	return m, s.cur.seq
+}
+
+// SaveManifest writes the store's manifest atomically to the named metadata
+// file on the device's backend, from a consistent snapshot of the published
+// state.
+func (s *Store) SaveManifest(name string) error {
+	s.vmu.Lock()
+	m, _ := s.manifestSnapshotLocked()
+	s.vmu.Unlock()
+	return s.writeManifest(name, m)
+}
+
+// writeManifest serializes and atomically writes one manifest snapshot.
+func (s *Store) writeManifest(name string, m Manifest) error {
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("partition: marshal manifest: %w", err)
@@ -89,7 +121,8 @@ func ParseManifest(data []byte) (*Manifest, error) {
 // tempFilePatterns matches the transient files an install creates and a
 // crash can strand: raw batch spills, external-sort and parallel-merge
 // temporaries, and interrupted metadata temp files. Any match is removable
-// debris once no install is in flight.
+// debris once no install is in flight — except raw spills referenced by the
+// manifest's pending section, which are the durable form of sealed steps.
 var tempFilePatterns = []string{
 	"batch-raw-*.dat",
 	"sort-*",
@@ -101,7 +134,8 @@ var tempFilePatterns = []string{
 // TempFilePatterns returns the patterns of transient install files, for
 // harnesses asserting that recovery leaves none behind. Partition files
 // (part-*.dat) are deliberately excluded: whether one is debris depends on
-// whether a manifest references it.
+// whether a manifest references it. The same caveat applies to raw spills
+// (batch-raw-*.dat) listed in a manifest's pending section.
 func TempFilePatterns() []string {
 	return slices.Clone(tempFilePatterns)
 }
@@ -146,9 +180,12 @@ func CollectOrphans(dev *disk.Manager, keep map[string]bool) ([]string, error) {
 
 // LoadStore reopens a Store from a manifest, rebuilding each partition's
 // in-memory summary with a sequential scan. Files from half-finished
-// installs — partitions written but never committed, raw batches, sort
-// temporaries — are detected and garbage-collected, so a crash between
-// data writes and the manifest commit never poisons a reopen.
+// installs — partitions written but never committed, raw batches not listed
+// as pending, sort temporaries — are detected and garbage-collected, so a
+// crash between data writes and the manifest commit never poisons a reopen.
+// Sealed-but-uninstalled steps listed in the manifest's pending section are
+// re-queued; callers should run maintenance (or install synchronously) to
+// fold them back into partitions before serving queries.
 func LoadStore(dev *disk.Manager, manifestName string, cfg Config) (*Store, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -167,7 +204,7 @@ func LoadStore(dev *disk.Manager, manifestName string, cfg Config) (*Store, erro
 	if m.Kappa != cfg.Kappa {
 		return nil, fmt.Errorf("partition: manifest kappa %d != config kappa %d", m.Kappa, cfg.Kappa)
 	}
-	s := &Store{dev: dev, cfg: cfg, beta1: cfg.Beta1(), nextID: m.NextID, steps: m.Steps}
+	s := &Store{dev: dev, mdev: dev.MaintTagged(), cfg: cfg, beta1: cfg.Beta1(), nextID: m.NextID, steps: m.Steps}
 	for _, pe := range m.Parts {
 		p := &Partition{
 			ID:        pe.ID,
@@ -186,17 +223,32 @@ func LoadStore(dev *disk.Manager, manifestName string, cfg Config) (*Store, erro
 			s.levels = append(s.levels, nil)
 		}
 		s.levels[pe.Level] = append(s.levels[pe.Level], entry{p, sum})
-		s.total += p.Count
 	}
 	for lvl := range s.levels {
 		slices.SortFunc(s.levels[lvl], func(a, b entry) int {
 			return a.part.StartStep - b.part.StartStep
 		})
 	}
-	keep := make(map[string]bool, len(m.Parts)+1)
+	for _, sb := range m.Pending {
+		if sb.Name == "" {
+			return nil, fmt.Errorf("partition: manifest pending step %d has no spill", sb.Step)
+		}
+		s.pending = append(s.pending, &SealedBatch{ID: sb.ID, Name: sb.Name, Count: sb.Count, Step: sb.Step})
+	}
+	// Publish the recovered state as the initial version; the manifest we
+	// just read is by definition committed.
+	s.cur = &Version{store: s, seq: 0, refs: 1}
+	s.live = []*Version{s.cur}
+	v := s.publish(false)
+	s.committedSeq = v.seq
+
+	keep := make(map[string]bool, len(m.Parts)+len(m.Pending)+1)
 	keep[manifestName] = true
 	for _, pe := range m.Parts {
 		keep[pe.Name] = true
+	}
+	for _, sb := range m.Pending {
+		keep[sb.Name] = true
 	}
 	if _, err := CollectOrphans(dev, keep); err != nil {
 		return nil, err

@@ -114,7 +114,7 @@ func (s *Store) mergeRange(group []entry, bounds [][]int64, j int, name string) 
 		if start == end {
 			continue
 		}
-		r, oerr := e.part.OpenSequential()
+		r, oerr := s.mdev.OpenSequential(e.part.name)
 		if oerr != nil {
 			return oerr
 		}
@@ -128,7 +128,7 @@ func (s *Store) mergeRange(group []entry, bounds [][]int64, j int, name string) 
 	if err != nil {
 		return err
 	}
-	w, err := s.dev.Create(name)
+	w, err := s.mdev.Create(name)
 	if err != nil {
 		return err
 	}
@@ -168,11 +168,12 @@ func (s *Store) mergeLevelParallel(lvl, workers int) error {
 	}
 
 	// Merge each range concurrently into a private run.
+	id := s.allocID()
 	runNames := make([]string, nRanges)
 	errs := make([]error, nRanges)
 	var wg sync.WaitGroup
 	for j := 0; j < nRanges; j++ {
-		runNames[j] = fmt.Sprintf("pmerge-%06d-r%d.tmp", s.nextID, j)
+		runNames[j] = fmt.Sprintf("pmerge-%06d-r%d.tmp", id, j)
 		wg.Add(1)
 		go func(j int) {
 			defer wg.Done()
@@ -182,8 +183,8 @@ func (s *Store) mergeLevelParallel(lvl, workers int) error {
 	wg.Wait()
 	cleanupRuns := func() {
 		for _, name := range runNames {
-			if s.dev.Exists(name) {
-				s.dev.Remove(name) //nolint:errcheck // cleanup
+			if s.mdev.Exists(name) {
+				s.mdev.Remove(name) //nolint:errcheck // cleanup
 			}
 		}
 	}
@@ -196,8 +197,6 @@ func (s *Store) mergeLevelParallel(lvl, workers int) error {
 
 	// Build the merged partition by concatenating the runs in range order,
 	// capturing the summary in flight.
-	id := s.nextID
-	s.nextID++
 	var count int64
 	startStep, endStep := group[0].part.StartStep, group[0].part.EndStep
 	for _, e := range group {
@@ -219,7 +218,7 @@ func (s *Store) mergeLevelParallel(lvl, workers int) error {
 		name:      fmt.Sprintf("part-%06d.dat", id),
 	}
 	cap := newCapture(count, s.cfg.Eps1, s.beta1)
-	w, err := s.dev.Create(merged.name)
+	w, err := s.mdev.Create(merged.name)
 	if err != nil {
 		cleanupRuns()
 		return err
@@ -227,7 +226,7 @@ func (s *Store) mergeLevelParallel(lvl, workers int) error {
 	var written int64
 	prev := int64(math.MinInt64)
 	for _, name := range runNames {
-		r, err := s.dev.OpenSequential(name)
+		r, err := s.mdev.OpenSequential(name)
 		if err != nil {
 			w.Abort()
 			cleanupRuns()
@@ -278,17 +277,8 @@ func (s *Store) mergeLevelParallel(lvl, workers int) error {
 	if err != nil {
 		return err
 	}
-	// Retire the inputs; physically removed at the next manifest commit.
-	for _, e := range group {
-		s.obsolete = append(s.obsolete, e.part.name)
-	}
-	s.levels[lvl] = nil
-	if lvl+1 >= len(s.levels) {
-		s.levels = append(s.levels, nil)
-	}
-	s.levels[lvl+1] = append(s.levels[lvl+1], entry{merged, sum})
-	slices.SortFunc(s.levels[lvl+1], func(a, b entry) int {
-		return a.part.StartStep - b.part.StartStep
-	})
+	// Retire the inputs; physically removed once the next manifest commit
+	// stops referencing them and no pinned version can still read them.
+	s.retireGroupAndInstall(lvl, group, merged, sum)
 	return nil
 }

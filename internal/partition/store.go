@@ -1,8 +1,10 @@
 package partition
 
 import (
+	"errors"
 	"fmt"
 	"slices"
+	"sync"
 	"time"
 
 	"repro/internal/disk"
@@ -37,11 +39,11 @@ type Config struct {
 }
 
 func (c *Config) validate() error {
-	if c.Kappa < 2 {
-		return fmt.Errorf("partition: kappa must be >= 2, got %d", c.Kappa)
+	if err := ValidateKappa(c.Kappa); err != nil {
+		return fmt.Errorf("partition: %w", err)
 	}
-	if c.Eps1 <= 0 || c.Eps1 >= 1 {
-		return fmt.Errorf("partition: eps1 must be in (0,1), got %g", c.Eps1)
+	if err := ValidateEps1(c.Eps1); err != nil {
+		return fmt.Errorf("partition: %w", err)
 	}
 	if c.SortMemElements <= 0 {
 		c.SortMemElements = 1 << 20
@@ -58,7 +60,7 @@ func (c Config) Beta1() int {
 	return b
 }
 
-// UpdateBreakdown reports where an AddBatch spent its time and I/O,
+// UpdateBreakdown reports where an install spent its time and I/O,
 // mirroring the paper's Figure 6/7 decomposition into load, sort, merge and
 // summary phases.
 type UpdateBreakdown struct {
@@ -83,38 +85,97 @@ func (u UpdateBreakdown) TotalIO() uint64 {
 	return u.LoadIO.Total() + u.SortIO.Total() + u.MergeIO.Total()
 }
 
+// ErrMergeIncomplete marks an update whose level-0 install succeeded and
+// was published — the step is counted and its data queryable — but whose
+// cascading merge (or subsequent commit) failed. The overflowing level is
+// retried by the next update; callers must treat the step as loaded.
+var ErrMergeIncomplete = errors.New("partition: level merge incomplete (retried at the next update)")
+
 // entry pairs a partition with its in-memory summary.
 type entry struct {
 	part *Partition
 	sum  *Summary
 }
 
+// SealedBatch is one time step's batch that has been sealed — its step
+// number assigned and (normally) its raw data durably spilled — but not yet
+// sorted and installed as a level-0 partition. Sealed batches are the
+// hand-off unit between the fast synchronous end-of-step phase and the
+// background maintenance that installs them.
+type SealedBatch struct {
+	// ID is the batch's store-unique id; it names the raw spill file.
+	ID int64 `json:"id"`
+	// Name is the raw spill file, or "" while the spill has not succeeded
+	// yet (Commit retries it before writing any manifest that would need
+	// it).
+	Name string `json:"name"`
+	// Count is the number of elements.
+	Count int64 `json:"count"`
+	// Step is the time step the batch closes.
+	Step int `json:"step"`
+
+	// data buffers the batch in memory until it is installed; nil after a
+	// restart (the raw file is then the only copy).
+	data []int64
+}
+
 // Store is HD + HS: the on-disk leveled partition structure together with
-// per-partition in-memory summaries. Store is not safe for concurrent use;
-// the engine provides locking.
+// per-partition in-memory summaries.
 //
-// Mutations follow a crash-consistent commit protocol: AddBatch only ever
-// writes new files (partitions have monotonically increasing IDs, so names
-// are never reused) and defers the removal of superseded files — merged-away
-// partitions, spilled raw batches — to the obsolete list. Commit then orders
-// the step write-data → sync → commit-manifest → sync and only afterwards
-// physically removes obsolete files. A crash at any point leaves either the
-// old manifest (new files are unreferenced orphans, collected by LoadStore)
-// or the new manifest (whose data the first sync made durable before the
-// commit); the referenced files are immutable once written, so the manifest
-// can never point at torn or missing data.
+// The store separates three kinds of state:
+//
+//   - Build state (levels, buildRetired): the mutable leveled structure that
+//     installs and merges edit. Exactly one mutator may touch it at a time —
+//     the engine serializes installers with its maintenance lock. Queries
+//     never read it.
+//   - Published state (cur, live, retired, pending, nextID, steps; guarded
+//     by vmu): the immutable Version chain queries pin, plus the sealed
+//     batch queue and the id/step counters. Safe for concurrent use.
+//   - Durable state: the manifest, always written from a consistent
+//     published snapshot under the commit lock, so durable manifests never
+//     regress to an older version.
+//
+// Mutations follow the crash-consistent commit protocol: installs only ever
+// write new files (monotonically increasing ids, names never reused) and
+// retire superseded files — merged-away partitions, consumed raw spills —
+// onto the version-tagged retired list. Commit orders write-data → sync →
+// commit-manifest → sync; a retired file is physically removed only once a
+// manifest not referencing it is durable AND no live version can still read
+// it (see version.go). A crash at any point leaves either the old manifest
+// (new files are unreferenced orphans, collected by LoadStore) or the new
+// manifest (whose data the first sync made durable before the commit).
 type Store struct {
-	dev    *disk.Manager
-	cfg    Config
-	beta1  int
-	levels [][]entry
-	nextID int64
-	total  int64
-	steps  int
-	// obsolete holds files superseded by in-memory state but not yet
-	// removable: they may still be referenced by the last committed
-	// manifest. Commit removes them after the next manifest commit.
-	obsolete []string
+	dev *disk.Manager
+	// mdev is the maintenance-attributed view of the same device: all
+	// install I/O (sort, partition writes, merge passes) goes through it so
+	// the disk layer can report how much of a stream's traffic is
+	// maintenance (foreground spills and query reads use dev).
+	mdev  *disk.Manager
+	cfg   Config
+	beta1 int
+
+	// Build state — single mutator only.
+	levels       [][]entry
+	buildRetired []string
+
+	// Published state.
+	vmu          sync.Mutex
+	cur          *Version
+	live         []*Version
+	retired      []retiredFile
+	committedSeq int64
+	pending      []*SealedBatch
+	nextID       int64
+	steps        int // sealed time steps (installed + pending)
+
+	// cmu serializes manifest commits (a seal from the write path can race
+	// an install commit from a maintenance worker) so the durable manifest
+	// sequence is monotone.
+	cmu sync.Mutex
+
+	// pinCond (lazily created under vmu by DrainPins) is broadcast on every
+	// Release so teardown can wait out in-flight query pins.
+	pinCond *sync.Cond
 }
 
 // NewStore creates an empty historical store on the given device.
@@ -122,7 +183,11 @@ func NewStore(dev *disk.Manager, cfg Config) (*Store, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Store{dev: dev, cfg: cfg, beta1: cfg.Beta1()}, nil
+	s := &Store{dev: dev, mdev: dev.MaintTagged(), cfg: cfg, beta1: cfg.Beta1()}
+	s.cur = &Version{store: s, seq: 1, refs: 1}
+	s.live = []*Version{s.cur}
+	s.committedSeq = 0
+	return s, nil
 }
 
 // Kappa returns the merge threshold.
@@ -134,60 +199,120 @@ func (s *Store) Eps1() float64 { return s.cfg.Eps1 }
 // Beta1 returns the per-partition summary length.
 func (s *Store) Beta1() int { return s.beta1 }
 
-// TotalCount returns n, the number of historical elements.
-func (s *Store) TotalCount() int64 { return s.total }
-
-// Steps returns the number of time steps loaded so far.
-func (s *Store) Steps() int { return s.steps }
-
-// Levels returns the number of non-empty levels.
-func (s *Store) Levels() int { return len(s.levels) }
-
-// PartitionCount returns the total number of live partitions.
-func (s *Store) PartitionCount() int {
-	n := 0
-	for _, lvl := range s.levels {
-		n += len(lvl)
+// TotalCount returns n, the number of historical elements — installed
+// partitions plus sealed-but-uninstalled batches.
+func (s *Store) TotalCount() int64 {
+	s.vmu.Lock()
+	defer s.vmu.Unlock()
+	n := s.cur.total
+	for _, sb := range s.pending {
+		n += sb.Count
 	}
 	return n
 }
 
-// Entries returns all live (partition, summary) pairs, newest level first
-// within chronological order. The returned slices alias internal state and
-// must not be mutated.
-func (s *Store) Entries() []*Summary {
-	var out []*Summary
-	for _, lvl := range s.levels {
-		for _, e := range lvl {
-			out = append(out, e.sum)
+// Steps returns the number of time steps sealed so far (installed or
+// pending).
+func (s *Store) Steps() int {
+	s.vmu.Lock()
+	defer s.vmu.Unlock()
+	return s.steps
+}
+
+// PendingSteps returns the number of sealed batches awaiting installation.
+func (s *Store) PendingSteps() int {
+	s.vmu.Lock()
+	defer s.vmu.Unlock()
+	return len(s.pending)
+}
+
+// PendingElements returns the total element count across sealed batches
+// awaiting installation — the stream's merge debt in elements.
+func (s *Store) PendingElements() int64 {
+	s.vmu.Lock()
+	defer s.vmu.Unlock()
+	var n int64
+	for _, sb := range s.pending {
+		n += sb.Count
+	}
+	return n
+}
+
+// PendingBytes returns the heap footprint of batch data buffered until
+// installation.
+func (s *Store) PendingBytes() int64 {
+	s.vmu.Lock()
+	defer s.vmu.Unlock()
+	var n int64
+	for _, sb := range s.pending {
+		n += int64(len(sb.data)) * 8
+	}
+	return n
+}
+
+// Levels returns the number of non-empty levels in the current version.
+func (s *Store) Levels() int {
+	v := s.Pin()
+	defer v.Release()
+	max := 0
+	for _, e := range v.entries {
+		if e.Part.Level+1 > max {
+			max = e.Part.Level + 1
 		}
 	}
-	return out
+	return max
+}
+
+// PartitionCount returns the number of live partitions in the current
+// version.
+func (s *Store) PartitionCount() int {
+	s.vmu.Lock()
+	defer s.vmu.Unlock()
+	return len(s.cur.entries)
+}
+
+// Entries returns the current version's (partition, summary) pairs, level
+// order ascending and chronological within each level. The returned slice
+// is an immutable snapshot; long-running readers that probe partition files
+// should Pin a Version instead so reclamation waits for them.
+func (s *Store) Entries() []*Summary {
+	s.vmu.Lock()
+	defer s.vmu.Unlock()
+	return s.cur.entries
 }
 
 // MemoryBytes returns the footprint of HS — Lemma 8's O(κ·log_κ(T)/ε).
 func (s *Store) MemoryBytes() int64 {
-	var b int64
-	for _, lvl := range s.levels {
-		for _, e := range lvl {
-			b += e.sum.MemoryBytes()
-		}
-	}
-	return b
+	s.vmu.Lock()
+	defer s.vmu.Unlock()
+	return s.cur.MemoryBytes()
 }
 
-// AddBatch loads one time step's batch into the warehouse: the batch is
-// (optionally spilled and) sorted into a new level-0 partition with its
-// summary captured in-flight, then levels holding more than κ partitions are
-// recursively merged (Algorithm 3, HistUpdate).
+// allocID reserves the next store-unique file id.
+func (s *Store) allocID() int64 {
+	s.vmu.Lock()
+	defer s.vmu.Unlock()
+	id := s.nextID
+	s.nextID++
+	return id
+}
+
+// AddBatch loads one time step's batch into the warehouse synchronously:
+// the batch is (optionally spilled and) sorted into a new level-0 partition
+// with its summary captured in-flight, then levels holding more than κ
+// partitions are recursively merged (Algorithm 3, HistUpdate), and the
+// result is published as a new Version. The caller must be the single build
+// mutator, and should Commit afterwards to make the step durable.
+//
+// AddBatch is the synchronous-maintenance path; Seal + InstallOne split the
+// same work into a fast durable hand-off and a deferrable install.
 func (s *Store) AddBatch(data []int64, step int) (UpdateBreakdown, error) {
 	var bd UpdateBreakdown
 	if len(data) == 0 {
 		return bd, fmt.Errorf("partition: empty batch at step %d", step)
 	}
 
-	id := s.nextID
-	s.nextID++
+	id := s.allocID()
 	part := &Partition{
 		ID:        id,
 		Level:     0,
@@ -205,15 +330,7 @@ func (s *Store) AddBatch(data []int64, step int) (UpdateBreakdown, error) {
 	if s.cfg.SpillBatches {
 		t0 := time.Now()
 		io0 := s.dev.Stats()
-		w, err := s.dev.Create(rawName)
-		if err != nil {
-			return bd, err
-		}
-		if err := w.AppendSlice(data); err != nil {
-			w.Abort()
-			return bd, err
-		}
-		if err := w.Close(); err != nil {
+		if err := s.spillTo(s.dev, rawName, data); err != nil {
 			return bd, err
 		}
 		bd.Load = time.Since(t0)
@@ -232,15 +349,7 @@ func (s *Store) AddBatch(data []int64, step int) (UpdateBreakdown, error) {
 		if !s.cfg.SpillBatches {
 			// External sort requires the raw file; write it now (charged to
 			// the sort phase since loading was disabled).
-			w, werr := s.dev.Create(rawName)
-			if werr != nil {
-				return bd, werr
-			}
-			if werr := w.AppendSlice(data); werr != nil {
-				w.Abort()
-				return bd, werr
-			}
-			if werr := w.Close(); werr != nil {
+			if werr := s.spillTo(s.mdev, rawName, data); werr != nil {
 				return bd, werr
 			}
 		}
@@ -252,40 +361,264 @@ func (s *Store) AddBatch(data []int64, step int) (UpdateBreakdown, error) {
 	if s.cfg.SpillBatches || len(data) > s.cfg.SortMemElements {
 		// The raw file is superseded by the sorted partition, but stays on
 		// disk until the next manifest commit (see the Store doc comment).
-		s.obsolete = append(s.obsolete, rawName)
+		s.buildRetired = append(s.buildRetired, rawName)
 	}
 	bd.Sort = time.Since(t0)
 	bd.SortIO = s.dev.Stats().Sub(io0)
 
-	// Install at level 0.
+	// Install at level 0 and publish before merging — identical to the
+	// deferred path: from here the step is counted and queryable, and a
+	// merge failure leaves a consistent published state that the next
+	// update retries instead of a stranded half-installed batch.
 	t0 = time.Now()
+	s.installEntry(entry{part, sum})
+	s.vmu.Lock()
+	s.steps++
+	s.vmu.Unlock()
+	s.publish(false)
+	bd.Summary = time.Since(t0)
+
+	t0 = time.Now()
+	io0 = s.dev.Stats()
+	merges, err := s.cascadeMerges()
+	bd.Merges = merges
+	bd.Merge = time.Since(t0)
+	bd.MergeIO = s.dev.Stats().Sub(io0)
+	if merges > 0 {
+		s.publish(false)
+	}
+	if err != nil {
+		return bd, errors.Join(ErrMergeIncomplete, err)
+	}
+	return bd, nil
+}
+
+// spillTo writes data as a raw element file via the given device view.
+func (s *Store) spillTo(dev *disk.Manager, name string, data []int64) error {
+	w, err := dev.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := w.AppendSlice(data); err != nil {
+		w.Abort()
+		return err
+	}
+	return w.Close()
+}
+
+// installEntry appends a fresh level-0 entry to the build state.
+func (s *Store) installEntry(e entry) {
 	if len(s.levels) == 0 {
 		s.levels = append(s.levels, nil)
 	}
-	s.levels[0] = append(s.levels[0], entry{part, sum})
-	s.total += part.Count
-	s.steps++
-	bd.Summary = time.Since(t0)
+	s.levels[0] = append(s.levels[0], e)
+}
 
-	// Phase 3: cascade merges while any level exceeds κ.
-	t0 = time.Now()
-	io0 = s.dev.Stats()
+// cascadeMerges merges every level holding more than κ partitions
+// (Algorithm 3 lines 9-13), returning how many merges ran.
+func (s *Store) cascadeMerges() (int, error) {
+	merges := 0
 	for lvl := 0; lvl < len(s.levels); lvl++ {
 		if len(s.levels[lvl]) <= s.cfg.Kappa {
 			continue
 		}
 		if s.cfg.MergeWorkers > 1 {
 			if err := s.mergeLevelParallel(lvl, s.cfg.MergeWorkers); err != nil {
-				return bd, err
+				return merges, err
 			}
 		} else if err := s.mergeLevel(lvl); err != nil {
-			return bd, err
+			return merges, err
 		}
-		bd.Merges++
+		merges++
 	}
+	return merges, nil
+}
+
+// Seal closes one time step without installing it: the batch gets the next
+// step number and a place on the pending queue, and Commit durably writes
+// the raw spill plus a manifest referencing it. After a nil return the step
+// survives any crash — a reopened store re-installs it from the spill. On
+// error the step still exists in memory (and will be installed); only its
+// durability is deferred, exactly like a failed synchronous commit, and the
+// next Commit retries the spill.
+//
+// Seal may run concurrently with InstallOne; only one Seal at a time (the
+// engine's write path serializes end-of-steps).
+func (s *Store) Seal(data []int64, manifestName string) (int, error) {
+	if len(data) == 0 {
+		return 0, fmt.Errorf("partition: sealing empty batch")
+	}
+	s.vmu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.steps++
+	step := s.steps
+	s.pending = append(s.pending, &SealedBatch{
+		ID:    id,
+		Count: int64(len(data)),
+		Step:  step,
+		data:  data,
+	})
+	s.vmu.Unlock()
+	return step, s.Commit(manifestName)
+}
+
+// spillPendingLocked writes the raw file of every sealed batch that does
+// not have one yet. Caller holds cmu (so two committers cannot double-spill
+// the same batch).
+func (s *Store) spillPendingLocked() error {
+	s.vmu.Lock()
+	todo := make([]*SealedBatch, 0, len(s.pending))
+	for _, sb := range s.pending {
+		if sb.Name == "" {
+			todo = append(todo, sb)
+		}
+	}
+	s.vmu.Unlock()
+	for _, sb := range todo {
+		if sb.data == nil {
+			return fmt.Errorf("partition: sealed step %d has neither spill nor data", sb.Step)
+		}
+		name := fmt.Sprintf("batch-raw-%06d.dat", sb.ID)
+		if err := s.spillTo(s.dev, name, sb.data); err != nil {
+			return fmt.Errorf("partition: spill sealed step %d: %w", sb.Step, err)
+		}
+		s.vmu.Lock()
+		sb.Name = name
+		s.vmu.Unlock()
+	}
+	return nil
+}
+
+// InstallOne sorts and installs the oldest sealed batch as a level-0
+// partition, cascades merges, publishes the new version and commits. It
+// returns the installed step number and false when nothing was pending.
+// The caller must be the single build mutator.
+func (s *Store) InstallOne(manifestName string) (UpdateBreakdown, int, error) {
+	var bd UpdateBreakdown
+	s.vmu.Lock()
+	if len(s.pending) == 0 {
+		s.vmu.Unlock()
+		return bd, 0, nil
+	}
+	sb := s.pending[0]
+	s.vmu.Unlock()
+
+	id := s.allocID()
+	part := &Partition{
+		ID:        id,
+		Level:     0,
+		Count:     sb.Count,
+		StartStep: sb.Step,
+		EndStep:   sb.Step,
+		dev:       s.dev,
+		name:      fmt.Sprintf("part-%06d.dat", id),
+	}
+
+	t0 := time.Now()
+	io0 := s.mdev.MaintStats()
+	data := sb.data
+	s.vmu.Lock()
+	rawName := sb.Name
+	s.vmu.Unlock()
+	var sum *Summary
+	var err error
+	switch {
+	case data == nil && sb.Count <= int64(s.cfg.SortMemElements):
+		// Recovered batch small enough to sort in memory: one sequential
+		// read of the spill.
+		data, err = s.readRaw(rawName, sb.Count)
+		if err != nil {
+			return bd, 0, err
+		}
+		sum, err = s.sortInMemory(data, part)
+	case data != nil && len(data) <= s.cfg.SortMemElements:
+		sum, err = s.sortInMemory(data, part)
+	default:
+		// Large batch: external sort from the spill. Sealing normally wrote
+		// it already; repair a failed spill first (under the commit lock,
+		// which owns spill repair).
+		if rawName == "" {
+			s.cmu.Lock()
+			serr := s.spillPendingLocked()
+			s.cmu.Unlock()
+			if serr != nil {
+				return bd, 0, serr
+			}
+			s.vmu.Lock()
+			rawName = sb.Name
+			s.vmu.Unlock()
+		}
+		sum, err = s.sortExternal(rawName, part)
+	}
+	if err != nil {
+		return bd, 0, fmt.Errorf("partition: install sealed step %d: %w", sb.Step, err)
+	}
+	bd.Sort = time.Since(t0)
+	bd.SortIO = s.mdev.MaintStats().Sub(io0)
+
+	// Install at level 0 and publish before merging: from here on the step
+	// counts as installed (its frozen summary can be retired), and a merge
+	// or commit failure leaves a consistent published state that the next
+	// install retries — never a double-installed batch.
+	t0 = time.Now()
+	s.installEntry(entry{part, sum})
+	v := s.publish(true)
+	// Retire the consumed spill AFTER publish, re-reading its name under
+	// vmu: a concurrent Commit may have repaired a spill that failed at
+	// seal time, and checking earlier could miss (and so leak) the file it
+	// wrote. No version references spills, so the new sequence number makes
+	// it removable as soon as a manifest of this version commits.
+	s.vmu.Lock()
+	if sb.Name != "" {
+		s.retired = append(s.retired, retiredFile{name: sb.Name, seq: v.seq})
+	}
+	s.vmu.Unlock()
+	bd.Summary = time.Since(t0)
+
+	t0 = time.Now()
+	io0 = s.mdev.MaintStats()
+	merges, mergeErr := s.cascadeMerges()
+	bd.Merges = merges
 	bd.Merge = time.Since(t0)
-	bd.MergeIO = s.dev.Stats().Sub(io0)
-	return bd, nil
+	bd.MergeIO = s.mdev.MaintStats().Sub(io0)
+	if merges > 0 {
+		s.publish(false)
+	}
+	if mergeErr != nil {
+		mergeErr = errors.Join(ErrMergeIncomplete, mergeErr)
+	}
+	if err := s.Commit(manifestName); err != nil {
+		if mergeErr == nil {
+			mergeErr = err
+		}
+	}
+	return bd, sb.Step, mergeErr
+}
+
+// readRaw reads a raw spill back into memory (the crash-recovery install
+// path for batches small enough to sort in memory).
+func (s *Store) readRaw(name string, count int64) ([]int64, error) {
+	r, err := s.mdev.OpenSequential(name)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close() //nolint:errcheck // read-only
+	out := make([]int64, 0, count)
+	for {
+		v, ok, err := r.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, v)
+	}
+	if int64(len(out)) != count {
+		return nil, fmt.Errorf("partition: spill %s has %d elements, manifest says %d", name, len(out), count)
+	}
+	return out, nil
 }
 
 // sortInMemory sorts data in memory, writes the partition and captures its
@@ -294,7 +627,7 @@ func (s *Store) sortInMemory(data []int64, part *Partition) (*Summary, error) {
 	sorted := slices.Clone(data)
 	slices.Sort(sorted)
 	cap := newCapture(part.Count, s.cfg.Eps1, s.beta1)
-	w, err := s.dev.Create(part.name)
+	w, err := s.mdev.Create(part.name)
 	if err != nil {
 		return nil, err
 	}
@@ -314,7 +647,7 @@ func (s *Store) sortInMemory(data []int64, part *Partition) (*Summary, error) {
 // sortExternal externally sorts the raw batch file into the partition,
 // capturing the summary during the final merge pass.
 func (s *Store) sortExternal(rawName string, part *Partition) (*Summary, error) {
-	src, count, cleanup, err := extsort.SortedStream(s.dev, rawName, extsort.Config{
+	src, count, cleanup, err := extsort.SortedStream(s.mdev, rawName, extsort.Config{
 		MemElements: s.cfg.SortMemElements,
 		TempPrefix:  fmt.Sprintf("sort-%06d", part.ID),
 	})
@@ -326,7 +659,7 @@ func (s *Store) sortExternal(rawName string, part *Partition) (*Summary, error) 
 		return nil, fmt.Errorf("partition: external sort saw %d elements, expected %d", count, part.Count)
 	}
 	cap := newCapture(count, s.cfg.Eps1, s.beta1)
-	w, err := s.dev.Create(part.name)
+	w, err := s.mdev.Create(part.name)
 	if err != nil {
 		return nil, err
 	}
@@ -359,8 +692,7 @@ func (s *Store) mergeLevel(lvl int) error {
 	if len(group) == 0 {
 		return nil
 	}
-	id := s.nextID
-	s.nextID++
+	id := s.allocID()
 	var count int64
 	startStep, endStep := group[0].part.StartStep, group[0].part.EndStep
 	for _, e := range group {
@@ -390,7 +722,7 @@ func (s *Store) mergeLevel(lvl int) error {
 	}
 	sources := make([]extsort.Source, 0, len(group))
 	for _, e := range group {
-		r, err := e.part.OpenSequential()
+		r, err := s.mdev.OpenSequential(e.part.name)
 		if err != nil {
 			closeAll()
 			return err
@@ -404,7 +736,7 @@ func (s *Store) mergeLevel(lvl int) error {
 		return err
 	}
 	cap := newCapture(count, s.cfg.Eps1, s.beta1)
-	w, err := s.dev.Create(merged.name)
+	w, err := s.mdev.Create(merged.name)
 	if err != nil {
 		closeAll()
 		return err
@@ -434,72 +766,107 @@ func (s *Store) mergeLevel(lvl int) error {
 	if err != nil {
 		return err
 	}
+	s.retireGroupAndInstall(lvl, group, merged, sum)
+	return nil
+}
 
-	// Retire the merged-away partitions (removed at the next commit, since
-	// the last committed manifest may still reference them) and install the
-	// new one.
+// retireGroupAndInstall retires the merged-away inputs of level lvl
+// (removed once a manifest without them is durable and no version pins
+// them) and installs the merged partition at lvl+1 in chronological order.
+func (s *Store) retireGroupAndInstall(lvl int, group []entry, merged *Partition, sum *Summary) {
 	for _, e := range group {
-		s.obsolete = append(s.obsolete, e.part.name)
+		s.buildRetired = append(s.buildRetired, e.part.name)
 	}
 	s.levels[lvl] = nil
 	if lvl+1 >= len(s.levels) {
 		s.levels = append(s.levels, nil)
 	}
 	s.levels[lvl+1] = append(s.levels[lvl+1], entry{merged, sum})
-	// Keep chronological order within the level (older first).
 	slices.SortFunc(s.levels[lvl+1], func(a, b entry) int {
 		return a.part.StartStep - b.part.StartStep
 	})
-	return nil
 }
 
-// Commit makes the store's current in-memory state durable: a data barrier
-// so every partition the manifest will reference is on stable storage, the
-// atomic manifest commit, and a second barrier making the commit itself
-// durable. Only then are files superseded by this state (merged-away
-// partitions, raw batch spills) physically removed — a failed or crashed
-// removal leaves orphans for the next Commit or for LoadStore's collector,
-// never dangling manifest references.
+// Commit makes the store's current published state durable: any missing raw
+// spills of sealed batches are (re)written, a data barrier guarantees every
+// file the manifest will reference is on stable storage, the manifest is
+// committed atomically from a consistent published snapshot, and a second
+// barrier makes the commit itself durable. Only then do files superseded by
+// this state become removable — and they are physically removed only once no
+// pinned Version can still read them.
+//
+// Commit is safe to call concurrently (a seal on the write path vs an
+// install commit on a maintenance worker); commits are serialized and the
+// durable manifest sequence is monotone.
 func (s *Store) Commit(manifestName string) error {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	if err := s.spillPendingLocked(); err != nil {
+		return err
+	}
+	// The snapshot is taken BEFORE the data barrier: every file a published
+	// version references was fully written before publish, so syncing after
+	// the snapshot guarantees the manifest only ever references durable
+	// data — even if a concurrent install publishes a newer version between
+	// the snapshot and the barrier (that version's files ride the next
+	// commit).
+	s.vmu.Lock()
+	m, seq := s.manifestSnapshotLocked()
+	s.vmu.Unlock()
 	if err := s.dev.Sync(); err != nil {
 		return fmt.Errorf("partition: commit data barrier: %w", err)
 	}
-	if err := s.SaveManifest(manifestName); err != nil {
+	if err := s.writeManifest(manifestName, m); err != nil {
 		return err
 	}
 	if err := s.dev.Sync(); err != nil {
 		return fmt.Errorf("partition: commit manifest barrier: %w", err)
 	}
-	kept := s.obsolete[:0]
-	for _, name := range s.obsolete {
-		if err := s.dev.Remove(name); err != nil && s.dev.Exists(name) {
-			kept = append(kept, name) // retry at the next commit
-		}
+	var reclaim []retiredFile
+	s.vmu.Lock()
+	if seq > s.committedSeq {
+		s.committedSeq = seq
 	}
-	s.obsolete = kept
+	reclaim = s.takeReclaimableLocked()
+	s.vmu.Unlock()
+	s.removeRetired(reclaim)
 	return nil
 }
 
-// Destroy removes every partition file, plus any files awaiting removal at
-// the next commit. The store is unusable afterwards.
+// Destroy removes every partition file, raw spill and retired file. The
+// store is unusable afterwards. The caller must guarantee no concurrent
+// installs or pinned queries.
 func (s *Store) Destroy() error {
-	for _, lvl := range s.levels {
-		for _, e := range lvl {
-			if err := e.part.remove(); err != nil {
-				return err
-			}
+	s.vmu.Lock()
+	names := make([]string, 0, len(s.cur.entries)+len(s.retired)+len(s.pending))
+	for _, e := range s.cur.entries {
+		names = append(names, e.Part.name)
+	}
+	for _, rf := range s.retired {
+		names = append(names, rf.name)
+	}
+	for _, sb := range s.pending {
+		if sb.Name != "" {
+			names = append(names, sb.Name)
 		}
 	}
-	for _, name := range s.obsolete {
+	s.vmu.Unlock()
+	for _, name := range names {
 		if s.dev.Exists(name) {
 			if err := s.dev.Remove(name); err != nil {
 				return err
 			}
 		}
 	}
-	s.obsolete = nil
+	s.vmu.Lock()
+	s.retired = nil
+	s.pending = nil
+	s.steps = 0
+	s.cur = &Version{store: s, seq: s.cur.seq + 1, refs: 1}
+	s.live = []*Version{s.cur}
+	s.vmu.Unlock()
 	s.levels = nil
-	s.total = 0
+	s.buildRetired = nil
 	return nil
 }
 
@@ -511,17 +878,20 @@ type LevelInfo struct {
 	Steps      int
 }
 
-// Describe returns a per-level summary of the store layout, oldest level
-// data last (level order ascending).
+// Describe returns a per-level summary of the current version's layout
+// (level order ascending).
 func (s *Store) Describe() []LevelInfo {
-	out := make([]LevelInfo, 0, len(s.levels))
-	for lvl, es := range s.levels {
-		info := LevelInfo{Level: lvl, Partitions: len(es)}
-		for _, e := range es {
-			info.Elements += e.part.Count
-			info.Steps += e.part.Steps()
+	v := s.Pin()
+	defer v.Release()
+	var out []LevelInfo
+	for _, e := range v.entries {
+		for len(out) <= e.Part.Level {
+			out = append(out, LevelInfo{Level: len(out)})
 		}
-		out = append(out, info)
+		info := &out[e.Part.Level]
+		info.Partitions++
+		info.Elements += e.Part.Count
+		info.Steps += e.Part.Steps()
 	}
 	return out
 }

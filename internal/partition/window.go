@@ -5,11 +5,11 @@ import (
 	"slices"
 )
 
-// ChronologicalEntries returns all (partition, summary) pairs ordered from
-// oldest to newest by covered time steps. Partitions cover disjoint step
-// ranges, so StartStep orders them totally.
-func (s *Store) ChronologicalEntries() []*Summary {
-	out := s.Entries()
+// ChronologicalEntries returns the version's (partition, summary) pairs
+// ordered from oldest to newest by covered time steps. Partitions cover
+// disjoint step ranges, so StartStep orders them totally.
+func (v *Version) ChronologicalEntries() []*Summary {
+	out := slices.Clone(v.entries)
 	slices.SortFunc(out, func(a, b *Summary) int {
 		return a.Part.StartStep - b.Part.StartStep
 	})
@@ -17,12 +17,14 @@ func (s *Store) ChronologicalEntries() []*Summary {
 }
 
 // AvailableWindows returns the window sizes (in time steps, counting only
-// historical steps) over which a query can be answered exactly on partition
-// boundaries — the paper's partition-aligned windows (Figure 11). The sizes
-// are cumulative step counts of partitions taken newest-first, in increasing
-// order. A window additionally always includes the current stream.
-func (s *Store) AvailableWindows() []int {
-	chron := s.ChronologicalEntries()
+// installed historical steps) over which a query can be answered exactly on
+// partition boundaries — the paper's partition-aligned windows (Figure 11).
+// The sizes are cumulative step counts of partitions taken newest-first, in
+// increasing order. A window additionally always includes the current
+// stream (and any sealed-but-uninstalled steps, which the engine layers on
+// top).
+func (v *Version) AvailableWindows() []int {
+	chron := v.ChronologicalEntries()
 	var out []int
 	cum := 0
 	for i := len(chron) - 1; i >= 0; i-- {
@@ -33,14 +35,14 @@ func (s *Store) AvailableWindows() []int {
 }
 
 // WindowEntries returns the summaries whose partitions exactly cover the
-// most recent `steps` historical time steps. It returns an error if the
+// most recent `steps` installed time steps. It returns an error if the
 // requested window does not align with partition boundaries; callers should
 // pick from AvailableWindows.
-func (s *Store) WindowEntries(steps int) ([]*Summary, error) {
+func (v *Version) WindowEntries(steps int) ([]*Summary, error) {
 	if steps <= 0 {
 		return nil, nil
 	}
-	chron := s.ChronologicalEntries()
+	chron := v.ChronologicalEntries()
 	var out []*Summary
 	cum := 0
 	for i := len(chron) - 1; i >= 0; i-- {
@@ -54,13 +56,13 @@ func (s *Store) WindowEntries(steps int) ([]*Summary, error) {
 		}
 	}
 	return nil, fmt.Errorf("partition: window of %d steps does not align with partition boundaries (available: %v)",
-		steps, s.AvailableWindows())
+		steps, v.AvailableWindows())
 }
 
 // WindowCount returns the number of historical elements inside the aligned
 // window of the given size.
-func (s *Store) WindowCount(steps int) (int64, error) {
-	ents, err := s.WindowEntries(steps)
+func (v *Version) WindowCount(steps int) (int64, error) {
+	ents, err := v.WindowEntries(steps)
 	if err != nil {
 		return 0, err
 	}
@@ -69,4 +71,34 @@ func (s *Store) WindowCount(steps int) (int64, error) {
 		n += e.Part.Count
 	}
 	return n, nil
+}
+
+// ChronologicalEntries returns the current version's entries oldest-first.
+func (s *Store) ChronologicalEntries() []*Summary {
+	v := s.Pin()
+	defer v.Release()
+	return v.ChronologicalEntries()
+}
+
+// AvailableWindows returns the current version's partition-aligned windows.
+func (s *Store) AvailableWindows() []int {
+	v := s.Pin()
+	defer v.Release()
+	return v.AvailableWindows()
+}
+
+// WindowEntries returns the current version's summaries covering the most
+// recent `steps` installed time steps.
+func (s *Store) WindowEntries(steps int) ([]*Summary, error) {
+	v := s.Pin()
+	defer v.Release()
+	return v.WindowEntries(steps)
+}
+
+// WindowCount returns the element count of the aligned window in the
+// current version.
+func (s *Store) WindowCount(steps int) (int64, error) {
+	v := s.Pin()
+	defer v.Release()
+	return v.WindowCount(steps)
 }

@@ -1,0 +1,409 @@
+package hsq
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Background maintenance: the machinery that executes the heavy half of an
+// end-of-step — external sort, level-0 install, cascading κ-way merges —
+// outside the write path.
+//
+// EndStep is split into two phases. The fast synchronous phase seals the
+// step: the in-memory batch and the GK sketch are cut atomically (elements
+// observed afterwards belong to the next step), the raw batch is spilled,
+// and a manifest referencing the spill is durably committed — so the step
+// survives any crash exactly as it did when the whole install was
+// synchronous. The deferred phase installs sealed steps into the on-disk
+// leveled store; until a step's install completes, queries cover it through
+// its frozen stream summary (a core.StreamPiece), so answers always span
+// the full observed history.
+//
+// Three maintenance modes pick who runs the deferred phase:
+//
+//   - sync (default): EndStep runs it inline under the engine write lock —
+//     the original behavior, bit-for-bit, including its I/O accounting.
+//   - async: a DB-wide scheduler runs it on a bounded worker pool. Per
+//     stream, installs are FIFO (step order); across streams, the pool is
+//     shared and dispatch is round-robin. Config.MaxPendingSteps bounds how
+//     far a stream's installs may lag its seals; EndStep blocks
+//     (backpressure) when the bound is hit.
+//   - manual: nothing runs until SyncMaintenance — deterministic, for
+//     harnesses like internal/crashtest that need reproducible operation
+//     orderings.
+
+// Maintenance mode names for Config.Maintenance.
+const (
+	// MaintenanceSync runs the full install inside EndStep (legacy).
+	MaintenanceSync = "sync"
+	// MaintenanceAsync defers installs to the DB-wide background scheduler.
+	MaintenanceAsync = "async"
+	// MaintenanceManual defers installs until SyncMaintenance is called.
+	MaintenanceManual = "manual"
+)
+
+type maintMode int
+
+const (
+	maintSync maintMode = iota
+	maintAsync
+	maintManual
+)
+
+func (m maintMode) String() string {
+	switch m {
+	case maintAsync:
+		return MaintenanceAsync
+	case maintManual:
+		return MaintenanceManual
+	default:
+		return MaintenanceSync
+	}
+}
+
+// sealedPiece is the query-visible face of one sealed-but-uninstalled step:
+// the frozen stream summary extracted from the GK sketch at seal time.
+// Queries treat it exactly like the live stream — estimate-only, no disk
+// probes — so its rank error contributes at most ε₂·count.
+type sealedPiece struct {
+	step  int
+	count int64
+	ss    []int64
+}
+
+// maintAccum aggregates a stream's maintenance counters; guarded by the
+// engine's mu.
+type maintAccum struct {
+	installs    int
+	merges      int
+	installTime time.Duration
+	running     bool
+	bpWaits     int64
+	bpTime      time.Duration
+	lastErr     string
+}
+
+// MaintenanceStats describes one stream's background-maintenance state.
+type MaintenanceStats struct {
+	// Mode is the stream's maintenance mode: "sync", "async" or "manual".
+	Mode string
+	// PendingSteps is the number of sealed steps awaiting installation.
+	PendingSteps int
+	// PendingElements is the element count across pending steps — the
+	// stream's merge debt.
+	PendingElements int64
+	// Running reports an install or merge executing right now.
+	Running bool
+	// Installs counts deferred installs completed since open.
+	Installs int
+	// Merges counts level merges run by deferred installs since open.
+	Merges int
+	// InstallTime is total wall-clock spent in deferred installs.
+	InstallTime time.Duration
+	// BackpressureWaits counts EndStep calls that blocked on
+	// MaxPendingSteps; BackpressureTime is the total time they waited.
+	BackpressureWaits int64
+	BackpressureTime  time.Duration
+	// MaintIO is the stream's maintenance-attributed I/O (sorts, partition
+	// writes, merge passes) — always a subset of DiskStats.
+	MaintIO IOStats
+	// LastError is the most recent maintenance failure ("" when healthy).
+	// A non-empty value with PendingSteps > 0 means the stream is stalled;
+	// SyncMaintenance retries.
+	LastError string
+}
+
+// MaintenanceStats returns the stream's current maintenance counters.
+func (e *Engine) MaintenanceStats() MaintenanceStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var pendingN int64
+	for _, p := range e.sealed {
+		pendingN += p.count
+	}
+	ms := MaintenanceStats{
+		Mode:              e.mode.String(),
+		PendingSteps:      len(e.sealed),
+		PendingElements:   pendingN,
+		Running:           e.mstats.running,
+		Installs:          e.mstats.installs,
+		Merges:            e.mstats.merges,
+		InstallTime:       e.mstats.installTime,
+		BackpressureWaits: e.mstats.bpWaits,
+		BackpressureTime:  e.mstats.bpTime,
+		MaintIO:           fromDisk(e.dev.MaintStats()),
+		LastError:         e.mstats.lastErr,
+	}
+	if e.maintErr != nil {
+		ms.LastError = e.maintErr.Error()
+	}
+	return ms
+}
+
+// wakeLocked signals every goroutine waiting for maintenance progress
+// (backpressure waiters, SyncMaintenance). Caller holds e.mu.
+func (e *Engine) wakeLocked() {
+	close(e.wake)
+	e.wake = make(chan struct{})
+}
+
+// maintFailed wraps a sticky maintenance error for the write path.
+func maintFailed(err error) error {
+	return fmt.Errorf("hsq: stream maintenance failed (SyncMaintenance retries): %w", err)
+}
+
+// runMaintenanceOnce installs at most one sealed step (sort, level-0
+// install, cascading merges, commit). It returns whether a step was
+// installed. Install failures before the step becomes visible are sticky
+// (maintErr): the pending queue stalls and the write path surfaces the
+// error until SyncMaintenance retries. Failures after the step is published
+// (an unfinished merge cascade, a failed commit) are recorded but not
+// sticky — the next install or commit repairs them.
+func (e *Engine) runMaintenanceOnce() (bool, error) {
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return false, ErrClosed
+	}
+	if len(e.sealed) == 0 {
+		e.mu.Unlock()
+		return false, nil
+	}
+	e.mstats.running = true
+	e.mu.Unlock()
+
+	t0 := time.Now()
+	bd, step, err := e.store.InstallOne(manifestName)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.mstats.running = false
+	if step != 0 {
+		// The step is installed and published: retire its frozen summary so
+		// queries stop double-covering it, even if a later merge or the
+		// commit failed.
+		if len(e.sealed) > 0 && e.sealed[0].step == step {
+			e.sealed = e.sealed[1:]
+		}
+		e.mstats.installs++
+		e.mstats.merges += bd.Merges
+		e.mstats.installTime += time.Since(t0)
+	}
+	if err != nil {
+		e.mstats.lastErr = err.Error()
+		if step == 0 {
+			e.maintErr = err
+		}
+	} else if step != 0 {
+		// A clean install means the stream is healthy again; stop reporting
+		// a stale failure.
+		e.mstats.lastErr = ""
+	}
+	e.wakeLocked()
+	return step != 0, err
+}
+
+// SyncMaintenance blocks until every sealed step of this stream is
+// installed and committed, running the installs inline (so it also works in
+// manual mode, and accelerates a backlogged async stream). It clears a
+// sticky maintenance error and retries the stalled install; the first
+// failure encountered is returned. In sync mode there is never pending
+// work. Tests and checkpoint-like barriers call it to reach a quiesced,
+// fully-merged state.
+func (e *Engine) SyncMaintenance() error {
+	for {
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return ErrClosed
+		}
+		e.maintErr = nil
+		n := len(e.sealed)
+		e.mu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		if _, err := e.runMaintenanceOnce(); err != nil {
+			return err
+		}
+	}
+}
+
+// maintPending reports whether the stream has sealed steps awaiting
+// installation and is not wedged on a sticky error.
+func (e *Engine) maintPending() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return !e.closed && e.maintErr == nil && len(e.sealed) > 0
+}
+
+// scheduler is the DB-wide background maintenance executor: one bounded
+// worker pool shared by every stream of a DB (or owned by a standalone
+// async engine). Streams with pending installs queue FIFO; a worker pops a
+// stream, installs exactly one sealed step, and re-queues the stream at the
+// tail if it still has work — so a backlogged stream cannot starve the
+// others, and per-stream installs stay in step order.
+type scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*Engine
+	queued  map[*Engine]bool
+	running map[*Engine]bool
+	dirty   map[*Engine]bool // enqueued while running; revisit on completion
+	workers int
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+func newScheduler(workers int) *scheduler {
+	s := &scheduler{
+		queued:  make(map[*Engine]bool),
+		running: make(map[*Engine]bool),
+		dirty:   make(map[*Engine]bool),
+		workers: workers,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// enqueue schedules a stream for one install. Idempotent; a stream already
+// being serviced is marked dirty and revisited when its current install
+// finishes (per-stream installs never run concurrently).
+func (s *scheduler) enqueue(e *Engine) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.queued[e] {
+		return
+	}
+	if s.running[e] {
+		s.dirty[e] = true
+		return
+	}
+	s.queued[e] = true
+	s.queue = append(s.queue, e)
+	s.cond.Signal()
+}
+
+func (s *scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for !s.closed && len(s.queue) == 0 {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		e := s.queue[0]
+		s.queue = s.queue[1:]
+		delete(s.queued, e)
+		s.running[e] = true
+		s.mu.Unlock()
+
+		// Errors are recorded on the engine (sticky maintErr stalls the
+		// stream until SyncMaintenance); the worker just moves on.
+		e.runMaintenanceOnce() //nolint:errcheck // surfaced via engine state
+
+		s.mu.Lock()
+		delete(s.running, e)
+		again := s.dirty[e]
+		delete(s.dirty, e)
+		s.mu.Unlock()
+		if again || e.maintPending() {
+			s.enqueue(e)
+		}
+	}
+}
+
+// close stops the workers after their current installs; queued work is
+// abandoned (engines drain inline on Close).
+func (s *scheduler) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.queue = nil
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// SchedulerStats describes the DB-wide maintenance scheduler: pool
+// occupancy plus the aggregate backlog (merge debt) across streams.
+type SchedulerStats struct {
+	// Workers is the pool size (0 when the DB runs synchronous or manual
+	// maintenance).
+	Workers int
+	// QueuedStreams and RunningStreams count streams waiting for / holding
+	// a worker.
+	QueuedStreams  int
+	RunningStreams int
+	// PendingSteps and MergeDebt aggregate every stream's sealed backlog
+	// (steps, elements).
+	PendingSteps int
+	MergeDebt    int64
+	// Installs and Merges total the deferred installs and level merges
+	// completed across all streams since open.
+	Installs int
+	Merges   int
+	// MaintIO is the device-wide maintenance-attributed I/O.
+	MaintIO IOStats
+}
+
+// SchedulerStats returns the DB-wide maintenance picture: scheduler
+// occupancy (for async DBs) plus aggregate backlog over all live streams.
+func (db *DB) SchedulerStats() SchedulerStats {
+	var out SchedulerStats
+	if db.sched != nil {
+		db.sched.mu.Lock()
+		out.Workers = db.sched.workers
+		out.QueuedStreams = len(db.sched.queue)
+		out.RunningStreams = len(db.sched.running)
+		db.sched.mu.Unlock()
+	}
+	db.mu.Lock()
+	streams := make([]*Stream, 0, len(db.streams))
+	for _, s := range db.streams {
+		streams = append(streams, s)
+	}
+	db.mu.Unlock()
+	for _, s := range streams {
+		ms := s.MaintenanceStats()
+		out.PendingSteps += ms.PendingSteps
+		out.MergeDebt += ms.PendingElements
+		out.Installs += ms.Installs
+		out.Merges += ms.Merges
+	}
+	out.MaintIO = fromDisk(db.dev.MaintStats())
+	return out
+}
+
+// WaitIdle blocks until every stream's maintenance backlog is drained and
+// committed — a DB-wide quiescence barrier for tests, checkpoints and
+// orderly shutdowns. It returns the first failure encountered (after
+// attempting every stream).
+func (db *DB) WaitIdle() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	streams := make([]*Stream, 0, len(db.streams))
+	for _, s := range db.streams {
+		streams = append(streams, s)
+	}
+	db.mu.Unlock()
+	var firstErr error
+	for _, s := range streams {
+		if err := s.SyncMaintenance(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -3,9 +3,10 @@ package hsq
 // Stream is one named quantile stream hosted by a DB. It embeds its
 // per-stream Engine, so the full single-stream surface — Observe,
 // ObserveSlice, EndStep, Quantile(s), Rank, windowed queries, the context
-// variants, MemoryUsage, Checkpoint — applies per stream, while storage,
-// the block-cache budget and aggregate I/O accounting are shared with every
-// other stream of the DB.
+// variants, MemoryUsage, Checkpoint, SyncMaintenance, MaintenanceStats —
+// applies per stream, while storage, the block-cache budget, aggregate I/O
+// accounting and (in async mode) the background maintenance worker pool are
+// shared with every other stream of the DB.
 //
 // DiskStats (inherited from Engine) reports only this stream's I/O: the
 // stream's engine runs on a namespaced view of the shared device, and
