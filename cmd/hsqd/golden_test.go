@@ -6,12 +6,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
+
+	"repro/internal/wire"
 )
 
 // The golden files pin the exact JSON wire format of the read-side REST
@@ -228,4 +232,105 @@ func TestGoldenMaintenance(t *testing.T) {
 	}
 	fmt.Fprintf(&out, "### manual /streams scheduler block\n%s", canonicalJSON(t, body))
 	checkGolden(t, "maintenance", out.Bytes())
+}
+
+// goldenIngest drives a fully deterministic raw-wire session against the
+// server's ingest pipeline: fixed session token, fixed frames, fixed
+// values. Only the connection's remote port is nondeterministic; the
+// golden canonicalization below redacts it.
+func goldenIngest(t *testing.T, srv *server) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close() //nolint:errcheck
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		nc, err := l.Accept()
+		if err != nil {
+			return
+		}
+		srv.ing.ServeConn(nc)
+	}()
+	nc, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		nc.Close() //nolint:errcheck
+		<-served
+	})
+	w, r := wire.NewWriter(nc), wire.NewReader(nc)
+	send := func(f *wire.Frame) {
+		t.Helper()
+		if err := w.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(&wire.Frame{Type: wire.TypeHello, Version: wire.Version, Session: "golden-session"})
+	if f, err := r.ReadFrame(); err != nil || f.Type != wire.TypeWelcome {
+		t.Fatalf("welcome: %v %v", f, err)
+	}
+	vals := make([]int64, 250)
+	for i := range vals {
+		vals[i] = int64(i + 1)
+	}
+	send(&wire.Frame{Type: wire.TypeOpenStream, StreamID: 1, Name: "wire.stream"})
+	send(&wire.Frame{Type: wire.TypeBatch, Seq: 1, StreamID: 1, Values: vals})
+	send(&wire.Frame{Type: wire.TypeBatch, Seq: 2, StreamID: 1, Values: vals})
+	send(&wire.Frame{Type: wire.TypeEndStep, Seq: 3, StreamID: 1})
+	send(&wire.Frame{Type: wire.TypeFlush, Seq: 3})
+	// The endstep ack confirms everything up to seq 3 is applied; the
+	// flush ack repeats it. Both must arrive before the snapshot.
+	for i := 0; i < 2; i++ {
+		if f, err := r.ReadFrame(); err != nil || f.Type != wire.TypeAck || f.Seq != 3 {
+			t.Fatalf("ack %d: %v %v", i, f, err)
+		}
+	}
+}
+
+// redactRemote hides the one nondeterministic field of the ingest
+// snapshot (the client's ephemeral port).
+var remotePattern = regexp.MustCompile(`"remote": "[^"]*"`)
+
+func redactRemote(body []byte) []byte {
+	return remotePattern.ReplaceAll(body, []byte(`"remote": "127.0.0.1:<port>"`))
+}
+
+// TestGoldenIngest pins GET /ingest (live connection with counters, then
+// the post-disconnect state) and the ingest enrichment of GET /streams.
+func TestGoldenIngest(t *testing.T) {
+	srv, err := newServer(serverConfig{backend: "mem", epsilon: 0.05, kappa: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+
+	var out bytes.Buffer
+	code, body := get(t, ts.URL+"/ingest")
+	if code != http.StatusOK {
+		t.Fatalf("GET /ingest (idle): status %d", code)
+	}
+	fmt.Fprintf(&out, "### idle\n%s", canonicalJSON(t, body))
+
+	goldenIngest(t, srv)
+	code, body = get(t, ts.URL+"/ingest")
+	if code != http.StatusOK {
+		t.Fatalf("GET /ingest (live): status %d", code)
+	}
+	fmt.Fprintf(&out, "### one live connection, 500 values applied\n%s",
+		redactRemote(canonicalJSON(t, body)))
+
+	code, body = get(t, ts.URL+"/streams")
+	if code != http.StatusOK {
+		t.Fatalf("GET /streams (wire-fed): status %d", code)
+	}
+	fmt.Fprintf(&out, "### /streams after wire ingest\n%s", canonicalJSON(t, body))
+	checkGolden(t, "ingest", out.Bytes())
 }

@@ -9,8 +9,10 @@
 // Multi-stream endpoints:
 //
 //	GET    /streams                         list streams with per-stream stats
+//	GET    /ingest                          wire-ingest pipeline counters
 //	DELETE /streams/{name}                  drop a stream and its on-disk state
-//	POST   /streams/{name}/observe          body: newline-separated integers
+//	POST   /streams/{name}/observe          body: newline-separated integers,
+//	                                        or JSON {"values":[...]} (batched)
 //	POST   /streams/{name}/endstep          load the stream's batch + checkpoint
 //	GET    /streams/{name}/quantile?phi=0.99[&quick=1][&window=K]
 //	GET    /streams/{name}/quantiles?phi=0.5,0.95,0.99[&max-reads=N]
@@ -22,6 +24,15 @@
 // The original single-stream endpoints (POST /observe, POST /endstep,
 // GET /quantile, /quantiles, /rank, /stats) remain and operate on the
 // stream named "default".
+//
+// With -ingest-addr, hsqd additionally listens for the binary wire
+// protocol (package hsqclient / internal/wire): length-prefixed frames
+// carrying delta-compressed value batches, with session-replay
+// exactly-once delivery and credit-window backpressure. That path is the
+// intended front door for high-rate producers — the HTTP surface costs a
+// request per (at best) a few thousand elements; the wire path sustains
+// millions of elements per second per connection (see
+// BenchmarkRemoteIngest and `hsqbench -figure ingest`).
 //
 // With -maintenance async (recommended under write-heavy load), EndStep
 // seals the batch durably and returns while a DB-wide worker pool sorts and
@@ -35,31 +46,40 @@
 //	hsqd -dir /var/lib/hsq -epsilon 0.001 -kappa 10 -addr :8080
 //	hsqd -backend mem -cache-blocks 1024 -epsilon 0.001    # volatile, no dir
 //	hsqd -dir /var/lib/hsq -epsilon 0.001 -maintenance async -maint-workers 4
+//	hsqd -dir /var/lib/hsq -epsilon 0.001 -ingest-addr :9090   # + wire ingest
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro"
 )
 
 func main() {
 	var (
-		dir     = flag.String("dir", "", "warehouse directory (required for -backend file)")
-		backend = flag.String("backend", "file", "storage backend: file|mem")
-		cache   = flag.Int("cache-blocks", 0, "shared block-cache capacity in blocks (0 = no cache)")
-		epsilon = flag.Float64("epsilon", 0.001, "approximation parameter ε")
-		kappa   = flag.Int("kappa", 10, "merge threshold κ")
-		addr    = flag.String("addr", ":8080", "listen address")
-		resume  = flag.Bool("resume", false, "deprecated: resume is automatic when -dir holds a DB manifest")
+		dir        = flag.String("dir", "", "warehouse directory (required for -backend file)")
+		backend    = flag.String("backend", "file", "storage backend: file|mem")
+		cache      = flag.Int("cache-blocks", 0, "shared block-cache capacity in blocks (0 = no cache)")
+		epsilon    = flag.Float64("epsilon", 0.001, "approximation parameter ε")
+		kappa      = flag.Int("kappa", 10, "merge threshold κ")
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		ingestAddr = flag.String("ingest-addr", "", "TCP listen address for the binary ingest protocol (hsqclient); empty = disabled")
+		resume     = flag.Bool("resume", false, "deprecated: resume is automatic when -dir holds a DB manifest")
 
 		maintenance = flag.String("maintenance", "", "maintenance mode: sync (default: install inline in endstep), async (background scheduler), manual (drain on demand via POST maintenance); unset with -max-pending-steps > 0 selects async")
 		maxPending  = flag.Int("max-pending-steps", 0, "async backpressure: sealed steps a stream may queue before endstep blocks (0 = default 4); > 0 alone turns async maintenance on")
@@ -76,13 +96,76 @@ func main() {
 		dir: *dir, backend: *backend, cacheBlocks: *cache,
 		epsilon: *epsilon, kappa: *kappa,
 		maintenance: *maintenance, maxPending: *maxPending, maintWorkers: *maintWork,
+		logf: log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("hsqd: %v", err)
 	}
-	log.Printf("hsqd: serving on %s (backend=%s dir=%s ε=%g κ=%d cache=%d maintenance=%s streams=%v)",
-		*addr, *backend, *dir, *epsilon, *kappa, *cache, srv.db.MaintenanceMode(), srv.db.Streams())
-	log.Fatal(http.ListenAndServe(*addr, srv.mux()))
+
+	// SIGINT/SIGTERM start a graceful shutdown: both listeners stop, HTTP
+	// requests and ingest connections drain, and — crucially — db.Close()
+	// runs, so the final checkpoint is never skipped. A second signal
+	// kills the process the usual way (the signal context is released
+	// before the drain begins).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *ingestAddr != "" {
+		l, err := net.Listen("tcp", *ingestAddr)
+		if err != nil {
+			log.Fatalf("hsqd: ingest listener: %v", err)
+		}
+		srv.ingAddr = l.Addr().String()
+		go func() {
+			if err := srv.ing.Serve(l); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("hsqd: ingest listener: %v", err)
+			}
+		}()
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.mux()}
+	httpErr := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			httpErr <- err
+		}
+	}()
+	log.Printf("hsqd: serving on %s (ingest=%s backend=%s dir=%s ε=%g κ=%d cache=%d maintenance=%s streams=%v)",
+		*addr, orNone(srv.ingAddr), *backend, *dir, *epsilon, *kappa, *cache, srv.db.MaintenanceMode(), srv.db.Streams())
+
+	exitCode := 0
+	select {
+	case err := <-httpErr:
+		// Even a failed HTTP listener must not skip the drain + final
+		// checkpoint: wire clients may already have delivered data.
+		log.Printf("hsqd: HTTP server failed: %v", err)
+		exitCode = 1
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C is immediate
+	log.Print("hsqd: shutting down (draining connections, final checkpoint)")
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("hsqd: HTTP shutdown: %v", err)
+	}
+	if err := srv.ing.Shutdown(drainCtx); err != nil {
+		log.Printf("hsqd: ingest shutdown: %v", err)
+	}
+	if err := srv.db.Close(); err != nil {
+		log.Fatalf("hsqd: close DB: %v", err)
+	}
+	log.Print("hsqd: shutdown complete")
+	os.Exit(exitCode)
+}
+
+// orNone renders an optional listen address for the startup log line.
+func orNone(addr string) string {
+	if addr == "" {
+		return "off"
+	}
+	return addr
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -96,8 +179,9 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-// handleStreams lists every live stream with its counters, plus the shared
-// device aggregate the per-stream counters sum to.
+// handleStreams lists every live stream with its counters — including its
+// cumulative wire-ingest tally — plus the shared device aggregate the
+// per-stream counters sum to and a summary of the ingest listener.
 func (s *server) handleStreams(w http.ResponseWriter, r *http.Request) {
 	perStream := s.db.StreamStats()
 	streams := make([]map[string]any, 0, len(perStream))
@@ -107,20 +191,25 @@ func (s *server) handleStreams(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		io := perStream[name]
+		ing := s.ing.StreamStats(name)
 		streams = append(streams, map[string]any{
-			"name":          name,
-			"stream_count":  st.StreamCount(),
-			"hist_count":    st.HistCount(),
-			"steps":         st.Steps(),
-			"partitions":    st.PartitionCount(),
-			"io_seq_reads":  io.SeqReads,
-			"io_seq_writes": io.SeqWrites,
-			"io_rand_reads": io.RandReads,
-			"io_cache_hits": io.CacheHits,
+			"name":             name,
+			"stream_count":     st.StreamCount(),
+			"hist_count":       st.HistCount(),
+			"steps":            st.Steps(),
+			"partitions":       st.PartitionCount(),
+			"io_seq_reads":     io.SeqReads,
+			"io_seq_writes":    io.SeqWrites,
+			"io_rand_reads":    io.RandReads,
+			"io_cache_hits":    io.CacheHits,
+			"ingest_values":    ing.Values,
+			"ingest_batches":   ing.Batches,
+			"ingest_end_steps": ing.EndSteps,
 		})
 	}
 	agg := s.db.DiskStats()
 	sched := s.db.SchedulerStats()
+	ing := s.ing.Stats()
 	writeJSON(w, map[string]any{
 		"streams": streams,
 		"device": map[string]any{
@@ -141,6 +230,58 @@ func (s *server) handleStreams(w http.ResponseWriter, r *http.Request) {
 			"maint_io_reads":  sched.MaintIO.SeqReads + sched.MaintIO.RandReads,
 			"maint_io_writes": sched.MaintIO.SeqWrites,
 		},
+		"ingest": map[string]any{
+			"listening":    s.ingAddr,
+			"active_conns": ing.ActiveConns,
+			"total_conns":  ing.TotalConns,
+			"values":       ing.Values,
+			"batches":      ing.Batches,
+			"end_steps":    ing.EndSteps,
+		},
+	})
+}
+
+// handleIngest reports the wire-ingest pipeline in full: listener state,
+// aggregate frame/value counters, the cumulative per-stream tallies and
+// every live connection (with its session token and applied sequence
+// high-water mark, the replay cursor a reconnect resumes from).
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	st := s.ing.Stats()
+	conns := make([]map[string]any, 0, len(st.Conns))
+	for _, c := range st.Conns {
+		conns = append(conns, map[string]any{
+			"id":        c.ID,
+			"remote":    c.Remote,
+			"session":   c.Session,
+			"streams":   c.Streams,
+			"batches":   c.Batches,
+			"values":    c.Values,
+			"end_steps": c.EndSteps,
+			"last_seq":  c.LastSeq,
+		})
+	}
+	streams := make(map[string]any, len(st.Streams))
+	for name, ss := range st.Streams {
+		streams[name] = map[string]any{
+			"batches":   ss.Batches,
+			"values":    ss.Values,
+			"end_steps": ss.EndSteps,
+		}
+	}
+	writeJSON(w, map[string]any{
+		"listening":    s.ingAddr,
+		"window":       st.Window,
+		"active_conns": st.ActiveConns,
+		"total_conns":  st.TotalConns,
+		"sessions":     st.Sessions,
+		"frames":       st.Frames,
+		"batches":      st.Batches,
+		"values":       st.Values,
+		"end_steps":    st.EndSteps,
+		"dup_frames":   st.DupFrames,
+		"errors":       st.Errors,
+		"streams":      streams,
+		"conns":        conns,
 	})
 }
 
@@ -257,8 +398,52 @@ func (s *server) handleRank(st *hsq.Stream, w http.ResponseWriter, r *http.Reque
 	writeJSON(w, map[string]any{"stream": st.Name(), "v": v, "rank": rank, "total": st.TotalCount()})
 }
 
+// handleObserve accepts two body formats: the legacy newline-separated
+// integers, and — when the body starts with '{' — a JSON object
+// {"values":[...]} (or {"value": v}) applied through the ObserveSlice
+// fast path, so HTTP producers can batch without speaking the binary
+// protocol.
 func (s *server) handleObserve(st *hsq.Stream, w http.ResponseWriter, r *http.Request) {
-	sc := bufio.NewScanner(r.Body)
+	br := bufio.NewReader(r.Body)
+	if first, err := peekNonSpace(br); err == nil && first == '{' {
+		var body struct {
+			Value  *int64  `json:"value"`
+			Values []int64 `json:"values"`
+		}
+		dec := json.NewDecoder(br)
+		if err := dec.Decode(&body); err != nil {
+			httpError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+			return
+		}
+		// Trailing content after the object means a malformed (e.g.
+		// concatenated) body; dropping it silently would lose data.
+		if _, err := dec.Token(); err != io.EOF {
+			httpError(w, http.StatusBadRequest, "trailing content after JSON body")
+			return
+		}
+		if body.Value == nil && body.Values == nil {
+			httpError(w, http.StatusBadRequest, `JSON body must carry "value" or "values"`)
+			return
+		}
+		count := 0
+		if body.Value != nil {
+			if err := st.ObserveCtx(r.Context(), *body.Value); err != nil {
+				httpError(w, http.StatusBadRequest, "observe: %v", err)
+				return
+			}
+			count++
+		}
+		if len(body.Values) > 0 {
+			if err := st.ObserveSliceCtx(r.Context(), body.Values); err != nil {
+				httpError(w, http.StatusBadRequest, "observe: %v", err)
+				return
+			}
+			count += len(body.Values)
+		}
+		writeJSON(w, map[string]any{"stream": st.Name(), "observed": count, "stream_count": st.StreamCount()})
+		return
+	}
+	sc := bufio.NewScanner(br)
 	count := 0
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -281,6 +466,24 @@ func (s *server) handleObserve(st *hsq.Stream, w http.ResponseWriter, r *http.Re
 		return
 	}
 	writeJSON(w, map[string]any{"stream": st.Name(), "observed": count, "stream_count": st.StreamCount()})
+}
+
+// peekNonSpace returns the first non-whitespace byte without consuming it
+// (leading whitespace is consumed; it is insignificant in both body
+// formats).
+func peekNonSpace(br *bufio.Reader) (byte, error) {
+	for {
+		buf, err := br.Peek(1)
+		if err != nil {
+			return 0, err
+		}
+		switch buf[0] {
+		case ' ', '\t', '\r', '\n':
+			br.Discard(1) //nolint:errcheck
+		default:
+			return buf[0], nil
+		}
+	}
 }
 
 func (s *server) handleEndStep(st *hsq.Stream, w http.ResponseWriter, r *http.Request) {

@@ -10,12 +10,20 @@ import (
 	"path/filepath"
 
 	"repro"
+	"repro/internal/ingest"
 )
 
-// server wraps a multi-stream DB behind the HTTP handlers. Kept separate
-// from main.go so tests can construct it without binding a socket.
+// server wraps a multi-stream DB behind the HTTP handlers plus the binary
+// ingest pipeline. Kept separate from main.go so tests can construct it
+// without binding a socket; the ingest server exists even when no
+// -ingest-addr listener is bound (tests drive it through ServeConn, and
+// GET /ingest always has a consistent shape).
 type server struct {
-	db *hsq.DB
+	db  *hsq.DB
+	ing *ingest.Server
+	// ingAddr is the bound ingest listener address ("" when the listener
+	// is disabled). Written once before serving begins.
+	ingAddr string
 }
 
 // legacyStream backs the original single-stream endpoints (/observe,
@@ -32,6 +40,7 @@ type serverConfig struct {
 	maintenance  string
 	maxPending   int
 	maintWorkers int
+	logf         func(format string, args ...any) // ingest connection logs; nil = silent
 }
 
 // newServer opens (or resumes — the DB manifest decides) a multi-stream DB
@@ -56,7 +65,7 @@ func newServer(sc serverConfig) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &server{db: db}, nil
+	return &server{db: db, ing: ingest.New(ingest.Config{DB: db, Logf: sc.logf})}, nil
 }
 
 // migrateLegacyLayout adopts a pre-multi-stream warehouse — flat
@@ -167,6 +176,7 @@ func (s *server) mux() *http.ServeMux {
 	m := http.NewServeMux()
 	// Multi-stream surface.
 	m.HandleFunc("GET /streams", s.handleStreams)
+	m.HandleFunc("GET /ingest", s.handleIngest)
 	m.HandleFunc("DELETE /streams/{name}", s.handleDeleteStream)
 	m.HandleFunc("POST /streams/{name}/observe", s.named(s.handleObserve, true))
 	m.HandleFunc("POST /streams/{name}/endstep", s.named(s.handleEndStep, true))

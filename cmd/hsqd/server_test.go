@@ -1,14 +1,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
 	"repro"
+	"repro/hsqclient"
 )
 
 func newTestServer(t *testing.T) *httptest.Server {
@@ -340,5 +343,133 @@ func TestServerQuantilesAndRank(t *testing.T) {
 	st, code := getJSON(t, ts.URL+"/stats")
 	if code != 200 || st["levels"] == nil {
 		t.Errorf("stats levels missing: %v", st)
+	}
+}
+
+// TestObserveJSONBatch pins the batched JSON observe surface: a
+// {"values":[...]} body lands through ObserveSlice, a {"value":v} body
+// observes one element, and both coexist with the legacy newline format
+// on the same route.
+func TestObserveJSONBatch(t *testing.T) {
+	ts := newTestServer(t)
+	url := ts.URL + "/streams/batched/observe"
+
+	out := postBody(t, url, `{"values":[1,2,3,4,5]}`)
+	if out["observed"].(float64) != 5 {
+		t.Fatalf("batched observed = %v, want 5", out["observed"])
+	}
+	out = postBody(t, url, `{"value": 6}`)
+	if out["observed"].(float64) != 1 {
+		t.Fatalf("single observed = %v, want 1", out["observed"])
+	}
+	out = postBody(t, url, "7\n8\n")
+	if out["observed"].(float64) != 2 {
+		t.Fatalf("legacy observed = %v, want 2", out["observed"])
+	}
+	if out["stream_count"].(float64) != 8 {
+		t.Fatalf("stream_count = %v, want 8", out["stream_count"])
+	}
+	// Leading whitespace must not confuse the format sniffing.
+	out = postBody(t, url, "  \n\t {\"values\":[9]}")
+	if out["observed"].(float64) != 1 {
+		t.Fatalf("whitespace-prefixed JSON observed = %v, want 1", out["observed"])
+	}
+
+	// Malformed JSON is a 400, not a silent legacy-parse.
+	resp, err := http.Post(url, "application/json", strings.NewReader(`{"values":[1,`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+	// A JSON body with neither key is a 400 too.
+	resp2, err := http.Post(url, "application/json", strings.NewReader(`{"nope": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("keyless JSON: status %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestIngestEndpointOverHTTP checks GET /ingest reflects wire traffic:
+// data pushed through hsqclient shows up in the aggregate, per-stream and
+// per-connection counters, and the enriched GET /streams carries the
+// stream's ingest tally.
+func TestIngestEndpointOverHTTP(t *testing.T) {
+	srv, err := newServer(serverConfig{backend: "mem", epsilon: 0.05, kappa: 3, logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.ingAddr = l.Addr().String()
+	go srv.ing.Serve(l)                                          //nolint:errcheck
+	t.Cleanup(func() { srv.ing.Shutdown(context.Background()) }) //nolint:errcheck
+
+	c, err := hsqclient.Dial(srv.ingAddr, hsqclient.WithBatchSize(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stream("wired")
+	for v := int64(1); v <= 300; v++ {
+		if err := st.Observe(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.EndStep(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	out, code := getJSON(t, ts.URL+"/ingest")
+	if code != http.StatusOK {
+		t.Fatalf("GET /ingest: status %d", code)
+	}
+	if got := out["values"].(float64); got != 300 {
+		t.Fatalf("/ingest values = %v, want 300", got)
+	}
+	if got := out["active_conns"].(float64); got != 1 {
+		t.Fatalf("/ingest active_conns = %v, want 1", got)
+	}
+	streams := out["streams"].(map[string]any)
+	ws := streams["wired"].(map[string]any)
+	if ws["values"].(float64) != 300 || ws["end_steps"].(float64) != 1 {
+		t.Fatalf("/ingest per-stream = %v, want 300 values / 1 end_step", ws)
+	}
+	conns := out["conns"].([]any)
+	if len(conns) != 1 {
+		t.Fatalf("/ingest conns = %v, want 1 entry", conns)
+	}
+	if sess := conns[0].(map[string]any)["session"].(string); sess != c.Session() {
+		t.Fatalf("conn session = %q, want %q", sess, c.Session())
+	}
+
+	out, code = getJSON(t, ts.URL+"/streams")
+	if code != http.StatusOK {
+		t.Fatalf("GET /streams: status %d", code)
+	}
+	for _, s := range out["streams"].([]any) {
+		sm := s.(map[string]any)
+		if sm["name"] == "wired" {
+			if sm["ingest_values"].(float64) != 300 {
+				t.Fatalf("/streams ingest_values = %v, want 300", sm["ingest_values"])
+			}
+		}
+	}
+	if ing := out["ingest"].(map[string]any); ing["values"].(float64) != 300 {
+		t.Fatalf("/streams ingest block = %v, want 300 values", ing)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

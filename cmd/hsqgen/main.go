@@ -1,19 +1,31 @@
 // Command hsqgen writes workload datasets to binary element files (flat
-// little-endian int64), for feeding external tools or repeated runs.
+// little-endian int64), for feeding external tools or repeated runs — and,
+// with -replay, streams a dataset into a running hsqd over the binary
+// ingest protocol for load testing.
 //
 // Usage:
 //
 //	hsqgen -workload uniform|normal|wikipedia|nettrace|zipf -n 1000000 \
 //	       -seed 1 -o data.bin
+//
+//	# replay an existing dataset file through hsqclient:
+//	hsqgen -replay localhost:9090 -i data.bin -stream load.test -step 100000
+//
+//	# or generate-and-stream directly, no file:
+//	hsqgen -replay localhost:9090 -workload zipf -n 10000000 -step 500000
 package main
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
+	"repro/hsqclient"
 	"repro/internal/workload"
 )
 
@@ -29,9 +41,22 @@ func run() error {
 		wl   = flag.String("workload", "uniform", "workload name")
 		n    = flag.Int64("n", 1_000_000, "number of elements")
 		seed = flag.Int64("seed", 1, "random seed")
-		out  = flag.String("o", "", "output file (required)")
+		out  = flag.String("o", "", "output file (required unless -replay)")
+
+		replay = flag.String("replay", "", "stream elements to an hsqd ingest listener (host:port) instead of writing a file")
+		in     = flag.String("i", "", "input dataset file to replay (flat little-endian int64); with -replay unset -i is invalid, with -replay set but -i unset the workload flags generate the elements")
+		stream = flag.String("stream", "default", "target stream name for -replay")
+		step   = flag.Int64("step", 0, "with -replay, end a step every this many elements (0 = one step at the end)")
+		batch  = flag.Int("batch", 0, "with -replay, client batch size (0 = hsqclient default)")
 	)
 	flag.Parse()
+
+	if *replay != "" {
+		return runReplay(*replay, *in, *wl, *stream, *n, *seed, *step, *batch)
+	}
+	if *in != "" {
+		return fmt.Errorf("-i requires -replay")
+	}
 	if *out == "" {
 		return fmt.Errorf("-o is required")
 	}
@@ -63,5 +88,125 @@ func run() error {
 		return err
 	}
 	fmt.Printf("wrote %d %s elements to %s\n", *n, *wl, *out)
+	return nil
+}
+
+// source yields elements until exhaustion (file) or a count (generator).
+type source interface {
+	next() (int64, bool, error)
+	describe() string
+}
+
+type fileSource struct {
+	name string
+	br   *bufio.Reader
+	buf  [8]byte
+}
+
+func (s *fileSource) next() (int64, bool, error) {
+	_, err := io.ReadFull(s.br, s.buf[:])
+	if errors.Is(err, io.EOF) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, fmt.Errorf("read %s: %w", s.name, err)
+	}
+	return int64(binary.LittleEndian.Uint64(s.buf[:])), true, nil
+}
+
+func (s *fileSource) describe() string { return s.name }
+
+type genSource struct {
+	gen  workload.Generator
+	name string
+	left int64
+}
+
+func (s *genSource) next() (int64, bool, error) {
+	if s.left <= 0 {
+		return 0, false, nil
+	}
+	s.left--
+	return s.gen.Next(), true, nil
+}
+
+func (s *genSource) describe() string { return s.name + " generator" }
+
+// runReplay streams a dataset through hsqclient, reporting throughput.
+func runReplay(addr, in, wl, stream string, n, seed, step int64, batch int) error {
+	var src source
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close() //nolint:errcheck
+		src = &fileSource{name: in, br: bufio.NewReaderSize(f, 1<<20)}
+	} else {
+		if n <= 0 {
+			return fmt.Errorf("-n must be positive")
+		}
+		gen, err := workload.ByName(wl, seed)
+		if err != nil {
+			return err
+		}
+		src = &genSource{gen: gen, name: wl, left: n}
+	}
+
+	var opts []hsqclient.Option
+	if batch > 0 {
+		opts = append(opts, hsqclient.WithBatchSize(batch))
+	}
+	opts = append(opts,
+		// A load generator should ride out a server restart but not spin
+		// forever against a server that is gone.
+		hsqclient.WithMaxReconnectAttempts(10),
+		hsqclient.WithLogf(func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}))
+	c, err := hsqclient.Dial(addr, opts...)
+	if err != nil {
+		return err
+	}
+	st := c.Stream(stream)
+
+	start := time.Now()
+	var sent, steps int64
+	for {
+		v, ok, err := src.next()
+		if err != nil {
+			c.Close() //nolint:errcheck
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := st.Observe(v); err != nil {
+			c.Close() //nolint:errcheck
+			return err
+		}
+		sent++
+		if step > 0 && sent%step == 0 {
+			if err := st.EndStep(); err != nil {
+				c.Close() //nolint:errcheck
+				return err
+			}
+			steps++
+		}
+	}
+	if sent > 0 && (step == 0 || sent%step != 0) {
+		if err := st.EndStep(); err != nil {
+			c.Close() //nolint:errcheck
+			return err
+		}
+		steps++
+	}
+	if err := c.Close(); err != nil { // Close flushes and waits for acks
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("replayed %d elements (%s) to %s stream %q in %s — %.0f values/s, %d steps\n",
+		sent, src.describe(), addr, stream, elapsed.Round(time.Millisecond),
+		float64(sent)/elapsed.Seconds(), steps)
 	return nil
 }

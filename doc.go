@@ -134,6 +134,26 @@
 // guarantee by crashing a seeded workload at every backend operation and
 // reopening under adversarial recovery modes.
 //
+// # Remote ingestion
+//
+// Producers in another process feed a DB through the remote ingest
+// subsystem: hsqd's -ingest-addr TCP listener speaks a versioned,
+// length-prefixed binary frame protocol (internal/wire) whose value
+// batches are delta-encoded zig-zag varints, and the public hsqclient
+// package is its batching SDK (Dial, Stream, Observe/ObserveSlice,
+// EndStep, Flush, Close). Batches and end-of-step markers are sequenced,
+// applied in order through the ObserveSlice fast path, and acknowledged
+// cumulatively after application; a reconnecting client resumes its
+// session and replays only unacknowledged frames, giving exactly-once
+// application per server process. Backpressure is explicit: a credit
+// window bounds frames in flight, the server applies each frame before
+// reading the next, and a stream stalled on MaxPendingSteps stops acking
+// until the producer's Observe blocks. The server pipeline lives in
+// internal/ingest; GET /ingest exposes its counters. The HTTP observe
+// endpoint also accepts batched JSON ({"values":[...]}) for producers
+// that prefer it; BenchmarkRemoteIngest and the "ingest" hsqbench figure
+// measure the gap between the two paths.
+//
 // See DESIGN.md for the full mapping from the paper's algorithms to this
 // package and EXPERIMENTS.md for the reproduced evaluation.
 package hsq

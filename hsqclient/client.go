@@ -1,0 +1,705 @@
+// Package hsqclient is the batching client SDK for hsqd's binary ingest
+// listener (hsqd -ingest-addr). It turns per-element Observe calls into
+// stream-multiplexed, delta-compressed wire frames (internal/wire),
+// amortizing one network round trip over thousands of elements:
+//
+//	c, err := hsqclient.Dial("localhost:9090")
+//	defer c.Close()
+//	lat := c.Stream("api.latency")
+//	for _, v := range samples {
+//		lat.Observe(v)
+//	}
+//	lat.EndStep()
+//	err = c.Flush() // block until the server has applied everything
+//
+// # Batching
+//
+// Observe appends to an in-memory buffer per stream; a buffer is sealed
+// into a wire frame when it reaches the batch size (WithBatchSize) or at
+// the flush interval (WithFlushInterval), whichever comes first — so
+// high-rate producers pay ~zero per-element overhead and trickling
+// producers still see their data arrive promptly. A background goroutine
+// owns the connection; Observe never waits on the network while the
+// client is under its buffering limits.
+//
+// # Backpressure
+//
+// The server grants a credit window: at most W sequenced frames may be in
+// flight (unacknowledged). When the server stalls — typically EndStep
+// blocked on the engine's MaxPendingSteps maintenance backpressure — acks
+// stop, the window fills, the client's frame queue backs up, and Observe
+// blocks. Producer speed is thereby coupled to warehouse speed with
+// bounded memory at every hop.
+//
+// # Reconnection and delivery guarantees
+//
+// On a broken connection the client redials (capped exponential backoff)
+// and resumes its session: the server's Welcome frame reports the highest
+// frame sequence it has applied, the client discards buffered frames at
+// or below it and replays the rest. Sequenced frames (batches,
+// end-of-steps) are therefore applied exactly once and in order per
+// server process, even across reconnects — what was never acknowledged is
+// retried; what was already applied is never applied twice. Elements
+// still in a stream's unsealed buffer are never lost either: they simply
+// have not been sent yet. Only a client process crash loses buffered
+// data, and a server restart loses its sessions (the replay then starts a
+// fresh session; see the "Durability" section of the hsq docs for what a
+// restarted server remembers).
+package hsqclient
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"slices"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// ErrClosed is returned by every method after Close.
+var ErrClosed = errors.New("hsqclient: closed")
+
+// ServerError is a terminal error frame from the server (protocol
+// mismatch, stream apply failure). It poisons the client: every later
+// call returns it, because the server has rejected the session's frame
+// stream and silently resuming could drop or double-apply data.
+type ServerError struct {
+	Code    uint64
+	Message string
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("hsqclient: server error %d: %s", e.Code, e.Message)
+}
+
+type options struct {
+	batchSize     int
+	flushInterval time.Duration
+	maxQueue      int
+	dialTimeout   time.Duration
+	backoffMin    time.Duration
+	backoffMax    time.Duration
+	maxAttempts   int // consecutive failed dials before giving up; 0 = unlimited
+	session       string
+	logf          func(format string, args ...any)
+}
+
+// Option customizes Dial.
+type Option func(*options)
+
+// WithBatchSize sets how many buffered elements seal a batch frame
+// (default 2048).
+func WithBatchSize(n int) Option { return func(o *options) { o.batchSize = n } }
+
+// WithFlushInterval sets how long a partial batch may sit in the buffer
+// before being sealed and sent anyway (default 50ms).
+func WithFlushInterval(d time.Duration) Option { return func(o *options) { o.flushInterval = d } }
+
+// WithMaxQueuedFrames bounds the client-side frame queue; Observe blocks
+// when it is full (default 256 frames).
+func WithMaxQueuedFrames(n int) Option { return func(o *options) { o.maxQueue = n } }
+
+// WithDialTimeout bounds each dial attempt (default 5s).
+func WithDialTimeout(d time.Duration) Option { return func(o *options) { o.dialTimeout = d } }
+
+// WithReconnectBackoff sets the reconnect backoff range (default
+// 20ms–2s, doubling).
+func WithReconnectBackoff(min, max time.Duration) Option {
+	return func(o *options) { o.backoffMin, o.backoffMax = min, max }
+}
+
+// WithMaxReconnectAttempts gives up (poisoning the client) after n
+// consecutive failed connection attempts; 0, the default, retries
+// forever.
+func WithMaxReconnectAttempts(n int) Option { return func(o *options) { o.maxAttempts = n } }
+
+// WithSession fixes the session token instead of generating a random
+// one. Two clients must never share a token.
+func WithSession(s string) Option { return func(o *options) { o.session = s } }
+
+// WithLogf receives connection-lifecycle log lines (reconnects, fatal
+// errors). Default: silent.
+func WithLogf(f func(format string, args ...any)) Option { return func(o *options) { o.logf = f } }
+
+// Client is a connection to an hsqd ingest listener hosting any number of
+// named streams. All methods are safe for concurrent use.
+type Client struct {
+	addr string
+	opts options
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	streams     map[string]*Stream
+	nextID      uint64
+	nextSeq     uint64
+	ackedSeq    uint64
+	credit      uint64
+	queue       []*wire.Frame // sealed frames awaiting write, FIFO
+	unacked     []*wire.Frame // written frames awaiting ack, seq-ordered
+	connUp      bool
+	wantFlush   bool   // a Flush waiter needs an explicit ack request
+	flushReqSeq uint64 // newest seq covered by a Flush frame on this connection
+	fatal       error
+	closed      bool
+
+	tick *time.Ticker
+	done chan struct{} // closed when run() exits
+}
+
+// Stream is a named stream handle. Handles are cheap and cached: every
+// call to Client.Stream with the same name returns the same handle.
+type Stream struct {
+	c    *Client
+	id   uint64
+	name string
+	buf  []int64
+}
+
+// Dial connects to an hsqd ingest listener. The initial connection and
+// handshake are synchronous — a bad address or incompatible server fails
+// here, not on the first Observe. Later disconnects are handled
+// transparently (see the package comment).
+func Dial(addr string, opts ...Option) (*Client, error) {
+	o := options{
+		batchSize:     2048,
+		flushInterval: 50 * time.Millisecond,
+		maxQueue:      256,
+		dialTimeout:   5 * time.Second,
+		backoffMin:    20 * time.Millisecond,
+		backoffMax:    2 * time.Second,
+		logf:          func(string, ...any) {},
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.session == "" {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return nil, fmt.Errorf("hsqclient: session token: %w", err)
+		}
+		o.session = hex.EncodeToString(b[:])
+	}
+	c := &Client{
+		addr:    addr,
+		opts:    o,
+		streams: make(map[string]*Stream),
+		credit:  1, // replaced by the Welcome's window on connect
+		done:    make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+
+	// First connection synchronously, so Dial's error is meaningful.
+	nc, r, err := c.connectOnce()
+	if err != nil {
+		return nil, err
+	}
+	c.tick = time.NewTicker(o.flushInterval)
+	go c.tickLoop()
+	go c.run(nc, r)
+	return c, nil
+}
+
+// Session returns the client's session token (useful for tests and for
+// correlating client and server stats).
+func (c *Client) Session() string { return c.opts.session }
+
+// Stream returns the handle for a named stream, registering it with the
+// server on first use.
+func (c *Client) Stream(name string) *Stream {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.streams[name]; ok {
+		return s
+	}
+	c.nextID++
+	s := &Stream{c: c, id: c.nextID, name: name}
+	c.streams[name] = s
+	// OpenStream frames are unsequenced and idempotent; one is also
+	// replayed for every known stream after each reconnect.
+	c.queue = append(c.queue, &wire.Frame{Type: wire.TypeOpenStream, StreamID: s.id, Name: name})
+	c.cond.Broadcast()
+	return s
+}
+
+// Observe buffers one element. It blocks only when the client's buffering
+// limits are reached (queue full — typically the server exerting
+// backpressure).
+func (s *Stream) Observe(v int64) error {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.errLocked(); err != nil {
+		return err
+	}
+	s.buf = append(s.buf, v)
+	if len(s.buf) >= c.opts.batchSize {
+		return c.sealLocked(s, true)
+	}
+	return nil
+}
+
+// ObserveSlice buffers a slice of elements under one lock acquisition.
+func (s *Stream) ObserveSlice(vs []int64) error {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.errLocked(); err != nil {
+		return err
+	}
+	s.buf = append(s.buf, vs...)
+	if len(s.buf) >= c.opts.batchSize {
+		return c.sealLocked(s, true)
+	}
+	return nil
+}
+
+// EndStep seals the stream's buffer and enqueues an end-of-step marker:
+// the server runs the stream's EndStep after applying everything observed
+// so far. Asynchronous — use Flush to wait for the ack.
+func (s *Stream) EndStep() error {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.errLocked(); err != nil {
+		return err
+	}
+	if err := c.sealLocked(s, true); err != nil {
+		return err
+	}
+	if err := c.waitQueueSpaceLocked(); err != nil {
+		return err
+	}
+	c.nextSeq++
+	c.queue = append(c.queue, &wire.Frame{Type: wire.TypeEndStep, Seq: c.nextSeq, StreamID: s.id})
+	c.cond.Broadcast()
+	return nil
+}
+
+// Flush seals this stream's buffer and blocks until the server has
+// acknowledged every frame enqueued so far (all streams share the
+// connection's frame sequence, so this is a connection-wide barrier).
+func (s *Stream) Flush() error { return s.c.Flush() }
+
+// Name returns the stream's name.
+func (s *Stream) Name() string { return s.name }
+
+// Flush seals every stream's buffer and blocks until the server has
+// applied and acknowledged every frame enqueued so far. While the server
+// is unreachable Flush waits through the reconnect loop — indefinitely
+// under the default unlimited-retry policy; bound the wait with
+// WithMaxReconnectAttempts or use FlushCtx.
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushLocked(context.Background())
+}
+
+// FlushCtx is Flush with a deadline: it returns ctx.Err() if the
+// acknowledgements do not arrive in time. The frames stay queued — a
+// timed-out flush abandons the wait, not the data.
+func (c *Client) FlushCtx(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer stop()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushLocked(ctx)
+}
+
+func (c *Client) flushLocked(ctx context.Context) error {
+	if err := c.errLocked(); err != nil {
+		return err
+	}
+	for _, s := range c.streams {
+		if err := c.sealLocked(s, true); err != nil {
+			return err
+		}
+	}
+	target := c.nextSeq
+	for c.ackedSeq < target {
+		if err := c.errLocked(); err != nil {
+			return err
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// Ask the writer to request an ack once the queue drains, unless
+		// this connection has already requested one covering target —
+		// without that guard the waiter and the writer wake each other
+		// into a ping-pong of redundant Flush frames.
+		if c.flushReqSeq < target {
+			c.wantFlush = true
+			c.cond.Broadcast()
+		}
+		c.cond.Wait()
+	}
+	return nil
+}
+
+// Close flushes all buffered data, waits for the server's
+// acknowledgements, and releases the connection. Always releases
+// resources, even when the flush fails; the flush error is returned.
+// Like Flush, the drain waits through reconnects — a producer that must
+// bound its shutdown against a server that may never return should call
+// FlushCtx first (or set WithMaxReconnectAttempts) and Close after.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	flushErr := c.flushLocked(context.Background())
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.tick.Stop()
+	<-c.done
+	return flushErr
+}
+
+// errLocked reports the terminal state, if any.
+func (c *Client) errLocked() error {
+	if c.closed {
+		return ErrClosed
+	}
+	return c.fatal
+}
+
+// waitQueueSpaceLocked blocks while the frame queue is at its bound.
+func (c *Client) waitQueueSpaceLocked() error {
+	for len(c.queue) >= c.opts.maxQueue {
+		if err := c.errLocked(); err != nil {
+			return err
+		}
+		c.cond.Wait()
+	}
+	return c.errLocked()
+}
+
+// sealLocked turns s's buffer into one or more sequenced batch frames on
+// the queue. With block=false (the interval ticker) it skips instead of
+// waiting when the queue is full — the buffer just keeps growing until
+// the size threshold forces a blocking seal.
+func (c *Client) sealLocked(s *Stream, block bool) error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	if block {
+		if err := c.waitQueueSpaceLocked(); err != nil {
+			return err
+		}
+		// The wait released the lock: a concurrent caller may have sealed
+		// this stream's buffer already.
+		if len(s.buf) == 0 {
+			return nil
+		}
+	} else if len(c.queue) >= c.opts.maxQueue {
+		return nil
+	}
+	for _, chunk := range wire.SplitBatch(s.buf) {
+		c.nextSeq++
+		c.queue = append(c.queue, &wire.Frame{
+			Type: wire.TypeBatch, Seq: c.nextSeq, StreamID: s.id,
+			Values: slices.Clone(chunk),
+		})
+	}
+	s.buf = s.buf[:0]
+	c.cond.Broadcast()
+	return nil
+}
+
+// tickLoop seals partial buffers at the flush interval so trickling
+// producers still see their data arrive.
+func (c *Client) tickLoop() {
+	for {
+		select {
+		case <-c.tick.C:
+		case <-c.done:
+			return
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		for _, s := range c.streams {
+			c.sealLocked(s, false) //nolint:errcheck // non-blocking seal cannot fail
+		}
+		c.mu.Unlock()
+	}
+}
+
+// connectOnce dials and handshakes a single attempt.
+func (c *Client) connectOnce() (net.Conn, *wire.Reader, error) {
+	nc, err := net.DialTimeout("tcp", c.addr, c.opts.dialTimeout)
+	if err != nil {
+		return nil, nil, fmt.Errorf("hsqclient: dial %s: %w", c.addr, err)
+	}
+	w := wire.NewWriter(nc)
+	hello := &wire.Frame{Type: wire.TypeHello, Version: wire.Version, Session: c.opts.session}
+	if err := w.WriteFrame(hello); err == nil {
+		err = w.Flush()
+	}
+	if err != nil {
+		nc.Close() //nolint:errcheck
+		return nil, nil, fmt.Errorf("hsqclient: handshake: %w", err)
+	}
+	r := wire.NewReader(nc)
+	nc.SetReadDeadline(time.Now().Add(c.opts.dialTimeout)) //nolint:errcheck
+	f, err := r.ReadFrame()
+	if err != nil {
+		nc.Close() //nolint:errcheck
+		return nil, nil, fmt.Errorf("hsqclient: handshake: %w", err)
+	}
+	nc.SetReadDeadline(time.Time{}) //nolint:errcheck
+	switch f.Type {
+	case wire.TypeWelcome:
+		// fall through
+	case wire.TypeError:
+		nc.Close() //nolint:errcheck
+		return nil, nil, &ServerError{Code: f.Code, Message: f.Message}
+	default:
+		nc.Close() //nolint:errcheck
+		return nil, nil, fmt.Errorf("hsqclient: handshake: unexpected %s frame", wire.TypeName(f.Type))
+	}
+
+	// Adopt the server's view of the session: frames it has applied are
+	// pruned from the replay set; the rest go back to the front of the
+	// queue, ahead of anything sealed while disconnected, preceded by the
+	// idempotent OpenStream bindings the new connection needs.
+	c.mu.Lock()
+	if f.Seq > c.ackedSeq {
+		c.ackedSeq = f.Seq
+	}
+	c.credit = max(f.Credit, 1)
+	keep := c.unacked[:0]
+	for _, uf := range c.unacked {
+		if uf.Seq > f.Seq {
+			keep = append(keep, uf)
+		}
+	}
+	replay := append([]*wire.Frame{}, keep...)
+	c.unacked = nil
+	var opens []*wire.Frame
+	for _, s := range c.streams {
+		opens = append(opens, &wire.Frame{Type: wire.TypeOpenStream, StreamID: s.id, Name: s.name})
+	}
+	slices.SortFunc(opens, func(a, b *wire.Frame) int { return int(a.StreamID) - int(b.StreamID) })
+	// Drop queued OpenStream frames (re-issued above) to keep the queue
+	// from accumulating one per reconnect.
+	pending := c.queue[:0]
+	for _, qf := range c.queue {
+		if qf.Type != wire.TypeOpenStream {
+			pending = append(pending, qf)
+		}
+	}
+	c.queue = append(append(opens, replay...), pending...)
+	c.flushReqSeq = 0 // a flush request from the old connection died with it
+	c.connUp = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return nc, r, nil
+}
+
+// run owns the connection: it alternates writeLoop (until the connection
+// dies) with reconnect attempts, and exits on Close or a terminal error.
+func (c *Client) run(nc net.Conn, r *wire.Reader) {
+	defer close(c.done)
+	for {
+		readerDone := make(chan struct{})
+		go c.readLoop(nc, r, readerDone)
+		c.writeLoop(nc)
+		nc.Close() //nolint:errcheck
+		<-readerDone
+
+		c.mu.Lock()
+		c.connUp = false
+		stop := c.closed || c.fatal != nil
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		if stop {
+			return
+		}
+
+		var err error
+		nc, r, err = c.reconnect()
+		if err != nil {
+			c.mu.Lock()
+			if c.fatal == nil && !c.closed {
+				c.fatal = err
+			}
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return
+		}
+		if nc == nil { // closed during reconnect
+			return
+		}
+	}
+}
+
+// reconnect redials with capped exponential backoff until it succeeds,
+// the client closes, or the attempt budget runs out. A nil conn with nil
+// error means the client closed.
+func (c *Client) reconnect() (net.Conn, *wire.Reader, error) {
+	backoff := c.opts.backoffMin
+	attempts := 0
+	for {
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return nil, nil, nil
+		}
+		nc, r, err := c.connectOnce()
+		if err == nil {
+			c.opts.logf("hsqclient: reconnected to %s (session %s)", c.addr, c.opts.session)
+			return nc, r, nil
+		}
+		var se *ServerError
+		if errors.As(err, &se) && se.Code == wire.ErrCodeProtocol {
+			return nil, nil, err // no point retrying a protocol mismatch
+		}
+		attempts++
+		if c.opts.maxAttempts > 0 && attempts >= c.opts.maxAttempts {
+			return nil, nil, fmt.Errorf("hsqclient: giving up after %d reconnect attempts: %w", attempts, err)
+		}
+		c.opts.logf("hsqclient: reconnect to %s failed (attempt %d): %v", c.addr, attempts, err)
+		time.Sleep(backoff)
+		backoff = min(backoff*2, c.opts.backoffMax)
+	}
+}
+
+// writeLoop drains the frame queue onto the connection while credit
+// allows, returning when the connection dies or the client is done with
+// it (closed with everything acked).
+func (c *Client) writeLoop(nc net.Conn) {
+	w := wire.NewWriter(nc)
+	c.mu.Lock()
+	for {
+		if !c.connUp || c.fatal != nil {
+			c.mu.Unlock()
+			return
+		}
+		if c.closed && len(c.queue) == 0 && len(c.unacked) == 0 {
+			c.mu.Unlock()
+			return
+		}
+		var towrite []*wire.Frame
+		for len(c.queue) > 0 && len(towrite) < 64 {
+			f := c.queue[0]
+			if f.Sequenced() && uint64(len(c.unacked)) >= c.credit {
+				break
+			}
+			c.queue = c.queue[1:]
+			if f.Sequenced() {
+				c.unacked = append(c.unacked, f)
+			}
+			towrite = append(towrite, f)
+		}
+		// A Flush waiter needs the server to ack promptly even when the
+		// ack-every-W/4 cadence would not fire: request one explicitly
+		// once everything pending has been handed to the connection.
+		wantFlush := c.wantFlush && len(c.queue) == 0 && len(c.unacked) > 0
+		if wantFlush {
+			c.wantFlush = false
+			c.flushReqSeq = c.nextSeq
+		}
+		if len(towrite) == 0 && !wantFlush {
+			c.cond.Broadcast() // queue drained: wake blocked producers
+			c.cond.Wait()
+			continue
+		}
+		flushSeq := c.nextSeq
+		c.mu.Unlock()
+
+		var err error
+		for _, f := range towrite {
+			if err = w.WriteFrame(f); err != nil {
+				break
+			}
+		}
+		if err == nil && wantFlush {
+			err = w.WriteFrame(&wire.Frame{Type: wire.TypeFlush, Seq: flushSeq})
+		}
+		if err == nil {
+			err = w.Flush()
+		}
+
+		c.mu.Lock()
+		if err != nil {
+			// The frames sit in unacked; the next connection replays them.
+			c.mu.Unlock()
+			return
+		}
+		c.cond.Broadcast()
+	}
+}
+
+// readLoop consumes acks and errors until the connection dies.
+func (c *Client) readLoop(nc net.Conn, r *wire.Reader, done chan<- struct{}) {
+	defer close(done)
+	for {
+		f, err := r.ReadFrame()
+		if err != nil {
+			nc.Close() //nolint:errcheck — unblock a writer stuck in Write
+			c.mu.Lock()
+			c.connUp = false
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return
+		}
+		switch f.Type {
+		case wire.TypeAck:
+			c.mu.Lock()
+			if f.Seq > c.ackedSeq {
+				c.ackedSeq = f.Seq
+			}
+			if f.Credit > 0 {
+				c.credit = f.Credit
+			}
+			keep := c.unacked[:0]
+			for _, uf := range c.unacked {
+				if uf.Seq > c.ackedSeq {
+					keep = append(keep, uf)
+				}
+			}
+			clear(c.unacked[len(keep):])
+			c.unacked = keep
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		case wire.TypeError:
+			if f.Code == wire.ErrCodeShutdown {
+				// The server is going away; treat as a connection drop and
+				// let the reconnect loop retry against its successor.
+				c.opts.logf("hsqclient: server shutting down, will reconnect")
+				nc.Close() //nolint:errcheck
+				c.mu.Lock()
+				c.connUp = false
+				c.cond.Broadcast()
+				c.mu.Unlock()
+				return
+			}
+			nc.Close() //nolint:errcheck
+			c.mu.Lock()
+			if c.fatal == nil {
+				c.fatal = &ServerError{Code: f.Code, Message: f.Message}
+			}
+			c.connUp = false
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return
+		default:
+			// Unexpected server frame: ignore. Forward compatibility —
+			// newer servers may add informational frames.
+		}
+	}
+}

@@ -397,3 +397,37 @@ func TestMaintenanceComparison(t *testing.T) {
 		t.Errorf("async merges = %v, want > 0 (κ=2 must cascade)", got)
 	}
 }
+
+// TestIngestComparison sanity-checks the remote-ingest transport table:
+// three rows (HTTP/value, HTTP/batch, wire), positive throughput
+// everywhere, and the wire protocol at least 10× the per-value HTTP
+// baseline — the remote ingest subsystem's acceptance bar, held with a
+// wide margin in practice.
+func TestIngestComparison(t *testing.T) {
+	tables, err := IngestComparison(tiny, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 3 {
+		t.Fatalf("want 1 table with 3 rows, got %+v", tables)
+	}
+	cols := tables[0].Columns
+	idx := func(name string) int {
+		for i, c := range cols {
+			if c == name {
+				return i
+			}
+		}
+		t.Fatalf("column %s missing from %v", name, cols)
+		return -1
+	}
+	for x, row := range tables[0].Rows {
+		if tput := row.Cells[idx("ValuesPerSec")]; tput <= 0 {
+			t.Errorf("row %d throughput = %v, want > 0", x, tput)
+		}
+	}
+	wire := tables[0].Rows[2]
+	if speedup := wire.Cells[idx("Speedup")]; speedup < 10 {
+		t.Errorf("wire speedup over per-value HTTP = %.1fx, want ≥ 10x", speedup)
+	}
+}

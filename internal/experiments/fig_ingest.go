@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/hsqclient"
+	"repro/internal/ingest"
+	"repro/internal/workload"
+)
+
+// IngestComparison measures the remote ingest subsystem against the HTTP
+// JSON surface it supersedes: the same uniform workload is pushed into
+// one stream of a mem-backed DB by the same number of concurrent
+// producers over three transports (x = row index):
+//
+//	x=0  HTTP, one JSON value per POST — the pre-subsystem status quo
+//	x=1  HTTP, batched {"values":[...]} JSON
+//	x=2  binary wire protocol through hsqclient
+//
+// Columns:
+//
+//	ValuesPerSec — ingest throughput over the whole run
+//	P99ObserveUs — p99 client-side latency of submitting one element
+//	               (for HTTP rows: the POST carrying it; for the wire
+//	               row: the Observe call, which blocks only on seal or
+//	               backpressure)
+//	Speedup      — ValuesPerSec over the x=0 baseline
+//
+// This is the network-facing companion of the paper's load-throughput
+// experiments (Figure 6): remote producers must not be the bottleneck in
+// front of an engine whose StreamUpdate path absorbs millions of
+// elements per second.
+func IngestComparison(sc Scale, root string) ([]*Table, error) {
+	total := sc.Steps * sc.BatchSize
+	if total > 400_000 {
+		total = 400_000
+	}
+	clients := runtime.GOMAXPROCS(0)
+	if clients > 8 {
+		clients = 8
+	}
+	t := &Table{
+		ID: "ingest-throughput",
+		Title: fmt.Sprintf("Remote ingest: HTTP/value (x=0), HTTP/batch (x=1), wire protocol (x=2); uniform, %d values, %d clients",
+			total, clients),
+		XLabel:  "transport",
+		Columns: []string{"ValuesPerSec", "P99ObserveUs", "Speedup"},
+	}
+	var baseline float64
+	for x, run := range []func(sc Scale, total, clients int) (ingestResult, error){
+		runHTTPPerValue, runHTTPBatched, runWireIngest,
+	} {
+		res, err := run(sc, total, clients)
+		if err != nil {
+			return nil, err
+		}
+		if x == 0 {
+			baseline = res.valuesPerSec
+		}
+		t.AddRow(float64(x),
+			res.valuesPerSec,
+			res.observeP99.Seconds()*1e6,
+			res.valuesPerSec/baseline,
+		)
+	}
+	return []*Table{t}, nil
+}
+
+type ingestResult struct {
+	valuesPerSec float64
+	observeP99   time.Duration
+}
+
+// ingestDB opens a fresh mem-backed DB for one transport run.
+func ingestDB(sc Scale) (*hsq.DB, error) {
+	return hsq.Open(hsq.Options{
+		Epsilon: 0.01, Backend: "mem", BlockSize: sc.BlockSize,
+	})
+}
+
+// feedConcurrently splits total values across clients workers, each
+// calling push per value, sampling every 64th submission latency.
+func feedConcurrently(total, clients int, push func(worker int, v int64) error) (time.Duration, []time.Duration, error) {
+	gen := workload.NewUniform(42)
+	per := total / clients
+	work := make([][]int64, clients)
+	for w := range work {
+		work[w] = workload.Fill(gen, per)
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		lats []time.Duration
+		errv atomic.Value
+	)
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local []time.Duration
+			for i, v := range work[w] {
+				if i%64 == 0 {
+					t0 := time.Now()
+					if err := push(w, v); err != nil {
+						errv.Store(err)
+						return
+					}
+					local = append(local, time.Since(t0))
+				} else if err := push(w, v); err != nil {
+					errv.Store(err)
+					return
+				}
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, _ := errv.Load().(error); err != nil {
+		return 0, nil, err
+	}
+	return elapsed, lats, nil
+}
+
+func runHTTPPerValue(sc Scale, total, clients int) (ingestResult, error) {
+	db, err := ingestDB(sc)
+	if err != nil {
+		return ingestResult{}, err
+	}
+	defer db.Close() //nolint:errcheck
+	url, shutdown, err := ingest.JSONObserveBaseline(db, "ingest")
+	if err != nil {
+		return ingestResult{}, err
+	}
+	defer shutdown()
+
+	// The per-value path is so slow the full budget would dominate the
+	// whole figure's runtime; a slice is plenty to measure a rate.
+	perValueTotal := total / 10
+	if perValueTotal < 2000 {
+		perValueTotal = min(total, 2000)
+	}
+	hc := &http.Client{}
+	elapsed, lats, err := feedConcurrently(perValueTotal, clients, func(_ int, v int64) error {
+		body, _ := json.Marshal(map[string]int64{"value": v})
+		resp, err := hc.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()              //nolint:errcheck
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("observe POST: status %d", resp.StatusCode)
+		}
+		return nil
+	})
+	if err != nil {
+		return ingestResult{}, err
+	}
+	n := (perValueTotal / clients) * clients
+	return ingestResult{valuesPerSec: float64(n) / elapsed.Seconds(), observeP99: p99(lats)}, nil
+}
+
+func runHTTPBatched(sc Scale, total, clients int) (ingestResult, error) {
+	db, err := ingestDB(sc)
+	if err != nil {
+		return ingestResult{}, err
+	}
+	defer db.Close() //nolint:errcheck
+	url, shutdown, err := ingest.JSONObserveBaseline(db, "ingest")
+	if err != nil {
+		return ingestResult{}, err
+	}
+	defer shutdown()
+
+	const batch = 2048
+	hc := &http.Client{}
+	bufs := make([][]int64, clients)
+	for i := range bufs {
+		bufs[i] = make([]int64, 0, batch)
+	}
+	post := func(vals []int64) error {
+		body, _ := json.Marshal(map[string][]int64{"values": vals})
+		resp, err := hc.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()              //nolint:errcheck
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("observe POST: status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	elapsed, lats, err := feedConcurrently(total, clients, func(w int, v int64) error {
+		bufs[w] = append(bufs[w], v)
+		if len(bufs[w]) == batch {
+			err := post(bufs[w])
+			bufs[w] = bufs[w][:0]
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		return ingestResult{}, err
+	}
+	// Tail batches land outside the timed window; negligible and identical
+	// across transports.
+	for _, buf := range bufs {
+		if len(buf) > 0 {
+			if err := post(buf); err != nil {
+				return ingestResult{}, err
+			}
+		}
+	}
+	n := (total / clients) * clients
+	return ingestResult{valuesPerSec: float64(n) / elapsed.Seconds(), observeP99: p99(lats)}, nil
+}
+
+func runWireIngest(sc Scale, total, clients int) (ingestResult, error) {
+	db, err := ingestDB(sc)
+	if err != nil {
+		return ingestResult{}, err
+	}
+	defer db.Close() //nolint:errcheck
+	srv := ingest.New(ingest.Config{DB: db})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return ingestResult{}, err
+	}
+	go srv.Serve(l) //nolint:errcheck
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck
+	}()
+
+	c, err := hsqclient.Dial(l.Addr().String(), hsqclient.WithBatchSize(2048))
+	if err != nil {
+		return ingestResult{}, err
+	}
+	st := c.Stream("ingest")
+	start := time.Now()
+	_, lats, err := feedConcurrently(total, clients, func(_ int, v int64) error {
+		return st.Observe(v)
+	})
+	if err != nil {
+		c.Close() //nolint:errcheck
+		return ingestResult{}, err
+	}
+	// Throughput counts delivered values: include the Close drain, which
+	// the HTTP paths pay per-request inside their timed loop.
+	if err := c.Close(); err != nil {
+		return ingestResult{}, err
+	}
+	elapsed := time.Since(start)
+	n := (total / clients) * clients
+	return ingestResult{valuesPerSec: float64(n) / elapsed.Seconds(), observeP99: p99(lats)}, nil
+}

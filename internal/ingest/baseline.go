@@ -1,0 +1,58 @@
+package ingest
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro"
+)
+
+// JSONObserveBaseline serves the minimal JSON observe endpoint — the same
+// decode-and-apply work hsqd's HTTP handler does for {"value":v} and
+// {"values":[...]} bodies — on a loopback socket. It is the HTTP baseline
+// the wire protocol is measured against; BenchmarkRemoteIngest and the
+// "ingest" figure in internal/experiments share it so the published
+// comparison and the daemon's handler cannot drift apart silently.
+//
+// The returned shutdown func stops the listener; url is the full POST
+// target.
+func JSONObserveBaseline(db *hsq.DB, stream string) (url string, shutdown func(), err error) {
+	st, err := db.Stream(stream)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /observe", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Value  *int64  `json:"value"`
+			Values []int64 `json:"values"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if body.Value != nil {
+			st.Observe(*body.Value)
+		}
+		if len(body.Values) > 0 {
+			st.ObserveSlice(body.Values)
+		}
+		io.WriteString(w, "{}\n") //nolint:errcheck
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: mux}
+	go hs.Serve(l) //nolint:errcheck
+	shutdown = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx) //nolint:errcheck
+	}
+	return "http://" + l.Addr().String() + "/observe", shutdown, nil
+}

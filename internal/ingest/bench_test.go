@@ -1,0 +1,163 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro"
+	"repro/hsqclient"
+)
+
+// BenchmarkRemoteIngest compares the two remote ingest paths at equal
+// client count (GOMAXPROCS parallel producers each):
+//
+//	wire                the binary protocol through hsqclient
+//	http-json-per-value one JSON value per HTTP POST (the pre-subsystem
+//	                    status quo, and the floor the acceptance bar is
+//	                    measured against)
+//	http-json-batched   the batched {"values":[...]} JSON body, amortizing
+//	                    HTTP per-request cost but not encoding cost
+//
+// The wire path must sustain ≥ 10× the values/sec of the per-value HTTP
+// path; in practice the gap is orders of magnitude (one varint append vs
+// a full HTTP round trip per element).
+func BenchmarkRemoteIngest(b *testing.B) {
+	b.Run("wire", func(b *testing.B) {
+		db := benchDB(b)
+		srv := New(Config{DB: db})
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go srv.Serve(l)                          //nolint:errcheck
+		defer srv.Shutdown(context.Background()) //nolint:errcheck
+
+		c, err := hsqclient.Dial(l.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close() //nolint:errcheck
+		st := c.Stream("bench")
+
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			v := int64(0)
+			for pb.Next() {
+				v++
+				if err := st.Observe(v); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		if err := c.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		reportValuesPerSec(b)
+	})
+
+	b.Run("http-json-per-value", func(b *testing.B) {
+		db := benchDB(b)
+		url := benchHTTP(b, db)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			client := &http.Client{}
+			v := int64(0)
+			for pb.Next() {
+				v++
+				body, _ := json.Marshal(map[string]int64{"value": v})
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck — drain for keep-alive
+				resp.Body.Close()              //nolint:errcheck
+				if resp.StatusCode != http.StatusOK {
+					b.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		reportValuesPerSec(b)
+	})
+
+	// b.N counts values here too: workers pull batches of 2048 from a
+	// shared counter so the values/s metric is comparable.
+	b.Run("http-json-batched", func(b *testing.B) {
+		const batch = 2048
+		db := benchDB(b)
+		url := benchHTTP(b, db)
+		vals := make([]int64, batch)
+		for i := range vals {
+			vals[i] = int64(i)
+		}
+		body, _ := json.Marshal(map[string][]int64{"values": vals})
+		nBatches := int64((b.N + batch - 1) / batch)
+		var next atomic.Int64
+		workers := runtime.GOMAXPROCS(0)
+		errCh := make(chan error, workers)
+		var wg sync.WaitGroup
+		b.ResetTimer()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				client := &http.Client{}
+				for next.Add(1) <= nBatches {
+					resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+					if err != nil {
+						errCh <- err
+						return
+					}
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck
+					resp.Body.Close()              //nolint:errcheck
+				}
+			}()
+		}
+		wg.Wait()
+		b.StopTimer()
+		select {
+		case err := <-errCh:
+			b.Fatal(err)
+		default:
+		}
+		b.ReportMetric(float64(nBatches*batch)/b.Elapsed().Seconds(), "values/s")
+	})
+}
+
+func benchDB(b *testing.B) *hsq.DB {
+	b.Helper()
+	db, err := hsq.Open(hsq.Options{Epsilon: 0.01, Backend: "mem"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() }) //nolint:errcheck
+	return db
+}
+
+// benchHTTP serves the shared JSON observe baseline (the same handler
+// work hsqd does; see JSONObserveBaseline).
+func benchHTTP(b *testing.B, db *hsq.DB) string {
+	b.Helper()
+	url, shutdown, err := JSONObserveBaseline(db, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(shutdown)
+	return url
+}
+
+func reportValuesPerSec(b *testing.B) {
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "values/s")
+}

@@ -1,0 +1,655 @@
+// Package ingest is the server half of the remote ingest subsystem: it
+// accepts hsqclient connections speaking the internal/wire protocol and
+// applies their frames to the streams of an hsq.DB through the
+// ObserveSlice fast path.
+//
+// One goroutine per connection reads frames in order and applies each
+// before reading the next, so the server never buffers un-applied data:
+// the only queue is the kernel socket buffer, and the credit window
+// (acknowledged back to the client in wire.Ack frames) bounds how far a
+// client may run ahead. When a stream's EndStep blocks on maintenance
+// backpressure (Config.MaxPendingSteps), acks stop and the client's
+// credit drains — backpressure propagates to the producer instead of
+// accumulating server-side.
+//
+// Sessions give reconnecting clients exactly-once delivery per server
+// process: each sequenced frame carries a client-assigned sequence
+// number, the session records the highest applied one, and the Welcome
+// frame replays that high-water mark so the client can discard
+// already-applied frames before re-sending the rest.
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/wire"
+)
+
+// DefaultWindow is the credit window granted to clients: the number of
+// sequenced frames a client may have in flight (sent, unacknowledged).
+const DefaultWindow = 64
+
+// handshakeTimeout bounds how long a fresh connection may take to present
+// its Hello frame before the server hangs up.
+const handshakeTimeout = 10 * time.Second
+
+// DefaultSessionTTL is how long a disconnected session's replay state
+// (its applied-sequence high-water mark) is retained for reconnection.
+const DefaultSessionTTL = time.Hour
+
+// Config parametrizes a Server.
+type Config struct {
+	// DB is the database frames are applied to. Required.
+	DB *hsq.DB
+	// Window is the credit window; 0 means DefaultWindow.
+	Window int
+	// SessionTTL bounds how long a session with no live connection keeps
+	// its replay state; a client reconnecting later starts a fresh
+	// session (its unacknowledged frames would then be re-applied, so
+	// clients should not buffer across outages longer than this). 0 means
+	// DefaultSessionTTL. Without a TTL, one-shot producers would grow the
+	// session table forever.
+	SessionTTL time.Duration
+	// Logf, when non-nil, receives connection-level log lines.
+	Logf func(format string, args ...any)
+}
+
+// Server accepts and serves ingest connections. Create with New; it is
+// ready immediately (Serve binds it to a listener, ServeConn to a single
+// connection).
+type Server struct {
+	db         *hsq.DB
+	window     uint64
+	sessionTTL time.Duration
+	logf       func(format string, args ...any)
+
+	mu        sync.Mutex
+	sessions  map[string]*session
+	conns     map[uint64]*conn
+	listeners map[net.Listener]struct{}
+	streams   map[string]*streamCounters
+	nextConn  uint64
+	closed    bool
+	baseCtx   context.Context
+	cancel    context.CancelFunc
+	wg        sync.WaitGroup
+
+	totalConns atomic.Uint64
+	frames     atomic.Uint64
+	batches    atomic.Uint64
+	values     atomic.Uint64
+	endSteps   atomic.Uint64
+	dupFrames  atomic.Uint64
+	errCount   atomic.Uint64
+}
+
+// session is the durable-for-the-process half of a client: the applied
+// sequence high-water mark that survives reconnects. sess.mu serializes
+// frame application, so a reconnect racing its half-dead predecessor can
+// never interleave applies or observe a torn lastSeq.
+type session struct {
+	mu         sync.Mutex
+	lastSeq    uint64
+	conn       *conn     // current owner, nil when detached
+	detachedAt time.Time // when conn went nil; zero while attached
+}
+
+// streamCounters is the cumulative per-stream ingest tally (across all
+// connections and sessions).
+type streamCounters struct {
+	batches  atomic.Uint64
+	values   atomic.Uint64
+	endSteps atomic.Uint64
+}
+
+// conn is one live client connection.
+type conn struct {
+	id      uint64
+	remote  string
+	session string
+	nc      net.Conn
+	ctx     context.Context
+	cancel  context.CancelFunc
+	writeMu sync.Mutex // guards w: acks from the handler, errors from Shutdown
+	w       *wire.Writer
+
+	streamsMu sync.Mutex
+	streams   map[uint64]*hsq.Stream
+
+	batches  atomic.Uint64
+	values   atomic.Uint64
+	endSteps atomic.Uint64
+	lastSeq  atomic.Uint64
+}
+
+// New returns a Server over cfg.DB.
+func New(cfg Config) *Server {
+	w := cfg.Window
+	if w <= 0 {
+		w = DefaultWindow
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ttl := cfg.SessionTTL
+	if ttl <= 0 {
+		ttl = DefaultSessionTTL
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		db:         cfg.DB,
+		window:     uint64(w),
+		sessionTTL: ttl,
+		logf:       logf,
+		sessions:   make(map[string]*session),
+		conns:      make(map[uint64]*conn),
+		listeners:  make(map[net.Listener]struct{}),
+		streams:    make(map[string]*streamCounters),
+		baseCtx:    ctx,
+		cancel:     cancel,
+	}
+}
+
+// Serve accepts connections on l until the listener fails or the server
+// shuts down. It always returns a non-nil error; after Shutdown the error
+// is net.ErrClosed.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("ingest: server closed")
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		if s.startConn(nc) == nil {
+			nc.Close() //nolint:errcheck
+			return net.ErrClosed
+		}
+	}
+}
+
+// ServeConn serves a single pre-established connection (tests use it with
+// net.Pipe) and returns once the connection's handler has finished.
+func (s *Server) ServeConn(nc net.Conn) {
+	if done := s.startConn(nc); done != nil {
+		<-done
+		return
+	}
+	nc.Close() //nolint:errcheck
+}
+
+// startConn registers the connection and spawns its handler, returning a
+// channel closed when the handler finishes; it returns nil when the
+// server is shut down.
+func (s *Server) startConn(nc net.Conn) <-chan struct{} {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.nextConn++
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	c := &conn{
+		id:     s.nextConn,
+		remote: nc.RemoteAddr().String(),
+		nc:     nc,
+		ctx:    ctx,
+		cancel: cancel,
+		w:      wire.NewWriter(nc),
+	}
+	s.conns[c.id] = c
+	s.wg.Add(1)
+	s.mu.Unlock()
+	s.totalConns.Add(1)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer s.wg.Done()
+		defer func() {
+			s.mu.Lock()
+			delete(s.conns, c.id)
+			s.mu.Unlock()
+			s.detachSession(c)
+			cancel()
+			nc.Close() //nolint:errcheck
+		}()
+		err := s.handle(c)
+		// io.EOF is the clean client close; the others are the usual
+		// aftermath of a force-closed or cancelled connection.
+		if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, context.Canceled) {
+			s.logf("ingest: conn %d (%s): %v", c.id, c.remote, err)
+		}
+	}()
+	return done
+}
+
+// detachSession releases the session's owner pointer if c still holds it.
+func (s *Server) detachSession(c *conn) {
+	if c.session == "" {
+		return
+	}
+	s.mu.Lock()
+	sess := s.sessions[c.session]
+	s.mu.Unlock()
+	if sess == nil {
+		return
+	}
+	sess.mu.Lock()
+	if sess.conn == c {
+		sess.conn = nil
+		sess.detachedAt = time.Now()
+	}
+	sess.mu.Unlock()
+}
+
+// sendError writes a terminal error frame (best effort) and returns err.
+func (s *Server) sendError(c *conn, code uint64, err error) error {
+	s.errCount.Add(1)
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	f := &wire.Frame{Type: wire.TypeError, Code: code, Message: err.Error()}
+	if werr := c.w.WriteFrame(f); werr == nil {
+		c.w.Flush() //nolint:errcheck
+	}
+	return err
+}
+
+// sendAck acknowledges everything up to seq and restates the window.
+func (s *Server) sendAck(c *conn, seq uint64) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if err := c.w.WriteFrame(&wire.Frame{Type: wire.TypeAck, Seq: seq, Credit: s.window}); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// handle runs the per-connection protocol: handshake, then the frame
+// apply loop. Frames are applied strictly in arrival order, each fully
+// applied before the next is read.
+func (s *Server) handle(c *conn) error {
+	r := wire.NewReader(c.nc)
+
+	// Handshake, under a deadline so silent connections don't pin a
+	// goroutine forever.
+	c.nc.SetReadDeadline(time.Now().Add(handshakeTimeout)) //nolint:errcheck
+	hello, err := r.ReadFrame()
+	if err != nil {
+		return fmt.Errorf("handshake: %w", err)
+	}
+	c.nc.SetReadDeadline(time.Time{}) //nolint:errcheck
+	if hello.Type != wire.TypeHello {
+		return s.sendError(c, wire.ErrCodeProtocol, fmt.Errorf("first frame is %s, want hello", wire.TypeName(hello.Type)))
+	}
+	if hello.Version != wire.Version {
+		return s.sendError(c, wire.ErrCodeProtocol, fmt.Errorf("protocol version %d, server speaks %d", hello.Version, wire.Version))
+	}
+	if hello.Session == "" {
+		return s.sendError(c, wire.ErrCodeProtocol, errors.New("empty session token"))
+	}
+	// c.session is read by Stats() under s.mu; publish it the same way.
+	s.mu.Lock()
+	c.session = hello.Session
+	s.mu.Unlock()
+	sess := s.adoptSession(c, hello.Session)
+
+	// Welcome restates the session's applied high-water mark so the client
+	// prunes its replay buffer, plus the credit window.
+	sess.mu.Lock()
+	last := sess.lastSeq
+	sess.mu.Unlock()
+	c.lastSeq.Store(last)
+	c.writeMu.Lock()
+	err = c.w.WriteFrame(&wire.Frame{Type: wire.TypeWelcome, Version: wire.Version, Seq: last, Credit: s.window})
+	if err == nil {
+		err = c.w.Flush()
+	}
+	c.writeMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("welcome: %w", err)
+	}
+
+	// Apply loop. sinceAck counts sequenced frames applied since the last
+	// ack; acking every window/4 keeps the client's credit replenished
+	// well before it runs dry while bounding ack chatter.
+	ackEvery := s.window / 4
+	if ackEvery == 0 {
+		ackEvery = 1
+	}
+	var sinceAck uint64
+	for {
+		f, err := r.ReadFrame()
+		if err != nil {
+			return err // EOF on clean client close
+		}
+		s.frames.Add(1)
+		switch f.Type {
+		case wire.TypeOpenStream:
+			if err := s.openStream(c, f); err != nil {
+				return s.sendError(c, wire.ErrCodeStream, err)
+			}
+		case wire.TypeBatch, wire.TypeEndStep:
+			applied, err := s.applySequenced(c, sess, f)
+			if err != nil {
+				if errors.Is(err, context.Canceled) {
+					return s.sendError(c, wire.ErrCodeShutdown, errors.New("server shutting down"))
+				}
+				return s.sendError(c, wire.ErrCodeStream, err)
+			}
+			if !applied {
+				s.dupFrames.Add(1)
+			}
+			sinceAck++
+			// EndStep is the frame producers wait on (it can carry
+			// backpressure); ack it immediately.
+			if sinceAck >= ackEvery || f.Type == wire.TypeEndStep {
+				if err := s.sendAck(c, c.lastSeq.Load()); err != nil {
+					return err
+				}
+				sinceAck = 0
+			}
+		case wire.TypeFlush:
+			if err := s.sendAck(c, c.lastSeq.Load()); err != nil {
+				return err
+			}
+			sinceAck = 0
+		default:
+			return s.sendError(c, wire.ErrCodeProtocol, fmt.Errorf("unexpected %s frame", wire.TypeName(f.Type)))
+		}
+	}
+}
+
+// adoptSession binds the connection to its session, superseding a
+// previous connection that still holds it (the usual aftermath of a
+// client-side reconnect racing the server noticing the dead socket). Each
+// adoption also sweeps sessions detached longer than the TTL, so one-shot
+// producers do not grow the session table without bound.
+func (s *Server) adoptSession(c *conn, token string) *session {
+	s.mu.Lock()
+	for tok, old := range s.sessions {
+		if tok == token {
+			continue
+		}
+		old.mu.Lock()
+		expired := old.conn == nil && !old.detachedAt.IsZero() && time.Since(old.detachedAt) > s.sessionTTL
+		old.mu.Unlock()
+		if expired {
+			delete(s.sessions, tok)
+		}
+	}
+	sess, ok := s.sessions[token]
+	if !ok {
+		sess = &session{}
+		s.sessions[token] = sess
+	}
+	s.mu.Unlock()
+	sess.mu.Lock()
+	prev := sess.conn
+	sess.conn = c
+	sess.detachedAt = time.Time{}
+	sess.mu.Unlock()
+	if prev != nil && prev != c {
+		prev.cancel()
+		prev.nc.Close() //nolint:errcheck
+	}
+	return sess
+}
+
+// openStream binds a client stream ID to a DB stream. Idempotent for the
+// same (id, name); rebinding an ID to a different name is a protocol
+// error.
+func (s *Server) openStream(c *conn, f *wire.Frame) error {
+	st, err := s.db.Stream(f.Name)
+	if err != nil {
+		return fmt.Errorf("open stream %q: %w", f.Name, err)
+	}
+	c.streamsMu.Lock()
+	defer c.streamsMu.Unlock()
+	if c.streams == nil {
+		c.streams = make(map[uint64]*hsq.Stream)
+	}
+	if prev, ok := c.streams[f.StreamID]; ok && prev.Name() != f.Name {
+		return fmt.Errorf("stream id %d already bound to %q, rebound to %q", f.StreamID, prev.Name(), f.Name)
+	}
+	c.streams[f.StreamID] = st
+	return nil
+}
+
+// applySequenced applies one Batch or EndStep frame under the session
+// lock, deduplicating replays: a frame at or below the session's applied
+// high-water mark is acknowledged but not re-applied. It reports whether
+// the frame was (newly) applied.
+func (s *Server) applySequenced(c *conn, sess *session, f *wire.Frame) (bool, error) {
+	c.streamsMu.Lock()
+	st := c.streams[f.StreamID]
+	c.streamsMu.Unlock()
+	if st == nil {
+		return false, fmt.Errorf("%s for unbound stream id %d", wire.TypeName(f.Type), f.StreamID)
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if f.Seq <= sess.lastSeq {
+		c.lastSeq.Store(sess.lastSeq)
+		return false, nil
+	}
+	switch f.Type {
+	case wire.TypeBatch:
+		if err := st.ObserveSliceCtx(c.ctx, f.Values); err != nil {
+			return false, fmt.Errorf("observe %d values on %q: %w", len(f.Values), st.Name(), err)
+		}
+		n := uint64(len(f.Values))
+		c.batches.Add(1)
+		c.values.Add(n)
+		s.batches.Add(1)
+		s.values.Add(n)
+		sc := s.streamCounters(st.Name())
+		sc.batches.Add(1)
+		sc.values.Add(n)
+	case wire.TypeEndStep:
+		// EndStepCtx blocks under MaxPendingSteps backpressure; the stall
+		// stops this conn's acks, draining the client's credit — that is
+		// the propagation path. c.ctx aborts the wait at shutdown.
+		if _, err := st.EndStepCtx(c.ctx); err != nil {
+			return false, fmt.Errorf("end step on %q: %w", st.Name(), err)
+		}
+		c.endSteps.Add(1)
+		s.endSteps.Add(1)
+		s.streamCounters(st.Name()).endSteps.Add(1)
+	}
+	sess.lastSeq = f.Seq
+	c.lastSeq.Store(f.Seq)
+	return true, nil
+}
+
+func (s *Server) streamCounters(name string) *streamCounters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sc, ok := s.streams[name]
+	if !ok {
+		sc = &streamCounters{}
+		s.streams[name] = sc
+	}
+	return sc
+}
+
+// CloseActiveConns force-closes every live connection without shutting
+// the server down. Clients reconnect and replay; tests use it to exercise
+// exactly that path.
+func (s *Server) CloseActiveConns() {
+	s.mu.Lock()
+	conns := make([]*conn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.cancel()
+		c.nc.Close() //nolint:errcheck
+	}
+}
+
+// Shutdown drains the server: listeners stop accepting, every live
+// connection gets a shutdown error frame, in-flight frame applies are
+// cancelled (a blocked EndStep unblocks with context.Canceled), and the
+// per-connection handlers are awaited up to ctx's deadline.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	listeners := make([]net.Listener, 0, len(s.listeners))
+	for l := range s.listeners {
+		listeners = append(listeners, l)
+	}
+	conns := make([]*conn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	for _, l := range listeners {
+		l.Close() //nolint:errcheck
+	}
+	for _, c := range conns {
+		// Best-effort courtesy frame so clients report "server shutting
+		// down" instead of a bare reset, then cancel the apply context.
+		c.writeMu.Lock()
+		if err := c.w.WriteFrame(&wire.Frame{Type: wire.TypeError, Code: wire.ErrCodeShutdown, Message: "server shutting down"}); err == nil {
+			c.w.Flush() //nolint:errcheck
+		}
+		c.writeMu.Unlock()
+		c.cancel()
+		c.nc.Close() //nolint:errcheck
+	}
+	s.cancel()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ConnStats is a live-connection snapshot.
+type ConnStats struct {
+	ID       uint64 `json:"id"`
+	Remote   string `json:"remote"`
+	Session  string `json:"session"`
+	Streams  int    `json:"streams"`
+	Batches  uint64 `json:"batches"`
+	Values   uint64 `json:"values"`
+	EndSteps uint64 `json:"end_steps"`
+	LastSeq  uint64 `json:"last_seq"`
+}
+
+// StreamIngestStats is the cumulative ingest tally for one stream.
+type StreamIngestStats struct {
+	Batches  uint64 `json:"batches"`
+	Values   uint64 `json:"values"`
+	EndSteps uint64 `json:"end_steps"`
+}
+
+// Stats is a point-in-time snapshot of the server's counters.
+type Stats struct {
+	Window      int                          `json:"window"`
+	ActiveConns int                          `json:"active_conns"`
+	TotalConns  uint64                       `json:"total_conns"`
+	Sessions    int                          `json:"sessions"`
+	Frames      uint64                       `json:"frames"`
+	Batches     uint64                       `json:"batches"`
+	Values      uint64                       `json:"values"`
+	EndSteps    uint64                       `json:"end_steps"`
+	DupFrames   uint64                       `json:"dup_frames"`
+	Errors      uint64                       `json:"errors"`
+	Streams     map[string]StreamIngestStats `json:"streams"`
+	Conns       []ConnStats                  `json:"conns"`
+}
+
+// Stats snapshots the server counters. Per-connection entries are sorted
+// by connection ID; per-stream entries are cumulative since server start.
+func (s *Server) Stats() Stats {
+	out := Stats{
+		Window:     int(s.window),
+		TotalConns: s.totalConns.Load(),
+		Frames:     s.frames.Load(),
+		Batches:    s.batches.Load(),
+		Values:     s.values.Load(),
+		EndSteps:   s.endSteps.Load(),
+		DupFrames:  s.dupFrames.Load(),
+		Errors:     s.errCount.Load(),
+		Streams:    make(map[string]StreamIngestStats),
+	}
+	s.mu.Lock()
+	out.ActiveConns = len(s.conns)
+	out.Sessions = len(s.sessions)
+	for name, sc := range s.streams {
+		out.Streams[name] = StreamIngestStats{
+			Batches:  sc.batches.Load(),
+			Values:   sc.values.Load(),
+			EndSteps: sc.endSteps.Load(),
+		}
+	}
+	for _, c := range s.conns {
+		c.streamsMu.Lock()
+		ns := len(c.streams)
+		c.streamsMu.Unlock()
+		out.Conns = append(out.Conns, ConnStats{
+			ID:       c.id,
+			Remote:   c.remote,
+			Session:  c.session,
+			Streams:  ns,
+			Batches:  c.batches.Load(),
+			Values:   c.values.Load(),
+			EndSteps: c.endSteps.Load(),
+			LastSeq:  c.lastSeq.Load(),
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(out.Conns, func(i, j int) bool { return out.Conns[i].ID < out.Conns[j].ID })
+	return out
+}
+
+// StreamStats returns the cumulative ingest counters for one stream
+// (zeros when the stream has never been fed over the wire).
+func (s *Server) StreamStats(name string) StreamIngestStats {
+	s.mu.Lock()
+	sc := s.streams[name]
+	s.mu.Unlock()
+	if sc == nil {
+		return StreamIngestStats{}
+	}
+	return StreamIngestStats{
+		Batches:  sc.batches.Load(),
+		Values:   sc.values.Load(),
+		EndSteps: sc.endSteps.Load(),
+	}
+}

@@ -1,0 +1,489 @@
+// Package wire defines the binary ingest protocol spoken between hsqclient
+// and an hsqd ingest listener: a versioned, length-prefixed frame format
+// carrying stream-multiplexed batches of int64 elements.
+//
+// # Connection lifecycle
+//
+// The client opens a TCP connection and sends a Hello frame (magic,
+// protocol version, session token). The server answers with a Welcome frame
+// carrying the highest sequence number it has already applied for that
+// session (0 for a new session) and the credit window. All further traffic
+// is frames: the client sends OpenStream, Batch, EndStep and Flush; the
+// server sends Ack and Error.
+//
+// # Sequencing, acks and credit
+//
+// Batch and EndStep frames are "sequenced": each carries a connection-wide
+// strictly increasing Seq assigned by the client. The server applies
+// sequenced frames in order and acknowledges them cumulatively — an Ack
+// with Seq = s means every sequenced frame with Seq ≤ s has been fully
+// applied. The Ack also restates the credit window W: the client may have
+// at most W sequenced frames outstanding (sent but unacknowledged). When
+// the server stalls (e.g. EndStep blocked on maintenance backpressure),
+// acks stop, the client exhausts its credit and blocks — explicit
+// backpressure instead of unbounded buffering on either side.
+//
+// OpenStream and Flush are not sequenced: OpenStream is idempotent (the
+// client replays all of its stream bindings after a reconnect) and Flush
+// merely requests an immediate Ack.
+//
+// # Exactly-once replay
+//
+// A client that loses its connection reconnects with the same session
+// token. The Welcome's LastSeq tells it which buffered frames the server
+// already applied; it drops those and replays the rest, so every sequenced
+// frame is applied exactly once per server process even across reconnects.
+//
+// # Value encoding
+//
+// Batch values are delta-encoded (first value, then successive
+// differences) and written as zig-zag varints, so sorted or slowly-varying
+// batches — the common case for metric streams — cost ~1–2 bytes per
+// element instead of 8.
+//
+// # Frame layout
+//
+// Every frame is
+//
+//	type  (1 byte)
+//	len   (uvarint — payload length in bytes)
+//	payload
+//
+// with payloads per type:
+//
+//	Hello      magic "HSQW" | version u8 | session: uvarint len + bytes
+//	Welcome    version u8 | uvarint lastSeq | uvarint credit
+//	OpenStream uvarint streamID | name: uvarint len + bytes
+//	Batch      uvarint seq | uvarint streamID | uvarint count | values
+//	EndStep    uvarint seq | uvarint streamID
+//	Flush      uvarint seq (the newest seq the client wants acknowledged)
+//	Ack        uvarint seq | uvarint credit
+//	Error      uvarint code | message: uvarint len + bytes
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Magic opens every Hello frame; a listener that reads anything else on a
+// fresh connection is talking to the wrong client (or an HTTP request).
+const Magic = "HSQW"
+
+// Version is the protocol version this package speaks. The handshake is
+// exact-match: there is only one version so far.
+const Version = 1
+
+// MaxFrameSize caps the payload length a Reader will accept, bounding the
+// memory a malformed (or hostile) length prefix can make the decoder
+// allocate. Large batches must be split below this by the sender; the
+// default client batch size stays far under it.
+const MaxFrameSize = 1 << 20
+
+// MaxSessionLen bounds the opaque session token carried by Hello.
+const MaxSessionLen = 64
+
+// Frame types.
+const (
+	TypeHello      = 0x01 // client → server: magic, version, session
+	TypeWelcome    = 0x02 // server → client: version, last applied seq, credit
+	TypeOpenStream = 0x03 // client → server: bind a stream ID to a name
+	TypeBatch      = 0x04 // client → server: sequenced value batch
+	TypeEndStep    = 0x05 // client → server: sequenced end-of-step
+	TypeFlush      = 0x06 // client → server: request an immediate Ack
+	TypeAck        = 0x07 // server → client: cumulative ack + credit
+	TypeError      = 0x08 // server → client: terminal error
+)
+
+// Error codes carried by Error frames.
+const (
+	ErrCodeProtocol = 1 // malformed frame, bad magic or version mismatch
+	ErrCodeStream   = 2 // stream open or apply failure
+	ErrCodeShutdown = 3 // server shutting down; reconnect later
+)
+
+// ErrFrameTooLarge is returned by Reader.ReadFrame for a length prefix
+// beyond the reader's limit.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// Frame is one protocol frame, decoded. Which fields are meaningful
+// depends on Type (see the package comment's payload table); the rest are
+// zero. A single struct — rather than one type per frame — keeps the
+// encoder, decoder and their round-trip tests in one obvious place.
+type Frame struct {
+	Type byte
+
+	Version  byte    // Hello, Welcome
+	Session  string  // Hello
+	Seq      uint64  // Batch, EndStep, Flush, Ack; Welcome's LastSeq
+	Credit   uint64  // Welcome, Ack
+	StreamID uint64  // OpenStream, Batch, EndStep
+	Name     string  // OpenStream
+	Values   []int64 // Batch
+	Code     uint64  // Error
+	Message  string  // Error
+}
+
+func (f *Frame) String() string {
+	switch f.Type {
+	case TypeHello:
+		return fmt.Sprintf("Hello{v%d session=%q}", f.Version, f.Session)
+	case TypeWelcome:
+		return fmt.Sprintf("Welcome{v%d lastSeq=%d credit=%d}", f.Version, f.Seq, f.Credit)
+	case TypeOpenStream:
+		return fmt.Sprintf("OpenStream{id=%d name=%q}", f.StreamID, f.Name)
+	case TypeBatch:
+		return fmt.Sprintf("Batch{seq=%d id=%d n=%d}", f.Seq, f.StreamID, len(f.Values))
+	case TypeEndStep:
+		return fmt.Sprintf("EndStep{seq=%d id=%d}", f.Seq, f.StreamID)
+	case TypeFlush:
+		return fmt.Sprintf("Flush{seq=%d}", f.Seq)
+	case TypeAck:
+		return fmt.Sprintf("Ack{seq=%d credit=%d}", f.Seq, f.Credit)
+	case TypeError:
+		return fmt.Sprintf("Error{code=%d %q}", f.Code, f.Message)
+	default:
+		return fmt.Sprintf("Frame{type=%#x}", f.Type)
+	}
+}
+
+// Sequenced reports whether the frame type carries a client-assigned
+// sequence number that the server acknowledges (and that replay dedupes).
+func (f *Frame) Sequenced() bool {
+	return f.Type == TypeBatch || f.Type == TypeEndStep
+}
+
+// AppendValues appends the batch value encoding of vs (delta + zig-zag
+// varint) to buf.
+func AppendValues(buf []byte, vs []int64) []byte {
+	prev := int64(0)
+	for _, v := range vs {
+		// Wrapping subtraction: two's-complement wraparound round-trips
+		// through the matching wrapping add in decodeValues, so the full
+		// int64 range is representable.
+		buf = binary.AppendVarint(buf, v-prev)
+		prev = v
+	}
+	return buf
+}
+
+// appendUvarint / appendString are small helpers over encoding/binary.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// AppendFrame appends the full wire encoding of f (header + payload) to
+// buf and returns the extended slice.
+func AppendFrame(buf []byte, f *Frame) ([]byte, error) {
+	var payload []byte
+	switch f.Type {
+	case TypeHello:
+		if len(f.Session) > MaxSessionLen {
+			return nil, fmt.Errorf("wire: session token %d bytes exceeds %d", len(f.Session), MaxSessionLen)
+		}
+		payload = append(payload, Magic...)
+		payload = append(payload, f.Version)
+		payload = appendString(payload, f.Session)
+	case TypeWelcome:
+		payload = append(payload, f.Version)
+		payload = binary.AppendUvarint(payload, f.Seq)
+		payload = binary.AppendUvarint(payload, f.Credit)
+	case TypeOpenStream:
+		payload = binary.AppendUvarint(payload, f.StreamID)
+		payload = appendString(payload, f.Name)
+	case TypeBatch:
+		payload = binary.AppendUvarint(payload, f.Seq)
+		payload = binary.AppendUvarint(payload, f.StreamID)
+		payload = binary.AppendUvarint(payload, uint64(len(f.Values)))
+		payload = AppendValues(payload, f.Values)
+	case TypeEndStep:
+		payload = binary.AppendUvarint(payload, f.Seq)
+		payload = binary.AppendUvarint(payload, f.StreamID)
+	case TypeFlush:
+		payload = binary.AppendUvarint(payload, f.Seq)
+	case TypeAck:
+		payload = binary.AppendUvarint(payload, f.Seq)
+		payload = binary.AppendUvarint(payload, f.Credit)
+	case TypeError:
+		payload = binary.AppendUvarint(payload, f.Code)
+		payload = appendString(payload, f.Message)
+	default:
+		return nil, fmt.Errorf("wire: encode unknown frame type %#x", f.Type)
+	}
+	if len(payload) > MaxFrameSize {
+		return nil, fmt.Errorf("wire: %w (%d bytes)", ErrFrameTooLarge, len(payload))
+	}
+	buf = append(buf, f.Type)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	return append(buf, payload...), nil
+}
+
+// Writer encodes frames onto a buffered stream. Not safe for concurrent
+// use; callers that write from several goroutines must serialize.
+type Writer struct {
+	bw  *bufio.Writer
+	buf []byte
+}
+
+// NewWriter returns a Writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// WriteFrame encodes f into the write buffer. Call Flush to push buffered
+// frames to the connection.
+func (w *Writer) WriteFrame(f *Frame) error {
+	buf, err := AppendFrame(w.buf[:0], f)
+	if err != nil {
+		return err
+	}
+	w.buf = buf[:0]
+	_, err = w.bw.Write(buf)
+	return err
+}
+
+// Flush flushes the buffered frames to the underlying writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Reader decodes frames from a buffered stream. Not safe for concurrent
+// use.
+type Reader struct {
+	br  *bufio.Reader
+	max int
+	buf []byte
+}
+
+// NewReader returns a Reader over r that rejects frames larger than
+// MaxFrameSize.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 64<<10), max: MaxFrameSize}
+}
+
+// ReadFrame reads and decodes the next frame. The returned frame's Values
+// slice is freshly allocated per call. On a clean EOF between frames it
+// returns io.EOF; a connection cut mid-frame surfaces
+// io.ErrUnexpectedEOF.
+func (r *Reader) ReadFrame() (*Frame, error) {
+	typ, err := r.br.ReadByte()
+	if err != nil {
+		return nil, err // io.EOF between frames is the clean-close signal
+	}
+	n, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return nil, eofMidFrame(err)
+	}
+	if n > uint64(r.max) {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	if uint64(cap(r.buf)) < n {
+		r.buf = make([]byte, n)
+	}
+	payload := r.buf[:n]
+	if _, err := io.ReadFull(r.br, payload); err != nil {
+		return nil, eofMidFrame(err)
+	}
+	return DecodeFrame(typ, payload)
+}
+
+func eofMidFrame(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// DecodeFrame decodes one frame from its type byte and payload. The
+// payload must be exactly the frame's encoded payload: trailing garbage is
+// an error, so a corrupt length prefix cannot silently truncate or pad a
+// frame.
+func DecodeFrame(typ byte, payload []byte) (*Frame, error) {
+	d := decoder{buf: payload}
+	f := &Frame{Type: typ}
+	switch typ {
+	case TypeHello:
+		magic := d.bytes(len(Magic))
+		if string(magic) != Magic {
+			return nil, fmt.Errorf("wire: bad magic %q (not an hsq ingest client?)", magic)
+		}
+		f.Version = d.byte()
+		f.Session = d.string(MaxSessionLen)
+	case TypeWelcome:
+		f.Version = d.byte()
+		f.Seq = d.uvarint()
+		f.Credit = d.uvarint()
+	case TypeOpenStream:
+		f.StreamID = d.uvarint()
+		f.Name = d.string(MaxFrameSize)
+	case TypeBatch:
+		f.Seq = d.uvarint()
+		f.StreamID = d.uvarint()
+		count := d.uvarint()
+		// Even 1-byte-per-value encoding cannot fit more values than
+		// payload bytes; reject before allocating.
+		if count > uint64(len(payload)) {
+			return nil, fmt.Errorf("wire: batch count %d exceeds payload", count)
+		}
+		f.Values = d.values(int(count))
+	case TypeEndStep:
+		f.Seq = d.uvarint()
+		f.StreamID = d.uvarint()
+	case TypeFlush:
+		f.Seq = d.uvarint()
+	case TypeAck:
+		f.Seq = d.uvarint()
+		f.Credit = d.uvarint()
+	case TypeError:
+		f.Code = d.uvarint()
+		f.Message = d.string(MaxFrameSize)
+	default:
+		return nil, fmt.Errorf("wire: unknown frame type %#x", typ)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("wire: decode %s frame: %w", TypeName(typ), d.err)
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("wire: decode %s frame: %d trailing bytes", TypeName(typ), len(d.buf))
+	}
+	return f, nil
+}
+
+// TypeName returns a short human-readable name for a frame type byte.
+func TypeName(typ byte) string {
+	switch typ {
+	case TypeHello:
+		return "hello"
+	case TypeWelcome:
+		return "welcome"
+	case TypeOpenStream:
+		return "open-stream"
+	case TypeBatch:
+		return "batch"
+	case TypeEndStep:
+		return "end-step"
+	case TypeFlush:
+		return "flush"
+	case TypeAck:
+		return "ack"
+	case TypeError:
+		return "error"
+	default:
+		return fmt.Sprintf("%#x", typ)
+	}
+}
+
+// decoder is a cursor over a frame payload that records the first error
+// and makes every later read a no-op, so decode paths read linearly
+// without per-field error plumbing.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 1 {
+		d.fail(io.ErrUnexpectedEOF)
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.buf) < n {
+		d.fail(io.ErrUnexpectedEOF)
+		return nil
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail(fmt.Errorf("bad uvarint"))
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.fail(fmt.Errorf("bad varint"))
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) string(maxLen int) string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(maxLen) {
+		d.fail(fmt.Errorf("string length %d exceeds %d", n, maxLen))
+		return ""
+	}
+	return string(d.bytes(int(n)))
+}
+
+func (d *decoder) values(count int) []int64 {
+	if d.err != nil || count == 0 {
+		return nil
+	}
+	vs := make([]int64, count)
+	prev := int64(0)
+	for i := range vs {
+		prev += d.varint() // wrapping add; see AppendValues
+		vs[i] = prev
+	}
+	if d.err != nil {
+		return nil
+	}
+	return vs
+}
+
+// SplitBatch splits vs into chunks whose encoded Batch frames stay under
+// MaxFrameSize regardless of value distribution (10 bytes is the widest
+// varint). Senders use it so arbitrarily large ObserveSlice calls never
+// produce an oversized frame.
+func SplitBatch(vs []int64) [][]int64 {
+	// Per-value worst case 10 bytes + ~30 bytes header fields.
+	const maxPerFrame = (MaxFrameSize - 64) / 10
+	if len(vs) <= maxPerFrame {
+		return [][]int64{vs}
+	}
+	var out [][]int64
+	for len(vs) > 0 {
+		n := min(len(vs), maxPerFrame)
+		out = append(out, vs[:n])
+		vs = vs[n:]
+	}
+	return out
+}
