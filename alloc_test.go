@@ -1,0 +1,41 @@
+package hsq_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+// TestObserveSliceZeroAlloc gates the ingest hot path: once the engine's
+// batch buffer and the GK sketch's tuple/pending/scratch buffers have grown
+// to their working-set size, ObserveSlice must not allocate. Synchronous
+// maintenance is required — endStepSync retains the batch buffer's capacity
+// across steps, while deferred modes hand the buffer to the sealed step and
+// start a fresh one.
+func TestObserveSliceZeroAlloc(t *testing.T) {
+	eng, err := hsq.New(hsq.Config{
+		Epsilon: 0.01, Kappa: 10, Backend: "mem", Maintenance: "sync",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close() //nolint:errcheck
+
+	gen := workload.NewUniform(99)
+	// Warm up: one large step grows every buffer past anything the
+	// measurement loop will need, then EndStep resets lengths while keeping
+	// capacities.
+	eng.ObserveSlice(workload.Fill(gen, 100_000))
+	if _, err := eng.EndStep(); err != nil {
+		t.Fatal(err)
+	}
+
+	chunk := workload.Fill(gen, 100)
+	allocs := testing.AllocsPerRun(50, func() {
+		eng.ObserveSlice(chunk)
+	})
+	if allocs != 0 {
+		t.Fatalf("ObserveSlice allocated %.1f times per call after warmup, want 0", allocs)
+	}
+}

@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	hsqbench [-figure all|4|5|...|13|ablation-split|ablation-pinning|baselines|theory]
+//	hsqbench [-figure all|4|5|...|13|ablation-split|ablation-pinning|baselines|theory|columnar]
 //	         [-scale small|medium|large] [-backend file|mem] [-cache-blocks N]
-//	         [-out results/]
+//	         [-block-format columnar|raw] [-out results/]
 //
 // Each figure prints one aligned text table per panel (matching the paper's
 // figure layout) and, with -out, writes one CSV per panel.
@@ -32,6 +32,7 @@ func run() error {
 		scale   = flag.String("scale", "medium", "experiment scale: small|medium|large")
 		backend = flag.String("backend", "file", "warehouse storage backend: file|mem")
 		cache   = flag.Int("cache-blocks", 0, "block-cache capacity in blocks (0 = no cache)")
+		format  = flag.String("block-format", "", "partition file layout: columnar|raw (default columnar)")
 		out     = flag.String("out", "", "directory for CSV output (optional)")
 		list    = flag.Bool("list", false, "list available figures and exit")
 	)
@@ -49,6 +50,7 @@ func run() error {
 	}
 	sc.Backend = *backend
 	sc.CacheBlocks = *cache
+	sc.BlockFormat = *format
 	ids := []string{*figure}
 	if *figure == "all" {
 		ids = experiments.FigureIDs()

@@ -75,6 +75,7 @@ func main() {
 		dir        = flag.String("dir", "", "warehouse directory (required for -backend file)")
 		backend    = flag.String("backend", "file", "storage backend: file|mem")
 		cache      = flag.Int("cache-blocks", 0, "shared block-cache capacity in blocks (0 = no cache)")
+		format     = flag.String("block-format", "", "partition file layout: columnar (default)|raw; existing files of either format stay readable")
 		epsilon    = flag.Float64("epsilon", 0.001, "approximation parameter ε")
 		kappa      = flag.Int("kappa", 10, "merge threshold κ")
 		addr       = flag.String("addr", ":8080", "HTTP listen address")
@@ -94,7 +95,8 @@ func main() {
 	}
 	srv, err := newServer(serverConfig{
 		dir: *dir, backend: *backend, cacheBlocks: *cache,
-		epsilon: *epsilon, kappa: *kappa,
+		blockFormat: *format,
+		epsilon:     *epsilon, kappa: *kappa,
 		maintenance: *maintenance, maxPending: *maxPending, maintWorkers: *maintWork,
 		logf: log.Printf,
 	})

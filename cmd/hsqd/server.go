@@ -35,6 +35,7 @@ type serverConfig struct {
 	dir          string
 	backend      string
 	cacheBlocks  int
+	blockFormat  string
 	epsilon      float64
 	kappa        int
 	maintenance  string
@@ -58,6 +59,7 @@ func newServer(sc serverConfig) (*server, error) {
 		Backend:            sc.backend,
 		Dir:                sc.dir,
 		CacheBlocks:        sc.cacheBlocks,
+		BlockFormat:        sc.blockFormat,
 		Maintenance:        sc.maintenance,
 		MaxPendingSteps:    sc.maxPending,
 		MaintenanceWorkers: sc.maintWorkers,

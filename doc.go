@@ -34,6 +34,39 @@
 //
 //	fast, err := hsq.New(hsq.Config{Epsilon: 0.01, Backend: "mem", CacheBlocks: 4096})
 //
+// # Block format
+//
+// Config.BlockFormat (hsqd's -block-format, environment HSQ_BLOCK_FORMAT)
+// selects how partition files are laid out on disk:
+//
+//   - "columnar" (default): a versioned compressed layout. The file opens
+//     with an 8-byte magic; each block carries a 25-byte header — format
+//     tag, element count, frame length, and the block's min/max values —
+//     followed by a delta-encoded zig-zag varint frame (blocks whose deltas
+//     don't compress fall back to a plain int64 frame per block). A footer
+//     indexes every block (offset, count, min, max) so readers locate
+//     blocks without scanning. Sorted runs typically pack 3-8x more
+//     elements per block, and accurate queries consult the header min/max
+//     before reading: a bisection step whose probe value falls outside a
+//     block's bounds resolves with no access at all, reported as
+//     SkippedBlocks in IOStats and QueryStats.
+//   - "raw": the original format — plain little-endian int64 frames, no
+//     header. Unsorted batch spills always use raw regardless of the
+//     setting, since delta frames only pay off on sorted data.
+//
+// Versioning rule: the format tag governs only new files. Readers detect
+// the layout per file (magic plus footer validation, falling back to raw),
+// so a warehouse written by an older version opens and queries unchanged,
+// and raw and columnar partition files coexist — and merge — freely within
+// one store.
+//
+// Cache accounting: the block cache charges cached blocks by their decoded
+// size in bytes (Config.CacheBlocks × BlockSize is the byte budget), not by
+// entry count — a decoded columnar block holds several blocks' worth of
+// raw elements, and counting entries would hand the compressed format a
+// hidden cache-size advantage in comparisons. `hsqbench -figure columnar`
+// measures the format head to head at an equal byte budget.
+//
 // # Multiple streams
 //
 // A DB hosts many named quantile streams over one shared device: one

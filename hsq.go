@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"sync"
 	"time"
 
@@ -77,6 +78,14 @@ type Config struct {
 	// I/O counts even when the OS page cache hides the real device:
 	// "" (off, default), "hdd" (the paper's ~1 ms random access) or "ssd".
 	SimulateDisk string
+	// BlockFormat selects how partition files are laid out on disk:
+	// "columnar" (the default — delta-compressed blocks with min/max headers
+	// that enable block skipping during accurate queries) or "raw" (plain
+	// little-endian int64 frames, the original format). Files written in
+	// either format are always readable regardless of this setting; it only
+	// governs new files. An empty value falls back to the HSQ_BLOCK_FORMAT
+	// environment variable, then to "columnar".
+	BlockFormat string
 
 	// Maintenance selects who runs the heavy half of EndStep (sort, level-0
 	// install, κ-way merges): "sync" (inline, the default), "async" (the
@@ -118,6 +127,15 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if out.SortMemElements == 0 {
 		out.SortMemElements = 1 << 20
+	}
+	if out.BlockFormat == "" {
+		out.BlockFormat = os.Getenv("HSQ_BLOCK_FORMAT")
+	}
+	if out.BlockFormat == "" {
+		out.BlockFormat = "columnar"
+	}
+	if _, err := disk.ParseBlockFormat(out.BlockFormat); err != nil {
+		return out, fmt.Errorf("hsq: %w", err)
 	}
 	switch out.Maintenance {
 	case "":
@@ -164,6 +182,10 @@ type IOStats struct {
 	RandReads   uint64
 	CacheHits   uint64
 	CacheMisses uint64
+	// SkippedBlocks counts bisection steps answered from columnar block
+	// headers with no block access at all. Not part of Total(): a skip is
+	// the absence of an access.
+	SkippedBlocks uint64
 }
 
 // Total returns the total number of block accesses.
@@ -173,11 +195,12 @@ func (s IOStats) Total() uint64 { return s.SeqReads + s.SeqWrites + s.RandReads 
 // zero (counters may have been reset between the two snapshots).
 func (s IOStats) Sub(t IOStats) IOStats {
 	return IOStats{
-		SeqReads:    subClamp(s.SeqReads, t.SeqReads),
-		SeqWrites:   subClamp(s.SeqWrites, t.SeqWrites),
-		RandReads:   subClamp(s.RandReads, t.RandReads),
-		CacheHits:   subClamp(s.CacheHits, t.CacheHits),
-		CacheMisses: subClamp(s.CacheMisses, t.CacheMisses),
+		SeqReads:      subClamp(s.SeqReads, t.SeqReads),
+		SeqWrites:     subClamp(s.SeqWrites, t.SeqWrites),
+		RandReads:     subClamp(s.RandReads, t.RandReads),
+		CacheHits:     subClamp(s.CacheHits, t.CacheHits),
+		CacheMisses:   subClamp(s.CacheMisses, t.CacheMisses),
+		SkippedBlocks: subClamp(s.SkippedBlocks, t.SkippedBlocks),
 	}
 }
 
@@ -190,11 +213,12 @@ func subClamp(a, b uint64) uint64 {
 
 func fromDisk(d disk.Stats) IOStats {
 	return IOStats{
-		SeqReads:    d.SeqReads,
-		SeqWrites:   d.SeqWrites,
-		RandReads:   d.RandReads,
-		CacheHits:   d.CacheHits,
-		CacheMisses: d.CacheMisses,
+		SeqReads:      d.SeqReads,
+		SeqWrites:     d.SeqWrites,
+		RandReads:     d.RandReads,
+		CacheHits:     d.CacheHits,
+		CacheMisses:   d.CacheMisses,
+		SkippedBlocks: d.SkippedBlocks,
 	}
 }
 
@@ -229,6 +253,9 @@ type QueryStats struct {
 	// CacheHits is the number of block probes served by the block cache,
 	// costing no disk access.
 	CacheHits int
+	// SkippedBlocks is the number of bisection steps resolved from columnar
+	// block-header min/max bounds without touching the block at all.
+	SkippedBlocks int
 	// FilterU and FilterV bracket the search (Algorithm 7 output).
 	FilterU, FilterV int64
 	// Elapsed is the wall-clock query time.
@@ -332,6 +359,13 @@ func newDevice(cfg Config) (*disk.Manager, error) {
 	}
 	if cfg.CacheBlocks > 0 {
 		dev.SetCache(cfg.CacheBlocks)
+	}
+	format, err := disk.ParseBlockFormat(cfg.BlockFormat)
+	if err != nil {
+		return nil, fmt.Errorf("hsq: %w", err)
+	}
+	if err := dev.SetBlockFormat(format); err != nil {
+		return nil, fmt.Errorf("hsq: %w", err)
 	}
 	if err := applyDiskProfile(dev, cfg.SimulateDisk); err != nil {
 		return nil, err
@@ -802,13 +836,14 @@ func (e *Engine) accurate(sums []*partition.Summary, pieces []core.StreamPiece, 
 		return 0, QueryStats{}, err
 	}
 	return v, QueryStats{
-		Iterations: cost.Iterations,
-		RandReads:  cost.RandReads,
-		CacheHits:  cost.CacheHits,
-		FilterU:    cost.FilterU,
-		FilterV:    cost.FilterV,
-		Elapsed:    time.Since(t0),
-		Truncated:  cost.Truncated,
+		Iterations:    cost.Iterations,
+		RandReads:     cost.RandReads,
+		CacheHits:     cost.CacheHits,
+		SkippedBlocks: cost.SkippedBlocks,
+		FilterU:       cost.FilterU,
+		FilterV:       cost.FilterV,
+		Elapsed:       time.Since(t0),
+		Truncated:     cost.Truncated,
 	}, nil
 }
 
@@ -1156,10 +1191,11 @@ func (e *Engine) Rank(v int64) (int64, QueryStats, error) {
 		return 0, QueryStats{}, err
 	}
 	return r, QueryStats{
-		Iterations: cost.Iterations,
-		RandReads:  cost.RandReads,
-		CacheHits:  cost.CacheHits,
-		Elapsed:    time.Since(t0),
+		Iterations:    cost.Iterations,
+		RandReads:     cost.RandReads,
+		CacheHits:     cost.CacheHits,
+		SkippedBlocks: cost.SkippedBlocks,
+		Elapsed:       time.Since(t0),
 	}, nil
 }
 
@@ -1239,6 +1275,7 @@ func (e *Engine) quantilesOpts(phis []float64, opts QueryOpts, interrupt func() 
 		agg.Iterations += cost.Iterations
 		agg.RandReads += cost.RandReads
 		agg.CacheHits += cost.CacheHits
+		agg.SkippedBlocks += cost.SkippedBlocks
 		agg.Truncated = agg.Truncated || cost.Truncated
 		if opts.MaxReads > 0 {
 			remaining -= cost.RandReads

@@ -19,6 +19,9 @@ type QueryCost struct {
 	// CacheHits is the number of probes absorbed by the device block cache
 	// (they cost no disk access).
 	CacheHits int
+	// SkippedBlocks is the number of bisection steps resolved from columnar
+	// block-header bounds without any block access (neither disk nor cache).
+	SkippedBlocks int
 	// FilterU and FilterV are the initial filters from Algorithm 7.
 	FilterU, FilterV int64
 	// Truncated reports that an I/O budget stopped the search early, so the
@@ -297,10 +300,11 @@ func sumReads(cursors []*partition.Cursor) int {
 
 // captureIO records the cursors' cumulative I/O counters into cost.
 func captureIO(cost *QueryCost, cursors []*partition.Cursor) {
-	cost.RandReads, cost.CacheHits = 0, 0
+	cost.RandReads, cost.CacheHits, cost.SkippedBlocks = 0, 0, 0
 	for _, cur := range cursors {
 		cost.RandReads += cur.Reads()
 		cost.CacheHits += cur.CacheHits()
+		cost.SkippedBlocks += cur.Skips()
 	}
 }
 

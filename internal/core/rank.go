@@ -38,6 +38,7 @@ func RankOfValue(c *Combined, v int64, pinBlocks bool) (int64, QueryCost, error)
 		}
 		cost.RandReads += cur.Reads()
 		cost.CacheHits += cur.CacheHits()
+		cost.SkippedBlocks += cur.Skips()
 		if err := cur.Close(); err != nil {
 			return 0, cost, err
 		}

@@ -60,6 +60,11 @@ type Config struct {
 	// (default — the seal/install split with deterministic drains) or
 	// "sync" (the legacy inline install).
 	Maintenance string
+	// BlockFormat is the partition file layout under test: "columnar"
+	// (default — compressed blocks plus a footer, one extra write and
+	// crash point per file) or "raw". Pinned explicitly so sweeps stay
+	// deterministic regardless of the HSQ_BLOCK_FORMAT environment.
+	BlockFormat string
 }
 
 // WithDefaults fills zero fields with the harness defaults.
@@ -85,6 +90,9 @@ func (c Config) WithDefaults() Config {
 	if c.Maintenance == "" {
 		c.Maintenance = hsq.MaintenanceManual
 	}
+	if c.BlockFormat == "" {
+		c.BlockFormat = "columnar"
+	}
 	return c
 }
 
@@ -95,6 +103,7 @@ func (c Config) options(cb *disk.CrashBackend) hsq.Options {
 		Device:      cb,
 		BlockSize:   c.BlockSize,
 		Maintenance: c.Maintenance,
+		BlockFormat: c.BlockFormat,
 	}
 }
 

@@ -33,8 +33,9 @@ type blockCache struct {
 }
 
 type cacheShard struct {
-	mu  sync.Mutex
-	cap int // this shard's capacity in blocks
+	mu       sync.Mutex
+	capBytes int64 // this shard's budget in decoded bytes
+	bytes    int64 // decoded bytes currently held
 	// items indexes entries by file name first so that invalidate(name) —
 	// which runs on every Remove and Create, i.e. on every level merge —
 	// touches only that file's blocks instead of scanning the whole shard.
@@ -56,24 +57,35 @@ type cacheEntry struct {
 // for ParallelQuery workloads without fragmenting small caches.
 const cacheShards = 16
 
-// newBlockCache builds a cache holding at most capBlocks blocks in total.
-// The budget is distributed exactly across the shards (remainder to the
-// first few); when the budget is smaller than cacheShards the shard count
-// shrinks to the budget so every shard can hold at least one block.
-func newBlockCache(capBlocks int) *blockCache {
-	if capBlocks <= 0 {
+// newBlockCache builds a cache holding at most budgetBytes of decoded
+// elements in total. Accounting is in decoded bytes (len(vals) ×
+// ElementSize), not entries: a compressed columnar block decodes to several
+// raw blocks' worth of elements and is charged accordingly. The budget is
+// distributed exactly across the shards (remainder to the first few); the
+// shard count shrinks until every shard can hold at least one worst-case
+// decoded columnar block (~8 × blockSize), so the per-shard split never
+// makes a legal block uncacheable.
+func newBlockCache(budgetBytes int64, blockSize int) *blockCache {
+	if budgetBytes <= 0 {
 		return nil
 	}
-	n := cacheShards
-	if capBlocks < n {
-		n = capBlocks
+	maxEntry := int64(blockSize-colHeaderLen) * ElementSize
+	if maxEntry < int64(blockSize) {
+		maxEntry = int64(blockSize)
+	}
+	n := budgetBytes / maxEntry
+	if n > cacheShards {
+		n = cacheShards
+	}
+	if n < 1 {
+		n = 1
 	}
 	c := &blockCache{shards: make([]cacheShard, n), seed: maphash.MakeSeed()}
-	base, extra := capBlocks/n, capBlocks%n
+	base, extra := budgetBytes/n, budgetBytes%n
 	for i := range c.shards {
-		c.shards[i].cap = base
-		if i < extra {
-			c.shards[i].cap++
+		c.shards[i].capBytes = base
+		if int64(i) < extra {
+			c.shards[i].capBytes++
 		}
 		c.shards[i].items = make(map[string]map[int64]*list.Element)
 		c.shards[i].order = list.New()
@@ -101,35 +113,47 @@ func (c *blockCache) get(name string, block int64) ([]int64, bool) {
 	return el.Value.(*cacheEntry).vals, true
 }
 
-// remove drops one entry from the shard's indexes. Caller holds s.mu.
+// remove drops one entry from the shard's indexes and releases its byte
+// charge. Caller holds s.mu.
 func (s *cacheShard) remove(el *list.Element) {
-	key := el.Value.(*cacheEntry).key
+	e := el.Value.(*cacheEntry)
+	s.bytes -= int64(len(e.vals)) * ElementSize
 	s.order.Remove(el)
-	blocks := s.items[key.name]
-	delete(blocks, key.block)
+	blocks := s.items[e.key.name]
+	delete(blocks, e.key.block)
 	if len(blocks) == 0 {
-		delete(s.items, key.name)
+		delete(s.items, e.key.name)
 	}
 }
 
-// put inserts (or refreshes) a block, evicting the shard's LRU tail.
+// put inserts (or refreshes) a block, evicting the shard's LRU tail until
+// the decoded-byte budget holds. A block bigger than the whole shard budget
+// is not inserted at all — caching it would evict everything else and still
+// bust the budget.
 func (c *blockCache) put(name string, block int64, vals []int64) {
+	cost := int64(len(vals)) * ElementSize
 	key := cacheKey{name, block}
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if el, ok := s.items[name][block]; ok {
-		el.Value.(*cacheEntry).vals = vals
-		s.order.MoveToFront(el)
+	if cost > s.capBytes {
 		return
 	}
-	blocks := s.items[name]
-	if blocks == nil {
-		blocks = make(map[int64]*list.Element)
-		s.items[name] = blocks
+	if el, ok := s.items[name][block]; ok {
+		e := el.Value.(*cacheEntry)
+		s.bytes += cost - int64(len(e.vals))*ElementSize
+		e.vals = vals
+		s.order.MoveToFront(el)
+	} else {
+		blocks := s.items[name]
+		if blocks == nil {
+			blocks = make(map[int64]*list.Element)
+			s.items[name] = blocks
+		}
+		blocks[block] = s.order.PushFront(&cacheEntry{key: key, vals: vals})
+		s.bytes += cost
 	}
-	blocks[block] = s.order.PushFront(&cacheEntry{key: key, vals: vals})
-	for s.order.Len() > s.cap {
+	for s.bytes > s.capBytes {
 		s.remove(s.order.Back())
 	}
 }
@@ -144,6 +168,7 @@ func (c *blockCache) invalidate(name string) {
 		s := &c.shards[i]
 		s.mu.Lock()
 		for _, el := range s.items[name] {
+			s.bytes -= int64(len(el.Value.(*cacheEntry).vals)) * ElementSize
 			s.order.Remove(el)
 		}
 		delete(s.items, name)

@@ -78,7 +78,9 @@ func TestCacheRepeatedProbesAreHits(t *testing.T) {
 // TestCacheEvictsLRU verifies the per-shard LRU discipline with a cache
 // smaller than the working set.
 func TestCacheEvictsLRU(t *testing.T) {
-	c := newBlockCache(cacheShards) // capacity 1 per shard
+	// One element (8 bytes) of budget per shard, so the second entry in any
+	// shard must evict the first.
+	c := newBlockCache(cacheShards*ElementSize, ElementSize)
 	c.put("f", 0, []int64{1})
 	key0shard := c.shard(cacheKey{"f", 0})
 	// Find another block index mapping to the same shard so the second put
@@ -274,19 +276,22 @@ func TestPartialTailCacheCoherence(t *testing.T) {
 	}
 }
 
-// TestCacheCapacityExact: the total capacity must be exactly the requested
-// block count, not rounded up per shard.
+// TestCacheCapacityExact: the total byte budget must be exactly the
+// requested amount, not rounded up per shard, and the resident decoded
+// bytes must never exceed it.
 func TestCacheCapacityExact(t *testing.T) {
 	for _, capBlocks := range []int{1, 4, 17, 100} {
-		c := newBlockCache(capBlocks)
-		total := 0
+		budget := int64(capBlocks) * ElementSize
+		c := newBlockCache(budget, ElementSize)
+		var total int64
 		for i := range c.shards {
-			total += c.shards[i].cap
+			total += c.shards[i].capBytes
 		}
-		if total != capBlocks {
-			t.Errorf("capBlocks=%d: shard capacities sum to %d", capBlocks, total)
+		if total != budget {
+			t.Errorf("budget=%d: shard budgets sum to %d", budget, total)
 		}
-		// Overfill and confirm the resident count never exceeds the budget.
+		// Overfill with one-element (8-byte) entries and confirm the
+		// resident count never exceeds the budget.
 		for i := int64(0); i < int64(capBlocks*3); i++ {
 			c.put("f", i, []int64{i})
 		}

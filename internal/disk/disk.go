@@ -27,6 +27,12 @@ const ElementSize = 8
 // DefaultBlockSize is the paper's block size B (100 KB).
 const DefaultBlockSize = 100 * 1024
 
+// MergeReadahead is the sequential readahead, in blocks, that merge and
+// copy scans pass to Reader.SetReadahead: each run refill becomes one
+// backend call covering several blocks. Block accounting is unchanged —
+// readahead batches calls, it does not hide reads.
+const MergeReadahead = 4
+
 // Op identifies the kind of block operation, used by fault hooks and stats.
 type Op int
 
@@ -81,6 +87,10 @@ type Stats struct {
 	Opens        uint64
 	CacheHits    uint64 // random block reads served by the block cache
 	CacheMisses  uint64 // random block reads that missed the cache
+	// SkippedBlocks counts random reads answered entirely from a columnar
+	// block header's min/max bounds — probes that needed neither the backend
+	// nor the cache. Not part of Total(): a skip is the absence of an access.
+	SkippedBlocks uint64
 }
 
 // Total returns the total number of block accesses (reads + writes).
@@ -104,59 +114,63 @@ func sub64(a, b uint64) uint64 {
 // at zero rather than underflowing when t exceeds s (e.g. after ResetStats).
 func (s Stats) Sub(t Stats) Stats {
 	return Stats{
-		SeqReads:     sub64(s.SeqReads, t.SeqReads),
-		SeqWrites:    sub64(s.SeqWrites, t.SeqWrites),
-		RandReads:    sub64(s.RandReads, t.RandReads),
-		BytesRead:    sub64(s.BytesRead, t.BytesRead),
-		BytesWritten: sub64(s.BytesWritten, t.BytesWritten),
-		Opens:        sub64(s.Opens, t.Opens),
-		CacheHits:    sub64(s.CacheHits, t.CacheHits),
-		CacheMisses:  sub64(s.CacheMisses, t.CacheMisses),
+		SeqReads:      sub64(s.SeqReads, t.SeqReads),
+		SeqWrites:     sub64(s.SeqWrites, t.SeqWrites),
+		RandReads:     sub64(s.RandReads, t.RandReads),
+		BytesRead:     sub64(s.BytesRead, t.BytesRead),
+		BytesWritten:  sub64(s.BytesWritten, t.BytesWritten),
+		Opens:         sub64(s.Opens, t.Opens),
+		CacheHits:     sub64(s.CacheHits, t.CacheHits),
+		CacheMisses:   sub64(s.CacheMisses, t.CacheMisses),
+		SkippedBlocks: sub64(s.SkippedBlocks, t.SkippedBlocks),
 	}
 }
 
 // Add returns the element-wise sum s + t.
 func (s Stats) Add(t Stats) Stats {
 	return Stats{
-		SeqReads:     s.SeqReads + t.SeqReads,
-		SeqWrites:    s.SeqWrites + t.SeqWrites,
-		RandReads:    s.RandReads + t.RandReads,
-		BytesRead:    s.BytesRead + t.BytesRead,
-		BytesWritten: s.BytesWritten + t.BytesWritten,
-		Opens:        s.Opens + t.Opens,
-		CacheHits:    s.CacheHits + t.CacheHits,
-		CacheMisses:  s.CacheMisses + t.CacheMisses,
+		SeqReads:      s.SeqReads + t.SeqReads,
+		SeqWrites:     s.SeqWrites + t.SeqWrites,
+		RandReads:     s.RandReads + t.RandReads,
+		BytesRead:     s.BytesRead + t.BytesRead,
+		BytesWritten:  s.BytesWritten + t.BytesWritten,
+		Opens:         s.Opens + t.Opens,
+		CacheHits:     s.CacheHits + t.CacheHits,
+		CacheMisses:   s.CacheMisses + t.CacheMisses,
+		SkippedBlocks: s.SkippedBlocks + t.SkippedBlocks,
 	}
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("seqR=%d seqW=%d randR=%d total=%d cacheHit=%d cacheMiss=%d",
-		s.SeqReads, s.SeqWrites, s.RandReads, s.Total(), s.CacheHits, s.CacheMisses)
+	return fmt.Sprintf("seqR=%d seqW=%d randR=%d total=%d cacheHit=%d cacheMiss=%d skipped=%d",
+		s.SeqReads, s.SeqWrites, s.RandReads, s.Total(), s.CacheHits, s.CacheMisses, s.SkippedBlocks)
 }
 
 // ioCounters is one set of cumulative I/O counters. The device aggregate
 // and every namespaced view each own one.
 type ioCounters struct {
-	seqReads     atomic.Uint64
-	seqWrites    atomic.Uint64
-	randReads    atomic.Uint64
-	bytesRead    atomic.Uint64
-	bytesWritten atomic.Uint64
-	opens        atomic.Uint64
-	cacheHits    atomic.Uint64
-	cacheMisses  atomic.Uint64
+	seqReads      atomic.Uint64
+	seqWrites     atomic.Uint64
+	randReads     atomic.Uint64
+	bytesRead     atomic.Uint64
+	bytesWritten  atomic.Uint64
+	opens         atomic.Uint64
+	cacheHits     atomic.Uint64
+	cacheMisses   atomic.Uint64
+	skippedBlocks atomic.Uint64
 }
 
 func (c *ioCounters) snapshot() Stats {
 	return Stats{
-		SeqReads:     c.seqReads.Load(),
-		SeqWrites:    c.seqWrites.Load(),
-		RandReads:    c.randReads.Load(),
-		BytesRead:    c.bytesRead.Load(),
-		BytesWritten: c.bytesWritten.Load(),
-		Opens:        c.opens.Load(),
-		CacheHits:    c.cacheHits.Load(),
-		CacheMisses:  c.cacheMisses.Load(),
+		SeqReads:      c.seqReads.Load(),
+		SeqWrites:     c.seqWrites.Load(),
+		RandReads:     c.randReads.Load(),
+		BytesRead:     c.bytesRead.Load(),
+		BytesWritten:  c.bytesWritten.Load(),
+		Opens:         c.opens.Load(),
+		CacheHits:     c.cacheHits.Load(),
+		CacheMisses:   c.cacheMisses.Load(),
+		SkippedBlocks: c.skippedBlocks.Load(),
 	}
 }
 
@@ -169,6 +183,7 @@ func (c *ioCounters) reset() {
 	c.opens.Store(0)
 	c.cacheHits.Store(0)
 	c.cacheMisses.Store(0)
+	c.skippedBlocks.Store(0)
 }
 
 // device is the state shared by every view of one physical block device:
@@ -189,6 +204,17 @@ type device struct {
 	maintAgg ioCounters
 
 	cache atomic.Pointer[blockCache]
+
+	// format is the device-wide default BlockFormat for newly created files
+	// (FormatRaw unless SetBlockFormat is called). CreateFormat overrides it
+	// per file; reads always auto-detect, so mixed-format devices are fine.
+	format atomic.Uint32
+
+	// idxCache memoizes parsed columnar footers (nil = confirmed format 0)
+	// per device-wide name, so reopening a partition for every query does not
+	// re-read and re-parse its index.
+	idxMu    sync.Mutex
+	idxCache map[string]*colIndex
 
 	mu    sync.RWMutex
 	fault FaultFunc
@@ -258,12 +284,35 @@ func (m *Manager) BlockSize() int { return m.dev.blockSize }
 // ElementsPerBlock returns how many elements fit in one block.
 func (m *Manager) ElementsPerBlock() int { return m.dev.perBlock }
 
-// SetCache installs a block cache holding up to blocks decoded blocks on
-// the random-read path; blocks <= 0 removes the cache. The cache is a
+// SetBlockFormat sets the device-wide default format for newly created
+// files. It is a device property shared by every view (like the cache
+// budget): partitions, sort runs and merge outputs all inherit it.
+// FormatColumnar requires a block size of at least 48 bytes so a header and
+// one worst-case element fit in a block.
+func (m *Manager) SetBlockFormat(f BlockFormat) error {
+	if f == FormatColumnar && m.dev.blockSize < colMinBlockSize {
+		return fmt.Errorf("disk: block size %d too small for columnar format (min %d)",
+			m.dev.blockSize, colMinBlockSize)
+	}
+	m.dev.format.Store(uint32(f))
+	return nil
+}
+
+// DefaultBlockFormat returns the device-wide default format for new files.
+func (m *Manager) DefaultBlockFormat() BlockFormat {
+	return BlockFormat(m.dev.format.Load())
+}
+
+// SetCache installs a block cache with a budget of blocks × BlockSize bytes
+// of decoded elements on the random-read path; blocks <= 0 removes the
+// cache. The budget is accounted in decoded bytes, not entries: compressed
+// columnar blocks decode to more than one raw block's worth of elements, so
+// the same budget holds correspondingly fewer (bigger) entries — compression
+// widens cache reach in elements, not in bookkeeping slots. The cache is a
 // device-wide budget shared by every view. Safe to call concurrently with
 // I/O.
 func (m *Manager) SetCache(blocks int) {
-	m.dev.cache.Store(newBlockCache(blocks))
+	m.dev.cache.Store(newBlockCache(int64(blocks)*int64(m.dev.blockSize), m.dev.blockSize))
 }
 
 // CacheBlocks returns the number of blocks currently cached device-wide (0
@@ -377,6 +426,19 @@ func (m *Manager) countCacheHit() {
 	}
 }
 
+func (m *Manager) countBlockSkip() {
+	m.stats.skippedBlocks.Add(1)
+	if m.stats != &m.dev.agg {
+		m.dev.agg.skippedBlocks.Add(1)
+	}
+	if m.tagMaint {
+		m.maint.skippedBlocks.Add(1)
+		if m.maint != &m.dev.maintAgg {
+			m.dev.maintAgg.skippedBlocks.Add(1)
+		}
+	}
+}
+
 func (m *Manager) countCacheMiss() {
 	m.stats.cacheMisses.Add(1)
 	if m.stats != &m.dev.agg {
@@ -424,12 +486,13 @@ func (m *Manager) ResetStats() {
 	m.stats.reset()
 }
 
-// invalidate drops cached blocks of a device-wide name after a remove or
-// truncation.
+// invalidate drops cached blocks and the cached columnar index of a
+// device-wide name after a remove or truncation.
 func (m *Manager) invalidate(key string) {
 	if c := m.dev.cache.Load(); c != nil {
 		c.invalidate(key)
 	}
+	m.dev.dropIndex(key)
 }
 
 // Remove deletes the named file. Removing a non-existent file is an error.
@@ -449,11 +512,30 @@ func (m *Manager) Exists(name string) bool {
 	return m.dev.backend.Exists(m.key(name))
 }
 
-// Size returns the number of elements stored in the named file.
+// Size returns the number of elements stored in the named file. For
+// columnar files the count comes from the footer, not from byte-size
+// arithmetic; format detection may open the file (uncounted, like other
+// metadata access).
 func (m *Manager) Size(name string) (int64, error) {
-	n, err := m.dev.backend.Size(m.key(name))
+	key := m.key(name)
+	n, err := m.dev.backend.Size(key)
 	if err != nil {
-		return 0, fmt.Errorf("disk: stat %s: %w", m.key(name), err)
+		return 0, fmt.Errorf("disk: stat %s: %w", key, err)
+	}
+	if n < colHeadLen+colTrailerLen {
+		return n / ElementSize, nil
+	}
+	h, err := m.dev.backend.Open(key)
+	if err != nil {
+		return 0, fmt.Errorf("disk: stat %s: %w", key, err)
+	}
+	defer h.Close()
+	ix, err := m.columnarIndex(key, h)
+	if err != nil {
+		return 0, fmt.Errorf("disk: stat %s: %w", key, err)
+	}
+	if ix != nil {
+		return ix.total(), nil
 	}
 	return n / ElementSize, nil
 }

@@ -3,16 +3,45 @@ package disk
 import (
 	"fmt"
 	"io"
+	"sync"
 )
 
-// Reader scans a file sequentially, one block at a time. Every block read
-// counts as one sequential read. Sequential scans bypass the block cache
-// (scan resistance: a merge touches each block exactly once). Reader is not
-// safe for concurrent use.
+// Sequential readers recycle their block and element staging through pools,
+// so steady-state merge scans run allocation-free: a scan's only per-block
+// work is one backend read and one decode into a buffer that outlives the
+// reader via the pool.
+var (
+	seqBufPool  = sync.Pool{New: func() any { return new([]byte) }}
+	seqValsPool = sync.Pool{New: func() any { return new([]int64) }}
+)
+
+// growBytes returns b resized to n, reallocating only when capacity lacks.
+func growBytes(b []byte, n int) []byte {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]byte, n)
+}
+
+// growInt64 returns s resized to n, reallocating only when capacity lacks.
+func growInt64(s []int64, n int) []int64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int64, n)
+}
+
+// Reader scans a file sequentially, one block at a time (or several with
+// SetReadahead). Every block read counts as one sequential read. Sequential
+// scans bypass the block cache (scan resistance: a merge touches each block
+// exactly once). Reader is not safe for concurrent use.
 type Reader struct {
 	m      *Manager
 	name   string
 	h      ReadHandle
+	ix     *colIndex // parsed columnar footer; nil for format-0 files
+	bufp   *[]byte
+	valsp  *[]int64
 	buf    []byte
 	vals   []int64
 	pos    int   // next element index within vals
@@ -20,10 +49,12 @@ type Reader struct {
 	block  int64 // next block index to read
 	count  int64 // total elements in the file
 	read   int64 // elements returned so far
+	ahead  int   // blocks fetched per backend call (>= 1)
 	closed bool
 }
 
-// OpenSequential opens the named element file for a sequential scan.
+// OpenSequential opens the named element file for a sequential scan. The
+// block format is auto-detected, so mixed-format stores scan uniformly.
 func (m *Manager) OpenSequential(name string) (*Reader, error) {
 	key := m.key(name)
 	if err := m.injected(OpOpen, key, 0); err != nil {
@@ -41,14 +72,45 @@ func (m *Manager) OpenSequential(name string) (*Reader, error) {
 		h.Close() //nolint:errcheck
 		return nil, fmt.Errorf("disk: stat %s: %w", key, err)
 	}
+	ix, err := m.columnarIndex(key, h)
+	if err != nil {
+		h.Close() //nolint:errcheck
+		return nil, fmt.Errorf("disk: open %s: %w", key, err)
+	}
+	count := size / ElementSize
+	if ix != nil {
+		// Element counts come from the footer the writer committed, not
+		// from byte-size arithmetic — a compressed file's size says nothing
+		// about its element count.
+		count = ix.total()
+	}
+	bufp := seqBufPool.Get().(*[]byte)
+	valsp := seqValsPool.Get().(*[]int64)
 	return &Reader{
 		m:     m,
 		name:  key,
 		h:     h,
-		buf:   make([]byte, m.dev.blockSize),
-		vals:  make([]int64, m.dev.perBlock),
-		count: size / ElementSize,
+		ix:    ix,
+		bufp:  bufp,
+		valsp: valsp,
+		buf:   *bufp,
+		vals:  *valsp,
+		count: count,
+		ahead: 1,
 	}, nil
+}
+
+// SetReadahead makes each backend call fetch up to k contiguous blocks
+// (clamped to at least 1). Each fetched block still counts as one
+// sequential read, but the batch shares one backend call and one simulated
+// seek, and the fault hook fires once at the batch's first block — so merge
+// paths enable readahead while per-block fault-injection tests keep the
+// default. k-way merges set this so each run refill is one backend call.
+func (r *Reader) SetReadahead(k int) {
+	if k < 1 {
+		k = 1
+	}
+	r.ahead = k
 }
 
 // Count returns the total number of elements in the file.
@@ -77,11 +139,16 @@ func (r *Reader) Next() (v int64, ok bool, err error) {
 }
 
 func (r *Reader) fill() error {
+	if r.ix != nil {
+		return r.fillColumnar()
+	}
 	if err := r.m.injected(OpSeqRead, r.name, r.block); err != nil {
 		return fmt.Errorf("disk: read %s block %d: %w", r.name, r.block, err)
 	}
 	r.m.sleepFor(OpSeqRead)
-	n, err := r.h.ReadAt(r.buf, r.block*int64(r.m.dev.blockSize))
+	bs := r.m.dev.blockSize
+	r.buf = growBytes(r.buf, r.ahead*bs)
+	n, err := r.h.ReadAt(r.buf, r.block*int64(bs))
 	if err == io.EOF || err == io.ErrUnexpectedEOF {
 		err = nil
 	}
@@ -92,21 +159,72 @@ func (r *Reader) fill() error {
 		return fmt.Errorf("disk: read %s block %d: torn element (%d bytes)", r.name, r.block, n)
 	}
 	cnt := n / ElementSize
+	r.vals = growInt64(r.vals, cnt)
 	decodeInto(r.vals[:cnt], r.buf[:n])
 	r.pos, r.n = 0, cnt
-	if cnt > 0 {
-		r.m.countSeqRead(n)
+	for got := 0; got < n; got += bs {
+		rem := n - got
+		if rem > bs {
+			rem = bs
+		}
+		r.m.countSeqRead(rem)
 		r.block++
 	}
 	return nil
 }
 
-// Close releases the underlying handle.
+// fillColumnar decodes the next r.ahead blocks from one backend read. Reads
+// land strictly inside the data region located by the footer, so a short
+// read is corruption, not EOF.
+func (r *Reader) fillColumnar() error {
+	nb := r.ix.blocks()
+	if r.block >= nb {
+		r.pos, r.n = 0, 0
+		return nil
+	}
+	last := r.block + int64(r.ahead) - 1
+	if last >= nb {
+		last = nb - 1
+	}
+	off := r.ix.offsets[r.block]
+	length := int(r.ix.offsets[last+1] - off)
+	if err := r.m.injected(OpSeqRead, r.name, r.block); err != nil {
+		return fmt.Errorf("disk: read %s block %d: %w", r.name, r.block, err)
+	}
+	r.m.sleepFor(OpSeqRead)
+	r.buf = growBytes(r.buf, length)
+	if _, err := r.h.ReadAt(r.buf, off); err != nil {
+		return fmt.Errorf("disk: read %s block %d: %w", r.name, r.block, err)
+	}
+	total := int(r.ix.starts[last+1] - r.ix.starts[r.block])
+	r.vals = growInt64(r.vals, total)
+	written := 0
+	for b := r.block; b <= last; b++ {
+		bbuf := r.buf[r.ix.offsets[b]-off : r.ix.offsets[b+1]-off]
+		cnt := int(r.ix.blockCount(b))
+		if err := decodeColBlock(r.vals[written:written+cnt], bbuf, cnt); err != nil {
+			return fmt.Errorf("disk: read %s block %d: %w", r.name, b, err)
+		}
+		written += cnt
+		r.m.countSeqRead(len(bbuf))
+	}
+	r.pos, r.n = 0, written
+	r.block = last + 1
+	return nil
+}
+
+// Close releases the underlying handle and returns the staging buffers to
+// the pools.
 func (r *Reader) Close() error {
 	if r.closed {
 		return nil
 	}
 	r.closed = true
+	*r.bufp = r.buf
+	seqBufPool.Put(r.bufp)
+	*r.valsp = r.vals
+	seqValsPool.Put(r.valsp)
+	r.buf, r.vals = nil, nil
 	if err := r.h.Close(); err != nil {
 		return fmt.Errorf("disk: close %s: %w", r.name, err)
 	}
@@ -114,9 +232,8 @@ func (r *Reader) Close() error {
 }
 
 // SeekElement repositions the sequential reader so the next call to Next
-// returns element i (0-based). The partial block containing i is read
-// immediately and counted as one sequential read. Used by range-restricted
-// scans such as parallel merges.
+// returns element i (0-based). The block batch containing i is read
+// immediately. Used by range-restricted scans such as parallel merges.
 func (r *Reader) SeekElement(i int64) error {
 	if r.closed {
 		return fmt.Errorf("disk: seek on closed reader %s", r.name)
@@ -128,39 +245,53 @@ func (r *Reader) SeekElement(i int64) error {
 		// Position at EOF.
 		r.pos, r.n = 0, 0
 		r.read = r.count
-		r.block = (r.count + int64(r.m.dev.perBlock) - 1) / int64(r.m.dev.perBlock)
+		if r.ix != nil {
+			r.block = r.ix.blocks()
+		} else {
+			r.block = (r.count + int64(r.m.dev.perBlock) - 1) / int64(r.m.dev.perBlock)
+		}
 		return nil
 	}
-	blk := i / int64(r.m.dev.perBlock)
+	var blk, first int64
+	if r.ix != nil {
+		blk = r.ix.findBlock(i)
+		first = r.ix.starts[blk]
+	} else {
+		blk = i / int64(r.m.dev.perBlock)
+		first = blk * int64(r.m.dev.perBlock)
+	}
 	r.block = blk
 	r.pos, r.n = 0, 0
-	r.read = blk * int64(r.m.dev.perBlock)
+	r.read = first
 	if err := r.fill(); err != nil {
 		return err
 	}
-	skip := int(i - blk*int64(r.m.dev.perBlock))
-	r.pos = skip
+	r.pos = int(i - first)
 	r.read = i
 	return nil
 }
 
 // RandomReader reads individual blocks of a file by index. Every Block call
 // that reaches the backend counts as one random read; calls absorbed by the
-// Manager's block cache count as cache hits instead. RandomReader is not
-// safe for concurrent use.
+// Manager's block cache count as cache hits instead, and probes answered
+// from columnar header bounds (see BlockBounds) count as skipped blocks.
+// RandomReader is not safe for concurrent use.
 type RandomReader struct {
 	m      *Manager
 	name   string
 	h      ReadHandle
-	count  int64 // elements in the file
-	blocks int64 // number of blocks
+	ix     *colIndex // parsed columnar footer; nil for format-0 files
+	count  int64     // elements in the file
+	blocks int64     // number of blocks
 	buf    []byte
 	reads  int // backend block reads issued through this handle
 	hits   int // cache hits served through this handle
+	skips  int // probes answered from header bounds without any read
 	closed bool
 }
 
-// OpenRandom opens the named element file for random block access.
+// OpenRandom opens the named element file for random block access. The
+// block format is auto-detected.
 func (m *Manager) OpenRandom(name string) (*RandomReader, error) {
 	key := m.key(name)
 	if err := m.injected(OpOpen, key, 0); err != nil {
@@ -176,15 +307,27 @@ func (m *Manager) OpenRandom(name string) (*RandomReader, error) {
 		h.Close() //nolint:errcheck
 		return nil, fmt.Errorf("disk: stat %s: %w", key, err)
 	}
+	ix, err := m.columnarIndex(key, h)
+	if err != nil {
+		h.Close() //nolint:errcheck
+		return nil, fmt.Errorf("disk: open %s: %w", key, err)
+	}
 	count := size / ElementSize
 	blocks := (count + int64(m.dev.perBlock) - 1) / int64(m.dev.perBlock)
+	if ix != nil {
+		count = ix.total()
+		blocks = ix.blocks()
+	}
 	return &RandomReader{
 		m:      m,
 		name:   key,
 		h:      h,
+		ix:     ix,
 		count:  count,
 		blocks: blocks,
-		buf:    make([]byte, m.dev.blockSize),
+		// A columnar block (header + frame) never exceeds the device block
+		// size, so one block of staging serves both formats.
+		buf: make([]byte, m.dev.blockSize),
 	}, nil
 }
 
@@ -200,6 +343,49 @@ func (r *RandomReader) Reads() int { return r.reads }
 
 // CacheHits returns the number of Block calls served by the block cache.
 func (r *RandomReader) CacheHits() int { return r.hits }
+
+// Skips returns how many probes this handle answered from columnar header
+// bounds without reading the block (see Skip).
+func (r *RandomReader) Skips() int { return r.skips }
+
+// BlockBounds returns the smallest and largest element stored in block idx,
+// read from the columnar block index without touching the block itself.
+// ok is false for format-0 files, which carry no bounds.
+func (r *RandomReader) BlockBounds(idx int64) (min, max int64, ok bool) {
+	if r.ix == nil || idx < 0 || idx >= r.blocks {
+		return 0, 0, false
+	}
+	return r.ix.mins[idx], r.ix.maxs[idx], true
+}
+
+// BlockStart returns the element index of the first element in block idx.
+func (r *RandomReader) BlockStart(idx int64) int64 {
+	if r.ix != nil {
+		return r.ix.starts[idx]
+	}
+	return idx * int64(r.m.dev.perBlock)
+}
+
+// BlockLen returns the number of elements in block idx.
+func (r *RandomReader) BlockLen(idx int64) int64 {
+	if r.ix != nil {
+		return r.ix.blockCount(idx)
+	}
+	n := r.count - idx*int64(r.m.dev.perBlock)
+	if per := int64(r.m.dev.perBlock); n > per {
+		n = per
+	}
+	return n
+}
+
+// Skip records that the probe against block idx was answered entirely from
+// its header bounds — no backend read, no cache access. The search layer
+// calls it when BlockBounds excludes a block, so skip counters surface in
+// I/O stats alongside reads and hits.
+func (r *RandomReader) Skip(int64) {
+	r.skips++
+	r.m.countBlockSkip()
+}
 
 // Block reads block idx and returns its elements. The returned slice is
 // shared with the Manager's block cache when one is installed, so callers
@@ -223,22 +409,39 @@ func (r *RandomReader) Block(idx int64) ([]int64, error) {
 		return nil, fmt.Errorf("disk: read %s block %d: %w", r.name, idx, err)
 	}
 	r.m.sleepFor(OpRandRead)
-	off := idx * int64(r.m.dev.blockSize)
-	n, err := r.h.ReadAt(r.buf, off)
-	if err == io.EOF || err == io.ErrUnexpectedEOF {
-		err = nil
+	var out []int64
+	var nbytes int
+	if r.ix != nil {
+		off := r.ix.offsets[idx]
+		nbytes = int(r.ix.offsets[idx+1] - off)
+		if _, err := r.h.ReadAt(r.buf[:nbytes], off); err != nil {
+			return nil, fmt.Errorf("disk: read %s block %d: %w", r.name, idx, err)
+		}
+		cnt := int(r.ix.blockCount(idx))
+		// Decoded blocks are pinned by the search layer and shared with the
+		// cache, so each gets its own allocation rather than pooled staging.
+		out = make([]int64, cnt)
+		if err := decodeColBlock(out, r.buf[:nbytes], cnt); err != nil {
+			return nil, fmt.Errorf("disk: read %s block %d: %w", r.name, idx, err)
+		}
+	} else {
+		off := idx * int64(r.m.dev.blockSize)
+		n, err := r.h.ReadAt(r.buf, off)
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			err = nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("disk: read %s block %d: %w", r.name, idx, err)
+		}
+		if n%ElementSize != 0 {
+			return nil, fmt.Errorf("disk: read %s block %d: torn element (%d bytes)", r.name, idx, n)
+		}
+		out = make([]int64, n/ElementSize)
+		decodeInto(out, r.buf[:n])
+		nbytes = n
 	}
-	if err != nil {
-		return nil, fmt.Errorf("disk: read %s block %d: %w", r.name, idx, err)
-	}
-	if n%ElementSize != 0 {
-		return nil, fmt.Errorf("disk: read %s block %d: torn element (%d bytes)", r.name, idx, n)
-	}
-	cnt := n / ElementSize
-	out := make([]int64, cnt)
-	decodeInto(out, r.buf[:n])
 	r.reads++
-	r.m.countRandRead(n)
+	r.m.countRandRead(nbytes)
 	if cache != nil {
 		r.m.countCacheMiss()
 		// Caching partial tail blocks is sound within the Manager API: the
@@ -251,8 +454,77 @@ func (r *RandomReader) Block(idx int64) ([]int64, error) {
 	return out, nil
 }
 
+// ReadBlocks reads blocks lo..hi (inclusive) with a single backend call and
+// returns their elements concatenated — the vectored read used by bulk
+// refills. Each block still counts as one random read; the batch shares one
+// simulated seek and fires the fault hook once at lo. Like sequential
+// scans, vectored reads bypass the block cache (they are scan-shaped and
+// would evict the probe working set).
+func (r *RandomReader) ReadBlocks(lo, hi int64) ([]int64, error) {
+	if r.closed {
+		return nil, fmt.Errorf("disk: read from closed reader %s", r.name)
+	}
+	if lo < 0 || hi < lo || hi >= r.blocks {
+		return nil, fmt.Errorf("disk: blocks [%d,%d] out of range [0,%d) in %s", lo, hi, r.blocks, r.name)
+	}
+	if err := r.m.injected(OpRandRead, r.name, lo); err != nil {
+		return nil, fmt.Errorf("disk: read %s blocks %d-%d: %w", r.name, lo, hi, err)
+	}
+	r.m.sleepFor(OpRandRead)
+	if r.ix != nil {
+		off := r.ix.offsets[lo]
+		length := int(r.ix.offsets[hi+1] - off)
+		buf := growBytes(r.buf, length)
+		r.buf = buf
+		if _, err := r.h.ReadAt(buf[:length], off); err != nil {
+			return nil, fmt.Errorf("disk: read %s blocks %d-%d: %w", r.name, lo, hi, err)
+		}
+		out := make([]int64, r.ix.starts[hi+1]-r.ix.starts[lo])
+		written := 0
+		for b := lo; b <= hi; b++ {
+			bbuf := buf[r.ix.offsets[b]-off : r.ix.offsets[b+1]-off]
+			cnt := int(r.ix.blockCount(b))
+			if err := decodeColBlock(out[written:written+cnt], bbuf, cnt); err != nil {
+				return nil, fmt.Errorf("disk: read %s block %d: %w", r.name, b, err)
+			}
+			written += cnt
+			r.reads++
+			r.m.countRandRead(len(bbuf))
+		}
+		return out, nil
+	}
+	bs := int64(r.m.dev.blockSize)
+	off := lo * bs
+	end := (hi + 1) * bs
+	if max := r.count * ElementSize; end > max {
+		end = max
+	}
+	length := int(end - off)
+	buf := growBytes(r.buf, length)
+	r.buf = buf
+	if _, err := r.h.ReadAt(buf[:length], off); err != nil {
+		return nil, fmt.Errorf("disk: read %s blocks %d-%d: %w", r.name, lo, hi, err)
+	}
+	out := make([]int64, length/ElementSize)
+	decodeInto(out, buf[:length])
+	for got := 0; got < length; got += int(bs) {
+		rem := length - got
+		if rem > int(bs) {
+			rem = int(bs)
+		}
+		r.reads++
+		r.m.countRandRead(rem)
+	}
+	return out, nil
+}
+
 // ElementBlock returns the block index containing element i.
-func (r *RandomReader) ElementBlock(i int64) int64 { return i / int64(r.m.dev.perBlock) }
+func (r *RandomReader) ElementBlock(i int64) int64 {
+	if r.ix != nil {
+		return r.ix.findBlock(i)
+	}
+	return i / int64(r.m.dev.perBlock)
+}
 
 // Close releases the underlying handle.
 func (r *RandomReader) Close() error {

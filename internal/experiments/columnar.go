@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+// ColumnarComparison measures what the compressed columnar block format buys
+// on the accurate-query path, raw vs columnar at the same decoded-bytes
+// cache budget (the cache charges cached blocks by their decoded size, so
+// passing both runs the same CacheBlocks yields the same byte budget).
+// Simulated HDD latency makes wall-clock time track the paper's cost model
+// (block transfers), where the columnar format wins three ways: delta
+// compression packs more elements per transferred block, block-header
+// min/max bounds resolve bisection steps with no access at all
+// (SkippedBlocks), and the §2.4 pin engages earlier because one block spans
+// more of the rank space.
+func ColumnarComparison(sc Scale, root string) ([]*Table, error) {
+	const kappa = 10
+	budget := sc.MemBudgets()[len(sc.MemBudgets())/2]
+	eps, err := planEps(budget, sc, kappa)
+	if err != nil {
+		return nil, err
+	}
+	cacheBudgets := []int{4, 16, 64}
+	if sc.CacheBlocks > 0 {
+		cacheBudgets = []int{sc.CacheBlocks / 4, sc.CacheBlocks, sc.CacheBlocks * 4}
+	}
+	phis := []float64{0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95}
+
+	var tables []*Table
+	for wi, wl := range sc.workloads() {
+		t := &Table{
+			ID:     fmt.Sprintf("columnar%c-%s", 'a'+wi, wl),
+			Title:  fmt.Sprintf("Accurate-query throughput, raw vs columnar, %s, κ=%d, equal cache bytes", wl, kappa),
+			XLabel: "cache_blocks",
+			Columns: []string{
+				"Raw_qps", "Columnar_qps", "Speedup",
+				"Raw_reads", "Columnar_reads", "Columnar_skips",
+			},
+		}
+		ds, err := makeDataset(wl, int64(14000+wi), sc)
+		if err != nil {
+			return nil, err
+		}
+		for _, cacheBlocks := range cacheBudgets {
+			var qps, reads [2]float64
+			var skips float64
+			for fi, format := range []string{"raw", "columnar"} {
+				eng, err := hsq.New(hsq.Config{
+					Epsilon: eps, Kappa: kappa, Backend: "mem",
+					BlockSize: sc.BlockSize, CacheBlocks: cacheBlocks,
+					SimulateDisk: "hdd", BlockFormat: format,
+				})
+				if err != nil {
+					return nil, err
+				}
+				for _, b := range ds.batches {
+					eng.ObserveSlice(b)
+					if _, err := eng.EndStep(); err != nil {
+						eng.Destroy() //nolint:errcheck
+						return nil, err
+					}
+				}
+				eng.ObserveSlice(ds.stream)
+				io0 := eng.DiskStats()
+				queries := 0
+				t0 := time.Now()
+				for rep := 0; rep < max(1, sc.Repeats); rep++ {
+					for _, phi := range phis {
+						if _, _, err := eng.Quantile(phi); err != nil {
+							eng.Destroy() //nolint:errcheck
+							return nil, err
+						}
+						queries++
+					}
+				}
+				elapsed := time.Since(t0)
+				d := eng.DiskStats().Sub(io0)
+				qps[fi] = float64(queries) / elapsed.Seconds()
+				reads[fi] = float64(d.RandReads) / float64(queries)
+				if format == "columnar" {
+					skips = float64(d.SkippedBlocks) / float64(queries)
+				}
+				if err := eng.Destroy(); err != nil {
+					return nil, err
+				}
+			}
+			t.AddRow(float64(cacheBlocks), qps[0], qps[1], qps[1]/qps[0],
+				reads[0], reads[1], skips)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

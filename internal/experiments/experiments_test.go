@@ -431,3 +431,32 @@ func TestIngestComparison(t *testing.T) {
 		t.Errorf("wire speedup over per-value HTTP = %.1fx, want ≥ 10x", speedup)
 	}
 }
+
+// TestColumnarComparison smoke-tests the raw-vs-columnar figure: the
+// columnar run must never issue more random reads per query than raw (it
+// reads strictly fewer, larger blocks and can skip some outright), and on
+// this bisection-heavy setup header bounds must resolve at least one step.
+func TestColumnarComparison(t *testing.T) {
+	sc := tiny
+	sc.Datasets = []string{"uniform"}
+	tables, err := ColumnarComparison(sc, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) == 0 {
+		t.Fatalf("want one populated table, got %+v", tables)
+	}
+	var sawSkip bool
+	for _, r := range tables[0].Rows {
+		rawReads, colReads, skips := r.Cells[3], r.Cells[4], r.Cells[5]
+		if colReads > rawReads {
+			t.Errorf("cache=%g: columnar reads %g > raw %g", r.X, colReads, rawReads)
+		}
+		if skips > 0 {
+			sawSkip = true
+		}
+	}
+	if !sawSkip {
+		t.Error("no bisection step was resolved from block-header bounds")
+	}
+}

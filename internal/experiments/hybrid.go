@@ -26,6 +26,7 @@ type hybridConfig struct {
 	pin         bool
 	backend     string
 	cacheBlocks int
+	blockFormat string
 }
 
 // hybridCfg derives a run configuration from the campaign scale, inheriting
@@ -34,6 +35,7 @@ func (s Scale) hybridCfg(eps float64, kappa int, pin bool) hybridConfig {
 	return hybridConfig{
 		eps: eps, kappa: kappa, pin: pin,
 		blockSize: s.BlockSize, backend: s.Backend, cacheBlocks: s.CacheBlocks,
+		blockFormat: s.BlockFormat,
 	}
 }
 
@@ -56,6 +58,7 @@ func newHybridRun(ds *dataset, cfg hybridConfig, root string) (*hybridRun, error
 		Dir:         dir,
 		BlockSize:   cfg.blockSize,
 		CacheBlocks: cfg.cacheBlocks,
+		BlockFormat: cfg.blockFormat,
 		NoBlockPin:  !cfg.pin,
 	})
 	if err != nil {

@@ -33,13 +33,14 @@ var Registry = map[string]FigureFunc{
 	"theory":            TheoryTable,
 	"maintenance":       MaintenanceComparison,
 	"ingest":            IngestComparison,
+	"columnar":          ColumnarComparison,
 }
 
 // FigureIDs returns the registry keys in presentation order.
 func FigureIDs() []string {
 	order := []string{"4", "5", "6", "7", "8", "9", "10", "11", "12", "13",
 		"ablation-split", "ablation-pinning", "ablation-iobudget", "baselines", "theory",
-		"maintenance", "ingest"}
+		"maintenance", "ingest", "columnar"}
 	// Defensive: include any unlisted keys at the end.
 	seen := make(map[string]bool, len(order))
 	for _, k := range order {

@@ -188,6 +188,7 @@ func SortFile(dev *disk.Manager, in, out string, cfg Config) (int64, error) {
 		return 0, err
 	}
 	defer r.Close()
+	r.SetReadahead(disk.MergeReadahead)
 
 	var runs []string
 	cleanup := func() {
@@ -309,6 +310,7 @@ func MergeFiles(dev *disk.Manager, inputs []string, out string) error {
 		if err != nil {
 			return err
 		}
+		r.SetReadahead(disk.MergeReadahead)
 		readers = append(readers, r)
 		sources = append(sources, ReaderSource(r))
 	}
@@ -343,6 +345,7 @@ func copyFile(dev *disk.Manager, from, to string) error {
 		return err
 	}
 	defer r.Close()
+	r.SetReadahead(disk.MergeReadahead)
 	w, err := dev.Create(to)
 	if err != nil {
 		return err

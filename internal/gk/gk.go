@@ -20,7 +20,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
-	"sort"
+	"slices"
 	"sync"
 )
 
@@ -51,6 +51,10 @@ type Sketch struct {
 	// only loosens).
 	pending    []int64
 	flushEvery int
+	// scratch is the spare tuple buffer flush merges into; it swaps roles
+	// with tuples on every flush so steady-state insertion allocates
+	// nothing once both buffers have grown to the working-set size.
+	scratch []tuple
 	// maxTuples tracks the high-water mark of the tuple list, used for
 	// worst-case memory reporting in the experiments.
 	maxTuples int
@@ -147,13 +151,16 @@ func (s *Sketch) flush() {
 	if len(s.pending) == 0 {
 		return
 	}
-	sort.Slice(s.pending, func(i, j int) bool { return s.pending[i] < s.pending[j] })
+	slices.Sort(s.pending)
 	cap2 := int64(2 * s.eps * float64(s.n))
 	midDelta := cap2 - 1
 	if midDelta < 0 {
 		midDelta = 0
 	}
-	merged := make([]tuple, 0, len(s.tuples)+len(s.pending))
+	merged := s.scratch[:0]
+	if need := len(s.tuples) + len(s.pending); cap(merged) < need {
+		merged = make([]tuple, 0, need)
+	}
 	ti, pi := 0, 0
 	for ti < len(s.tuples) || pi < len(s.pending) {
 		if pi >= len(s.pending) || (ti < len(s.tuples) && s.tuples[ti].v < s.pending[pi]) {
@@ -172,6 +179,7 @@ func (s *Sketch) flush() {
 		}
 		merged = append(merged, tuple{v: v, g: 1, delta: delta})
 	}
+	s.scratch = s.tuples[:0] // retired buffer becomes next flush's target
 	s.tuples = merged
 	s.pending = s.pending[:0]
 	if len(s.tuples) > s.maxTuples {

@@ -15,14 +15,18 @@ import (
 //
 // When the candidate range fits inside one disk block, the block is pinned
 // in memory and subsequent probes cost no I/O — the paper's §2.4
-// optimization.
+// optimization. On columnar partitions the cursor additionally consults
+// each block's header min/max bounds before reading it: a probe value
+// outside the bounds resolves the bisection step with no read at all,
+// counted as a skipped block.
 type Cursor struct {
 	sum     *Summary
 	rr      *disk.RandomReader
 	lo, hi  int64
 	lastIdx int64
 	pinning bool
-	pinBase int64
+	pinIdx  int64 // block index of the pinned block
+	pinBase int64 // element index of the pinned block's first element
 	pinned  []int64
 }
 
@@ -35,7 +39,7 @@ func NewCursor(sum *Summary, u, v int64, pinning bool) (*Cursor, error) {
 		return nil, err
 	}
 	lo, hi := sum.Bracket(u, v)
-	return &Cursor{sum: sum, rr: rr, lo: lo, hi: hi, pinning: pinning}, nil
+	return &Cursor{sum: sum, rr: rr, lo: lo, hi: hi, pinning: pinning, pinIdx: -1}, nil
 }
 
 // Close releases the underlying file handle.
@@ -48,25 +52,27 @@ func (c *Cursor) Reads() int { return c.rr.Reads() }
 // CacheHits returns the number of probes served by the device block cache.
 func (c *Cursor) CacheHits() int { return c.rr.CacheHits() }
 
+// Skips returns the number of bisection steps answered from columnar block
+// header bounds without reading the block.
+func (c *Cursor) Skips() int { return c.rr.Skips() }
+
 // Bracket returns the current candidate bracket (for tests and diagnostics).
 func (c *Cursor) Bracket() (lo, hi int64) { return c.lo, c.hi }
 
 // block reads block idx, counting the access, and pins it if pinning is
 // enabled.
 func (c *Cursor) block(idx int64) ([]int64, error) {
-	if c.pinned != nil {
-		per := int64(c.sum.Part.dev.ElementsPerBlock())
-		if idx == c.pinBase/per {
-			return c.pinned, nil
-		}
+	if c.pinned != nil && idx == c.pinIdx {
+		return c.pinned, nil
 	}
 	return c.rr.Block(idx)
 }
 
 // pin caches a block so later probes in the same range are free.
-func (c *Cursor) pin(vals []int64, base int64) {
+func (c *Cursor) pin(vals []int64, idx, base int64) {
 	if c.pinning {
 		c.pinned = vals
+		c.pinIdx = idx
 		c.pinBase = base
 	}
 }
@@ -87,12 +93,39 @@ func boundaryWithin(vals []int64, base, z, lo, hi int64) int64 {
 	return a
 }
 
+// skipByBounds resolves the probe of block idx against its header bounds,
+// if the format carries them and z falls outside. The block is sorted, so
+// z below the block minimum decides the probe like z below the block's
+// first candidate element, and z at or above the maximum like z at or
+// above its last — without reading the block. Returns the narrowed
+// bracket and whether the probe was resolved.
+func (c *Cursor) skipByBounds(idx, z, lo, hi int64) (int64, int64, bool) {
+	mn, mx, ok := c.rr.BlockBounds(idx)
+	if !ok || (c.pinned != nil && idx == c.pinIdx) {
+		// No bounds (format 0), or the block is already pinned — reading it
+		// is free, so skipping would only discard information.
+		return lo, hi, false
+	}
+	base := c.rr.BlockStart(idx)
+	switch {
+	case z < mn:
+		c.rr.Skip(idx)
+		return lo, max(base, lo), true
+	case z >= mx:
+		last := min(base+c.rr.BlockLen(idx)-1, hi-1)
+		c.rr.Skip(idx)
+		return last + 1, hi, true
+	}
+	return lo, hi, false
+}
+
 // Rank returns boundary(z) = the exact number of partition elements ≤ z,
 // for z within the cursor's filter range. It performs O(log(blocks in
-// bracket)) random block reads, or none once the bracket is pinned.
+// bracket)) random block reads, or none once the bracket is pinned — and on
+// columnar partitions, bisection steps whose block bounds exclude z cost
+// nothing.
 func (c *Cursor) Rank(z int64) (int64, error) {
 	lo, hi := c.lo, c.hi
-	per := int64(c.sum.Part.dev.ElementsPerBlock())
 	for {
 		if lo >= hi {
 			c.lastIdx = lo
@@ -104,25 +137,39 @@ func (c *Cursor) Rank(z int64) (int64, error) {
 			c.lastIdx = b
 			return b, nil
 		}
-		loBlk := lo / per
-		hiBlk := (hi - 1) / per
+		loBlk := c.rr.ElementBlock(lo)
+		hiBlk := c.rr.ElementBlock(hi - 1)
 		if loBlk == hiBlk {
+			// The bracket sits inside one block. If the header bounds already
+			// decide every candidate, the answer is a bracket endpoint and
+			// the read is unnecessary.
+			if nlo, nhi, done := c.skipByBounds(loBlk, z, lo, hi); done {
+				// z below the block's minimum collapses the bracket to lo;
+				// z at or above its maximum collapses it to hi. The re-check
+				// at the top of the loop returns the collapsed point.
+				lo, hi = nlo, nhi
+				continue
+			}
 			vals, err := c.block(loBlk)
 			if err != nil {
 				return 0, err
 			}
-			base := loBlk * per
-			c.pin(vals, base)
+			base := c.rr.BlockStart(loBlk)
+			c.pin(vals, loBlk, base)
 			b := boundaryWithin(vals, base, z, lo, hi)
 			c.lastIdx = b
 			return b, nil
 		}
 		midBlk := (loBlk + hiBlk) / 2
+		if nlo, nhi, done := c.skipByBounds(midBlk, z, lo, hi); done {
+			lo, hi = nlo, nhi
+			continue
+		}
 		vals, err := c.block(midBlk)
 		if err != nil {
 			return 0, err
 		}
-		base := midBlk * per
+		base := c.rr.BlockStart(midBlk)
 		firstPos := max(base, lo)
 		lastPos := min(base+int64(len(vals))-1, hi-1)
 		switch {
@@ -131,7 +178,7 @@ func (c *Cursor) Rank(z int64) (int64, error) {
 		case z >= vals[lastPos-base]:
 			lo = lastPos + 1
 		default:
-			c.pin(vals, base)
+			c.pin(vals, midBlk, base)
 			b := boundaryWithin(vals, base, z, lo, hi)
 			c.lastIdx = b
 			return b, nil
@@ -152,16 +199,16 @@ func (c *Cursor) Element(i int64) (int64, error) {
 	if i < 0 || i >= c.sum.Part.Count {
 		return 0, fmt.Errorf("partition: element index %d out of [0,%d)", i, c.sum.Part.Count)
 	}
-	per := int64(c.sum.Part.dev.ElementsPerBlock())
 	if c.pinned != nil && i >= c.pinBase && i < c.pinBase+int64(len(c.pinned)) {
 		return c.pinned[i-c.pinBase], nil
 	}
-	vals, err := c.block(i / per)
+	idx := c.rr.ElementBlock(i)
+	vals, err := c.block(idx)
 	if err != nil {
 		return 0, err
 	}
-	base := (i / per) * per
-	c.pin(vals, base)
+	base := c.rr.BlockStart(idx)
+	c.pin(vals, idx, base)
 	return vals[i-base], nil
 }
 

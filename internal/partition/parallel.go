@@ -119,6 +119,7 @@ func (s *Store) mergeRange(group []entry, bounds [][]int64, j int, name string) 
 			return oerr
 		}
 		readers = append(readers, r)
+		r.SetReadahead(disk.MergeReadahead)
 		if serr := r.SeekElement(start); serr != nil {
 			return serr
 		}
@@ -232,6 +233,7 @@ func (s *Store) mergeLevelParallel(lvl, workers int) error {
 			cleanupRuns()
 			return err
 		}
+		r.SetReadahead(disk.MergeReadahead)
 		for {
 			v, ok, nerr := r.Next()
 			if nerr != nil {

@@ -394,8 +394,11 @@ func (s *Store) AddBatch(data []int64, step int) (UpdateBreakdown, error) {
 }
 
 // spillTo writes data as a raw element file via the given device view.
+// Spills are unsorted arrival-order batches, so they pin FormatRaw
+// regardless of the device default: delta frames only pay off on sorted
+// runs, and recovery wants the dumbest possible format to replay.
 func (s *Store) spillTo(dev *disk.Manager, name string, data []int64) error {
-	w, err := dev.Create(name)
+	w, err := dev.CreateFormat(name, disk.FormatRaw)
 	if err != nil {
 		return err
 	}
@@ -604,6 +607,7 @@ func (s *Store) readRaw(name string, count int64) ([]int64, error) {
 		return nil, err
 	}
 	defer r.Close() //nolint:errcheck // read-only
+	r.SetReadahead(disk.MergeReadahead)
 	out := make([]int64, 0, count)
 	for {
 		v, ok, err := r.Next()
@@ -727,6 +731,7 @@ func (s *Store) mergeLevel(lvl int) error {
 			closeAll()
 			return err
 		}
+		r.SetReadahead(disk.MergeReadahead)
 		readers = append(readers, r)
 		sources = append(sources, extsort.ReaderSource(r))
 	}

@@ -67,6 +67,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/enc"
 )
 
 // Magic opens every Hello frame; a listener that reads anything else on a
@@ -157,17 +159,10 @@ func (f *Frame) Sequenced() bool {
 }
 
 // AppendValues appends the batch value encoding of vs (delta + zig-zag
-// varint) to buf.
+// varint) to buf. The codec lives in internal/enc, shared with the columnar
+// block format; the wire encoding is unchanged by the extraction.
 func AppendValues(buf []byte, vs []int64) []byte {
-	prev := int64(0)
-	for _, v := range vs {
-		// Wrapping subtraction: two's-complement wraparound round-trips
-		// through the matching wrapping add in decodeValues, so the full
-		// int64 range is representable.
-		buf = binary.AppendVarint(buf, v-prev)
-		prev = v
-	}
-	return buf
+	return enc.AppendDelta(buf, vs)
 }
 
 // appendUvarint / appendString are small helpers over encoding/binary.
@@ -428,19 +423,6 @@ func (d *decoder) uvarint() uint64 {
 	return v
 }
 
-func (d *decoder) varint() int64 {
-	if d.err != nil {
-		return 0
-	}
-	v, n := binary.Varint(d.buf)
-	if n <= 0 {
-		d.fail(fmt.Errorf("bad varint"))
-		return 0
-	}
-	d.buf = d.buf[n:]
-	return v
-}
-
 func (d *decoder) string(maxLen int) string {
 	n := d.uvarint()
 	if d.err != nil {
@@ -458,14 +440,12 @@ func (d *decoder) values(count int) []int64 {
 		return nil
 	}
 	vs := make([]int64, count)
-	prev := int64(0)
-	for i := range vs {
-		prev += d.varint() // wrapping add; see AppendValues
-		vs[i] = prev
-	}
-	if d.err != nil {
+	rest, err := enc.DecodeDelta(vs, d.buf)
+	if err != nil {
+		d.fail(err)
 		return nil
 	}
+	d.buf = rest
 	return vs
 }
 
