@@ -34,6 +34,22 @@
 // millions of elements per second per connection (see
 // BenchmarkRemoteIngest and `hsqbench -figure ingest`).
 //
+// With -cluster-peers, hsqd joins a sharded deployment (internal/cluster):
+// an explicit, epoch-numbered membership and a deterministic
+// consistent-hash ring place each stream on an owner node plus -replicas−1
+// followers. Every node is a full front door — writes for streams it does
+// not store forward to the owning shard over the wire protocol (ack-gated,
+// exactly-once via per-session sequence marks), per-stream reads for such
+// streams are answered from a member's shard summary, and
+//
+//	GET /cluster                            membership, placement, relay lag
+//	GET /cluster/quantile?streams=a,b&phi=φ quantile over the union of
+//	                                        streams via summary merge
+//	GET /healthz                            liveness (no locks, fixed body)
+//
+// expose the cluster itself. All nodes must be started with the same
+// -cluster-peers, -replicas and -ring-epoch values.
+//
 // With -maintenance async (recommended under write-heavy load), EndStep
 // seals the batch durably and returns while a DB-wide worker pool sorts and
 // merges in the background; queries keep answering — within ε — throughout.
@@ -85,10 +101,24 @@ func main() {
 		maintenance = flag.String("maintenance", "", "maintenance mode: sync (default: install inline in endstep), async (background scheduler), manual (drain on demand via POST maintenance); unset with -max-pending-steps > 0 selects async")
 		maxPending  = flag.Int("max-pending-steps", 0, "async backpressure: sealed steps a stream may queue before endstep blocks (0 = default 4); > 0 alone turns async maintenance on")
 		maintWork   = flag.Int("maint-workers", 0, "async scheduler worker pool size shared by all streams (0 = default 2)")
+
+		nodeID     = flag.String("node-id", "", "this node's stable cluster ID (required with -cluster-peers)")
+		peers      = flag.String("cluster-peers", "", "cluster membership: comma-separated id=host:port ingest addresses, self included; empty = single node")
+		replicas   = flag.Int("replicas", 1, "cluster replication factor R: each stream lives on its owner plus R-1 followers")
+		ringEpoch  = flag.Uint64("ring-epoch", 1, "cluster membership epoch; every node of a cluster must run the same value (GET /cluster reports it)")
+		ingestIdle = flag.Duration("ingest-idle-timeout", 0, "drop ingest connections idle longer than this (0 = never)")
 	)
 	flag.Parse()
 	if *dir == "" && *backend != "mem" {
 		log.Fatal("hsqd: -dir is required for the file backend")
+	}
+	if *peers != "" {
+		if *nodeID == "" {
+			log.Fatal("hsqd: -cluster-peers requires -node-id")
+		}
+		if *ingestAddr == "" {
+			log.Fatal("hsqd: -cluster-peers requires -ingest-addr (peers replicate and query over the wire protocol)")
+		}
 	}
 	if *resume {
 		log.Print("hsqd: -resume is deprecated; the DB resumes automatically from its manifest")
@@ -98,6 +128,8 @@ func main() {
 		blockFormat: *format,
 		epsilon:     *epsilon, kappa: *kappa,
 		maintenance: *maintenance, maxPending: *maxPending, maintWorkers: *maintWork,
+		nodeID: *nodeID, clusterPeers: *peers, replicas: *replicas,
+		ringEpoch: *ringEpoch, ingestIdle: *ingestIdle,
 		logf: log.Printf,
 	})
 	if err != nil {
@@ -134,6 +166,11 @@ func main() {
 	}()
 	log.Printf("hsqd: serving on %s (ingest=%s backend=%s dir=%s ε=%g κ=%d cache=%d maintenance=%s streams=%v)",
 		*addr, orNone(srv.ingAddr), *backend, *dir, *epsilon, *kappa, *cache, srv.db.MaintenanceMode(), srv.db.Streams())
+	if srv.cl != nil {
+		ring := srv.cl.Ring()
+		log.Printf("hsqd: cluster mode: node %s, epoch %d, replicas %d, %d members",
+			srv.cl.Self().ID, ring.Epoch(), ring.Replicas(), len(ring.Nodes()))
+	}
 
 	exitCode := 0
 	select {
@@ -154,6 +191,12 @@ func main() {
 	}
 	if err := srv.ing.Shutdown(drainCtx); err != nil {
 		log.Printf("hsqd: ingest shutdown: %v", err)
+	}
+	if srv.cl != nil {
+		// After the ingest drain: no new frames can arrive, so stopping the
+		// relays here abandons at most frames whose clients were never acked
+		// (they replay against the surviving members).
+		srv.cl.Close()
 	}
 	if err := srv.db.Close(); err != nil {
 		log.Fatalf("hsqd: close DB: %v", err)

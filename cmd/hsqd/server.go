@@ -8,8 +8,11 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sync"
+	"time"
 
 	"repro"
+	"repro/internal/cluster"
 	"repro/internal/ingest"
 )
 
@@ -21,9 +24,17 @@ import (
 type server struct {
 	db  *hsq.DB
 	ing *ingest.Server
+	// cl is the cluster layer; nil in single-node mode. When set, writes
+	// for streams this node does not store forward to the owning shard and
+	// reads for them are answered from a member's shard summary.
+	cl *cluster.Cluster
 	// ingAddr is the bound ingest listener address ("" when the listener
 	// is disabled). Written once before serving begins.
 	ingAddr string
+	// fwdMu serializes sequence allocation + enqueue for forwarded REST
+	// writes on the node's synthetic wire session (see forwardFrame).
+	fwdMu  sync.Mutex
+	fwdSeq uint64
 }
 
 // legacyStream backs the original single-stream endpoints (/observe,
@@ -42,6 +53,13 @@ type serverConfig struct {
 	maxPending   int
 	maintWorkers int
 	logf         func(format string, args ...any) // ingest connection logs; nil = silent
+
+	// Cluster mode (empty clusterPeers = single node).
+	nodeID       string        // this node's ID; must appear in clusterPeers
+	clusterPeers string        // id=host:port,... ingest addresses, self included
+	replicas     int           // replication factor R (≥ 1)
+	ringEpoch    uint64        // membership epoch (0 = 1)
+	ingestIdle   time.Duration // drop idle ingest conns after this (0 = never)
 }
 
 // newServer opens (or resumes — the DB manifest decides) a multi-stream DB
@@ -67,7 +85,37 @@ func newServer(sc serverConfig) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &server{db: db, ing: ingest.New(ingest.Config{DB: db, Logf: sc.logf})}, nil
+	icfg := ingest.Config{DB: db, Logf: sc.logf, IdleTimeout: sc.ingestIdle}
+	var cl *cluster.Cluster
+	if sc.clusterPeers != "" {
+		cl, err = newCluster(sc)
+		if err != nil {
+			db.Close() //nolint:errcheck
+			return nil, err
+		}
+		// The interface field is only assigned for a non-nil *Cluster: a
+		// typed nil here would defeat the server's `cluster == nil` check.
+		icfg.Cluster = cl
+	}
+	return &server{db: db, ing: ingest.New(icfg), cl: cl}, nil
+}
+
+// newCluster builds the cluster layer from the flag-shaped config: parse
+// the explicit membership, build the placement ring, bind self.
+func newCluster(sc serverConfig) (*cluster.Cluster, error) {
+	nodes, err := cluster.ParsePeers(sc.clusterPeers)
+	if err != nil {
+		return nil, err
+	}
+	epoch := sc.ringEpoch
+	if epoch == 0 {
+		epoch = 1
+	}
+	ring, err := cluster.NewRing(cluster.Membership{Epoch: epoch, Replicas: sc.replicas, Nodes: nodes})
+	if err != nil {
+		return nil, err
+	}
+	return cluster.New(cluster.Config{Self: sc.nodeID, Ring: ring, Logf: sc.logf})
 }
 
 // migrateLegacyLayout adopts a pre-multi-stream warehouse — flat
@@ -161,6 +209,49 @@ func (s *server) named(h streamHandler, create bool) http.HandlerFunc {
 	}
 }
 
+// remoteHandler serves a /streams/{name}/... route for a stream this node
+// does not store (cluster mode): by shard-summary fetch (reads) or wire
+// forwarding to the owning shard (writes).
+type remoteHandler func(name string, w http.ResponseWriter, r *http.Request)
+
+// namedQuery adapts a read-only streamHandler: local when this node stores
+// the stream, remote-summary answered when a cluster peer owns it. The
+// single-node behavior (404 for unknown streams) is unchanged.
+func (s *server) namedQuery(h streamHandler, remote remoteHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if st, ok := s.db.Lookup(name); ok {
+			h(st, w, r)
+			return
+		}
+		if s.cl != nil && !s.cl.Member(name) {
+			remote(name, w, r)
+			return
+		}
+		httpError(w, http.StatusNotFound, "unknown stream %q", name)
+	}
+}
+
+// namedWrite adapts a write streamHandler. Single-node mode keeps the old
+// create-on-the-fly local path; cluster mode hands the whole request to
+// the cluster-aware handler, which applies+fans member streams and routes
+// the rest to the owning shard.
+func (s *server) namedWrite(h streamHandler, clustered remoteHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if s.cl != nil {
+			clustered(name, w, r)
+			return
+		}
+		st, err := s.db.Stream(name)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "stream %q: %v", name, err)
+			return
+		}
+		h(st, w, r)
+	}
+}
+
 // legacy adapts a streamHandler to the original single-stream routes, which
 // operate on the "default" stream (created on first touch).
 func (s *server) legacy(h streamHandler) http.HandlerFunc {
@@ -176,15 +267,21 @@ func (s *server) legacy(h streamHandler) http.HandlerFunc {
 
 func (s *server) mux() *http.ServeMux {
 	m := http.NewServeMux()
-	// Multi-stream surface.
+	// Liveness + cluster surface (shape is fixed even in single-node mode).
+	m.HandleFunc("GET /healthz", s.handleHealthz)
+	m.HandleFunc("GET /cluster", s.handleCluster)
+	m.HandleFunc("GET /cluster/quantile", s.handleClusterQuantile)
+	// Multi-stream surface. Writes and point reads route through the
+	// cluster layer when one is configured; with cl == nil the adapters
+	// collapse to the original local-only behavior.
 	m.HandleFunc("GET /streams", s.handleStreams)
 	m.HandleFunc("GET /ingest", s.handleIngest)
 	m.HandleFunc("DELETE /streams/{name}", s.handleDeleteStream)
-	m.HandleFunc("POST /streams/{name}/observe", s.named(s.handleObserve, true))
-	m.HandleFunc("POST /streams/{name}/endstep", s.named(s.handleEndStep, true))
-	m.HandleFunc("GET /streams/{name}/quantile", s.named(s.handleQuantile, false))
-	m.HandleFunc("GET /streams/{name}/quantiles", s.named(s.handleQuantiles, false))
-	m.HandleFunc("GET /streams/{name}/rank", s.named(s.handleRank, false))
+	m.HandleFunc("POST /streams/{name}/observe", s.namedWrite(s.handleObserve, s.clusterObserve))
+	m.HandleFunc("POST /streams/{name}/endstep", s.namedWrite(s.handleEndStep, s.clusterEndStep))
+	m.HandleFunc("GET /streams/{name}/quantile", s.namedQuery(s.handleQuantile, s.remoteQuantile))
+	m.HandleFunc("GET /streams/{name}/quantiles", s.namedQuery(s.handleQuantiles, s.remoteQuantiles))
+	m.HandleFunc("GET /streams/{name}/rank", s.namedQuery(s.handleRank, s.remoteRank))
 	m.HandleFunc("GET /streams/{name}/stats", s.named(s.handleStreamStats, false))
 	m.HandleFunc("GET /streams/{name}/maintenance", s.named(s.handleMaintenance, false))
 	m.HandleFunc("POST /streams/{name}/maintenance", s.named(s.handleMaintainNow, false))

@@ -187,6 +187,35 @@
 // that prefer it; BenchmarkRemoteIngest and the "ingest" hsqbench figure
 // measure the gap between the two paths.
 //
+// # Cluster
+//
+// Several hsqd nodes form a sharded, replicated deployment
+// (internal/cluster): an explicit, epoch-numbered membership and a
+// deterministic consistent-hash ring place each stream on an owner node
+// plus R−1 follower replicas. Every node is a full front door — wire
+// frames and REST writes for streams placed elsewhere are routed to the
+// owning shard with the client's own session token and sequence numbers,
+// so the per-session replay machinery gives exactly-once application end
+// to end; a member applies each sequenced frame locally, fans it to the
+// stream's other members, and acknowledges the client only after every
+// reachable member acknowledged. A client whose node dies fails over to
+// another address (hsqclient.Dial accepts a comma-separated list), learns
+// per-stream applied high-water marks from the Welcome, and replays only
+// what is missing.
+//
+// Queries compose the same way the engine composes H and R: each shard
+// exports its in-memory state as a core.ShardSummary (Engine.Summary, the
+// wire's SummaryReq/SummaryResp frames), and a coordinator merges any set
+// of them with core.MergeShardSummaries into one Combined summary whose
+// quick answers are within 1.5·ε·N of the true rank over the union —
+// distribution costs latency, never accuracy. The replication guarantee
+// is bounded, not absolute: a follower unreachable past the transport's
+// DownAfter is declared down and its fan-out frames are dropped (counted,
+// visible in hsqd's GET /cluster) so ingest degrades instead of blocking;
+// there is no automatic rebalancing and no cross-member read-your-writes
+// within a step. TestClusterEndToEnd and the node-kill harness in
+// internal/crashtest prove the failover contract under -race.
+//
 // See DESIGN.md for the full mapping from the paper's algorithms to this
 // package and EXPERIMENTS.md for the reproduced evaluation.
 package hsq

@@ -53,8 +53,10 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	mrand "math/rand/v2"
 	"net"
 	"slices"
+	"strings"
 	"sync"
 	"time"
 
@@ -85,6 +87,7 @@ type options struct {
 	backoffMin    time.Duration
 	backoffMax    time.Duration
 	maxAttempts   int // consecutive failed dials before giving up; 0 = unlimited
+	keepalive     time.Duration
 	session       string
 	logf          func(format string, args ...any)
 }
@@ -118,6 +121,12 @@ func WithReconnectBackoff(min, max time.Duration) Option {
 // forever.
 func WithMaxReconnectAttempts(n int) Option { return func(o *options) { o.maxAttempts = n } }
 
+// WithKeepalive sends a Ping frame whenever the connection has been idle
+// for d, so servers running with an ingest idle timeout do not reap
+// trickling producers (and dead connections are detected sooner). 0, the
+// default, sends no pings.
+func WithKeepalive(d time.Duration) Option { return func(o *options) { o.keepalive = d } }
+
 // WithSession fixes the session token instead of generating a random
 // one. Two clients must never share a token.
 func WithSession(s string) Option { return func(o *options) { o.session = s } }
@@ -129,8 +138,10 @@ func WithLogf(f func(format string, args ...any)) Option { return func(o *option
 // Client is a connection to an hsqd ingest listener hosting any number of
 // named streams. All methods are safe for concurrent use.
 type Client struct {
-	addr string
-	opts options
+	addrs []string // candidate servers; addrIdx rotates on dial failure
+	opts  options
+
+	addrIdx int // guarded by mu; index of the address to try next
 
 	mu          sync.Mutex
 	cond        *sync.Cond
@@ -164,6 +175,12 @@ type Stream struct {
 // handshake are synchronous — a bad address or incompatible server fails
 // here, not on the first Observe. Later disconnects are handled
 // transparently (see the package comment).
+//
+// addr may be a comma-separated list of addresses (the nodes of an hsqd
+// cluster): the client connects to the first reachable one and, when a
+// connection dies, fails over to the next — replaying unacknowledged
+// frames so the cluster's session replay state resumes the stream without
+// loss or duplication.
 func Dial(addr string, opts ...Option) (*Client, error) {
 	o := options{
 		batchSize:     2048,
@@ -184,8 +201,17 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 		}
 		o.session = hex.EncodeToString(b[:])
 	}
+	var addrs []string
+	for _, a := range strings.Split(addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, errors.New("hsqclient: no addresses")
+	}
 	c := &Client{
-		addr:    addr,
+		addrs:   addrs,
 		opts:    o,
 		streams: make(map[string]*Stream),
 		credit:  1, // replaced by the Welcome's window on connect
@@ -200,8 +226,35 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 	}
 	c.tick = time.NewTicker(o.flushInterval)
 	go c.tickLoop()
+	if o.keepalive > 0 {
+		go c.keepaliveLoop()
+	}
 	go c.run(nc, r)
 	return c, nil
+}
+
+// keepaliveLoop enqueues a Ping whenever the client has been idle for the
+// keepalive interval (no frames queued or in flight). The server's Pong is
+// ignored by readLoop; the ping's only job is to keep bytes moving so
+// idle-timeout reaping and dead-peer detection work.
+func (c *Client) keepaliveLoop() {
+	t := time.NewTicker(c.opts.keepalive)
+	defer t.Stop()
+	var seq uint64
+	for {
+		select {
+		case <-t.C:
+		case <-c.done:
+			return
+		}
+		c.mu.Lock()
+		if !c.closed && c.connUp && len(c.queue) == 0 && len(c.unacked) == 0 {
+			seq++
+			c.queue = append(c.queue, &wire.Frame{Type: wire.TypePing, Seq: seq})
+			c.cond.Broadcast()
+		}
+		c.mu.Unlock()
+	}
 }
 
 // Session returns the client's session token (useful for tests and for
@@ -437,11 +490,22 @@ func (c *Client) tickLoop() {
 	}
 }
 
-// connectOnce dials and handshakes a single attempt.
+// connectOnce dials and handshakes a single attempt against the current
+// address; on any failure the next attempt targets the next address in
+// the list, so a dead node delays failover by one dial timeout at most.
 func (c *Client) connectOnce() (net.Conn, *wire.Reader, error) {
-	nc, err := net.DialTimeout("tcp", c.addr, c.opts.dialTimeout)
+	c.mu.Lock()
+	addr := c.addrs[c.addrIdx%len(c.addrs)]
+	c.mu.Unlock()
+	rotate := func() {
+		c.mu.Lock()
+		c.addrIdx++
+		c.mu.Unlock()
+	}
+	nc, err := net.DialTimeout("tcp", addr, c.opts.dialTimeout)
 	if err != nil {
-		return nil, nil, fmt.Errorf("hsqclient: dial %s: %w", c.addr, err)
+		rotate()
+		return nil, nil, fmt.Errorf("hsqclient: dial %s: %w", addr, err)
 	}
 	w := wire.NewWriter(nc)
 	hello := &wire.Frame{Type: wire.TypeHello, Version: wire.Version, Session: c.opts.session}
@@ -450,6 +514,7 @@ func (c *Client) connectOnce() (net.Conn, *wire.Reader, error) {
 	}
 	if err != nil {
 		nc.Close() //nolint:errcheck
+		rotate()
 		return nil, nil, fmt.Errorf("hsqclient: handshake: %w", err)
 	}
 	r := wire.NewReader(nc)
@@ -457,6 +522,7 @@ func (c *Client) connectOnce() (net.Conn, *wire.Reader, error) {
 	f, err := r.ReadFrame()
 	if err != nil {
 		nc.Close() //nolint:errcheck
+		rotate()
 		return nil, nil, fmt.Errorf("hsqclient: handshake: %w", err)
 	}
 	nc.SetReadDeadline(time.Time{}) //nolint:errcheck
@@ -465,9 +531,11 @@ func (c *Client) connectOnce() (net.Conn, *wire.Reader, error) {
 		// fall through
 	case wire.TypeError:
 		nc.Close() //nolint:errcheck
+		rotate()
 		return nil, nil, &ServerError{Code: f.Code, Message: f.Message}
 	default:
 		nc.Close() //nolint:errcheck
+		rotate()
 		return nil, nil, fmt.Errorf("hsqclient: handshake: unexpected %s frame", wire.TypeName(f.Type))
 	}
 
@@ -475,14 +543,37 @@ func (c *Client) connectOnce() (net.Conn, *wire.Reader, error) {
 	// pruned from the replay set; the rest go back to the front of the
 	// queue, ahead of anything sealed while disconnected, preceded by the
 	// idempotent OpenStream bindings the new connection needs.
+	//
+	// A v2 server reports per-stream marks, and pruning MUST then be per
+	// stream: after failing over to a replica, the new server knows the
+	// high-water marks only of the streams it stores, and its conn-wide
+	// Seq (the max over those) would wrongly prune frames of a stream
+	// whose path died with the old server. For the same reason the
+	// conn-wide Seq is not adopted into ackedSeq — acks for replayed
+	// frames (or the Flush reply, for fully pruned ones) advance it.
 	c.mu.Lock()
-	if f.Seq > c.ackedSeq {
-		c.ackedSeq = f.Seq
+	byID := make(map[uint64]string, len(c.streams))
+	for name, s := range c.streams {
+		byID[s.id] = name
+	}
+	var pruned func(uf *wire.Frame) bool
+	if len(f.StreamSeqs) > 0 {
+		marks := make(map[string]uint64, len(f.StreamSeqs))
+		for _, ss := range f.StreamSeqs {
+			marks[ss.Name] = ss.Seq
+		}
+		pruned = func(uf *wire.Frame) bool { return uf.Seq <= marks[byID[uf.StreamID]] }
+	} else {
+		// v1 server (or fresh session): one conn-wide high-water mark.
+		if f.Seq > c.ackedSeq {
+			c.ackedSeq = f.Seq
+		}
+		pruned = func(uf *wire.Frame) bool { return uf.Seq <= f.Seq }
 	}
 	c.credit = max(f.Credit, 1)
 	keep := c.unacked[:0]
 	for _, uf := range c.unacked {
-		if uf.Seq > f.Seq {
+		if !pruned(uf) {
 			keep = append(keep, uf)
 		}
 	}
@@ -561,7 +652,7 @@ func (c *Client) reconnect() (net.Conn, *wire.Reader, error) {
 		}
 		nc, r, err := c.connectOnce()
 		if err == nil {
-			c.opts.logf("hsqclient: reconnected to %s (session %s)", c.addr, c.opts.session)
+			c.opts.logf("hsqclient: reconnected (session %s)", c.opts.session)
 			return nc, r, nil
 		}
 		var se *ServerError
@@ -572,8 +663,11 @@ func (c *Client) reconnect() (net.Conn, *wire.Reader, error) {
 		if c.opts.maxAttempts > 0 && attempts >= c.opts.maxAttempts {
 			return nil, nil, fmt.Errorf("hsqclient: giving up after %d reconnect attempts: %w", attempts, err)
 		}
-		c.opts.logf("hsqclient: reconnect to %s failed (attempt %d): %v", c.addr, attempts, err)
-		time.Sleep(backoff)
+		c.opts.logf("hsqclient: reconnect failed (attempt %d): %v", attempts, err)
+		// Full jitter on the capped exponential backoff: a fleet of
+		// producers reconnecting after one node dies must not redial in
+		// lockstep.
+		time.Sleep(backoff/2 + time.Duration(mrand.Int64N(int64(backoff/2)+1)))
 		backoff = min(backoff*2, c.opts.backoffMax)
 	}
 }
@@ -607,8 +701,11 @@ func (c *Client) writeLoop(nc net.Conn) {
 		}
 		// A Flush waiter needs the server to ack promptly even when the
 		// ack-every-W/4 cadence would not fire: request one explicitly
-		// once everything pending has been handed to the connection.
-		wantFlush := c.wantFlush && len(c.queue) == 0 && len(c.unacked) > 0
+		// once everything pending has been handed to the connection. This
+		// fires even with nothing unacked — after a failover prunes every
+		// replay frame, the Flush reply is the only ack that can advance
+		// ackedSeq past the pruned frames.
+		wantFlush := c.wantFlush && len(c.queue) == 0
 		if wantFlush {
 			c.wantFlush = false
 			c.flushReqSeq = c.nextSeq

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// BenchmarkClusterQuery measures the coordinator's scatter-gather quantile
+// against a single-node quick query at equal total data: S streams × V
+// values live spread across a 3-node cluster (scatter-gather fetches one
+// summary per stream over real sockets and merges) or in one DB
+// (single-node merges the same summaries locally). The gap is the network
+// + (de)serialization cost of distributing the data — the summaries
+// themselves are identical, which is the paper's mergeability argument.
+func BenchmarkClusterQuery(b *testing.B) {
+	const (
+		streams   = 6
+		perStream = 50_000
+	)
+	opts := hsq.Options{Epsilon: 0.01, Kappa: 4, Backend: "mem", BlockSize: 1 << 16}
+
+	feed := func(st *hsq.Stream, seed int64) {
+		b.Helper()
+		gen := workload.NewUniform(seed)
+		st.ObserveSlice(workload.Fill(gen, perStream))
+		if _, err := st.EndStep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("scatter-gather", func(b *testing.B) {
+		h, err := NewHarness(HarnessConfig{Nodes: 3, Replicas: 1, Options: opts})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer h.Close()
+		names := make([]string, streams)
+		owners := make([]Node, streams)
+		for i := range names {
+			names[i] = fmt.Sprintf("bench-%d", i)
+			owners[i] = h.Ring.Owner(names[i])
+			for _, hn := range h.Nodes {
+				if hn.Node.ID == owners[i].ID {
+					st, err := hn.DB.Stream(names[i])
+					if err != nil {
+						b.Fatal(err)
+					}
+					feed(st, int64(i))
+				}
+			}
+		}
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sums := make([]*core.ShardSummary, streams)
+			for j, name := range names {
+				sum, err := FetchSummary(ctx, 2*time.Second, owners[j], name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sums[j] = sum
+			}
+			merged, total, err := core.MergeShardSummaries(sums)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := merged.QuickQuery(total / 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("single-node", func(b *testing.B) {
+		db, err := hsq.Open(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close() //nolint:errcheck
+		names := make([]string, streams)
+		for i := range names {
+			names[i] = fmt.Sprintf("bench-%d", i)
+			st, err := db.Stream(names[i])
+			if err != nil {
+				b.Fatal(err)
+			}
+			feed(st, int64(i))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sums := make([]*core.ShardSummary, streams)
+			for j, name := range names {
+				st, _ := db.Lookup(name)
+				sum, err := st.Summary()
+				if err != nil {
+					b.Fatal(err)
+				}
+				sums[j] = sum
+			}
+			merged, total, err := core.MergeShardSummaries(sums)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := merged.QuickQuery(total / 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

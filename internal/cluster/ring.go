@@ -1,0 +1,184 @@
+// Package cluster shards an hsq deployment across several hsqd nodes: a
+// deterministic consistent-hash ring places each stream on an owner node
+// plus R−1 replica followers, ingest frames are fanned out (to followers)
+// or routed (to the owning shard) over the internal/wire protocol with the
+// client's own session tokens and sequence numbers — so the per-session
+// replay/dedup machinery of internal/ingest gives exactly-once application
+// on every member even across reconnects and node failure — and queries
+// scatter-gather per-shard summaries (core.ShardSummary) that merge into
+// one combined summary within the composed ε bands.
+//
+// Membership is explicit and epoch-numbered: every node is started with
+// the same -cluster-peers list and epoch. There is no gossip, no elected
+// coordinator and no automatic rebalancing yet; a membership change is a
+// config change plus rolling restart, and the epoch number exists so that
+// mismatched configs are detectable (the /cluster endpoint reports it).
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// VirtualNodes is how many points each node contributes to the ring.
+// Enough to keep stream counts within a few percent of even for small
+// clusters, while keeping the ring tiny (N·64 entries).
+const VirtualNodes = 64
+
+// Node is one hsqd process: a stable ID (the -node-id flag) and its ingest
+// listener address.
+type Node struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// Membership is the cluster's explicit, epoch-numbered configuration.
+type Membership struct {
+	// Epoch numbers the configuration; all nodes of a cluster must run the
+	// same epoch (the /cluster endpoint exposes it for exactly that check).
+	Epoch uint64
+	// Replicas is the replication factor R: each stream lives on its owner
+	// plus R−1 followers. Clamped to [1, len(Nodes)].
+	Replicas int
+	// Nodes is the full member list, self included.
+	Nodes []Node
+}
+
+// ParsePeers parses the -cluster-peers flag format: a comma-separated list
+// of id=host:port entries, e.g. "a=10.0.0.1:9090,b=10.0.0.2:9090".
+func ParsePeers(s string) ([]Node, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	var nodes []Node
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("cluster: bad peer %q (want id=host:port)", part)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("cluster: duplicate node id %q", id)
+		}
+		seen[id] = true
+		nodes = append(nodes, Node{ID: id, Addr: addr})
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	return nodes, nil
+}
+
+// ringPoint is one virtual node: a hash position owned by a node index.
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// Ring is the consistent-hash placement function. Immutable after New;
+// safe for concurrent use.
+type Ring struct {
+	m      Membership
+	points []ringPoint
+	byID   map[string]Node
+}
+
+// NewRing builds the ring for a membership. Node IDs must be unique and
+// non-empty; Replicas is clamped to [1, len(Nodes)].
+func NewRing(m Membership) (*Ring, error) {
+	if len(m.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: membership has no nodes")
+	}
+	if m.Replicas < 1 {
+		m.Replicas = 1
+	}
+	if m.Replicas > len(m.Nodes) {
+		m.Replicas = len(m.Nodes)
+	}
+	r := &Ring{m: m, byID: make(map[string]Node, len(m.Nodes))}
+	for i, n := range m.Nodes {
+		if n.ID == "" {
+			return nil, fmt.Errorf("cluster: node %d has empty id", i)
+		}
+		if _, dup := r.byID[n.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node id %q", n.ID)
+		}
+		r.byID[n.ID] = n
+		for v := 0; v < VirtualNodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", n.ID, v)), node: i})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Colliding vnode hashes: break the tie by node index so placement
+		// stays deterministic across processes.
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// hash64 is FNV-1a over s. Stability matters more than quality here: the
+// placement must be identical on every node and every release.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck
+	return h.Sum64()
+}
+
+// Epoch returns the membership epoch.
+func (r *Ring) Epoch() uint64 { return r.m.Epoch }
+
+// Replicas returns the effective replication factor.
+func (r *Ring) Replicas() int { return r.m.Replicas }
+
+// Nodes returns the member list in configuration order.
+func (r *Ring) Nodes() []Node { return r.m.Nodes }
+
+// NodeByID returns the node with the given ID.
+func (r *Ring) NodeByID(id string) (Node, bool) {
+	n, ok := r.byID[id]
+	return n, ok
+}
+
+// Owner returns the node owning stream: the first node clockwise from the
+// stream's hash position.
+func (r *Ring) Owner(stream string) Node {
+	return r.Members(stream)[0]
+}
+
+// Members returns the stream's owner followed by its R−1 replica
+// followers: the first R distinct nodes clockwise from the stream's hash
+// position.
+func (r *Ring) Members(stream string) []Node {
+	h := hash64(stream)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	members := make([]Node, 0, r.m.Replicas)
+	seen := make(map[int]bool, r.m.Replicas)
+	for i := 0; i < len(r.points) && len(members) < r.m.Replicas; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		members = append(members, r.m.Nodes[p.node])
+	}
+	return members
+}
+
+// IsMember reports whether node id stores stream (as owner or follower).
+func (r *Ring) IsMember(id, stream string) bool {
+	for _, n := range r.Members(stream) {
+		if n.ID == id {
+			return true
+		}
+	}
+	return false
+}

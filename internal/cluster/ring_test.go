@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mustRing(t *testing.T, m Membership) *Ring {
+	t.Helper()
+	r, err := NewRing(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func nodes(n int) []Node {
+	out := make([]Node, n)
+	for i := range out {
+		out[i] = Node{ID: fmt.Sprintf("n%02d", i), Addr: fmt.Sprintf("127.0.0.1:%d", 9000+i)}
+	}
+	return out
+}
+
+func streams(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("stream-%04d", i)
+	}
+	return out
+}
+
+func TestParsePeers(t *testing.T) {
+	ns, err := ParsePeers("a=10.0.0.1:9090, b=10.0.0.2:9090 ,c=h:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Node{{"a", "10.0.0.1:9090"}, {"b", "10.0.0.2:9090"}, {"c", "h:1"}}
+	if len(ns) != len(want) {
+		t.Fatalf("got %v", ns)
+	}
+	for i := range want {
+		if ns[i] != want[i] {
+			t.Errorf("peer %d: got %v, want %v", i, ns[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "a", "=x:1", "a=", "a=x:1,a=y:2"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRingDeterministic pins that two rings over the same membership place
+// every stream identically — the property every node relies on, since
+// placement is computed independently on each.
+func TestRingDeterministic(t *testing.T) {
+	m := Membership{Epoch: 1, Replicas: 2, Nodes: nodes(5)}
+	a, b := mustRing(t, m), mustRing(t, m)
+	for _, s := range streams(500) {
+		ma, mb := a.Members(s), b.Members(s)
+		if len(ma) != 2 || len(mb) != 2 || ma[0] != mb[0] || ma[1] != mb[1] {
+			t.Fatalf("stream %q: %v vs %v", s, ma, mb)
+		}
+		if ma[0] == ma[1] {
+			t.Fatalf("stream %q: owner and follower are the same node", s)
+		}
+		if !a.IsMember(ma[0].ID, s) || !a.IsMember(ma[1].ID, s) || a.IsMember("absent", s) {
+			t.Fatalf("stream %q: IsMember disagrees with Members", s)
+		}
+	}
+}
+
+// TestRingBalance checks that virtual nodes keep ownership counts roughly
+// even: no node of a 5-node ring should own more than twice its fair share
+// of 2000 streams.
+func TestRingBalance(t *testing.T) {
+	r := mustRing(t, Membership{Replicas: 1, Nodes: nodes(5)})
+	counts := make(map[string]int)
+	ss := streams(2000)
+	for _, s := range ss {
+		counts[r.Owner(s).ID]++
+	}
+	fair := len(ss) / 5
+	for id, c := range counts {
+		if c > 2*fair || c < fair/3 {
+			t.Errorf("node %s owns %d streams (fair share %d): ring badly unbalanced", id, c, fair)
+		}
+	}
+}
+
+// TestRingStabilityUnderAddRemove pins the consistent-hashing property the
+// cluster depends on for membership changes: adding or removing one node
+// moves only a bounded fraction of stream ownerships — ~1/N of keys, with
+// slack for vnode variance — and never reshuffles streams between two
+// surviving nodes.
+func TestRingStabilityUnderAddRemove(t *testing.T) {
+	ss := streams(4000)
+	base := mustRing(t, Membership{Replicas: 1, Nodes: nodes(6)})
+
+	t.Run("add", func(t *testing.T) {
+		grown := mustRing(t, Membership{Replicas: 1, Nodes: append(nodes(6), Node{ID: "new", Addr: "x:1"})})
+		moved := 0
+		for _, s := range ss {
+			was, is := base.Owner(s).ID, grown.Owner(s).ID
+			if was == is {
+				continue
+			}
+			moved++
+			if is != "new" {
+				t.Fatalf("stream %q moved %s→%s, but only the new node may gain streams", s, was, is)
+			}
+		}
+		// Fair share is 1/7 ≈ 571; allow 2× for vnode variance.
+		if max := 2 * len(ss) / 7; moved > max {
+			t.Errorf("adding one node moved %d/%d streams (want ≤ %d)", moved, len(ss), max)
+		}
+		if moved == 0 {
+			t.Error("adding a node moved nothing: ring ignores membership")
+		}
+	})
+
+	t.Run("remove", func(t *testing.T) {
+		shrunk := mustRing(t, Membership{Replicas: 1, Nodes: nodes(5)}) // drops n05
+		moved := 0
+		for _, s := range ss {
+			was, is := base.Owner(s).ID, shrunk.Owner(s).ID
+			if was == is {
+				continue
+			}
+			moved++
+			if was != "n05" {
+				t.Fatalf("stream %q moved %s→%s, but only the removed node's streams may move", s, was, is)
+			}
+		}
+		if max := 2 * len(ss) / 6; moved > max {
+			t.Errorf("removing one node moved %d/%d streams (want ≤ %d)", moved, len(ss), max)
+		}
+	})
+}
+
+// TestRingReplicaSets checks follower sets: R distinct members, owner
+// first, and replica sets also move minimally when a node joins.
+func TestRingReplicaSets(t *testing.T) {
+	base := mustRing(t, Membership{Replicas: 3, Nodes: nodes(6)})
+	grown := mustRing(t, Membership{Replicas: 3, Nodes: append(nodes(6), Node{ID: "new", Addr: "x:1"})})
+	changed := 0
+	for _, s := range streams(2000) {
+		mb, mg := base.Members(s), grown.Members(s)
+		if len(mb) != 3 || len(mg) != 3 {
+			t.Fatalf("stream %q: member counts %d/%d", s, len(mb), len(mg))
+		}
+		// Membership in the new ring may differ only by the new node
+		// displacing at most one old member.
+		oldSet := map[string]bool{mb[0].ID: true, mb[1].ID: true, mb[2].ID: true}
+		gained := 0
+		for _, n := range mg {
+			if !oldSet[n.ID] {
+				gained++
+				if n.ID != "new" {
+					t.Fatalf("stream %q: node %s entered the replica set, only \"new\" may", s, n.ID)
+				}
+			}
+		}
+		if gained > 0 {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("no replica set changed after adding a node")
+	}
+}
+
+func TestRingClampsReplicas(t *testing.T) {
+	r := mustRing(t, Membership{Replicas: 9, Nodes: nodes(3)})
+	if got := len(r.Members("s")); got != 3 {
+		t.Fatalf("replicas clamped to %d, want 3", got)
+	}
+	r = mustRing(t, Membership{Replicas: 0, Nodes: nodes(3)})
+	if got := len(r.Members("s")); got != 1 {
+		t.Fatalf("replicas defaulted to %d, want 1", got)
+	}
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/enc"
+	"repro/internal/partition"
+)
+
+// ShardSummary is one node's portable view of a stream: every in-memory
+// summary (historical partition summaries plus stream-side pieces) with the
+// error parameters they were built under, but none of the on-disk data.
+// It is exactly the state BuildPieces needs, so shipping a ShardSummary per
+// shard and merging lets a coordinator answer quick (in-memory) quantile
+// and rank queries over the union of N shards within the same composed ε
+// bands the paper proves for one node — the mergeability property that
+// makes scatter-gather correct without moving raw data. Accurate
+// (disk-probing) queries cannot run over a ShardSummary: the partitions
+// behind it live on the remote shard.
+type ShardSummary struct {
+	// N is the total element count the summary covers (historical + stream).
+	N int64
+	// Eps1 and Eps2 are the partition-summary and stream-summary error
+	// parameters (ε/2 and ε/4 of the engine's configured ε).
+	Eps1, Eps2 float64
+	// Parts carries (count, values) per historical partition summary.
+	Parts []PartSummary
+	// Pieces carries the stream-side piece summaries.
+	Pieces []StreamPiece
+}
+
+// PartSummary is the portable form of one partition summary: the element
+// count and the β₁ captured values. Capture positions are omitted — they
+// only matter for disk probes, which never cross shards.
+type PartSummary struct {
+	Count  int64
+	Values []int64
+}
+
+// snapshotVersion is the ShardSummary wire-encoding version byte.
+const snapshotVersion = 1
+
+// AppendBinary appends the binary encoding of s to buf:
+//
+//	version u8 | eps1 f64be | eps2 f64be | uvarint N
+//	| uvarint len(parts)  | per part:  uvarint count | uvarint len | delta values
+//	| uvarint len(pieces) | per piece: uvarint M     | uvarint len | delta values
+//
+// Summary values are sorted, so the shared delta+zig-zag varint codec keeps
+// the encoding near 1–2 bytes per element.
+func (s *ShardSummary) AppendBinary(buf []byte) []byte {
+	buf = append(buf, snapshotVersion)
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(s.Eps1))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(s.Eps2))
+	buf = binary.AppendUvarint(buf, uint64(s.N))
+	buf = binary.AppendUvarint(buf, uint64(len(s.Parts)))
+	for _, p := range s.Parts {
+		buf = binary.AppendUvarint(buf, uint64(p.Count))
+		buf = binary.AppendUvarint(buf, uint64(len(p.Values)))
+		buf = enc.AppendDelta(buf, p.Values)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.Pieces)))
+	for _, p := range s.Pieces {
+		buf = binary.AppendUvarint(buf, uint64(p.M))
+		buf = binary.AppendUvarint(buf, uint64(len(p.SS)))
+		buf = enc.AppendDelta(buf, p.SS)
+	}
+	return buf
+}
+
+// DecodeShardSummary decodes one ShardSummary from data, rejecting
+// trailing bytes and declared lengths beyond the input size.
+func DecodeShardSummary(data []byte) (*ShardSummary, error) {
+	d := snapDecoder{buf: data}
+	if v := d.byte(); d.err == nil && v != snapshotVersion {
+		return nil, fmt.Errorf("core: shard summary version %d (want %d)", v, snapshotVersion)
+	}
+	s := &ShardSummary{
+		Eps1: math.Float64frombits(d.u64()),
+		Eps2: math.Float64frombits(d.u64()),
+		N:    int64(d.uvarint()),
+	}
+	nparts := d.count(len(data))
+	for i := uint64(0); i < nparts && d.err == nil; i++ {
+		count := int64(d.uvarint())
+		s.Parts = append(s.Parts, PartSummary{Count: count, Values: d.values(len(data))})
+	}
+	npieces := d.count(len(data))
+	for i := uint64(0); i < npieces && d.err == nil; i++ {
+		m := int64(d.uvarint())
+		s.Pieces = append(s.Pieces, StreamPiece{M: m, SS: d.values(len(data))})
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("core: decode shard summary: %w", d.err)
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("core: decode shard summary: %d trailing bytes", len(d.buf))
+	}
+	if s.N < 0 {
+		return nil, fmt.Errorf("core: decode shard summary: negative N")
+	}
+	return s, nil
+}
+
+// MergeShardSummaries builds the combined summary TS over every shard's
+// summaries, as if all their partitions and stream pieces belonged to one
+// engine. Empty shards (N == 0) are skipped; the non-empty shards must
+// agree on (ε₁, ε₂) — i.e. every node of the cluster runs the same
+// configured ε — because the L/U rank-bound formulas weight each source by
+// its own ε term. The returned total is Σ N; a nil Combined with total 0
+// means every shard was empty.
+//
+// Only quick (in-memory) queries — QuickQuery, Filters,
+// StreamRankEstimate — are valid on the result: the synthetic partition
+// summaries have no device behind them, so accurate disk-probing queries
+// must stay on the owning shard.
+func MergeShardSummaries(shards []*ShardSummary) (*Combined, int64, error) {
+	var (
+		sums       []*partition.Summary
+		pieces     []StreamPiece
+		total      int64
+		eps1, eps2 float64
+		seen       bool
+	)
+	for i, sh := range shards {
+		if sh == nil || sh.N == 0 {
+			continue
+		}
+		if !seen {
+			eps1, eps2, seen = sh.Eps1, sh.Eps2, true
+		} else if sh.Eps1 != eps1 || sh.Eps2 != eps2 {
+			return nil, 0, fmt.Errorf("core: shard %d has ε=(%g,%g), want (%g,%g) — mixed-ε clusters cannot merge summaries",
+				i, sh.Eps1, sh.Eps2, eps1, eps2)
+		}
+		total += sh.N
+		for _, p := range sh.Parts {
+			sums = append(sums, &partition.Summary{
+				Part:   &partition.Partition{Count: p.Count},
+				Values: p.Values,
+			})
+		}
+		pieces = append(pieces, sh.Pieces...)
+	}
+	if !seen {
+		return nil, 0, nil
+	}
+	return BuildPieces(sums, pieces, eps1, eps2), total, nil
+}
+
+// snapDecoder mirrors the wire package's error-latching payload cursor for
+// the ShardSummary encoding.
+type snapDecoder struct {
+	buf []byte
+	err error
+}
+
+func (d *snapDecoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *snapDecoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 1 {
+		d.fail(fmt.Errorf("truncated"))
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *snapDecoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 8 {
+		d.fail(fmt.Errorf("truncated"))
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v
+}
+
+func (d *snapDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail(fmt.Errorf("bad uvarint"))
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+// count reads a collection length and bounds it by the input size so a
+// corrupt prefix cannot force a huge allocation.
+func (d *snapDecoder) count(inputLen int) uint64 {
+	n := d.uvarint()
+	if d.err == nil && n > uint64(inputLen) {
+		d.fail(fmt.Errorf("declared count %d exceeds input", n))
+		return 0
+	}
+	return n
+}
+
+// values reads a delta-encoded value list (uvarint length + deltas).
+func (d *snapDecoder) values(inputLen int) []int64 {
+	n := d.count(inputLen)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	vs := make([]int64, n)
+	rest, err := enc.DecodeDelta(vs, d.buf)
+	if err != nil {
+		d.fail(err)
+		return nil
+	}
+	d.buf = rest
+	return vs
+}

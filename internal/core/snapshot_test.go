@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"slices"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+// synthShard builds a ShardSummary with sorted random summary values.
+func synthShard(rng *rand.Rand, parts, pieces int, eps1, eps2 float64) *ShardSummary {
+	s := &ShardSummary{Eps1: eps1, Eps2: eps2}
+	sorted := func(n int) []int64 {
+		vs := make([]int64, n)
+		for i := range vs {
+			vs[i] = rng.Int63n(1_000_000) - 500_000
+		}
+		slices.Sort(vs)
+		return vs
+	}
+	for i := 0; i < parts; i++ {
+		count := int64(100 + rng.Intn(10_000))
+		s.Parts = append(s.Parts, PartSummary{Count: count, Values: sorted(3 + rng.Intn(40))})
+		s.N += count
+	}
+	for i := 0; i < pieces; i++ {
+		m := int64(1 + rng.Intn(5_000))
+		s.Pieces = append(s.Pieces, StreamPiece{M: m, SS: sorted(1 + rng.Intn(20))})
+		s.N += m
+	}
+	return s
+}
+
+func TestShardSummaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []*ShardSummary{
+		{Eps1: 0.05, Eps2: 0.025},            // empty
+		synthShard(rng, 0, 1, 0.05, 0.025),   // stream only
+		synthShard(rng, 4, 0, 0.05, 0.025),   // history only
+		synthShard(rng, 7, 3, 0.005, 0.0025), // both
+		synthShard(rng, 1, 1, 1e-9, 1e-9),    // tiny eps
+	}
+	for i, want := range cases {
+		enc := want.AppendBinary(nil)
+		got, err := DecodeShardSummary(enc)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("case %d: round trip:\n got %+v\nwant %+v", i, got, want)
+		}
+		// Corrupt/truncated prefixes must error, never panic.
+		for cut := 0; cut < len(enc); cut++ {
+			if _, err := DecodeShardSummary(enc[:cut]); err == nil && cut < len(enc) {
+				t.Fatalf("case %d: truncation at %d accepted", i, cut)
+			}
+		}
+		if _, err := DecodeShardSummary(append(enc[:len(enc):len(enc)], 0)); err == nil {
+			t.Errorf("case %d: trailing byte accepted", i)
+		}
+	}
+}
+
+// TestMergeMatchesSinglePass pins the acceptance property of the cluster
+// query path: merging per-shard summaries yields the identical Combined —
+// same TS values, same L/U bounds, same quick answers at every rank — as
+// building one Combined over the concatenation of every shard's sources.
+func TestMergeMatchesSinglePass(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const eps1, eps2 = 0.05, 0.025
+	shards := []*ShardSummary{
+		synthShard(rng, 5, 2, eps1, eps2),
+		synthShard(rng, 0, 1, eps1, eps2),
+		{Eps1: 0.9, Eps2: 0.9}, // empty shard: skipped, mismatched ε tolerated
+		synthShard(rng, 3, 4, eps1, eps2),
+	}
+
+	merged, total, err := MergeShardSummaries(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sums []*partition.Summary
+	var pieces []StreamPiece
+	var wantTotal int64
+	for _, sh := range shards {
+		if sh.N == 0 {
+			continue
+		}
+		for _, p := range sh.Parts {
+			sums = append(sums, &partition.Summary{Part: &partition.Partition{Count: p.Count}, Values: p.Values})
+		}
+		pieces = append(pieces, sh.Pieces...)
+		wantTotal += sh.N
+	}
+	want := BuildPieces(sums, pieces, eps1, eps2)
+
+	if total != wantTotal || total != merged.N() {
+		t.Fatalf("total: got %d (Combined.N %d), want %d", total, merged.N(), wantTotal)
+	}
+	if merged.Len() != want.Len() {
+		t.Fatalf("TS length: got %d, want %d", merged.Len(), want.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		gl, gu := merged.Bounds(i)
+		wl, wu := want.Bounds(i)
+		if merged.Value(i) != want.Value(i) || gl != wl || gu != wu {
+			t.Fatalf("TS[%d]: got (%d, %g, %g), want (%d, %g, %g)",
+				i, merged.Value(i), gl, gu, want.Value(i), wl, wu)
+		}
+	}
+	for r := int64(1); r <= total; r += total / 97 {
+		g, err1 := merged.QuickQuery(r)
+		w, err2 := want.QuickQuery(r)
+		if err1 != nil || err2 != nil || g != w {
+			t.Fatalf("QuickQuery(%d): got (%d,%v), want (%d,%v)", r, g, err1, w, err2)
+		}
+	}
+}
+
+func TestMergeRejectsMixedEps(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := synthShard(rng, 1, 1, 0.05, 0.025)
+	b := synthShard(rng, 1, 1, 0.01, 0.005)
+	if _, _, err := MergeShardSummaries([]*ShardSummary{a, b}); err == nil {
+		t.Fatal("mixed-ε shards merged without error")
+	}
+}
+
+func TestMergeAllEmpty(t *testing.T) {
+	c, total, err := MergeShardSummaries([]*ShardSummary{{Eps1: 1, Eps2: 1}, nil})
+	if err != nil || c != nil || total != 0 {
+		t.Fatalf("got (%v, %d, %v), want (nil, 0, nil)", c, total, err)
+	}
+}

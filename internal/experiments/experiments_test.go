@@ -346,6 +346,31 @@ func TestMoreFiguresSmoke(t *testing.T) {
 	}
 }
 
+// TestClusterComparison smoke-tests the scatter-gather figure: every shard
+// count must answer (the cluster rows over real sockets), distribution may
+// cost latency but never accuracy — the merged answer's rank error stays
+// within the composed 1.5·ε band at every shard count.
+func TestClusterComparison(t *testing.T) {
+	sc := tiny
+	tables, err := ClusterComparison(sc, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 3 {
+		t.Fatalf("want one table with 3 rows, got %+v", tables)
+	}
+	for _, r := range tables[0].Rows {
+		if us := r.Cells[0]; us <= 0 {
+			t.Errorf("shards=%g: QueryUs = %g, want > 0", r.X, us)
+		}
+		// Composed quick-query bound is 1.5·ε = 1.5% of N, plus slack for
+		// the ±1 discretization at tiny N.
+		if errPct := r.Cells[2]; errPct > 2.0 {
+			t.Errorf("shards=%g: rank error %g%% exceeds composed bound", r.X, errPct)
+		}
+	}
+}
+
 // TestRunMemBackend drives a full figure through the registry with the
 // memory backend and a block cache — the cmd/hsqbench --backend=mem path.
 func TestRunMemBackend(t *testing.T) {

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/workload"
+)
+
+// ClusterComparison measures the coordinator's scatter-gather quantile
+// path against a single node holding the same total data (x = shard
+// count; x=1 is the single-node baseline with purely local summaries).
+// The dataset is S streams of uniform values placed by the consistent-hash
+// ring; a query asks the median of the union of all streams, which on a
+// cluster means one core.ShardSummary fetch per stream over the wire plus
+// a local merge (core.MergeShardSummaries → Combined.QuickQuery).
+//
+// Columns:
+//
+//	QueryUs    — mean wall time of one union-median query
+//	RelCost    — QueryUs over the x=1 baseline (the price of distribution)
+//	RankErrPct — observed rank error of the answer vs an exact oracle,
+//	             as a percentage of N (must stay under the composed
+//	             1.5·ε bound regardless of shard count — mergeability)
+//
+// The shape to expect: RelCost grows with shard count (network +
+// serialization per shard) while RankErrPct stays flat — distribution
+// costs latency, never accuracy. This is the system-level restatement of
+// the paper's summary-combination property.
+func ClusterComparison(sc Scale, root string) ([]*Table, error) {
+	const streams = 6
+	perStream := sc.Steps * sc.BatchSize / streams
+	if perStream > 60_000 {
+		perStream = 60_000
+	}
+	if perStream < 2_000 {
+		perStream = 2_000
+	}
+	const eps = 0.01
+	t := &Table{
+		ID: "cluster-query",
+		Title: fmt.Sprintf("Scatter-gather vs single node: %d streams × %d values, ε=%g; union median",
+			streams, perStream, eps),
+		XLabel:  "shards",
+		Columns: []string{"QueryUs", "RelCost", "RankErrPct"},
+	}
+	var baseline float64
+	for _, shards := range []int{1, 2, 4} {
+		us, errPct, err := runClusterQuery(shards, streams, perStream, eps)
+		if err != nil {
+			return nil, err
+		}
+		if shards == 1 {
+			baseline = us
+		}
+		t.AddRow(float64(shards), us, us/baseline, errPct)
+	}
+	return []*Table{t}, nil
+}
+
+// runClusterQuery builds the deployment, loads the data, and times the
+// union-median query. shards=1 uses one DB and local summaries; shards>1
+// boots a real socket-backed harness and fetches per-stream summaries from
+// their owning nodes.
+func runClusterQuery(shards, streams, perStream int, eps float64) (meanUs, rankErrPct float64, err error) {
+	opts := hsq.Options{Epsilon: eps, Kappa: 4, Backend: "mem", BlockSize: 1 << 16}
+	names := make([]string, streams)
+	for i := range names {
+		names[i] = fmt.Sprintf("cq-%d", i)
+	}
+	n := streams * perStream
+	or := oracle.New(n)
+	var union []int64
+
+	// gather produces the per-stream summaries for one query.
+	var gather func() ([]*core.ShardSummary, error)
+	var cleanup func()
+
+	feed := func(st *hsq.Stream, seed int64) error {
+		gen := workload.NewUniform(seed)
+		vals := workload.Fill(gen, perStream)
+		union = append(union, vals...)
+		st.ObserveSlice(vals)
+		_, err := st.EndStep()
+		return err
+	}
+
+	if shards == 1 {
+		db, err := hsq.Open(opts)
+		if err != nil {
+			return 0, 0, err
+		}
+		cleanup = func() { db.Close() } //nolint:errcheck
+		for i, name := range names {
+			st, err := db.Stream(name)
+			if err != nil {
+				cleanup()
+				return 0, 0, err
+			}
+			if err := feed(st, int64(i)); err != nil {
+				cleanup()
+				return 0, 0, err
+			}
+		}
+		gather = func() ([]*core.ShardSummary, error) {
+			sums := make([]*core.ShardSummary, streams)
+			for i, name := range names {
+				st, _ := db.Lookup(name)
+				sum, err := st.Summary()
+				if err != nil {
+					return nil, err
+				}
+				sums[i] = sum
+			}
+			return sums, nil
+		}
+	} else {
+		h, err := cluster.NewHarness(cluster.HarnessConfig{Nodes: shards, Replicas: 1, Options: opts})
+		if err != nil {
+			return 0, 0, err
+		}
+		cleanup = h.Close
+		owners := make([]cluster.Node, streams)
+		for i, name := range names {
+			owners[i] = h.Ring.Owner(name)
+			for _, hn := range h.Nodes {
+				if hn.Node.ID != owners[i].ID {
+					continue
+				}
+				st, err := hn.DB.Stream(name)
+				if err != nil {
+					cleanup()
+					return 0, 0, err
+				}
+				if err := feed(st, int64(i)); err != nil {
+					cleanup()
+					return 0, 0, err
+				}
+			}
+		}
+		ctx := context.Background()
+		gather = func() ([]*core.ShardSummary, error) {
+			sums := make([]*core.ShardSummary, streams)
+			for i, name := range names {
+				sum, err := cluster.FetchSummary(ctx, 2*time.Second, owners[i], name)
+				if err != nil {
+					return nil, err
+				}
+				sums[i] = sum
+			}
+			return sums, nil
+		}
+	}
+	defer cleanup()
+
+	or.Add(union...)
+	target := int64(n / 2)
+
+	const rounds = 20
+	var answer int64
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		sums, err := gather()
+		if err != nil {
+			return 0, 0, err
+		}
+		merged, total, err := core.MergeShardSummaries(sums)
+		if err != nil {
+			return 0, 0, err
+		}
+		if answer, err = merged.QuickQuery(total / 2); err != nil {
+			return 0, 0, err
+		}
+	}
+	meanUs = time.Since(start).Seconds() * 1e6 / rounds
+	rankErrPct = 100 * float64(or.SpanError(target, answer)) / float64(n)
+	return meanUs, rankErrPct, nil
+}

@@ -46,6 +46,28 @@ const handshakeTimeout = 10 * time.Second
 // (its applied-sequence high-water mark) is retained for reconnection.
 const DefaultSessionTTL = time.Hour
 
+// ClusterHook is what a sharded deployment plugs into the ingest server
+// (implemented by internal/cluster; nil for a single-node server).
+//
+// The contract that keeps acks honest across the cluster: every sequenced
+// frame the server processes is offered to Relay before the server may
+// acknowledge it, and every acknowledgement (Ack or relay-barrier Pong) is
+// preceded by WaitRelayed, so an acked frame is applied on every reachable
+// member of its stream.
+type ClusterHook interface {
+	// Member reports whether this node stores stream (owner or follower).
+	Member(stream string) bool
+	// Relay hands a sequenced frame to the cluster transport under the
+	// client's own session token and sequence number. fanOnly marks frames
+	// that arrived over an already-routed connection: they fan out to
+	// replica followers but are never routed again.
+	Relay(session, stream string, f *wire.Frame, fanOnly bool) error
+	// WaitRelayed blocks until every frame relayed for session with
+	// sequence ≤ seq is resolved (acked by its target, rerouted, or
+	// dropped because the target stayed down).
+	WaitRelayed(ctx context.Context, session string, seq uint64) error
+}
+
 // Config parametrizes a Server.
 type Config struct {
 	// DB is the database frames are applied to. Required.
@@ -59,6 +81,15 @@ type Config struct {
 	// DefaultSessionTTL. Without a TTL, one-shot producers would grow the
 	// session table forever.
 	SessionTTL time.Duration
+	// IdleTimeout, when positive, closes connections that send no frame
+	// for that long. Clients using keepalive pings stay connected through
+	// idle periods. 0 disables the deadline (the default: producers that
+	// connect once and write rarely keep working).
+	IdleTimeout time.Duration
+	// Cluster, when non-nil, shards the server: frames for streams this
+	// node does not store are routed to the owning shard, applied frames
+	// are fanned to replica followers, and acks wait for both.
+	Cluster ClusterHook
 	// Logf, when non-nil, receives connection-level log lines.
 	Logf func(format string, args ...any)
 }
@@ -67,10 +98,12 @@ type Config struct {
 // ready immediately (Serve binds it to a listener, ServeConn to a single
 // connection).
 type Server struct {
-	db         *hsq.DB
-	window     uint64
-	sessionTTL time.Duration
-	logf       func(format string, args ...any)
+	db          *hsq.DB
+	window      uint64
+	sessionTTL  time.Duration
+	idleTimeout time.Duration
+	cluster     ClusterHook
+	logf        func(format string, args ...any)
 
 	mu        sync.Mutex
 	sessions  map[string]*session
@@ -93,14 +126,22 @@ type Server struct {
 }
 
 // session is the durable-for-the-process half of a client: the applied
-// sequence high-water mark that survives reconnects. sess.mu serializes
-// frame application, so a reconnect racing its half-dead predecessor can
-// never interleave applies or observe a torn lastSeq.
+// sequence marks that survive reconnects. sess.mu serializes frame
+// application, so a reconnect racing its half-dead predecessor can never
+// interleave applies or observe torn marks.
+//
+// Marks are per stream, not per connection: in a cluster the same
+// session's frames can reach this node over different paths (directly,
+// routed via another node, fanned from the owner), and a conn-wide
+// high-water mark would wrongly dedup a stream whose frames took the
+// slower path. maxSeq is the maximum over all marks; it backs the Welcome
+// frame's legacy Seq field and the ack floor for fresh connections.
 type session struct {
 	mu         sync.Mutex
-	lastSeq    uint64
-	conn       *conn     // current owner, nil when detached
-	detachedAt time.Time // when conn went nil; zero while attached
+	streams    map[string]uint64 // stream name → highest applied seq
+	maxSeq     uint64
+	conn       *conn     // current owner, nil when detached or relay-fed
+	lastActive time.Time // last adopt/detach/apply; zero before first detach
 }
 
 // streamCounters is the cumulative per-stream ingest tally (across all
@@ -109,6 +150,14 @@ type streamCounters struct {
 	batches  atomic.Uint64
 	values   atomic.Uint64
 	endSteps atomic.Uint64
+}
+
+// bound is a conn's binding of a client stream ID: the stream's name plus
+// the local stream handle — nil when this node is not a member of the
+// stream and frames are routed onward instead of applied.
+type bound struct {
+	name string
+	st   *hsq.Stream
 }
 
 // conn is one live client connection.
@@ -121,9 +170,11 @@ type conn struct {
 	cancel  context.CancelFunc
 	writeMu sync.Mutex // guards w: acks from the handler, errors from Shutdown
 	w       *wire.Writer
+	leaf    bool // apply-only relay target: no fan-out, no ack gating
+	relayIn bool // routed-relay target: applies and fans, never routes
 
 	streamsMu sync.Mutex
-	streams   map[uint64]*hsq.Stream
+	streams   map[uint64]bound
 
 	batches  atomic.Uint64
 	values   atomic.Uint64
@@ -147,16 +198,18 @@ func New(cfg Config) *Server {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
-		db:         cfg.DB,
-		window:     uint64(w),
-		sessionTTL: ttl,
-		logf:       logf,
-		sessions:   make(map[string]*session),
-		conns:      make(map[uint64]*conn),
-		listeners:  make(map[net.Listener]struct{}),
-		streams:    make(map[string]*streamCounters),
-		baseCtx:    ctx,
-		cancel:     cancel,
+		db:          cfg.DB,
+		window:      uint64(w),
+		sessionTTL:  ttl,
+		idleTimeout: cfg.IdleTimeout,
+		cluster:     cfg.Cluster,
+		logf:        logf,
+		sessions:    make(map[string]*session),
+		conns:       make(map[uint64]*conn),
+		listeners:   make(map[net.Listener]struct{}),
+		streams:     make(map[string]*streamCounters),
+		baseCtx:     ctx,
+		cancel:      cancel,
 	}
 }
 
@@ -258,8 +311,8 @@ func (s *Server) detachSession(c *conn) {
 	sess.mu.Lock()
 	if sess.conn == c {
 		sess.conn = nil
-		sess.detachedAt = time.Now()
 	}
+	sess.lastActive = time.Now()
 	sess.mu.Unlock()
 }
 
@@ -302,26 +355,40 @@ func (s *Server) handle(c *conn) error {
 	if hello.Type != wire.TypeHello {
 		return s.sendError(c, wire.ErrCodeProtocol, fmt.Errorf("first frame is %s, want hello", wire.TypeName(hello.Type)))
 	}
-	if hello.Version != wire.Version {
-		return s.sendError(c, wire.ErrCodeProtocol, fmt.Errorf("protocol version %d, server speaks %d", hello.Version, wire.Version))
+	if hello.Version < wire.MinVersion || hello.Version > wire.Version {
+		return s.sendError(c, wire.ErrCodeProtocol, fmt.Errorf("protocol version %d, server speaks %d–%d", hello.Version, wire.MinVersion, wire.Version))
 	}
 	if hello.Session == "" {
 		return s.sendError(c, wire.ErrCodeProtocol, errors.New("empty session token"))
 	}
+	c.leaf = hello.Flags&wire.HelloFlagLeaf != 0
+	c.relayIn = hello.Flags&wire.HelloFlagRelay != 0
 	// c.session is read by Stats() under s.mu; publish it the same way.
 	s.mu.Lock()
 	c.session = hello.Session
 	s.mu.Unlock()
 	sess := s.adoptSession(c, hello.Session)
 
-	// Welcome restates the session's applied high-water mark so the client
-	// prunes its replay buffer, plus the credit window.
+	// Welcome restates the session's applied marks so the client prunes
+	// its replay buffer, plus the credit window. v2 clients get per-stream
+	// marks; the legacy Seq field carries their maximum for v1.
 	sess.mu.Lock()
-	last := sess.lastSeq
+	last := sess.maxSeq
+	var marks []wire.StreamSeq
+	if hello.Version >= 2 && len(sess.streams) > 0 {
+		marks = make([]wire.StreamSeq, 0, len(sess.streams))
+		for name, seq := range sess.streams {
+			marks = append(marks, wire.StreamSeq{Name: name, Seq: seq})
+		}
+		sort.Slice(marks, func(i, j int) bool { return marks[i].Name < marks[j].Name })
+	}
 	sess.mu.Unlock()
-	c.lastSeq.Store(last)
+	// c.lastSeq stays 0 here: it tracks frames processed on THIS
+	// connection, and acking the session floor up front could cover a
+	// replayed frame the client has written but this server never read.
+	// Flush replies ack the floor explicitly (see the TypeFlush case).
 	c.writeMu.Lock()
-	err = c.w.WriteFrame(&wire.Frame{Type: wire.TypeWelcome, Version: wire.Version, Seq: last, Credit: s.window})
+	err = c.w.WriteFrame(&wire.Frame{Type: wire.TypeWelcome, Version: wire.Version, Seq: last, Credit: s.window, StreamSeqs: marks})
 	if err == nil {
 		err = c.w.Flush()
 	}
@@ -337,8 +404,23 @@ func (s *Server) handle(c *conn) error {
 	if ackEvery == 0 {
 		ackEvery = 1
 	}
+	// gatedAck waits for the cluster to resolve every relayed frame of the
+	// session up to the ack sequence before acknowledging — the step that
+	// makes an ack mean "applied on every reachable member", not "applied
+	// here".
+	gatedAck := func(seq uint64) error {
+		if s.cluster != nil && !c.leaf {
+			if err := s.cluster.WaitRelayed(c.ctx, c.session, seq); err != nil {
+				return s.sendError(c, wire.ErrCodeStream, fmt.Errorf("relay: %w", err))
+			}
+		}
+		return s.sendAck(c, seq)
+	}
 	var sinceAck uint64
 	for {
+		if s.idleTimeout > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(s.idleTimeout)) //nolint:errcheck
+		}
 		f, err := r.ReadFrame()
 		if err != nil {
 			return err // EOF on clean client close
@@ -364,27 +446,91 @@ func (s *Server) handle(c *conn) error {
 			// EndStep is the frame producers wait on (it can carry
 			// backpressure); ack it immediately.
 			if sinceAck >= ackEvery || f.Type == wire.TypeEndStep {
-				if err := s.sendAck(c, c.lastSeq.Load()); err != nil {
+				if err := gatedAck(c.lastSeq.Load()); err != nil {
 					return err
 				}
 				sinceAck = 0
 			}
 		case wire.TypeFlush:
-			if err := s.sendAck(c, c.lastSeq.Load()); err != nil {
+			// The client sends Flush only once every allocated sequence
+			// number is written or was pruned against the session's marks,
+			// so acking up to min(flush seq, session floor) covers pruned
+			// frames — the case where a failed-over client has nothing left
+			// to send but still needs its Flush to resolve — without ever
+			// covering a frame this connection has not processed.
+			sess.mu.Lock()
+			floor := sess.maxSeq
+			sess.mu.Unlock()
+			seq := c.lastSeq.Load()
+			if f.Seq < floor {
+				floor = f.Seq
+			}
+			if floor > seq {
+				seq = floor
+			}
+			if err := gatedAck(seq); err != nil {
 				return err
 			}
 			sinceAck = 0
+		case wire.TypePing:
+			// The Pong is a processing barrier: everything read before the
+			// Ping has been applied — and, over a cluster, relayed. Relay
+			// channels use it as their delivery confirmation, so it must be
+			// gated exactly like an ack.
+			if s.cluster != nil && !c.leaf {
+				if err := s.cluster.WaitRelayed(c.ctx, c.session, c.lastSeq.Load()); err != nil {
+					return s.sendError(c, wire.ErrCodeStream, fmt.Errorf("relay: %w", err))
+				}
+			}
+			c.writeMu.Lock()
+			err := c.w.WriteFrame(&wire.Frame{Type: wire.TypePong, Seq: f.Seq})
+			if err == nil {
+				err = c.w.Flush()
+			}
+			c.writeMu.Unlock()
+			if err != nil {
+				return err
+			}
+		case wire.TypeSummaryReq:
+			if err := s.serveSummary(c, f); err != nil {
+				return err
+			}
 		default:
 			return s.sendError(c, wire.ErrCodeProtocol, fmt.Errorf("unexpected %s frame", wire.TypeName(f.Type)))
 		}
 	}
 }
 
+// serveSummary answers a SummaryReq with the named stream's serialized
+// shard summary — the scatter-gather query path's per-shard fetch. An
+// unknown stream yields an empty summary (this shard holds nothing).
+func (s *Server) serveSummary(c *conn, f *wire.Frame) error {
+	resp := &wire.Frame{Type: wire.TypeSummaryResp, Seq: f.Seq}
+	if st, ok := s.db.Lookup(f.Name); ok {
+		sum, err := st.Summary()
+		if err != nil {
+			resp.Code = wire.ErrCodeStream
+			resp.Message = err.Error()
+		} else {
+			resp.Data = sum.AppendBinary(nil)
+		}
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if err := c.w.WriteFrame(resp); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
 // adoptSession binds the connection to its session, superseding a
 // previous connection that still holds it (the usual aftermath of a
-// client-side reconnect racing the server noticing the dead socket). Each
-// adoption also sweeps sessions detached longer than the TTL, so one-shot
-// producers do not grow the session table without bound.
+// client-side reconnect racing the server noticing the dead socket).
+// Relay and leaf connections attach without adopting: several of them can
+// feed one session concurrently with a client connection, and they must
+// never kill it. Each adoption also sweeps sessions inactive longer than
+// the TTL, so one-shot producers do not grow the session table without
+// bound.
 func (s *Server) adoptSession(c *conn, token string) *session {
 	s.mu.Lock()
 	for tok, old := range s.sessions {
@@ -392,7 +538,7 @@ func (s *Server) adoptSession(c *conn, token string) *session {
 			continue
 		}
 		old.mu.Lock()
-		expired := old.conn == nil && !old.detachedAt.IsZero() && time.Since(old.detachedAt) > s.sessionTTL
+		expired := old.conn == nil && !old.lastActive.IsZero() && time.Since(old.lastActive) > s.sessionTTL
 		old.mu.Unlock()
 		if expired {
 			delete(s.sessions, tok)
@@ -404,10 +550,16 @@ func (s *Server) adoptSession(c *conn, token string) *session {
 		s.sessions[token] = sess
 	}
 	s.mu.Unlock()
+	if c.leaf || c.relayIn {
+		sess.mu.Lock()
+		sess.lastActive = time.Now()
+		sess.mu.Unlock()
+		return sess
+	}
 	sess.mu.Lock()
 	prev := sess.conn
 	sess.conn = c
-	sess.detachedAt = time.Time{}
+	sess.lastActive = time.Now()
 	sess.mu.Unlock()
 	if prev != nil && prev != c {
 		prev.cancel()
@@ -416,70 +568,130 @@ func (s *Server) adoptSession(c *conn, token string) *session {
 	return sess
 }
 
-// openStream binds a client stream ID to a DB stream. Idempotent for the
-// same (id, name); rebinding an ID to a different name is a protocol
-// error.
+// openStream binds a client stream ID to a stream name. Idempotent for
+// the same (id, name); rebinding an ID to a different name is a protocol
+// error. On a cluster node the local stream is only created (and frames
+// later applied) when this node is a member of the stream; otherwise the
+// binding carries just the name and frames are routed onward. Relay and
+// leaf connections always apply locally — the sender already decided this
+// node is a member.
 func (s *Server) openStream(c *conn, f *wire.Frame) error {
-	st, err := s.db.Stream(f.Name)
-	if err != nil {
-		return fmt.Errorf("open stream %q: %w", f.Name, err)
+	b := bound{name: f.Name}
+	if s.cluster == nil || c.leaf || c.relayIn || s.cluster.Member(f.Name) {
+		st, err := s.db.Stream(f.Name)
+		if err != nil {
+			return fmt.Errorf("open stream %q: %w", f.Name, err)
+		}
+		b.st = st
 	}
 	c.streamsMu.Lock()
 	defer c.streamsMu.Unlock()
 	if c.streams == nil {
-		c.streams = make(map[uint64]*hsq.Stream)
+		c.streams = make(map[uint64]bound)
 	}
-	if prev, ok := c.streams[f.StreamID]; ok && prev.Name() != f.Name {
-		return fmt.Errorf("stream id %d already bound to %q, rebound to %q", f.StreamID, prev.Name(), f.Name)
+	if prev, ok := c.streams[f.StreamID]; ok && prev.name != f.Name {
+		return fmt.Errorf("stream id %d already bound to %q, rebound to %q", f.StreamID, prev.name, f.Name)
 	}
-	c.streams[f.StreamID] = st
+	c.streams[f.StreamID] = b
 	return nil
 }
 
 // applySequenced applies one Batch or EndStep frame under the session
-// lock, deduplicating replays: a frame at or below the session's applied
-// high-water mark is acknowledged but not re-applied. It reports whether
-// the frame was (newly) applied.
+// lock, deduplicating replays: a frame at or below the stream's applied
+// mark is acknowledged but not re-applied. Marks are per (session,
+// stream) because cluster paths can interleave one session's streams
+// arbitrarily. It reports whether the frame was (newly) applied — routed
+// frames (no local member) count as applied.
+//
+// On a cluster node the frame is also offered to the relay layer: routed
+// onward when this node is not a member, fanned to the stream's other
+// members when it is. Duplicates fan too — a replayed frame proves the
+// client never saw its ack, so a follower may have missed it the first
+// time; the follower's own marks squash the duplicate.
 func (s *Server) applySequenced(c *conn, sess *session, f *wire.Frame) (bool, error) {
 	c.streamsMu.Lock()
-	st := c.streams[f.StreamID]
+	b, ok := c.streams[f.StreamID]
 	c.streamsMu.Unlock()
-	if st == nil {
+	if !ok {
 		return false, fmt.Errorf("%s for unbound stream id %d", wire.TypeName(f.Type), f.StreamID)
 	}
+	if b.st == nil {
+		// Not a member: hand the frame to the cluster to route to the
+		// owning shard. No local marks move — the owner dedups.
+		if err := s.cluster.Relay(c.session, b.name, f, false); err != nil {
+			return false, fmt.Errorf("route %q: %w", b.name, err)
+		}
+		bumpMax(&c.lastSeq, f.Seq)
+		return true, nil
+	}
+	st := b.st
 	sess.mu.Lock()
-	defer sess.mu.Unlock()
-	if f.Seq <= sess.lastSeq {
-		c.lastSeq.Store(sess.lastSeq)
-		return false, nil
-	}
-	switch f.Type {
-	case wire.TypeBatch:
-		if err := st.ObserveSliceCtx(c.ctx, f.Values); err != nil {
-			return false, fmt.Errorf("observe %d values on %q: %w", len(f.Values), st.Name(), err)
+	applied := f.Seq > sess.streams[b.name]
+	if applied {
+		var err error
+		switch f.Type {
+		case wire.TypeBatch:
+			if err = st.ObserveSliceCtx(c.ctx, f.Values); err != nil {
+				err = fmt.Errorf("observe %d values on %q: %w", len(f.Values), st.Name(), err)
+			}
+		case wire.TypeEndStep:
+			// EndStepCtx blocks under MaxPendingSteps backpressure; the
+			// stall stops this conn's acks, draining the client's credit —
+			// that is the propagation path. c.ctx aborts the wait at
+			// shutdown.
+			if _, err = st.EndStepCtx(c.ctx); err != nil {
+				err = fmt.Errorf("end step on %q: %w", st.Name(), err)
+			}
 		}
-		n := uint64(len(f.Values))
-		c.batches.Add(1)
-		c.values.Add(n)
-		s.batches.Add(1)
-		s.values.Add(n)
-		sc := s.streamCounters(st.Name())
-		sc.batches.Add(1)
-		sc.values.Add(n)
-	case wire.TypeEndStep:
-		// EndStepCtx blocks under MaxPendingSteps backpressure; the stall
-		// stops this conn's acks, draining the client's credit — that is
-		// the propagation path. c.ctx aborts the wait at shutdown.
-		if _, err := st.EndStepCtx(c.ctx); err != nil {
-			return false, fmt.Errorf("end step on %q: %w", st.Name(), err)
+		if err != nil {
+			sess.mu.Unlock()
+			return false, err
 		}
-		c.endSteps.Add(1)
-		s.endSteps.Add(1)
-		s.streamCounters(st.Name()).endSteps.Add(1)
+		if sess.streams == nil {
+			sess.streams = make(map[string]uint64)
+		}
+		sess.streams[b.name] = f.Seq
+		if f.Seq > sess.maxSeq {
+			sess.maxSeq = f.Seq
+		}
 	}
-	sess.lastSeq = f.Seq
-	c.lastSeq.Store(f.Seq)
-	return true, nil
+	sess.lastActive = time.Now()
+	sess.mu.Unlock()
+	if applied {
+		switch f.Type {
+		case wire.TypeBatch:
+			n := uint64(len(f.Values))
+			c.batches.Add(1)
+			c.values.Add(n)
+			s.batches.Add(1)
+			s.values.Add(n)
+			sc := s.streamCounters(st.Name())
+			sc.batches.Add(1)
+			sc.values.Add(n)
+		case wire.TypeEndStep:
+			c.endSteps.Add(1)
+			s.endSteps.Add(1)
+			s.streamCounters(st.Name()).endSteps.Add(1)
+		}
+	}
+	bumpMax(&c.lastSeq, f.Seq)
+	// Fan to the stream's other members. Leaf connections are the fan's
+	// receiving end and stop here.
+	if s.cluster != nil && !c.leaf {
+		if err := s.cluster.Relay(c.session, b.name, f, c.relayIn); err != nil {
+			return applied, fmt.Errorf("fan %q: %w", b.name, err)
+		}
+	}
+	return applied, nil
+}
+
+// bumpMax raises an atomic to seq if it is below it. The handler goroutine
+// is the only writer, so a plain load+store pair is race-free; the atomic
+// exists for Stats readers.
+func bumpMax(a *atomic.Uint64, seq uint64) {
+	if seq > a.Load() {
+		a.Store(seq)
+	}
 }
 
 func (s *Server) streamCounters(name string) *streamCounters {

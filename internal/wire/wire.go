@@ -51,14 +51,29 @@
 //
 // with payloads per type:
 //
-//	Hello      magic "HSQW" | version u8 | session: uvarint len + bytes
-//	Welcome    version u8 | uvarint lastSeq | uvarint credit
-//	OpenStream uvarint streamID | name: uvarint len + bytes
-//	Batch      uvarint seq | uvarint streamID | uvarint count | values
-//	EndStep    uvarint seq | uvarint streamID
-//	Flush      uvarint seq (the newest seq the client wants acknowledged)
-//	Ack        uvarint seq | uvarint credit
-//	Error      uvarint code | message: uvarint len + bytes
+//	Hello       magic "HSQW" | version u8 | session: uvarint len + bytes
+//	            | [uvarint flags — v2, written only when nonzero]
+//	Welcome     version u8 | uvarint lastSeq | uvarint credit
+//	            | [uvarint count | count × (name: uvarint len + bytes | uvarint seq) — v2]
+//	OpenStream  uvarint streamID | name: uvarint len + bytes
+//	Batch       uvarint seq | uvarint streamID | uvarint count | values
+//	EndStep     uvarint seq | uvarint streamID
+//	Flush       uvarint seq (the newest seq the client wants acknowledged)
+//	Ack         uvarint seq | uvarint credit
+//	Error       uvarint code | message: uvarint len + bytes
+//	Ping        uvarint seq (opaque; echoed back)
+//	Pong        uvarint seq (echo of the Ping's seq)
+//	SummaryReq  uvarint seq | name: uvarint len + bytes
+//	SummaryResp uvarint seq | uvarint code | message: uvarint len + bytes
+//	            | data: uvarint len + bytes
+//
+// # Version 2
+//
+// Version 2 adds keepalive (Ping/Pong), summary fetch (SummaryReq/
+// SummaryResp), Hello flags marking relayed and leaf connections, and a
+// Welcome extension restating the last applied sequence per stream name.
+// Both extensions are appended as optional trailing fields, so a v1 peer's
+// frames decode unchanged; servers accept v1 and v2 Hellos.
 package wire
 
 import (
@@ -75,9 +90,13 @@ import (
 // fresh connection is talking to the wrong client (or an HTTP request).
 const Magic = "HSQW"
 
-// Version is the protocol version this package speaks. The handshake is
-// exact-match: there is only one version so far.
-const Version = 1
+// Version is the newest protocol version this package speaks. Servers
+// accept any version in [MinVersion, Version] and answer with the version
+// they will speak on the connection.
+const Version = 2
+
+// MinVersion is the oldest protocol version still accepted.
+const MinVersion = 1
 
 // MaxFrameSize caps the payload length a Reader will accept, bounding the
 // memory a malformed (or hostile) length prefix can make the decoder
@@ -90,14 +109,31 @@ const MaxSessionLen = 64
 
 // Frame types.
 const (
-	TypeHello      = 0x01 // client → server: magic, version, session
-	TypeWelcome    = 0x02 // server → client: version, last applied seq, credit
-	TypeOpenStream = 0x03 // client → server: bind a stream ID to a name
-	TypeBatch      = 0x04 // client → server: sequenced value batch
-	TypeEndStep    = 0x05 // client → server: sequenced end-of-step
-	TypeFlush      = 0x06 // client → server: request an immediate Ack
-	TypeAck        = 0x07 // server → client: cumulative ack + credit
-	TypeError      = 0x08 // server → client: terminal error
+	TypeHello       = 0x01 // client → server: magic, version, session
+	TypeWelcome     = 0x02 // server → client: version, last applied seq, credit
+	TypeOpenStream  = 0x03 // client → server: bind a stream ID to a name
+	TypeBatch       = 0x04 // client → server: sequenced value batch
+	TypeEndStep     = 0x05 // client → server: sequenced end-of-step
+	TypeFlush       = 0x06 // client → server: request an immediate Ack
+	TypeAck         = 0x07 // server → client: cumulative ack + credit
+	TypeError       = 0x08 // server → client: terminal error
+	TypePing        = 0x09 // either direction: keepalive probe (v2)
+	TypePong        = 0x0A // either direction: keepalive echo (v2)
+	TypeSummaryReq  = 0x0B // client → server: request a stream's shard summary (v2)
+	TypeSummaryResp = 0x0C // server → client: encoded shard summary or error (v2)
+)
+
+// Hello flags (v2). A plain client sends no flags; cluster-internal
+// connections mark themselves so the receiver knows how far a frame may
+// travel.
+const (
+	// HelloFlagRelay marks a connection carrying frames routed from a
+	// non-owner node: the receiver applies them and fans out to its
+	// followers, but must never route them onward again.
+	HelloFlagRelay = 1 << 0
+	// HelloFlagLeaf marks a follower (replica) connection: the receiver
+	// applies frames locally and nothing more — no fan-out, no routing.
+	HelloFlagLeaf = 1 << 1
 )
 
 // Error codes carried by Error frames.
@@ -111,6 +147,13 @@ const (
 // beyond the reader's limit.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
 
+// StreamSeq is one per-stream high-water-mark entry in a v2 Welcome: the
+// newest applied sequence number for one stream name of the session.
+type StreamSeq struct {
+	Name string
+	Seq  uint64
+}
+
 // Frame is one protocol frame, decoded. Which fields are meaningful
 // depends on Type (see the package comment's payload table); the rest are
 // zero. A single struct — rather than one type per frame — keeps the
@@ -118,23 +161,26 @@ var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
 type Frame struct {
 	Type byte
 
-	Version  byte    // Hello, Welcome
-	Session  string  // Hello
-	Seq      uint64  // Batch, EndStep, Flush, Ack; Welcome's LastSeq
-	Credit   uint64  // Welcome, Ack
-	StreamID uint64  // OpenStream, Batch, EndStep
-	Name     string  // OpenStream
-	Values   []int64 // Batch
-	Code     uint64  // Error
-	Message  string  // Error
+	Version    byte        // Hello, Welcome
+	Session    string      // Hello
+	Flags      uint64      // Hello (v2)
+	Seq        uint64      // Batch, EndStep, Flush, Ack, Ping, Pong, SummaryReq/Resp; Welcome's LastSeq
+	Credit     uint64      // Welcome, Ack
+	StreamID   uint64      // OpenStream, Batch, EndStep
+	Name       string      // OpenStream, SummaryReq
+	Values     []int64     // Batch
+	Code       uint64      // Error, SummaryResp
+	Message    string      // Error, SummaryResp
+	Data       []byte      // SummaryResp
+	StreamSeqs []StreamSeq // Welcome (v2)
 }
 
 func (f *Frame) String() string {
 	switch f.Type {
 	case TypeHello:
-		return fmt.Sprintf("Hello{v%d session=%q}", f.Version, f.Session)
+		return fmt.Sprintf("Hello{v%d session=%q flags=%#x}", f.Version, f.Session, f.Flags)
 	case TypeWelcome:
-		return fmt.Sprintf("Welcome{v%d lastSeq=%d credit=%d}", f.Version, f.Seq, f.Credit)
+		return fmt.Sprintf("Welcome{v%d lastSeq=%d credit=%d streams=%v}", f.Version, f.Seq, f.Credit, f.StreamSeqs)
 	case TypeOpenStream:
 		return fmt.Sprintf("OpenStream{id=%d name=%q}", f.StreamID, f.Name)
 	case TypeBatch:
@@ -147,6 +193,14 @@ func (f *Frame) String() string {
 		return fmt.Sprintf("Ack{seq=%d credit=%d}", f.Seq, f.Credit)
 	case TypeError:
 		return fmt.Sprintf("Error{code=%d %q}", f.Code, f.Message)
+	case TypePing:
+		return fmt.Sprintf("Ping{seq=%d}", f.Seq)
+	case TypePong:
+		return fmt.Sprintf("Pong{seq=%d}", f.Seq)
+	case TypeSummaryReq:
+		return fmt.Sprintf("SummaryReq{seq=%d name=%q}", f.Seq, f.Name)
+	case TypeSummaryResp:
+		return fmt.Sprintf("SummaryResp{seq=%d code=%d %q data=%d}", f.Seq, f.Code, f.Message, len(f.Data))
 	default:
 		return fmt.Sprintf("Frame{type=%#x}", f.Type)
 	}
@@ -183,10 +237,23 @@ func AppendFrame(buf []byte, f *Frame) ([]byte, error) {
 		payload = append(payload, Magic...)
 		payload = append(payload, f.Version)
 		payload = appendString(payload, f.Session)
+		// The flags field is a v2 trailing extension; omitting it when
+		// zero keeps v1-shaped Hellos byte-identical to version 1.
+		if f.Flags != 0 {
+			payload = binary.AppendUvarint(payload, f.Flags)
+		}
 	case TypeWelcome:
 		payload = append(payload, f.Version)
 		payload = binary.AppendUvarint(payload, f.Seq)
 		payload = binary.AppendUvarint(payload, f.Credit)
+		// Per-stream marks are a v2 trailing extension, same deal.
+		if len(f.StreamSeqs) > 0 {
+			payload = binary.AppendUvarint(payload, uint64(len(f.StreamSeqs)))
+			for _, ss := range f.StreamSeqs {
+				payload = appendString(payload, ss.Name)
+				payload = binary.AppendUvarint(payload, ss.Seq)
+			}
+		}
 	case TypeOpenStream:
 		payload = binary.AppendUvarint(payload, f.StreamID)
 		payload = appendString(payload, f.Name)
@@ -206,6 +273,17 @@ func AppendFrame(buf []byte, f *Frame) ([]byte, error) {
 	case TypeError:
 		payload = binary.AppendUvarint(payload, f.Code)
 		payload = appendString(payload, f.Message)
+	case TypePing, TypePong:
+		payload = binary.AppendUvarint(payload, f.Seq)
+	case TypeSummaryReq:
+		payload = binary.AppendUvarint(payload, f.Seq)
+		payload = appendString(payload, f.Name)
+	case TypeSummaryResp:
+		payload = binary.AppendUvarint(payload, f.Seq)
+		payload = binary.AppendUvarint(payload, f.Code)
+		payload = appendString(payload, f.Message)
+		payload = binary.AppendUvarint(payload, uint64(len(f.Data)))
+		payload = append(payload, f.Data...)
 	default:
 		return nil, fmt.Errorf("wire: encode unknown frame type %#x", f.Type)
 	}
@@ -306,10 +384,25 @@ func DecodeFrame(typ byte, payload []byte) (*Frame, error) {
 		}
 		f.Version = d.byte()
 		f.Session = d.string(MaxSessionLen)
+		if d.err == nil && len(d.buf) > 0 { // v2 trailing flags
+			f.Flags = d.uvarint()
+		}
 	case TypeWelcome:
 		f.Version = d.byte()
 		f.Seq = d.uvarint()
 		f.Credit = d.uvarint()
+		if d.err == nil && len(d.buf) > 0 { // v2 per-stream marks
+			count := d.uvarint()
+			// Each entry costs at least 2 bytes (empty name len + seq).
+			if count > uint64(len(payload)) {
+				return nil, fmt.Errorf("wire: welcome stream count %d exceeds payload", count)
+			}
+			f.StreamSeqs = make([]StreamSeq, 0, count)
+			for i := uint64(0); i < count && d.err == nil; i++ {
+				name := d.string(MaxFrameSize)
+				f.StreamSeqs = append(f.StreamSeqs, StreamSeq{Name: name, Seq: d.uvarint()})
+			}
+		}
 	case TypeOpenStream:
 		f.StreamID = d.uvarint()
 		f.Name = d.string(MaxFrameSize)
@@ -334,6 +427,16 @@ func DecodeFrame(typ byte, payload []byte) (*Frame, error) {
 	case TypeError:
 		f.Code = d.uvarint()
 		f.Message = d.string(MaxFrameSize)
+	case TypePing, TypePong:
+		f.Seq = d.uvarint()
+	case TypeSummaryReq:
+		f.Seq = d.uvarint()
+		f.Name = d.string(MaxFrameSize)
+	case TypeSummaryResp:
+		f.Seq = d.uvarint()
+		f.Code = d.uvarint()
+		f.Message = d.string(MaxFrameSize)
+		f.Data = d.blob(MaxFrameSize)
 	default:
 		return nil, fmt.Errorf("wire: unknown frame type %#x", typ)
 	}
@@ -365,6 +468,14 @@ func TypeName(typ byte) string {
 		return "ack"
 	case TypeError:
 		return "error"
+	case TypePing:
+		return "ping"
+	case TypePong:
+		return "pong"
+	case TypeSummaryReq:
+		return "summary-req"
+	case TypeSummaryResp:
+		return "summary-resp"
 	default:
 		return fmt.Sprintf("%#x", typ)
 	}
@@ -433,6 +544,29 @@ func (d *decoder) string(maxLen int) string {
 		return ""
 	}
 	return string(d.bytes(int(n)))
+}
+
+// blob reads a length-prefixed byte string into a fresh slice (the
+// decoder's buffer is reused across frames). A zero length yields nil.
+func (d *decoder) blob(maxLen int) []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(maxLen) {
+		d.fail(fmt.Errorf("blob length %d exceeds %d", n, maxLen))
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	b := d.bytes(int(n))
+	if d.err != nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
 }
 
 func (d *decoder) values(count int) []int64 {

@@ -16,8 +16,12 @@ func sampleFrames() []*Frame {
 	return []*Frame{
 		{Type: TypeHello, Version: Version, Session: "f00dcafe"},
 		{Type: TypeHello, Version: 7, Session: ""},
+		{Type: TypeHello, Version: Version, Session: "relay-1", Flags: HelloFlagRelay},
+		{Type: TypeHello, Version: Version, Session: "leaf-9", Flags: HelloFlagRelay | HelloFlagLeaf},
 		{Type: TypeWelcome, Version: Version, Seq: 0, Credit: 64},
 		{Type: TypeWelcome, Version: Version, Seq: math.MaxUint64, Credit: 1},
+		{Type: TypeWelcome, Version: Version, Seq: 7, Credit: 64,
+			StreamSeqs: []StreamSeq{{Name: "api.latency", Seq: 7}, {Name: "db.rows", Seq: 3}}},
 		{Type: TypeOpenStream, StreamID: 0, Name: "api.latency"},
 		{Type: TypeOpenStream, StreamID: 1 << 40, Name: ""},
 		{Type: TypeBatch, Seq: 1, StreamID: 3, Values: []int64{1, 2, 3, 4, 5}},
@@ -29,6 +33,13 @@ func sampleFrames() []*Frame {
 		{Type: TypeAck, Seq: 42, Credit: 64},
 		{Type: TypeError, Code: ErrCodeShutdown, Message: "server shutting down"},
 		{Type: TypeError, Code: ErrCodeProtocol, Message: ""},
+		{Type: TypePing, Seq: 5},
+		{Type: TypePong, Seq: 5},
+		{Type: TypePing, Seq: math.MaxUint64},
+		{Type: TypeSummaryReq, Seq: 11, Name: "api.latency"},
+		{Type: TypeSummaryReq, Seq: 0, Name: ""},
+		{Type: TypeSummaryResp, Seq: 11, Code: 0, Data: []byte{0x01, 0x00, 0xfe}},
+		{Type: TypeSummaryResp, Seq: 12, Code: ErrCodeStream, Message: "unknown stream", Data: nil},
 	}
 }
 

@@ -1,0 +1,36 @@
+package hsq
+
+import "repro/internal/core"
+
+// Summary captures the engine's current in-memory summary state — every
+// pinned partition summary plus the stream-side pieces — as a portable
+// core.ShardSummary. It is the scatter half of the cluster's scatter-gather
+// query path: a coordinator fetches one ShardSummary per shard, merges them
+// with core.MergeShardSummaries, and answers quick quantile/rank queries
+// over the union within the composed ε bands.
+//
+// The snapshot is taken under the same pin discipline as queries, so a
+// Summary is a consistent point-in-time view even while ingest and
+// maintenance run. The returned summary references the engine's immutable
+// summary slices; it stays valid after the call (the slices are never
+// mutated, only replaced).
+func (e *Engine) Summary() (*core.ShardSummary, error) {
+	s, err := e.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	defer s.release()
+	sum := &core.ShardSummary{
+		N:      s.n,
+		Eps1:   e.eps1,
+		Eps2:   e.eps2,
+		Pieces: s.pieces,
+	}
+	if len(s.sums) > 0 {
+		sum.Parts = make([]core.PartSummary, 0, len(s.sums))
+		for _, ps := range s.sums {
+			sum.Parts = append(sum.Parts, core.PartSummary{Count: ps.Part.Count, Values: ps.Values})
+		}
+	}
+	return sum, nil
+}
