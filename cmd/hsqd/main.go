@@ -101,6 +101,7 @@ func main() {
 		maintenance = flag.String("maintenance", "", "maintenance mode: sync (default: install inline in endstep), async (background scheduler), manual (drain on demand via POST maintenance); unset with -max-pending-steps > 0 selects async")
 		maxPending  = flag.Int("max-pending-steps", 0, "async backpressure: sealed steps a stream may queue before endstep blocks (0 = default 4); > 0 alone turns async maintenance on")
 		maintWork   = flag.Int("maint-workers", 0, "async scheduler worker pool size shared by all streams (0 = default 2)")
+		maxHydrated = flag.Int("max-hydrated", 0, "hydrated-engine budget: streams resident in memory before LRU eviction seals idle ones (0 = unbounded)")
 
 		nodeID     = flag.String("node-id", "", "this node's stable cluster ID (required with -cluster-peers)")
 		peers      = flag.String("cluster-peers", "", "cluster membership: comma-separated id=host:port ingest addresses, self included; empty = single node")
@@ -128,7 +129,8 @@ func main() {
 		blockFormat: *format,
 		epsilon:     *epsilon, kappa: *kappa,
 		maintenance: *maintenance, maxPending: *maxPending, maintWorkers: *maintWork,
-		nodeID: *nodeID, clusterPeers: *peers, replicas: *replicas,
+		maxHydrated: *maxHydrated,
+		nodeID:      *nodeID, clusterPeers: *peers, replicas: *replicas,
 		ringEpoch: *ringEpoch, ingestIdle: *ingestIdle,
 		logf: log.Printf,
 	})
@@ -224,9 +226,13 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-// handleStreams lists every live stream with its counters — including its
-// cumulative wire-ingest tally — plus the shared device aggregate the
-// per-stream counters sum to and a summary of the ingest listener.
+// handleStreams lists every registered stream with its counters —
+// including its cumulative wire-ingest tally — plus the shared device
+// aggregate the per-stream counters sum to and a summary of the ingest
+// listener. Engine counters (stream/hist/steps/partitions) are reported
+// only for hydrated streams: a status poll must never hydrate a
+// million-stream directory, so cold streams show "hydrated": false with
+// their durable I/O counters and ingest tallies only.
 func (s *server) handleStreams(w http.ResponseWriter, r *http.Request) {
 	perStream := s.db.StreamStats()
 	streams := make([]map[string]any, 0, len(perStream))
@@ -237,12 +243,10 @@ func (s *server) handleStreams(w http.ResponseWriter, r *http.Request) {
 		}
 		io := perStream[name]
 		ing := s.ing.StreamStats(name)
-		streams = append(streams, map[string]any{
+		hydrated := st.Hydrated()
+		row := map[string]any{
 			"name":             name,
-			"stream_count":     st.StreamCount(),
-			"hist_count":       st.HistCount(),
-			"steps":            st.Steps(),
-			"partitions":       st.PartitionCount(),
+			"hydrated":         hydrated,
 			"io_seq_reads":     io.SeqReads,
 			"io_seq_writes":    io.SeqWrites,
 			"io_rand_reads":    io.RandReads,
@@ -250,7 +254,14 @@ func (s *server) handleStreams(w http.ResponseWriter, r *http.Request) {
 			"ingest_values":    ing.Values,
 			"ingest_batches":   ing.Batches,
 			"ingest_end_steps": ing.EndSteps,
-		})
+		}
+		if hydrated {
+			row["stream_count"] = st.StreamCount()
+			row["hist_count"] = st.HistCount()
+			row["steps"] = st.Steps()
+			row["partitions"] = st.PartitionCount()
+		}
+		streams = append(streams, row)
 	}
 	agg := s.db.DiskStats()
 	sched := s.db.SchedulerStats()
@@ -265,15 +276,19 @@ func (s *server) handleStreams(w http.ResponseWriter, r *http.Request) {
 			"cache_blocks":  s.db.CacheBlocks(),
 		},
 		"scheduler": map[string]any{
-			"workers":         sched.Workers,
-			"queued_streams":  sched.QueuedStreams,
-			"running_streams": sched.RunningStreams,
-			"pending_steps":   sched.PendingSteps,
-			"merge_debt":      sched.MergeDebt,
-			"installs":        sched.Installs,
-			"merges":          sched.Merges,
-			"maint_io_reads":  sched.MaintIO.SeqReads + sched.MaintIO.RandReads,
-			"maint_io_writes": sched.MaintIO.SeqWrites,
+			"workers":            sched.Workers,
+			"queued_streams":     sched.QueuedStreams,
+			"running_streams":    sched.RunningStreams,
+			"pending_steps":      sched.PendingSteps,
+			"merge_debt":         sched.MergeDebt,
+			"installs":           sched.Installs,
+			"merges":             sched.Merges,
+			"maint_io_reads":     sched.MaintIO.SeqReads + sched.MaintIO.RandReads,
+			"maint_io_writes":    sched.MaintIO.SeqWrites,
+			"registered_streams": sched.RegisteredStreams,
+			"hydrated_streams":   sched.HydratedStreams,
+			"hydrations":         sched.Hydrations,
+			"evictions":          sched.Evictions,
 		},
 		"ingest": map[string]any{
 			"listening":    s.ingAddr,

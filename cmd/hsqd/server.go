@@ -52,6 +52,7 @@ type serverConfig struct {
 	maintenance  string
 	maxPending   int
 	maintWorkers int
+	maxHydrated  int
 	logf         func(format string, args ...any) // ingest connection logs; nil = silent
 
 	// Cluster mode (empty clusterPeers = single node).
@@ -81,6 +82,7 @@ func newServer(sc serverConfig) (*server, error) {
 		Maintenance:        sc.maintenance,
 		MaxPendingSteps:    sc.maxPending,
 		MaintenanceWorkers: sc.maintWorkers,
+		MaxHydratedStreams: sc.maxHydrated,
 	})
 	if err != nil {
 		return nil, err

@@ -20,6 +20,8 @@ var ErrUnknownStream = errors.New("hsq: unknown stream")
 // Kappa and the accuracy/behavior options apply to every stream the DB
 // hosts, while Backend, Dir, CacheBlocks, BlockSize and SimulateDisk
 // describe the one shared device all streams multiplex.
+// MaxHydratedStreams bounds how many streams keep a memory-resident engine
+// at once (see Config).
 type Options = Config
 
 // dbManifestName is the DB-level manifest (stream directory) on the root
@@ -40,6 +42,36 @@ type dbManifest struct {
 	Streams []string `json:"streams"`
 }
 
+// streamEntry is one registered stream in the DB's directory. The entry is
+// a lightweight descriptor — a few pointers and counters — that exists for
+// every registered stream; the engine it points at is hydrated lazily on
+// first touch and may be evicted (sealed back to its on-disk manifest)
+// while the stream is idle, so a DB can host millions of registered
+// streams with only the hot set resident.
+//
+// Locking: the map-visible fields (eng, pins, seq, view, dropped, facade)
+// are guarded by db.mu. Slow state transitions — hydration, eviction,
+// drop — additionally serialize on opMu, the per-name singleflight lock,
+// which is always acquired before db.mu and never while holding it. The
+// fast path (pinning an already-hydrated engine) takes only db.mu, so one
+// stream's cold open can never stall another stream's operations.
+type streamEntry struct {
+	name string
+	opMu sync.Mutex
+
+	// view is the stream's namespaced device view, created on first
+	// hydration and cached for the entry's lifetime: per-stream I/O
+	// counters live on the view, so reusing it across hydrate/evict
+	// cycles keeps the counters cumulative and the per-stream sum equal
+	// to the device aggregate.
+	view    *disk.Manager
+	eng     *Engine // nil while cold (not hydrated)
+	pins    int     // in-flight operations holding eng; eviction skips pinned entries
+	seq     uint64  // LRU clock value of the last touch
+	dropped bool
+	facade  *Stream
+}
+
 // DB hosts many named quantile streams over one shared device: one storage
 // backend, one block-cache budget, one manifest root. Each stream is a full
 // Engine (Observe/EndStep/Quantile/Rank/Window surface) running on a
@@ -47,24 +79,41 @@ type dbManifest struct {
 // per-stream I/O accounting while competing for — and benefiting from —
 // the same cache. DB is safe for concurrent use.
 //
+// The stream directory distinguishes registered from hydrated streams:
+// every stream listed in the DB manifest is registered (a lightweight
+// descriptor, ~100 bytes), but an engine — GK sketch, partition summaries,
+// maintenance state — is hydrated only on first touch, outside the DB
+// lock, with per-name singleflight. With Config.MaxHydratedStreams set,
+// idle streams are sealed (durably checkpointed) and evicted in LRU order,
+// so resident memory tracks the hot set, not the directory size. Open
+// loads only the directory: restart cost is O(registered streams), with
+// each stream's summary-rebuild scan deferred to its first touch.
+//
 //	db, err := hsq.Open(hsq.Options{Epsilon: 0.01, Dir: dir, CacheBlocks: 4096})
 //	lat, err := db.Stream("api.latency")
 //	lat.Observe(17)
 //	...
 //	p99, _, err := lat.Quantile(0.99)
 type DB struct {
-	mu      sync.Mutex
-	opts    Config
-	dev     *disk.Manager // root view: aggregate stats, shared cache
-	sched   *scheduler    // DB-wide background maintenance pool (async mode)
-	streams map[string]*Stream
-	closed  bool
+	mu    sync.Mutex
+	opts  Config
+	dev   *disk.Manager // root view: aggregate stats, shared cache
+	sched *scheduler    // DB-wide background maintenance pool (async mode)
+	dir   map[string]*streamEntry
+	seq   uint64 // LRU clock, incremented on every touch
+
+	hydrated   int // entries with eng != nil
+	hydrations uint64
+	evictions  uint64
+	closed     bool
 }
 
 // Open opens (or creates) a multi-stream DB on the configured device. If
 // the device holds a DB manifest from a previous run, every stream listed
-// in it is reopened — partition summaries are rebuilt with one sequential
-// scan each — so a daemon restarts with its full stream directory.
+// in it is registered — but not hydrated: each stream's engine (and its
+// one-sequential-scan summary rebuild) is loaded lazily on the stream's
+// first touch, so Open costs O(directory), not O(total data), and a daemon
+// with a huge, mostly-cold stream directory restarts in constant-ish time.
 func Open(opts Options) (*DB, error) {
 	full, err := opts.withDefaults()
 	if err != nil {
@@ -74,7 +123,7 @@ func Open(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := &DB{opts: full, dev: dev, streams: make(map[string]*Stream)}
+	db := &DB{opts: full, dev: dev, dir: make(map[string]*streamEntry)}
 	if full.mode() == maintAsync {
 		// One bounded worker pool shared by every stream of the DB: installs
 		// and merges from all streams compete for the same MaintenanceWorkers
@@ -102,10 +151,11 @@ func Open(opts Options) (*DB, error) {
 			return nil, fmt.Errorf("hsq: DB manifest version %d, want %d", m.Version, dbManifestVersion)
 		}
 		for _, name := range m.Streams {
-			registered[name] = true
-			if _, err := db.openStreamLocked(name); err != nil {
-				return nil, fmt.Errorf("hsq: reopen stream %q: %w", name, err)
+			if registered[name] {
+				continue
 			}
+			registered[name] = true
+			db.dir[name] = &streamEntry{name: name}
 		}
 	}
 	if err := db.collectUnregisteredStreams(registered); err != nil {
@@ -151,68 +201,325 @@ func ValidStreamName(name string) error {
 	return nil
 }
 
-// openStreamLocked opens (resuming if its manifest exists) or creates the
-// named stream. Caller holds db.mu.
-func (db *DB) openStreamLocked(name string) (*Stream, error) {
-	if s, ok := db.streams[name]; ok {
-		return s, nil
+// facadeLocked returns the entry's Stream handle, creating it on first
+// request. Caller holds db.mu. Lazily allocated so a directory of millions
+// of never-touched registered streams costs one small struct each.
+func (db *DB) facadeLocked(ent *streamEntry) *Stream {
+	if ent.facade == nil {
+		ent.facade = &Stream{name: ent.name, db: db, ent: ent}
 	}
-	if err := ValidStreamName(name); err != nil {
-		return nil, err
+	return ent.facade
+}
+
+// touchLocked records a use of the entry for LRU eviction ordering.
+// Caller holds db.mu.
+func (db *DB) touchLocked(ent *streamEntry) {
+	db.seq++
+	ent.seq = db.seq
+}
+
+// acquire returns the entry's hydrated engine with a pin held; the caller
+// must call the returned release when its operation completes. While an
+// entry is pinned it cannot be evicted, so queries, ingest batches and
+// maintenance barriers never lose their engine mid-operation.
+//
+// The fast path (engine already hydrated) takes only db.mu — a map lookup
+// and two counter bumps. The cold path hydrates outside db.mu under the
+// entry's opMu: concurrent callers of the same stream singleflight behind
+// one hydration, while operations on other streams proceed untouched. This
+// is the structural fix for the historical cold-open stall, where one
+// stream's manifest load and summary-rebuild scan blocked the whole DB.
+func (db *DB) acquire(ent *streamEntry) (*Engine, func(), error) {
+	db.mu.Lock()
+	eng, release, err, done := db.tryAcquireLocked(ent)
+	db.mu.Unlock()
+	if done {
+		return eng, release, err
 	}
-	ns := streamNamespacePrefix + "/" + name
-	view, err := db.dev.Namespace(ns)
-	if err != nil {
-		return nil, err
+
+	// Cold: hydrate under the per-name singleflight lock, outside db.mu.
+	ent.opMu.Lock()
+	defer ent.opMu.Unlock()
+	// Re-check: the hydration race may have been lost while waiting.
+	db.mu.Lock()
+	eng, release, err, done = db.tryAcquireLocked(ent)
+	view := ent.view
+	db.mu.Unlock()
+	if done {
+		return eng, release, err
+	}
+
+	if view == nil {
+		v, nsErr := db.dev.Namespace(streamNamespacePrefix + "/" + ent.name)
+		if nsErr != nil {
+			return nil, nil, nsErr
+		}
+		db.mu.Lock()
+		ent.view = v
+		view = v
+		db.mu.Unlock()
 	}
 	resume := view.Exists(manifestName)
-	eng, err := newEngineOn(view, db.opts, ns, resume)
+	fresh, err := newEngineOn(view, db.opts, streamNamespacePrefix+"/"+ent.name, resume)
 	if err != nil {
-		return nil, err
+		return nil, nil, fmt.Errorf("hsq: hydrate stream %q: %w", ent.name, err)
 	}
-	eng.sched = db.sched
-	s := &Stream{Engine: eng, name: name, db: db}
-	db.streams[name] = s
-	return s, nil
+	fresh.sched = db.sched
+
+	db.mu.Lock()
+	if db.closed || ent.dropped {
+		closed := db.closed
+		db.mu.Unlock()
+		// The DB closed (or the stream was dropped) while we hydrated;
+		// nothing was mutated, so discard the engine quietly.
+		fresh.Close() //nolint:errcheck // freshly hydrated, nothing to lose
+		if closed {
+			return nil, nil, ErrClosed
+		}
+		return nil, nil, fmt.Errorf("hsq: stream %q dropped: %w", ent.name, ErrClosed)
+	}
+	ent.eng = fresh
+	ent.pins++
+	db.hydrated++
+	db.hydrations++
+	db.touchLocked(ent)
+	victims := db.evictVictimsLocked()
+	db.mu.Unlock()
+	db.evict(victims)
+	return fresh, func() { db.release(ent) }, nil
+}
+
+// tryAcquireLocked is acquire's fast path. Caller holds db.mu. done
+// reports whether the acquire finished (successfully or with an error);
+// !done means the entry is cold and the caller must hydrate.
+func (db *DB) tryAcquireLocked(ent *streamEntry) (_ *Engine, _ func(), _ error, done bool) {
+	if db.closed {
+		return nil, nil, ErrClosed, true
+	}
+	if ent.dropped {
+		// Stale handle to a dropped stream: same contract as the closed
+		// engine the handle used to embed, so callers racing a DropStream
+		// keep seeing ErrClosed, never an I/O error.
+		return nil, nil, fmt.Errorf("hsq: stream %q dropped: %w", ent.name, ErrClosed), true
+	}
+	if ent.eng == nil {
+		return nil, nil, nil, false
+	}
+	ent.pins++
+	db.touchLocked(ent)
+	return ent.eng, func() { db.release(ent) }, nil, true
+}
+
+// release drops one pin and, if the hydration that pinned alongside us
+// pushed the DB over its budget while every candidate was pinned, retries
+// the eviction now that this entry is idle again.
+func (db *DB) release(ent *streamEntry) {
+	db.mu.Lock()
+	ent.pins--
+	victims := db.evictVictimsLocked()
+	db.mu.Unlock()
+	db.evict(victims)
+}
+
+// evictVictimsLocked selects least-recently-used hydrated, unpinned
+// entries until the hydrated count is back within MaxHydratedStreams.
+// Entries with a live observe buffer are not candidates at all — evictOne
+// would refuse them anyway, and selecting them would burn the whole
+// victim quota on unevictable streams while sealed idle engines sit past
+// the budget. Caller holds db.mu. Selection only — the actual
+// seal-and-close runs in evict, outside db.mu.
+func (db *DB) evictVictimsLocked() []*streamEntry {
+	max := db.opts.MaxHydratedStreams
+	if max <= 0 || db.hydrated <= max || db.closed {
+		return nil
+	}
+	var cands []*streamEntry
+	for _, ent := range db.dir {
+		if ent.eng != nil && ent.pins == 0 && ent.eng.StreamCount() == 0 {
+			cands = append(cands, ent)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].seq < cands[j].seq })
+	need := db.hydrated - max
+	if need > len(cands) {
+		need = len(cands)
+	}
+	return cands[:need]
+}
+
+// evict seals and dehydrates the victim entries, one at a time.
+func (db *DB) evict(victims []*streamEntry) {
+	for _, ent := range victims {
+		db.evictOne(ent)
+	}
+}
+
+// evictOne seals one idle stream back to its on-disk manifest and drops
+// its engine. Sealing is a durable checkpoint: Engine.Close drains the
+// maintenance backlog, commits the manifest and waits out pinned queries,
+// so an evicted stream loses nothing — its next touch rehydrates the exact
+// same state. Entries that would lose state are skipped: a pinned entry
+// (in-flight operation), a non-empty observe buffer (only EndStep may cut
+// a batch), or — in async mode — a sealed backlog, which is requeued to
+// the scheduler instead so the evictor never stalls behind another
+// stream's merges. The budget is therefore a target the DB converges to,
+// not a hard cap.
+func (db *DB) evictOne(ent *streamEntry) {
+	ent.opMu.Lock()
+	defer ent.opMu.Unlock()
+	db.mu.Lock()
+	eng := ent.eng
+	if db.closed || ent.dropped || eng == nil || ent.pins > 0 ||
+		db.opts.MaxHydratedStreams <= 0 || db.hydrated <= db.opts.MaxHydratedStreams {
+		db.mu.Unlock()
+		return
+	}
+	if eng.StreamCount() > 0 {
+		// A live observe buffer is volatile only across process death;
+		// sealing here would silently drop it. Keep the stream resident.
+		db.mu.Unlock()
+		return
+	}
+	if db.sched != nil && eng.maintPending() {
+		// Hand the backlog to the scheduler rather than draining it on
+		// this caller; a later eviction pass collects the stream once the
+		// installs finish.
+		db.mu.Unlock()
+		db.sched.enqueue(eng)
+		return
+	}
+	// Detach before closing: a concurrent fast-path acquire either pinned
+	// the entry before this point (pins > 0 above, so we bailed) or finds
+	// eng == nil and waits on opMu for the eviction to finish.
+	ent.eng = nil
+	db.hydrated--
+	db.evictions++
+	db.mu.Unlock()
+
+	if err := eng.Close(); err != nil {
+		// The engine may be half-closed but its state is still durable up
+		// to the failure; restore it so nothing is lost and surface the
+		// failure on the next operation that touches the stream.
+		db.mu.Lock()
+		ent.eng = eng
+		db.hydrated++
+		db.evictions--
+		db.mu.Unlock()
+	}
 }
 
 // Stream returns the named stream, creating it on first use (and recording
 // it in the DB manifest so a restart finds it). The returned *Stream is
-// shared: every caller asking for the same name gets the same stream.
+// shared: every caller asking for the same name gets the same stream. The
+// call hydrates the stream's engine if it is cold — registration itself is
+// one atomic manifest write under the DB lock; the hydration (manifest
+// read plus summary-rebuild scan) runs outside it, so a slow cold open
+// never blocks operations on other streams.
 func (db *DB) Stream(name string) (*Stream, error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	ent, ok := db.dir[name]
+	created := false
+	if !ok {
+		if err := ValidStreamName(name); err != nil {
+			db.mu.Unlock()
+			return nil, err
+		}
+		ent = &streamEntry{name: name}
+		db.dir[name] = ent
+		if err := db.saveManifestLocked(); err != nil {
+			delete(db.dir, name)
+			db.mu.Unlock()
+			return nil, err
+		}
+		created = true
+	}
+	st := db.facadeLocked(ent)
+	db.mu.Unlock()
+
+	_, release, err := db.acquire(ent)
+	if err != nil {
+		if created {
+			// Best-effort unregistration: the stream never hydrated, so
+			// removing its directory entry leaves no on-disk debris beyond
+			// what the next Open's orphan collection reclaims.
+			db.mu.Lock()
+			if db.dir[name] == ent && ent.eng == nil && ent.pins == 0 && !ent.dropped {
+				delete(db.dir, name)
+				db.saveManifestLocked() //nolint:errcheck // unregistration is advisory here
+			}
+			db.mu.Unlock()
+		}
+		return nil, err
+	}
+	release()
+	return st, nil
+}
+
+// RegisterStreams registers the named streams in the directory — one
+// durable manifest commit for the whole batch — without hydrating any of
+// them. It is the bulk-provisioning path for large fleets (per-user or
+// per-sensor stream sets), where registering names one Stream call at a
+// time would rewrite the directory once per name. Already-registered names
+// are skipped; on a validation or commit error nothing is registered.
+func (db *DB) RegisterStreams(names ...string) error {
+	for _, name := range names {
+		if err := ValidStreamName(name); err != nil {
+			return err
+		}
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
-		return nil, ErrClosed
+		return ErrClosed
 	}
-	if s, ok := db.streams[name]; ok {
-		return s, nil
+	added := make([]string, 0, len(names))
+	for _, name := range names {
+		if _, ok := db.dir[name]; ok {
+			continue
+		}
+		db.dir[name] = &streamEntry{name: name}
+		added = append(added, name)
 	}
-	s, err := db.openStreamLocked(name)
-	if err != nil {
-		return nil, err
+	if len(added) == 0 {
+		return nil
 	}
 	if err := db.saveManifestLocked(); err != nil {
-		delete(db.streams, name)
-		return nil, err
+		for _, name := range added {
+			delete(db.dir, name)
+		}
+		return err
 	}
-	return s, nil
+	return db.dev.Sync()
 }
 
-// Lookup returns the named stream without creating it.
+// Lookup returns the named stream without creating it (and without
+// hydrating it: a cold stream's engine loads on its first operation, not
+// on Lookup). After Close, Lookup reports every name as not found —
+// handing out streams from a closed DB would leak handles whose every
+// operation fails with ErrClosed.
 func (db *DB) Lookup(name string) (*Stream, bool) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	s, ok := db.streams[name]
-	return s, ok
+	if db.closed {
+		return nil, false
+	}
+	ent, ok := db.dir[name]
+	if !ok {
+		return nil, false
+	}
+	return db.facadeLocked(ent), true
 }
 
-// Streams returns the names of all live streams, sorted.
+// Streams returns the names of all registered streams, sorted.
 func (db *DB) Streams() []string {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	out := make([]string, 0, len(db.streams))
-	for name := range db.streams {
+	out := make([]string, 0, len(db.dir))
+	for name := range db.dir {
 		out = append(out, name)
 	}
 	sort.Strings(out)
@@ -229,19 +536,34 @@ func (db *DB) Streams() []string {
 // half-destroyed stream.
 func (db *DB) DropStream(name string) error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return ErrClosed
 	}
-	s, ok := db.streams[name]
+	ent, ok := db.dir[name]
+	db.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownStream, name)
 	}
-	delete(db.streams, name)
+	// opMu serializes the drop against an in-flight hydration or eviction
+	// of the same stream, so the engine below is stable.
+	ent.opMu.Lock()
+	defer ent.opMu.Unlock()
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	if ent.dropped || db.dir[name] != ent {
+		db.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownStream, name)
+	}
+	delete(db.dir, name)
 	if err := db.saveManifestLocked(); err != nil {
 		// WriteMeta is atomic: the failed write left the old directory (with
 		// the stream) on the device, so memory and disk still agree.
-		db.streams[name] = s
+		db.dir[name] = ent
+		db.mu.Unlock()
 		return err
 	}
 	if err := db.dev.Sync(); err != nil {
@@ -249,20 +571,50 @@ func (db *DB) DropStream(name string) error {
 		// the drop in memory alone would let any later device-wide sync make
 		// that directory durable and a subsequent Open destroy a live
 		// stream's data. Rewrite the directory with the stream restored.
-		db.streams[name] = s
-		if serr := db.saveManifestLocked(); serr != nil {
+		db.dir[name] = ent
+		serr := db.saveManifestLocked()
+		db.mu.Unlock()
+		if serr != nil {
 			return errors.Join(err, serr)
 		}
 		return err
 	}
-	return s.Engine.Destroy()
+	ent.dropped = true
+	eng := ent.eng
+	if eng != nil {
+		ent.eng = nil
+		db.hydrated--
+	}
+	db.mu.Unlock()
+	if eng != nil {
+		// Destroy waits out pinned queries before deleting partition
+		// files, so in-flight reads never see files vanish mid-search.
+		return eng.Destroy()
+	}
+	return db.destroyColdStream(name)
+}
+
+// destroyColdStream removes the on-disk files of a stream that has no
+// hydrated engine. The directory commit already removed the stream, so a
+// failure (or crash) mid-removal leaves only orphans for the next Open.
+func (db *DB) destroyColdStream(name string) error {
+	files, err := db.dev.List(streamNamespacePrefix + "/" + name + "/")
+	if err != nil {
+		return fmt.Errorf("hsq: drop stream %q: %w", name, err)
+	}
+	for _, f := range files {
+		if err := db.dev.Remove(f); err != nil {
+			return fmt.Errorf("hsq: drop stream %q: %w", name, err)
+		}
+	}
+	return nil
 }
 
 // saveManifestLocked writes the stream directory atomically. Caller holds
 // db.mu.
 func (db *DB) saveManifestLocked() error {
 	m := dbManifest{Version: dbManifestVersion}
-	for name := range db.streams {
+	for name := range db.dir {
 		m.Streams = append(m.Streams, name)
 	}
 	sort.Strings(m.Streams)
@@ -276,60 +628,108 @@ func (db *DB) saveManifestLocked() error {
 	return nil
 }
 
-// Checkpoint persists every stream's manifest plus the stream directory,
-// each write atomic on the backend, so a multi-stream daemon can restart
-// cleanly with Open. As with Engine.Checkpoint, in-flight (unloaded) stream
-// batches are volatile by design — but steps already sealed by EndStep are
-// durable whether or not their background installs have run. Checkpoint
-// does not wait for the maintenance backlog; call WaitIdle first for a
-// fully-merged on-disk layout.
-func (db *DB) Checkpoint() error {
+// pinHydrated pins every currently-hydrated stream and returns the pinned
+// entries with their engines; the caller must release() each. Used by
+// DB-wide barriers (Checkpoint, WaitIdle) so eviction cannot close an
+// engine mid-barrier. Cold streams need no work: eviction sealed them
+// durably, and never-touched streams were durable to begin with.
+func (db *DB) pinHydrated() (ents []*streamEntry, engs []*Engine) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
-	}
-	for name, s := range db.streams {
-		if err := s.Engine.Checkpoint(); err != nil {
-			return fmt.Errorf("hsq: checkpoint stream %q: %w", name, err)
+	for _, ent := range db.dir {
+		if ent.eng != nil {
+			ent.pins++
+			ents = append(ents, ent)
+			engs = append(engs, ent.eng)
 		}
 	}
+	return ents, engs
+}
+
+// Checkpoint persists every hydrated stream's manifest plus the stream
+// directory, each write atomic on the backend, so a multi-stream daemon
+// can restart cleanly with Open. Cold (evicted or never-touched) streams
+// are already durable and cost nothing. As with Engine.Checkpoint,
+// in-flight (unloaded) stream batches are volatile by design — but steps
+// already sealed by EndStep are durable whether or not their background
+// installs have run. Checkpoint does not wait for the maintenance backlog;
+// call WaitIdle first for a fully-merged on-disk layout.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	db.mu.Unlock()
+	ents, engs := db.pinHydrated()
+	defer func() {
+		for _, ent := range ents {
+			db.release(ent)
+		}
+	}()
+	for i, eng := range engs {
+		if err := eng.Checkpoint(); err != nil {
+			return fmt.Errorf("hsq: checkpoint stream %q: %w", ents[i].name, err)
+		}
+	}
+	db.mu.Lock()
 	if err := db.saveManifestLocked(); err != nil {
+		db.mu.Unlock()
 		return err
 	}
+	db.mu.Unlock()
 	return db.dev.Sync()
 }
 
-// Close drains every stream's maintenance backlog, checkpoints every
-// stream and the stream directory, marks every stream closed, stops the
-// background scheduler, and releases the shared backend (when it implements
-// io.Closer). Close is idempotent; Destroy-like cleanup is per-stream via
-// DropStream.
+// Close seals every hydrated stream — maintenance backlog drained,
+// manifest committed — marks the DB closed, stops the background scheduler
+// and releases the shared backend (when it implements io.Closer).
+//
+// The DB is marked closed first and exactly once: even if sealing a stream
+// fails, every other stream is still sealed, the directory is still
+// committed, and every later operation (and Lookup) observes the closed
+// state. All failures along the way are joined into the returned error.
+// Close is idempotent; Destroy-like cleanup is per-stream via DropStream.
 func (db *DB) Close() error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return nil
 	}
-	for name, s := range db.streams {
-		if err := s.Engine.Close(); err != nil {
-			return fmt.Errorf("hsq: close stream %q: %w", name, err)
+	db.closed = true
+	var names []string
+	var engs []*Engine
+	for name, ent := range db.dir {
+		if ent.eng != nil {
+			names = append(names, name)
+			engs = append(engs, ent.eng)
+		}
+	}
+	db.mu.Unlock()
+
+	var errs []error
+	for i, eng := range engs {
+		if err := eng.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("hsq: close stream %q: %w", names[i], err))
 		}
 	}
 	if db.sched != nil {
 		db.sched.close()
 	}
+	db.mu.Lock()
 	if err := db.saveManifestLocked(); err != nil {
-		return err
+		errs = append(errs, err)
 	}
+	db.mu.Unlock()
 	if err := db.dev.Sync(); err != nil {
-		return err
+		errs = append(errs, err)
 	}
-	db.closed = true
 	if c, ok := db.dev.Backend().(io.Closer); ok {
-		return c.Close()
+		if err := c.Close(); err != nil {
+			errs = append(errs, err)
+		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // DiskStats returns the device-wide aggregate I/O counters: the sum of
@@ -338,17 +738,51 @@ func (db *DB) DiskStats() IOStats {
 	return fromDisk(db.dev.Stats())
 }
 
-// StreamStats returns the per-stream I/O counters for every live stream.
-// Each stream's counters cover exactly the block I/O issued through its
-// namespaced device view, so the values sum to DiskStats.
+// StreamStats returns the per-stream I/O counters for every registered
+// stream. Each stream's counters cover exactly the block I/O issued
+// through its namespaced device view — they survive eviction and
+// rehydration, so the values always sum to DiskStats. Streams never
+// hydrated this process report zero.
 func (db *DB) StreamStats() map[string]IOStats {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	out := make(map[string]IOStats, len(db.streams))
-	for name, s := range db.streams {
-		out[name] = s.DiskStats()
+	out := make(map[string]IOStats, len(db.dir))
+	for name, ent := range db.dir {
+		if ent.view != nil {
+			out[name] = fromDisk(ent.view.Stats())
+		} else {
+			out[name] = IOStats{}
+		}
 	}
 	return out
+}
+
+// DirectoryStats describes the stream directory's hydration state.
+type DirectoryStats struct {
+	// Registered is the number of streams in the directory; Hydrated of
+	// those currently hold a memory-resident engine.
+	Registered int
+	Hydrated   int
+	// MaxHydrated echoes Config.MaxHydratedStreams (0 = unlimited).
+	MaxHydrated int
+	// Hydrations and Evictions count engine loads and LRU seals since
+	// Open. Hydrations > Registered means streams have cycled.
+	Hydrations uint64
+	Evictions  uint64
+}
+
+// DirectoryStats returns the directory's registered/hydrated breakdown and
+// the cumulative hydration/eviction counters.
+func (db *DB) DirectoryStats() DirectoryStats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return DirectoryStats{
+		Registered:  len(db.dir),
+		Hydrated:    db.hydrated,
+		MaxHydrated: db.opts.MaxHydratedStreams,
+		Hydrations:  db.hydrations,
+		Evictions:   db.evictions,
+	}
 }
 
 // CacheBlocks returns the number of blocks currently resident in the

@@ -73,8 +73,10 @@
 // backend, one block-cache budget, one manifest root. Each stream carries
 // the full Engine surface; per-stream IOStats sum to the DB's aggregate,
 // and the shared cache budget flows to whichever stream is hot (see
-// BenchmarkMultiStream). Open resumes every stream recorded in the DB
-// manifest, so a multi-stream daemon restarts cleanly.
+// BenchmarkMultiStream). Open reads only the stream directory from the DB
+// manifest — cost proportional to the number of registered streams, not
+// to their data — so a multi-stream daemon restarts in milliseconds
+// regardless of warehouse size.
 //
 //	db, err := hsq.Open(hsq.Options{Epsilon: 0.01, Dir: dir, CacheBlocks: 4096})
 //	lat, err := db.Stream("api.latency")     // get-or-create
@@ -88,6 +90,35 @@
 // polling the context between the random disk reads of an accurate query
 // (and, for EndStepCtx under async maintenance, while blocked on
 // backpressure).
+//
+// # Stream lifecycle
+//
+// A stream is registered or hydrated. Registered means the DB knows the
+// name: an entry in the directory manifest plus a ~150-byte in-memory
+// descriptor, nothing else. Hydrated means the stream's engine is
+// resident — summaries rebuilt, maintenance resumed, queries served from
+// memory plus a few random reads. Registration happens in Stream (get-or-
+// create) or RegisterStreams (bulk, one manifest commit for any number of
+// names); hydration happens lazily, on the first operation that needs the
+// engine, outside the DB-wide lock — a slow cold open (large manifest,
+// summary-rebuild scan) never blocks operations on other streams, and two
+// goroutines touching the same cold stream hydrate it exactly once.
+//
+// Config.MaxHydratedStreams bounds how many engines stay resident (0, the
+// default, means unbounded). Past the budget the DB evicts
+// least-recently-used idle streams: eviction seals the stream — drains
+// its maintenance backlog, commits its manifest, waits out in-flight
+// queries — and then drops the engine, so an evicted stream loses
+// nothing and its next touch rehydrates the exact same state. In-flight
+// operations pin their engine (never evicted mid-query), and a stream
+// holding a live observe buffer is not evictable — only EndStep may cut
+// a batch — so the budget is a target the DB converges to as streams go
+// idle, not a hard cap. Lookup returns a handle without hydrating;
+// Stream.Hydrated reports residency; DB.DirectoryStats (and hsqd's GET
+// /streams) counts registered vs hydrated streams and cumulative
+// hydrations/evictions. The "cardinality" hsqbench figure quantifies the
+// point: registered streams grown 1000× under a fixed budget, with
+// resident heap tracking the hot set and hot-stream latency flat.
 //
 // # Concurrency model
 //

@@ -100,6 +100,17 @@ type Config struct {
 	// MaintenanceWorkers sizes the async scheduler's worker pool, shared by
 	// all streams of a DB (default 2).
 	MaintenanceWorkers int
+
+	// MaxHydratedStreams bounds how many of a DB's registered streams may
+	// hold a hydrated (memory-resident) engine at once; 0 means unlimited.
+	// Streams beyond the bound are sealed — maintenance drained, manifest
+	// durably committed — and evicted in least-recently-used order, then
+	// rehydrated transparently on their next touch. The bound is a target,
+	// not a hard cap: streams that cannot be sealed without losing state
+	// (an in-flight operation, a non-empty observe buffer, a sealed
+	// maintenance backlog still draining) stay resident until they quiesce.
+	// Standalone engines (New/OpenEngine) ignore this knob.
+	MaxHydratedStreams int
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -157,6 +168,9 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if out.MaintenanceWorkers <= 0 {
 		out.MaintenanceWorkers = 2
+	}
+	if out.MaxHydratedStreams < 0 {
+		return out, fmt.Errorf("hsq: MaxHydratedStreams must be >= 0, got %d", out.MaxHydratedStreams)
 	}
 	return out, nil
 }

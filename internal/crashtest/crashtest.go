@@ -65,6 +65,11 @@ type Config struct {
 	// crash point per file) or "raw". Pinned explicitly so sweeps stay
 	// deterministic regardless of the HSQ_BLOCK_FORMAT environment.
 	BlockFormat string
+	// MaxHydrated caps the DB's hydrated-engine budget
+	// (Config.MaxHydratedStreams; 0 = unlimited). A cap of 1 with several
+	// streams forces constant seal/evict/rehydrate churn, so the crash
+	// sweep lands inside eviction checkpoints and rehydration resumes too.
+	MaxHydrated int
 }
 
 // WithDefaults fills zero fields with the harness defaults.
@@ -98,12 +103,13 @@ func (c Config) WithDefaults() Config {
 
 func (c Config) options(cb *disk.CrashBackend) hsq.Options {
 	return hsq.Options{
-		Epsilon:     c.Epsilon,
-		Kappa:       c.Kappa,
-		Device:      cb,
-		BlockSize:   c.BlockSize,
-		Maintenance: c.Maintenance,
-		BlockFormat: c.BlockFormat,
+		Epsilon:            c.Epsilon,
+		Kappa:              c.Kappa,
+		Device:             cb,
+		BlockSize:          c.BlockSize,
+		Maintenance:        c.Maintenance,
+		BlockFormat:        c.BlockFormat,
+		MaxHydratedStreams: c.MaxHydrated,
 	}
 }
 
@@ -264,10 +270,6 @@ func Verify(cb *disk.CrashBackend, cfg Config, plan []Op, res Result) error {
 	}
 	defer db.Close() //nolint:errcheck // best-effort; Close errors surface below
 
-	if err := checkNoOrphans(cb); err != nil {
-		return err
-	}
-
 	groups := stepGroups(plan)
 	for i := 0; i < cfg.Streams; i++ {
 		name := streamName(i)
@@ -304,6 +306,14 @@ func Verify(cb *disk.CrashBackend, cfg Config, plan []Op, res Result) error {
 		if err := checkQuantiles(st, want, cfg.Epsilon); err != nil {
 			return fmt.Errorf("stream %s (recovered %d steps): %w", name, r, err)
 		}
+	}
+
+	// Per-stream recovery — re-installing manifest-referenced sealed steps,
+	// retiring their spills, sweeping install temporaries — runs at
+	// hydration (Open loads only the directory), so the orphan check comes
+	// after the loop above has touched every registered stream.
+	if err := checkNoOrphans(cb); err != nil {
+		return err
 	}
 
 	// The recovered DB must be live: accept a new batch, commit it, answer.
@@ -363,8 +373,9 @@ var debrisPatterns = partition.TempFilePatterns()
 // half-finished install left behind: no temporary debris anywhere, every
 // partition file referenced by its stream's manifest, and no stream
 // namespace outside the DB directory. Raw spills never survive either:
-// reopen re-installs every manifest-referenced sealed step and retires its
-// spill before the DB is handed back.
+// each stream's hydration re-installs its manifest-referenced sealed steps
+// and retires their spills — Open itself collects only unregistered
+// namespaces, so the caller must touch every stream before this check.
 func checkNoOrphans(cb *disk.CrashBackend) error {
 	names, err := cb.List("")
 	if err != nil {

@@ -157,6 +157,43 @@ func TestCrashSweepSyncMode(t *testing.T) {
 	}
 }
 
+// TestCrashSweepEviction repeats the crash sweep with a hydrated-engine
+// budget of one: every stream switch in the plan forces a seal/evict of
+// the previous stream and a rehydration of the next, so crash points land
+// inside eviction checkpoints (the durable commit that seals an idle
+// stream) and mid-hydration resumes — the lifecycle transitions the lazy
+// directory added. The recovery contract is unchanged: eviction is a
+// checkpoint, so a crash mid-evict or mid-rehydrate loses nothing beyond
+// the usual in-flight batch.
+func TestCrashSweepEviction(t *testing.T) {
+	cfg := Config{Seed: *seedFlag, Ops: 200, Maintenance: *maintFlag, MaxHydrated: 1}.WithDefaults()
+	plan := BuildPlan(cfg)
+	counter := disk.NewCrashBackend()
+	if res := Replay(counter, cfg, plan); res.Err != nil {
+		t.Fatalf("uncrashed replay failed: %v", res.Err)
+	}
+	total := counter.Ops()
+	stride := int64(7)
+	if testing.Short() {
+		stride = 41
+	}
+	for k := int64(0); k < total; k += stride {
+		cb := disk.NewCrashBackend()
+		cb.SetCrashPoint(k, true)
+		res := Replay(cb, cfg, plan)
+		if res.Err != nil {
+			t.Fatalf("crash@%d: replay: %v", k, res.Err)
+		}
+		for _, keep := range []bool{false, true} {
+			clone := cb.Clone()
+			clone.Restart(keep)
+			if err := Verify(clone, cfg, plan, res); err != nil {
+				t.Errorf("crash@%d keep=%v: %v", k, keep, err)
+			}
+		}
+	}
+}
+
 // TestCrashSweepRawFormat repeats the crash sweep with the raw block
 // format: the default sweeps cover the columnar layout (whose footer adds
 // one write — and one crash point — per partition file), so this keeps the

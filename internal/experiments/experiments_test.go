@@ -485,3 +485,42 @@ func TestColumnarComparison(t *testing.T) {
 		t.Error("no bisection step was resolved from block-header bounds")
 	}
 }
+
+// TestCardinality smoke-tests the lazy-directory scaling figure and pins
+// its acceptance bar: across a 1000× growth in registered streams, live
+// heap stays within 1.5× of the first decade, the hydrated count stays at
+// (or under) the budget rather than tracking the directory, and hot-stream
+// observe latency does not degrade beyond noise.
+func TestCardinality(t *testing.T) {
+	tables, err := Cardinality(tiny, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 4 {
+		t.Fatalf("want one table with 4 decade rows, got %+v", tables)
+	}
+	rows := tables[0].Rows
+	first, last := rows[0], rows[len(rows)-1]
+	if growth := last.X / first.X; growth != 1000 {
+		t.Errorf("registered streams grew %gx, want 1000x", growth)
+	}
+	// Column order: HydratedStreams, HeapAllocMB, HotObserveP99Us,
+	// ColdTouchP99Ms, Evictions.
+	for _, r := range rows {
+		if r.Cells[0] > 40 {
+			t.Errorf("x=%g: %g hydrated streams — resident set tracks the directory, not the budget", r.X, r.Cells[0])
+		}
+	}
+	if ratio := last.Cells[1] / first.Cells[1]; ratio > 1.5 {
+		t.Errorf("heap grew %.2fx (%.1f MB -> %.1f MB) across 1000x streams, want <= 1.5x",
+			ratio, first.Cells[1], last.Cells[1])
+	}
+	// p99 Observe is noisy at test scale; "within noise" here means the
+	// last decade is not an order of magnitude above the first.
+	if first.Cells[2] > 0 && last.Cells[2] > 10*first.Cells[2] {
+		t.Errorf("hot observe p99 grew %.0fus -> %.0fus across decades", first.Cells[2], last.Cells[2])
+	}
+	if last.Cells[4] == 0 {
+		t.Error("no evictions despite pool exceeding the hydration budget")
+	}
+}

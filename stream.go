@@ -1,23 +1,38 @@
 package hsq
 
-// Stream is one named quantile stream hosted by a DB. It embeds its
-// per-stream Engine, so the full single-stream surface — Observe,
-// ObserveSlice, EndStep, Quantile(s), Rank, windowed queries, the context
-// variants, MemoryUsage, Checkpoint, SyncMaintenance, MaintenanceStats —
-// applies per stream, while storage, the block-cache budget, aggregate I/O
-// accounting and (in async mode) the background maintenance worker pool are
-// shared with every other stream of the DB.
+import (
+	"context"
+
+	"repro/internal/core"
+)
+
+// Stream is one named quantile stream hosted by a DB. It exposes the full
+// single-stream surface — Observe, ObserveSlice, EndStep, Quantile(s),
+// Rank, windowed queries, the context variants, MemoryUsage, Checkpoint,
+// SyncMaintenance, MaintenanceStats — per stream, while storage, the
+// block-cache budget, aggregate I/O accounting and (in async mode) the
+// background maintenance worker pool are shared with every other stream of
+// the DB.
 //
-// DiskStats (inherited from Engine) reports only this stream's I/O: the
-// stream's engine runs on a namespaced view of the shared device, and
-// per-view counters always sum to the DB's DiskStats aggregate.
+// A Stream is a durable handle, not the engine itself: the engine behind
+// it hydrates on first touch and may be evicted (sealed to disk) while the
+// stream is idle under Config.MaxHydratedStreams. Every method pins the
+// engine for its duration — hydrating it first if needed — so operations
+// never observe an eviction mid-flight, and a handle obtained once stays
+// valid across any number of hydrate/evict cycles. Methods on a stream
+// that has been dropped (DB.DropStream), or whose DB has been closed,
+// fail with ErrClosed.
+//
+// DiskStats reports only this stream's I/O: the engine runs on a
+// namespaced view of the shared device, and per-view counters always sum
+// to the DB's DiskStats aggregate (and survive eviction).
 //
 // Use DB.DropStream to delete a stream rather than calling Destroy
 // directly, so the DB's stream directory stays consistent.
 type Stream struct {
-	*Engine
 	name string
 	db   *DB
+	ent  *streamEntry
 }
 
 // Name returns the stream's name.
@@ -25,3 +40,460 @@ func (s *Stream) Name() string { return s.name }
 
 // DB returns the hosting database.
 func (s *Stream) DB() *DB { return s.db }
+
+// Hydrated reports whether the stream currently holds a memory-resident
+// engine. Monitoring paths use it to skip cold streams instead of
+// hydrating the whole directory just to render a status page.
+func (s *Stream) Hydrated() bool {
+	s.db.mu.Lock()
+	defer s.db.mu.Unlock()
+	return s.ent.eng != nil
+}
+
+// Epsilon returns the configured rank-error budget ε (DB-wide; streams
+// share one configuration).
+func (s *Stream) Epsilon() float64 { return s.db.opts.Epsilon }
+
+// Kappa returns the resolved merge fan-in κ.
+func (s *Stream) Kappa() int { return s.db.opts.Kappa }
+
+// Observe adds one element to the stream's current step, hydrating the
+// engine if the stream is cold. Like Engine.Observe it never blocks on
+// maintenance and reports no error: an element observed against a dropped
+// stream or closed DB — or one whose hydration fails — is dropped. Use
+// ObserveCtx for error reporting.
+func (s *Stream) Observe(v int64) {
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return
+	}
+	defer release()
+	eng.Observe(v)
+}
+
+// ObserveSlice adds a batch of elements in one lock acquisition; the slice
+// is observed atomically or not at all.
+func (s *Stream) ObserveSlice(vs []int64) {
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return
+	}
+	defer release()
+	eng.ObserveSlice(vs)
+}
+
+// EndStep seals the current step: the live batch becomes a completed step
+// of the historical warehouse (see Engine.EndStep for the sync/async/
+// manual semantics).
+func (s *Stream) EndStep() (UpdateStats, error) {
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	defer release()
+	return eng.EndStep()
+}
+
+// Quantile answers an ε-approximate φ-quantile over the stream's full
+// history plus its live batch.
+func (s *Stream) Quantile(phi float64) (int64, QueryStats, error) {
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return 0, QueryStats{}, err
+	}
+	defer release()
+	return eng.Quantile(phi)
+}
+
+// QuantileOpts is Quantile with per-query knobs.
+func (s *Stream) QuantileOpts(phi float64, opts QueryOpts) (int64, QueryStats, error) {
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return 0, QueryStats{}, err
+	}
+	defer release()
+	return eng.QuantileOpts(phi, opts)
+}
+
+// Quantiles answers a batch of φ-quantiles over one consistent snapshot.
+func (s *Stream) Quantiles(phis []float64) ([]int64, QueryStats, error) {
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	defer release()
+	return eng.Quantiles(phis)
+}
+
+// QuantilesOpts is Quantiles with per-query knobs.
+func (s *Stream) QuantilesOpts(phis []float64, opts QueryOpts) ([]int64, QueryStats, error) {
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	defer release()
+	return eng.QuantilesOpts(phis, opts)
+}
+
+// QuantileQuick answers from memory-resident summaries only (no disk
+// probes), at 2ε error.
+func (s *Stream) QuantileQuick(phi float64) (int64, error) {
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	return eng.QuantileQuick(phi)
+}
+
+// RankQuery returns the element of rank r.
+func (s *Stream) RankQuery(r int64) (int64, QueryStats, error) {
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return 0, QueryStats{}, err
+	}
+	defer release()
+	return eng.RankQuery(r)
+}
+
+// RankQueryQuick is RankQuery from memory-resident summaries only.
+func (s *Stream) RankQueryQuick(r int64) (int64, error) {
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	return eng.RankQueryQuick(r)
+}
+
+// Rank returns the rank of value v.
+func (s *Stream) Rank(v int64) (int64, QueryStats, error) {
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return 0, QueryStats{}, err
+	}
+	defer release()
+	return eng.Rank(v)
+}
+
+// RankQuick is Rank from memory-resident summaries only.
+func (s *Stream) RankQuick(v int64) (int64, error) {
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	return eng.RankQuick(v)
+}
+
+// WindowQuantile answers a φ-quantile over the trailing window of the
+// given number of steps.
+func (s *Stream) WindowQuantile(phi float64, steps int) (int64, QueryStats, error) {
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return 0, QueryStats{}, err
+	}
+	defer release()
+	return eng.WindowQuantile(phi, steps)
+}
+
+// WindowQuantileQuick is WindowQuantile from memory-resident summaries
+// only.
+func (s *Stream) WindowQuantileQuick(phi float64, steps int) (int64, error) {
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	return eng.WindowQuantileQuick(phi, steps)
+}
+
+// AvailableWindows lists the trailing-window sizes answerable at full
+// accuracy.
+func (s *Stream) AvailableWindows() []int {
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return nil
+	}
+	defer release()
+	return eng.AvailableWindows()
+}
+
+// StreamCount returns the element count of the live (unsealed) batch.
+func (s *Stream) StreamCount() int64 {
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return 0
+	}
+	defer release()
+	return eng.StreamCount()
+}
+
+// HistCount returns the element count across all completed steps.
+func (s *Stream) HistCount() int64 {
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return 0
+	}
+	defer release()
+	return eng.HistCount()
+}
+
+// TotalCount returns HistCount plus the live batch.
+func (s *Stream) TotalCount() int64 {
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return 0
+	}
+	defer release()
+	return eng.TotalCount()
+}
+
+// Steps returns the number of completed steps.
+func (s *Stream) Steps() int {
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return 0
+	}
+	defer release()
+	return eng.Steps()
+}
+
+// PartitionCount returns the number of disk partitions across all levels.
+func (s *Stream) PartitionCount() int {
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return 0
+	}
+	defer release()
+	return eng.PartitionCount()
+}
+
+// Describe returns the stream's level layout for inspection.
+func (s *Stream) Describe() []LevelInfo {
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return nil
+	}
+	defer release()
+	return eng.Describe()
+}
+
+// Summary captures the stream's current in-memory summary state as a
+// portable core.ShardSummary (see Engine.Summary): the scatter half of the
+// cluster's scatter-gather query path.
+func (s *Stream) Summary() (*core.ShardSummary, error) {
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return eng.Summary()
+}
+
+// MemoryUsage returns the stream's memory-resident summary footprint. A
+// cold (evicted or never-touched) stream reports zero — which is the
+// point of eviction — without hydrating.
+func (s *Stream) MemoryUsage() MemoryUsage {
+	s.db.mu.Lock()
+	eng := s.ent.eng
+	if eng == nil || s.db.closed {
+		s.db.mu.Unlock()
+		return MemoryUsage{}
+	}
+	s.ent.pins++
+	s.db.mu.Unlock()
+	defer s.db.release(s.ent)
+	return eng.MemoryUsage()
+}
+
+// DiskStats returns this stream's I/O counters: the block I/O issued
+// through its namespaced view of the shared device. The counters are
+// cumulative across hydrate/evict cycles and always sum (with the DB's
+// other streams) to DB.DiskStats. Reading them never hydrates the stream.
+func (s *Stream) DiskStats() IOStats {
+	s.db.mu.Lock()
+	view := s.ent.view
+	s.db.mu.Unlock()
+	if view == nil {
+		return IOStats{}
+	}
+	return fromDisk(view.Stats())
+}
+
+// MaintenanceStats returns the stream's maintenance counters. A cold
+// stream reports an empty (fully drained) state without hydrating —
+// eviction seals a stream only after its backlog is installed, so cold
+// streams genuinely have no pending work.
+func (s *Stream) MaintenanceStats() MaintenanceStats {
+	s.db.mu.Lock()
+	eng := s.ent.eng
+	if eng == nil || s.db.closed {
+		s.db.mu.Unlock()
+		return MaintenanceStats{Mode: s.db.opts.Maintenance}
+	}
+	s.ent.pins++
+	s.db.mu.Unlock()
+	defer s.db.release(s.ent)
+	return eng.MaintenanceStats()
+}
+
+// SyncMaintenance blocks until every sealed step of this stream is
+// installed and committed (see Engine.SyncMaintenance). A cold stream has
+// no pending work — sealing drained it — so the call returns immediately
+// without hydrating.
+func (s *Stream) SyncMaintenance() error {
+	s.db.mu.Lock()
+	if s.db.closed {
+		s.db.mu.Unlock()
+		return ErrClosed
+	}
+	eng := s.ent.eng
+	if eng == nil {
+		s.db.mu.Unlock()
+		return nil
+	}
+	s.ent.pins++
+	s.db.mu.Unlock()
+	defer s.db.release(s.ent)
+	return eng.SyncMaintenance()
+}
+
+// Checkpoint persists the stream's manifest so a restart resumes it (see
+// Engine.Checkpoint). A cold stream is already durable — eviction is a
+// checkpoint — so the call is a no-op without hydrating.
+func (s *Stream) Checkpoint() error {
+	s.db.mu.Lock()
+	if s.db.closed {
+		s.db.mu.Unlock()
+		return ErrClosed
+	}
+	eng := s.ent.eng
+	if eng == nil {
+		s.db.mu.Unlock()
+		return nil
+	}
+	s.ent.pins++
+	s.db.mu.Unlock()
+	defer s.db.release(s.ent)
+	return eng.Checkpoint()
+}
+
+// Context variants: per-stream mirrors of the Engine's ctx surface (see
+// ctx.go for the cancellation semantics of each).
+
+// ObserveCtx is Observe with error reporting: hydration failures, a
+// dropped stream and a closed DB all surface instead of dropping the
+// element silently.
+func (s *Stream) ObserveCtx(ctx context.Context, v int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return err
+	}
+	defer release()
+	return eng.ObserveCtx(ctx, v)
+}
+
+// ObserveSliceCtx is ObserveSlice with error reporting.
+func (s *Stream) ObserveSliceCtx(ctx context.Context, vs []int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return err
+	}
+	defer release()
+	return eng.ObserveSliceCtx(ctx, vs)
+}
+
+// EndStepCtx is EndStep with cancellation.
+func (s *Stream) EndStepCtx(ctx context.Context) (UpdateStats, error) {
+	if err := ctx.Err(); err != nil {
+		return UpdateStats{}, err
+	}
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	defer release()
+	return eng.EndStepCtx(ctx)
+}
+
+// QuantileCtx is Quantile with cancellation.
+func (s *Stream) QuantileCtx(ctx context.Context, phi float64) (int64, QueryStats, error) {
+	return s.QuantileOptsCtx(ctx, phi, QueryOpts{})
+}
+
+// QuantileOptsCtx is QuantileOpts with cancellation.
+func (s *Stream) QuantileOptsCtx(ctx context.Context, phi float64, opts QueryOpts) (int64, QueryStats, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, QueryStats{}, err
+	}
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return 0, QueryStats{}, err
+	}
+	defer release()
+	return eng.QuantileOptsCtx(ctx, phi, opts)
+}
+
+// QuantilesCtx is Quantiles with cancellation.
+func (s *Stream) QuantilesCtx(ctx context.Context, phis []float64) ([]int64, QueryStats, error) {
+	return s.QuantilesOptsCtx(ctx, phis, QueryOpts{})
+}
+
+// QuantilesOptsCtx is QuantilesOpts with cancellation.
+func (s *Stream) QuantilesOptsCtx(ctx context.Context, phis []float64, opts QueryOpts) ([]int64, QueryStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, QueryStats{}, err
+	}
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	defer release()
+	return eng.QuantilesOptsCtx(ctx, phis, opts)
+}
+
+// RankQueryCtx is RankQuery with cancellation.
+func (s *Stream) RankQueryCtx(ctx context.Context, r int64) (int64, QueryStats, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, QueryStats{}, err
+	}
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return 0, QueryStats{}, err
+	}
+	defer release()
+	return eng.RankQueryCtx(ctx, r)
+}
+
+// RankCtx is Rank with cancellation.
+func (s *Stream) RankCtx(ctx context.Context, v int64) (int64, QueryStats, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, QueryStats{}, err
+	}
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return 0, QueryStats{}, err
+	}
+	defer release()
+	return eng.RankCtx(ctx, v)
+}
+
+// WindowQuantileCtx is WindowQuantile with cancellation.
+func (s *Stream) WindowQuantileCtx(ctx context.Context, phi float64, steps int) (int64, QueryStats, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, QueryStats{}, err
+	}
+	eng, release, err := s.db.acquire(s.ent)
+	if err != nil {
+		return 0, QueryStats{}, err
+	}
+	defer release()
+	return eng.WindowQuantileCtx(ctx, phi, steps)
+}
