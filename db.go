@@ -55,6 +55,16 @@ type dbManifest struct {
 // which is always acquired before db.mu and never while holding it. The
 // fast path (pinning an already-hydrated engine) takes only db.mu, so one
 // stream's cold open can never stall another stream's operations.
+//
+// dropped marks a tombstone. While a tombstoned entry is still present in
+// db.dir, a DropStream has committed the directory removal but is still
+// destroying the stream's files: the name stays claimed — Stream waits the
+// destroy out, RegisterStreams rejects it, the manifest writer skips it —
+// so no new stream can hydrate over the half-deleted namespace. The
+// dropper deletes the entry once the destroy succeeds; on a destroy
+// failure the tombstone stays (the namespace holds partial debris) until
+// the next Open collects the orphans. A dropped entry no longer in db.dir
+// is just a dead handle: every operation through it reports ErrClosed.
 type streamEntry struct {
 	name string
 	opMu sync.Mutex
@@ -106,6 +116,7 @@ type DB struct {
 	hydrations uint64
 	evictions  uint64
 	closed     bool
+	dirDirty   bool // directory written but its durability sync failed
 }
 
 // Open opens (or creates) a multi-stream DB on the configured device. If
@@ -335,7 +346,7 @@ func (db *DB) evictVictimsLocked() []*streamEntry {
 	}
 	var cands []*streamEntry
 	for _, ent := range db.dir {
-		if ent.eng != nil && ent.pins == 0 && ent.eng.StreamCount() == 0 {
+		if ent.eng != nil && !ent.dropped && ent.pins == 0 && ent.eng.StreamCount() == 0 {
 			cands = append(cands, ent)
 		}
 	}
@@ -399,11 +410,16 @@ func (db *DB) evictOne(ent *streamEntry) {
 	if err := eng.Close(); err != nil {
 		// The engine may be half-closed but its state is still durable up
 		// to the failure; restore it so nothing is lost and surface the
-		// failure on the next operation that touches the stream.
+		// failure on the next operation that touches the stream — unless
+		// the DB closed (or the stream dropped) meanwhile, in which case
+		// nothing will ever close it again and restoring would only make a
+		// closed DB report a hydrated engine.
 		db.mu.Lock()
-		ent.eng = eng
-		db.hydrated++
-		db.evictions--
+		if !db.closed && !ent.dropped {
+			ent.eng = eng
+			db.hydrated++
+			db.evictions--
+		}
 		db.mu.Unlock()
 	}
 }
@@ -416,29 +432,57 @@ func (db *DB) evictOne(ent *streamEntry) {
 // read plus summary-rebuild scan) runs outside it, so a slow cold open
 // never blocks operations on other streams.
 func (db *DB) Stream(name string) (*Stream, error) {
-	db.mu.Lock()
-	if db.closed {
+	var (
+		ent     *streamEntry
+		st      *Stream
+		created bool
+	)
+	for {
+		db.mu.Lock()
+		if db.closed {
+			db.mu.Unlock()
+			return nil, ErrClosed
+		}
+		e, ok := db.dir[name]
+		if ok && e.dropped {
+			// The name is tombstoned: a DropStream committed the removal
+			// and is still destroying files under e.opMu. Re-creating the
+			// name now would let the new stream hydrate from the old,
+			// not-yet-deleted manifest — and lose its fresh files to the
+			// in-flight destroy. Wait the destroy out, then retry.
+			db.mu.Unlock()
+			e.opMu.Lock() // parks until the dropper finishes its destroy
+			db.mu.Lock()
+			failed := db.dir[name] == e && e.dropped
+			db.mu.Unlock()
+			e.opMu.Unlock()
+			if failed {
+				// The destroy failed and left its tombstone: the namespace
+				// holds partially deleted files, so the name stays
+				// unavailable until the next Open collects them.
+				return nil, fmt.Errorf("hsq: stream %q dropped: %w", name, ErrClosed)
+			}
+			continue
+		}
+		if !ok {
+			if err := ValidStreamName(name); err != nil {
+				db.mu.Unlock()
+				return nil, err
+			}
+			e = &streamEntry{name: name}
+			db.dir[name] = e
+			if err := db.saveManifestLocked(); err != nil {
+				delete(db.dir, name)
+				db.mu.Unlock()
+				return nil, err
+			}
+			created = true
+		}
+		ent = e
+		st = db.facadeLocked(e)
 		db.mu.Unlock()
-		return nil, ErrClosed
+		break
 	}
-	ent, ok := db.dir[name]
-	created := false
-	if !ok {
-		if err := ValidStreamName(name); err != nil {
-			db.mu.Unlock()
-			return nil, err
-		}
-		ent = &streamEntry{name: name}
-		db.dir[name] = ent
-		if err := db.saveManifestLocked(); err != nil {
-			delete(db.dir, name)
-			db.mu.Unlock()
-			return nil, err
-		}
-		created = true
-	}
-	st := db.facadeLocked(ent)
-	db.mu.Unlock()
 
 	_, release, err := db.acquire(ent)
 	if err != nil {
@@ -448,6 +492,14 @@ func (db *DB) Stream(name string) (*Stream, error) {
 			// what the next Open's orphan collection reclaims.
 			db.mu.Lock()
 			if db.dir[name] == ent && ent.eng == nil && ent.pins == 0 && !ent.dropped {
+				// Tombstone before deleting: a hydration of this entry we
+				// raced (another caller lost the singleflight, re-entered,
+				// and is loading outside db.mu right now) re-checks dropped
+				// before installing its engine, so it discards the engine
+				// instead of hydrating into an entry that is no longer in
+				// the directory — which would leak it past eviction and
+				// Close while a later Stream(name) doubled the namespace.
+				ent.dropped = true
 				delete(db.dir, name)
 				db.saveManifestLocked() //nolint:errcheck // unregistration is advisory here
 			}
@@ -464,7 +516,10 @@ func (db *DB) Stream(name string) (*Stream, error) {
 // them. It is the bulk-provisioning path for large fleets (per-user or
 // per-sensor stream sets), where registering names one Stream call at a
 // time would rewrite the directory once per name. Already-registered names
-// are skipped; on a validation or commit error nothing is registered.
+// are skipped; a name whose DropStream is still destroying files is
+// rejected (retry once the drop completes). On a validation, conflict or
+// commit error nothing is registered; after a durability (sync) error the
+// batch is registered in memory and a retry of the call re-syncs it.
 func (db *DB) RegisterStreams(names ...string) error {
 	for _, name := range names {
 		if err := ValidStreamName(name); err != nil {
@@ -472,35 +527,65 @@ func (db *DB) RegisterStreams(names ...string) error {
 		}
 	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return ErrClosed
 	}
 	added := make([]string, 0, len(names))
 	for _, name := range names {
-		if _, ok := db.dir[name]; ok {
+		if ent, ok := db.dir[name]; ok {
+			if ent.dropped {
+				// Mid-destroy tombstone: registering over it would hand the
+				// new stream a namespace still being deleted. Stream waits
+				// such a drop out; a bulk register reports the conflict.
+				for _, a := range added {
+					delete(db.dir, a)
+				}
+				db.mu.Unlock()
+				return fmt.Errorf("hsq: stream %q is being dropped; retry when the drop completes", name)
+			}
 			continue
 		}
 		db.dir[name] = &streamEntry{name: name}
 		added = append(added, name)
 	}
-	if len(added) == 0 {
+	if len(added) == 0 && !db.dirDirty {
+		db.mu.Unlock()
 		return nil
 	}
-	if err := db.saveManifestLocked(); err != nil {
-		for _, name := range added {
-			delete(db.dir, name)
+	if len(added) > 0 {
+		if err := db.saveManifestLocked(); err != nil {
+			for _, name := range added {
+				delete(db.dir, name)
+			}
+			db.mu.Unlock()
+			return err
 		}
+	}
+	db.mu.Unlock()
+	// The device-wide durability sync runs outside db.mu: a slow flush must
+	// not stall every other stream's fast-path acquire. On failure the
+	// batch stays registered in memory and in the written (not yet durable)
+	// directory; dirDirty makes a retry — even one that adds no new names —
+	// repeat the sync instead of short-circuiting.
+	if err := db.dev.Sync(); err != nil {
+		db.mu.Lock()
+		db.dirDirty = true
+		db.mu.Unlock()
 		return err
 	}
-	return db.dev.Sync()
+	db.mu.Lock()
+	db.dirDirty = false
+	db.mu.Unlock()
+	return nil
 }
 
 // Lookup returns the named stream without creating it (and without
 // hydrating it: a cold stream's engine loads on its first operation, not
 // on Lookup). After Close, Lookup reports every name as not found —
 // handing out streams from a closed DB would leak handles whose every
-// operation fails with ErrClosed.
+// operation fails with ErrClosed. A stream mid-DropStream is likewise not
+// found: its removal is already committed.
 func (db *DB) Lookup(name string) (*Stream, bool) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -508,7 +593,7 @@ func (db *DB) Lookup(name string) (*Stream, bool) {
 		return nil, false
 	}
 	ent, ok := db.dir[name]
-	if !ok {
+	if !ok || ent.dropped {
 		return nil, false
 	}
 	return db.facadeLocked(ent), true
@@ -519,7 +604,10 @@ func (db *DB) Streams() []string {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	out := make([]string, 0, len(db.dir))
-	for name := range db.dir {
+	for name, ent := range db.dir {
+		if ent.dropped {
+			continue
+		}
 		out = append(out, name)
 	}
 	sort.Strings(out)
@@ -533,7 +621,12 @@ func (db *DB) Streams() []string {
 // durably written before any file is deleted — so a crash mid-destroy
 // leaves only unregistered orphan files, which the next Open collects. The
 // reverse order would risk a committed directory pointing at a
-// half-destroyed stream.
+// half-destroyed stream. Until the destroy finishes, the entry stays in
+// the directory as a tombstone claiming the name (Stream waits, Register
+// rejects): re-creating the stream mid-destroy would let it hydrate from
+// the old, not-yet-deleted manifest while its fresh files were swept away.
+// If the destroy itself fails, the tombstone — and the error — stand, and
+// the name stays unavailable until the next Open collects the debris.
 func (db *DB) DropStream(name string) error {
 	db.mu.Lock()
 	if db.closed {
@@ -546,7 +639,8 @@ func (db *DB) DropStream(name string) error {
 		return fmt.Errorf("%w: %q", ErrUnknownStream, name)
 	}
 	// opMu serializes the drop against an in-flight hydration or eviction
-	// of the same stream, so the engine below is stable.
+	// of the same stream (so the engine below is stable) and parks Stream
+	// callers waiting to re-create the name until the destroy completes.
 	ent.opMu.Lock()
 	defer ent.opMu.Unlock()
 	db.mu.Lock()
@@ -558,20 +652,28 @@ func (db *DB) DropStream(name string) error {
 		db.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownStream, name)
 	}
-	delete(db.dir, name)
+	// Tombstone rather than delete: saveManifestLocked skips dropped
+	// entries, so this one write is the commit, while the entry itself
+	// keeps the name claimed until the files are gone.
+	ent.dropped = true
 	if err := db.saveManifestLocked(); err != nil {
 		// WriteMeta is atomic: the failed write left the old directory (with
 		// the stream) on the device, so memory and disk still agree.
-		db.dir[name] = ent
+		ent.dropped = false
 		db.mu.Unlock()
 		return err
 	}
+	db.mu.Unlock()
+	// The device-wide durability sync runs outside db.mu — a slow flush
+	// must not stall every other stream's fast-path acquire; opMu alone
+	// keeps the drop serialized against this stream.
 	if err := db.dev.Sync(); err != nil {
 		// The device now holds a directory without the stream; abandoning
 		// the drop in memory alone would let any later device-wide sync make
 		// that directory durable and a subsequent Open destroy a live
 		// stream's data. Rewrite the directory with the stream restored.
-		db.dir[name] = ent
+		db.mu.Lock()
+		ent.dropped = false
 		serr := db.saveManifestLocked()
 		db.mu.Unlock()
 		if serr != nil {
@@ -579,19 +681,38 @@ func (db *DB) DropStream(name string) error {
 		}
 		return err
 	}
-	ent.dropped = true
+	db.mu.Lock()
+	if db.closed {
+		// Close raced in after the commit and owns every attached engine
+		// now. The drop itself is durable — the stream's files are
+		// unregistered orphans the next Open collects — but the destroy
+		// cannot proceed over a closing device.
+		db.mu.Unlock()
+		return ErrClosed
+	}
 	eng := ent.eng
 	if eng != nil {
 		ent.eng = nil
 		db.hydrated--
 	}
 	db.mu.Unlock()
+	var derr error
 	if eng != nil {
 		// Destroy waits out pinned queries before deleting partition
 		// files, so in-flight reads never see files vanish mid-search.
-		return eng.Destroy()
+		derr = eng.Destroy()
+	} else {
+		derr = db.destroyColdStream(name)
 	}
-	return db.destroyColdStream(name)
+	if derr != nil {
+		return derr
+	}
+	db.mu.Lock()
+	if db.dir[name] == ent {
+		delete(db.dir, name)
+	}
+	db.mu.Unlock()
+	return nil
 }
 
 // destroyColdStream removes the on-disk files of a stream that has no
@@ -610,11 +731,15 @@ func (db *DB) destroyColdStream(name string) error {
 	return nil
 }
 
-// saveManifestLocked writes the stream directory atomically. Caller holds
-// db.mu.
+// saveManifestLocked writes the stream directory atomically, excluding
+// tombstoned entries (their removal is the commit a DropStream already
+// made). Caller holds db.mu.
 func (db *DB) saveManifestLocked() error {
 	m := dbManifest{Version: dbManifestVersion}
-	for name := range db.dir {
+	for name, ent := range db.dir {
+		if ent.dropped {
+			continue
+		}
 		m.Streams = append(m.Streams, name)
 	}
 	sort.Strings(m.Streams)
@@ -636,8 +761,12 @@ func (db *DB) saveManifestLocked() error {
 func (db *DB) pinHydrated() (ents []*streamEntry, engs []*Engine) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.closed {
+		// Close detached every engine; nothing is left to pin.
+		return nil, nil
+	}
 	for _, ent := range db.dir {
-		if ent.eng != nil {
+		if ent.eng != nil && !ent.dropped {
 			ent.pins++
 			ents = append(ents, ent)
 			engs = append(engs, ent.eng)
@@ -703,8 +832,14 @@ func (db *DB) Close() error {
 		if ent.eng != nil {
 			names = append(names, name)
 			engs = append(engs, ent.eng)
+			// Detach now, under db.mu: once the DB is closed, nothing may
+			// see these engines as hydrated — DirectoryStats must not
+			// report stale counts and pinHydrated barriers racing Close
+			// must not pin engines that are about to be sealed.
+			ent.eng = nil
 		}
 	}
+	db.hydrated = 0
 	db.mu.Unlock()
 
 	var errs []error
@@ -748,6 +883,9 @@ func (db *DB) StreamStats() map[string]IOStats {
 	defer db.mu.Unlock()
 	out := make(map[string]IOStats, len(db.dir))
 	for name, ent := range db.dir {
+		if ent.dropped {
+			continue
+		}
 		if ent.view != nil {
 			out[name] = fromDisk(ent.view.Stats())
 		} else {
@@ -776,8 +914,14 @@ type DirectoryStats struct {
 func (db *DB) DirectoryStats() DirectoryStats {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	registered := 0
+	for _, ent := range db.dir {
+		if !ent.dropped { // tombstones of in-flight drops are not registered
+			registered++
+		}
+	}
 	return DirectoryStats{
-		Registered:  len(db.dir),
+		Registered:  registered,
 		Hydrated:    db.hydrated,
 		MaxHydrated: db.opts.MaxHydratedStreams,
 		Hydrations:  db.hydrations,

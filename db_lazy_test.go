@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -323,6 +324,177 @@ func TestEvictionRoundTrip(t *testing.T) {
 	}
 	if agg := db.DiskStats(); sum != agg {
 		t.Errorf("per-stream IO %+v does not sum to device aggregate %+v", sum, agg)
+	}
+}
+
+// removeGateBackend, once armed, blocks every Remove touching the gated
+// prefix until the gate channel closes, signalling entered once — it
+// parks a stream destroy mid-deletion, the window in which a concurrent
+// re-create used to hydrate over the half-deleted namespace. It starts
+// disarmed because ordinary commits also Remove retired partition files.
+type removeGateBackend struct {
+	disk.Backend
+	prefix  string
+	armed   atomic.Bool
+	gate    chan struct{}
+	entered sync.Once
+	signal  chan struct{}
+}
+
+func (g *removeGateBackend) Remove(name string) error {
+	if g.armed.Load() && strings.HasPrefix(name, g.prefix) {
+		g.entered.Do(func() { close(g.signal) })
+		<-g.gate
+	}
+	return g.Backend.Remove(name)
+}
+
+// TestDropStreamRecreateWaitsForDestroy is the regression test for the
+// drop/re-create race: with DropStream parked mid-destroy (files being
+// deleted), the name must be fully claimed — Lookup misses, Streams and
+// DirectoryStats exclude it, RegisterStreams rejects it, and a Stream
+// re-create parks until the destroy finishes rather than hydrating a new
+// engine over the half-deleted namespace — while operations on other
+// streams proceed. The re-created stream must start empty, never resuming
+// the dropped stream's not-yet-deleted state.
+func TestDropStreamRecreateWaitsForDestroy(t *testing.T) {
+	gb := &removeGateBackend{
+		Backend: disk.NewMemBackend(),
+		prefix:  "streams/x/",
+		gate:    make(chan struct{}),
+		signal:  make(chan struct{}),
+	}
+	db, err := hsq.Open(hsq.Options{Epsilon: 0.05, Kappa: 2, Device: gb, BlockSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close() //nolint:errcheck
+	x, err := db.Stream("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 500; i++ {
+		x.Observe(i)
+	}
+	if _, err := x.EndStep(); err != nil {
+		t.Fatal(err)
+	}
+	y, err := db.Stream("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 100; i++ {
+		y.Observe(i)
+	}
+	if _, err := y.EndStep(); err != nil {
+		t.Fatal(err)
+	}
+
+	gb.armed.Store(true)
+	dropDone := make(chan error, 1)
+	go func() { dropDone <- db.DropStream("x") }()
+	<-gb.signal // the destroy is now parked mid-Remove
+
+	// The committed drop is visible everywhere even though files remain.
+	if _, ok := db.Lookup("x"); ok {
+		t.Error("Lookup found a stream whose drop is committed")
+	}
+	for _, n := range db.Streams() {
+		if n == "x" {
+			t.Error("Streams lists a stream whose drop is committed")
+		}
+	}
+	if err := db.RegisterStreams("x"); err == nil {
+		t.Error("RegisterStreams re-registered a name mid-destroy")
+	}
+	if ds := db.DirectoryStats(); ds.Registered != 1 {
+		t.Errorf("Registered = %d during the destroy, want 1 (just y)", ds.Registered)
+	}
+
+	// Other streams are untouched by the parked destroy.
+	if err := y.ObserveCtx(context.Background(), 7); err != nil {
+		t.Fatalf("observe on another stream during a destroy: %v", err)
+	}
+	if _, _, err := y.Quantile(0.5); err != nil {
+		t.Fatalf("quantile on another stream during a destroy: %v", err)
+	}
+
+	// A re-create parks until the destroy completes.
+	recreated := make(chan *hsq.Stream, 1)
+	recErr := make(chan error, 1)
+	go func() {
+		st, err := db.Stream("x")
+		if err != nil {
+			recErr <- err
+			return
+		}
+		recreated <- st
+	}()
+	select {
+	case <-recreated:
+		t.Fatal("Stream re-created x while its destroy was still deleting files")
+	case err := <-recErr:
+		t.Fatalf("re-create during destroy: %v, want it to wait", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(gb.gate)
+	if err := <-dropDone; err != nil {
+		t.Fatalf("drop after release: %v", err)
+	}
+	var st *hsq.Stream
+	select {
+	case st = <-recreated:
+	case err := <-recErr:
+		t.Fatalf("re-create after destroy: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("re-create still parked after the destroy completed")
+	}
+	if n := st.TotalCount(); n != 0 {
+		t.Fatalf("re-created stream resurrected %d elements from the dropped stream", n)
+	}
+}
+
+// TestCloseDetachesEngines is the regression test for Close leaving
+// engine pointers and the hydrated count behind: after Close, the
+// directory must report zero hydrated streams and DB-wide barriers must
+// find no engines to pin, while the registered set stays intact.
+func TestCloseDetachesEngines(t *testing.T) {
+	db, err := hsq.Open(hsq.Options{Epsilon: 0.05, Kappa: 2, Backend: "mem", BlockSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		st, err := db.Stream(fmt.Sprintf("s%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := int64(0); v < 200; v++ {
+			st.Observe(v)
+		}
+		if _, err := st.EndStep(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ds := db.DirectoryStats(); ds.Hydrated != 3 {
+		t.Fatalf("Hydrated = %d before Close, want 3", ds.Hydrated)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ds := db.DirectoryStats()
+	if ds.Hydrated != 0 {
+		t.Errorf("Hydrated = %d after Close, want 0", ds.Hydrated)
+	}
+	if ds.Registered != 3 {
+		t.Errorf("Registered = %d after Close, want 3 (directory survives Close)", ds.Registered)
+	}
+	ss := db.SchedulerStats()
+	if ss.HydratedStreams != 0 {
+		t.Errorf("SchedulerStats.HydratedStreams = %d after Close, want 0", ss.HydratedStreams)
+	}
+	if ss.PendingSteps != 0 || ss.MergeDebt != 0 {
+		t.Errorf("SchedulerStats backlog %d steps / %d elements after Close, want none (no engines to pin)", ss.PendingSteps, ss.MergeDebt)
 	}
 }
 

@@ -120,6 +120,13 @@
 // point: registered streams grown 1000× under a fixed budget, with
 // resident heap tracking the hot set and hot-stream latency flat.
 //
+// DropStream commits the directory without the stream durably before
+// deleting any file, and the name stays claimed until the deletion
+// completes: Stream waits an in-flight drop out, RegisterStreams reports
+// the conflict, and Lookup treats the stream as already gone. A
+// re-created stream therefore always starts empty — it can never resume
+// from the dropped stream's not-yet-deleted files.
+//
 // # Concurrency model
 //
 // Reads are snapshot-isolated. The store's published state is a chain of
