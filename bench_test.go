@@ -202,6 +202,85 @@ func BenchmarkQueryCached(b *testing.B) {
 	}
 }
 
+// BenchmarkQuantilesMultiTarget measures the shared multi-target sweep for
+// k ∈ {1, 3, 9}: one Quantiles call per op, memoization off so every op
+// pays the full bisection. Compare probes/op across k against k× the k=1
+// figure to see the sharing.
+func BenchmarkQuantilesMultiTarget(b *testing.B) {
+	sets := map[int][]float64{
+		1: {0.5},
+		3: {0.25, 0.5, 0.75},
+		9: {0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 0.95, 0.99},
+	}
+	for _, k := range []int{1, 3, 9} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			eng, err := hsq.New(hsq.Config{
+				Epsilon: 0.01, Kappa: 10, Dir: b.TempDir(), BlockSize: 4096,
+				ProbeMemoEntries: -1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen := workload.NewUniform(7)
+			for s := 0; s < 10; s++ {
+				eng.ObserveSlice(workload.Fill(gen, 20000))
+				if _, err := eng.EndStep(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			eng.ObserveSlice(workload.Fill(gen, 5000))
+			phis := sets[k]
+			probes, reads := 0, 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, qs, err := eng.Quantiles(phis)
+				if err != nil {
+					b.Fatal(err)
+				}
+				probes += qs.Iterations
+				reads += qs.RandReads
+			}
+			b.ReportMetric(float64(probes)/float64(b.N), "probes/op")
+			b.ReportMetric(float64(reads)/float64(b.N), "randReads/op")
+		})
+	}
+}
+
+// BenchmarkRepeatedDashboardPoll is the canonical memo workload: the same φ
+// set polled against an unchanged snapshot. The first poll pays the
+// bisection; every later op should resolve entirely from the version's
+// rank-probe memo (randReads/op → 0).
+func BenchmarkRepeatedDashboardPoll(b *testing.B) {
+	eng, err := hsq.New(hsq.Config{Epsilon: 0.01, Kappa: 10, Dir: b.TempDir(), BlockSize: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewUniform(8)
+	for s := 0; s < 10; s++ {
+		eng.ObserveSlice(workload.Fill(gen, 20000))
+		if _, err := eng.EndStep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	eng.ObserveSlice(workload.Fill(gen, 5000))
+	phis := []float64{0.5, 0.9, 0.99}
+	if _, _, err := eng.Quantiles(phis); err != nil { // warm the memo
+		b.Fatal(err)
+	}
+	reads, hits := 0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, qs, err := eng.Quantiles(phis)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reads += qs.RandReads
+		hits += qs.MemoHits
+	}
+	b.ReportMetric(float64(reads)/float64(b.N), "randReads/op")
+	b.ReportMetric(float64(hits)/float64(b.N), "memoHits/op")
+}
+
 // BenchmarkUpdateAmortized reports the per-element amortized loading cost
 // across enough steps to include multi-level merges (Lemma 6).
 func BenchmarkUpdateAmortized(b *testing.B) {

@@ -10,8 +10,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/wire"
 )
@@ -63,19 +63,23 @@ func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, map[string]any{
-		"enabled":  true,
-		"epoch":    ring.Epoch(),
-		"replicas": ring.Replicas(),
-		"self":     s.cl.Self().ID,
-		"nodes":    nodes,
-		"relays":   s.cl.Stats(),
+		"enabled":       true,
+		"epoch":         ring.Epoch(),
+		"replicas":      ring.Replicas(),
+		"self":          s.cl.Self().ID,
+		"nodes":         nodes,
+		"relays":        s.cl.Stats(),
+		"summary_cache": s.cl.SummaryCacheStats(),
 	})
 }
 
 // shardSummary resolves one stream's shard summary from wherever it
 // lives: locally when this node stores the stream, otherwise from the
-// first member that answers. A nil summary means the stream holds no data
-// anywhere reachable.
+// first member that answers — consulting the cluster's summary cache
+// first, so a dashboard re-polling the coordinator does not re-dial every
+// shard (entries expire after a short TTL and drop eagerly on observed
+// EndStep traffic). A nil summary means the stream holds no data anywhere
+// reachable.
 func (s *server) shardSummary(ctx context.Context, name string) (*core.ShardSummary, error) {
 	if s.cl == nil || s.cl.Member(name) {
 		st, ok := s.db.Lookup(name)
@@ -86,7 +90,7 @@ func (s *server) shardSummary(ctx context.Context, name string) (*core.ShardSumm
 	}
 	var lastErr error
 	for _, n := range s.cl.Ring().Members(name) {
-		sum, err := cluster.FetchSummary(ctx, cluster.DefaultDialTimeout, n, name)
+		sum, err := s.cl.CachedSummary(ctx, n, name)
 		if err != nil {
 			lastErr = err
 			continue
@@ -120,10 +124,23 @@ func (s *server) handleClusterQuantile(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad phi: %v", err)
 		return
 	}
+	// Scatter-gather: every stream's summary resolves concurrently (local
+	// lookups and peer fetches alike) instead of dialing shards one after
+	// another, so the request's latency is the slowest single fetch.
 	sums := make([]*core.ShardSummary, len(streams))
+	errs := make([]error, len(streams))
+	var wg sync.WaitGroup
 	for i, name := range streams {
-		if sums[i], err = s.shardSummary(r.Context(), name); err != nil {
-			httpError(w, http.StatusBadGateway, "stream %q: %v", name, err)
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sums[i], errs[i] = s.shardSummary(r.Context(), name)
+		}(i, name)
+	}
+	wg.Wait()
+	for i, ferr := range errs {
+		if ferr != nil {
+			httpError(w, http.StatusBadGateway, "stream %q: %v", streams[i], ferr)
 			return
 		}
 	}

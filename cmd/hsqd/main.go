@@ -102,12 +102,14 @@ func main() {
 		maxPending  = flag.Int("max-pending-steps", 0, "async backpressure: sealed steps a stream may queue before endstep blocks (0 = default 4); > 0 alone turns async maintenance on")
 		maintWork   = flag.Int("maint-workers", 0, "async scheduler worker pool size shared by all streams (0 = default 2)")
 		maxHydrated = flag.Int("max-hydrated", 0, "hydrated-engine budget: streams resident in memory before LRU eviction seals idle ones (0 = unbounded)")
+		probeMemo   = flag.Int("probe-memo-entries", 0, "per-snapshot rank-probe memo capacity: repeated queries against an unchanged stream resolve with no disk reads (0 = default 4096, negative = off)")
 
 		nodeID     = flag.String("node-id", "", "this node's stable cluster ID (required with -cluster-peers)")
 		peers      = flag.String("cluster-peers", "", "cluster membership: comma-separated id=host:port ingest addresses, self included; empty = single node")
 		replicas   = flag.Int("replicas", 1, "cluster replication factor R: each stream lives on its owner plus R-1 followers")
 		ringEpoch  = flag.Uint64("ring-epoch", 1, "cluster membership epoch; every node of a cluster must run the same value (GET /cluster reports it)")
 		ingestIdle = flag.Duration("ingest-idle-timeout", 0, "drop ingest connections idle longer than this (0 = never)")
+		summaryTTL = flag.Duration("summary-cache-ttl", 0, "peer shard-summary cache lifetime for coordinator reads; entries also drop on observed endstep traffic (0 = default 2s, negative = off)")
 	)
 	flag.Parse()
 	if *dir == "" && *backend != "mem" {
@@ -129,9 +131,9 @@ func main() {
 		blockFormat: *format,
 		epsilon:     *epsilon, kappa: *kappa,
 		maintenance: *maintenance, maxPending: *maxPending, maintWorkers: *maintWork,
-		maxHydrated: *maxHydrated,
-		nodeID:      *nodeID, clusterPeers: *peers, replicas: *replicas,
-		ringEpoch: *ringEpoch, ingestIdle: *ingestIdle,
+		maxHydrated: *maxHydrated, probeMemo: *probeMemo,
+		nodeID: *nodeID, clusterPeers: *peers, replicas: *replicas,
+		ringEpoch: *ringEpoch, ingestIdle: *ingestIdle, summaryTTL: *summaryTTL,
 		logf: log.Printf,
 	})
 	if err != nil {
@@ -612,6 +614,7 @@ func (s *server) handleStreamStats(st *hsq.Stream, w http.ResponseWriter, r *htt
 	mu := st.MemoryUsage()
 	io := st.DiskStats() // per-stream: this stream's namespaced device view
 	agg := s.db.DiskStats()
+	pm := st.ProbeMemoStats()
 	writeJSON(w, map[string]any{
 		"stream":               st.Name(),
 		"levels":               st.Describe(),
@@ -629,5 +632,9 @@ func (s *server) handleStreamStats(st *hsq.Stream, w http.ResponseWriter, r *htt
 		"io_cache_hits":        io.CacheHits,
 		"io_cache_miss":        io.CacheMisses,
 		"device_io_rand_reads": agg.RandReads,
+		"probe_memo_hits":      pm.Hits,
+		"probe_memo_misses":    pm.Misses,
+		"probe_memo_entries":   pm.Entries,
+		"probe_memo_capacity":  pm.Capacity,
 	})
 }

@@ -53,6 +53,7 @@ type serverConfig struct {
 	maxPending   int
 	maintWorkers int
 	maxHydrated  int
+	probeMemo    int                              // per-snapshot rank-probe memo entries (0 = default, < 0 = off)
 	logf         func(format string, args ...any) // ingest connection logs; nil = silent
 
 	// Cluster mode (empty clusterPeers = single node).
@@ -61,6 +62,7 @@ type serverConfig struct {
 	replicas     int           // replication factor R (≥ 1)
 	ringEpoch    uint64        // membership epoch (0 = 1)
 	ingestIdle   time.Duration // drop idle ingest conns after this (0 = never)
+	summaryTTL   time.Duration // peer summary cache TTL (0 = default, < 0 = off)
 }
 
 // newServer opens (or resumes — the DB manifest decides) a multi-stream DB
@@ -83,6 +85,7 @@ func newServer(sc serverConfig) (*server, error) {
 		MaxPendingSteps:    sc.maxPending,
 		MaintenanceWorkers: sc.maintWorkers,
 		MaxHydratedStreams: sc.maxHydrated,
+		ProbeMemoEntries:   sc.probeMemo,
 	})
 	if err != nil {
 		return nil, err
@@ -117,7 +120,7 @@ func newCluster(sc serverConfig) (*cluster.Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	return cluster.New(cluster.Config{Self: sc.nodeID, Ring: ring, Logf: sc.logf})
+	return cluster.New(cluster.Config{Self: sc.nodeID, Ring: ring, SummaryTTL: sc.summaryTTL, Logf: sc.logf})
 }
 
 // migrateLegacyLayout adopts a pre-multi-stream warehouse — flat

@@ -138,6 +138,7 @@ func TestDBConcurrentStreams(t *testing.T) {
 		sum.RandReads += io.RandReads
 		sum.CacheHits += io.CacheHits
 		sum.CacheMisses += io.CacheMisses
+		sum.SkippedBlocks += io.SkippedBlocks
 	}
 	if agg := db.DiskStats(); sum != agg {
 		t.Errorf("per-stream sum %+v != aggregate %+v", sum, agg)
@@ -295,8 +296,11 @@ func TestEngineClose(t *testing.T) {
 }
 
 func TestQuantilesOptsBudget(t *testing.T) {
+	// Memoization off: the budgeted re-query must repeat the disk search
+	// for the budget to bite.
 	eng, err := hsq.New(hsq.Config{
 		Epsilon: 0.02, Kappa: 4, Backend: "mem", BlockSize: 1024, NoSpill: true,
+		ProbeMemoEntries: -1,
 	})
 	if err != nil {
 		t.Fatal(err)

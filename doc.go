@@ -171,6 +171,32 @@
 // is its durable form — reopening re-installs sealed steps from their
 // spills before serving.
 //
+// # Query performance
+//
+// Quantiles and QuantilesOpts answer a set of φ targets in one shared
+// value-space sweep rather than k independent bisections. The sweep probes
+// the midpoint of the lowest-rank unresolved target, so that target walks
+// exactly its solo probe sequence — a k-target call never costs more
+// probes than k single-target calls — while targets whose filters bracket
+// the probe narrow for free and one accepting probe resolves every target
+// within its acceptance band. Banded φ sets (within ε·m/n of each other)
+// see ≥2× fewer probes; spread sets tie on probes but share cursor
+// descents, cutting backend reads. QueryOpts composes unchanged: MaxReads
+// bounds the sweep's total backend reads (unresolved targets fall back to
+// the quick estimate and Truncated is set), Interrupt aborts it, and
+// Parallel walks independent subranges concurrently.
+//
+// Each published store version carries a bounded memo of resolved rank
+// probes (Config.ProbeMemoEntries; default 4096, negative disables).
+// Versions are immutable, so memo entries can never go stale — they die
+// with their version, with no invalidation protocol. Repeating a query on
+// an unchanged snapshot resolves entirely from the memo:
+// QueryStats.MemoHits equals Iterations and RandReads is zero. Memo hits,
+// cache hits and skipped blocks are the absence of a disk access: none of
+// them spend QueryOpts.MaxReads budget or count toward the paper's
+// disk-access metric. Window queries bypass the memo (their ranks are
+// window-relative); Engine.MemoStats aggregates counters across versions.
+//
 // # Durability
 //
 // The warehouse is crash-consistent, with one exact guarantee: after a
@@ -251,7 +277,13 @@
 // DownAfter is declared down and its fan-out frames are dropped (counted,
 // visible in hsqd's GET /cluster) so ingest degrades instead of blocking;
 // there is no automatic rebalancing and no cross-member read-your-writes
-// within a step. TestClusterEndToEnd and the node-kill harness in
+// within a step. Peer summaries a coordinator fetches for streams it does
+// not host are cached per {stream, node, ring epoch} for
+// cluster.Config.SummaryTTL (hsqd -summary-cache-ttl, default 2s,
+// negative disables), invalidated early when the node relays an
+// end-of-step frame for the stream and wholesale on membership-epoch
+// change; a cached summary can be stale only by in-flight data the
+// 1.5·ε·N quick-query bound already absorbs. TestClusterEndToEnd and the node-kill harness in
 // internal/crashtest prove the failover contract under -race.
 //
 // See DESIGN.md for the full mapping from the paper's algorithms to this

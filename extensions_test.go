@@ -60,7 +60,9 @@ func TestParallelQueryMatchesSerial(t *testing.T) {
 // bites, and degrade accuracy gracefully (answer stays within the filter
 // spread of Lemma 4).
 func TestQueryIOBudget(t *testing.T) {
-	eng, err := New(Config{Epsilon: 0.005, Kappa: 3, Dir: t.TempDir(), BlockSize: 1024})
+	// Memoization off: the test re-queries the same φ against the same
+	// snapshot, and a memo-resolved re-query costs no reads to cap.
+	eng, err := New(Config{Epsilon: 0.005, Kappa: 3, Dir: t.TempDir(), BlockSize: 1024, ProbeMemoEntries: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,6 +131,68 @@ func TestQueryIOBudget(t *testing.T) {
 	if v2 != vFull {
 		t.Errorf("generous cap answer %d != unbounded %d", v2, vFull)
 	}
+}
+
+// TestBudgetExcludesCacheAndMemoHits pins the budget-accounting rule: only
+// reads that reach the storage backend spend MaxReads. Probes absorbed by
+// the block cache or the snapshot's rank-probe memo are the absence of an
+// access, so a warm repeat of a query that cold needs many reads completes
+// untruncated under MaxReads=1.
+func TestBudgetExcludesCacheAndMemoHits(t *testing.T) {
+	phis := []float64{0.25, 0.5, 0.75, 0.9, 0.99}
+	run := func(t *testing.T, cfg Config, wantMemo bool) {
+		eng, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := workload.NewUniform(37)
+		for step := 0; step < 10; step++ {
+			eng.ObserveSlice(workload.Fill(gen, 3000))
+			if _, err := eng.EndStep(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng.ObserveSlice(workload.Fill(gen, 2000))
+
+		cold, cqs, err := eng.QuantilesOpts(phis, QueryOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cqs.RandReads == 0 {
+			t.Fatal("cold query hit no backend reads; budget test is vacuous")
+		}
+		warm, wqs, err := eng.QuantilesOpts(phis, QueryOpts{MaxReads: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wqs.Truncated {
+			t.Errorf("warm repeat truncated under MaxReads=1: %+v (cold %+v)", wqs, cqs)
+		}
+		if wqs.RandReads > 1 {
+			t.Errorf("warm repeat spent %d backend reads over a budget of 1", wqs.RandReads)
+		}
+		if wantMemo {
+			if wqs.MemoHits == 0 || wqs.MemoHits != wqs.Iterations {
+				t.Errorf("warm repeat: %d memo hits over %d probes; want every probe memoized", wqs.MemoHits, wqs.Iterations)
+			}
+		} else if wqs.CacheHits == 0 {
+			t.Errorf("warm repeat hit the block cache 0 times: %+v", wqs)
+		}
+		for i := range cold {
+			if warm[i] != cold[i] {
+				t.Errorf("phi=%g: warm answer %d != cold %d", phis[i], warm[i], cold[i])
+			}
+		}
+	}
+	t.Run("memo", func(t *testing.T) {
+		run(t, Config{Epsilon: 0.005, Kappa: 3, Dir: t.TempDir(), BlockSize: 1024}, true)
+	})
+	t.Run("block-cache", func(t *testing.T) {
+		// Memoization off: the repeat must re-descend the cursors, and the
+		// block cache alone absorbs the reads.
+		run(t, Config{Epsilon: 0.005, Kappa: 3, Dir: t.TempDir(), BlockSize: 1024,
+			CacheBlocks: 4096, ProbeMemoEntries: -1}, false)
+	})
 }
 
 // TestIOBudgetTradeoffMonotone sweeps the cap and checks that allowed reads

@@ -74,6 +74,14 @@ type Config struct {
 	// MergeWorkers > 1 parallelizes level merges across value ranges (§4
 	// future work). Costs one extra sequential pass over merged data.
 	MergeWorkers int
+	// ProbeMemoEntries bounds the per-snapshot rank-probe memo: each
+	// immutable store version caches up to this many bisection probes, so a
+	// repeated query against an unchanged snapshot (the dashboard re-poll
+	// pattern) resolves without touching the store at all — hits are
+	// reported as QueryStats.MemoHits. Entries never go stale: they die
+	// with their version. 0 selects the default (4096); negative disables
+	// memoization.
+	ProbeMemoEntries int
 	// SimulateDisk injects per-block latency so wall-clock timings track
 	// I/O counts even when the OS page cache hides the real device:
 	// "" (off, default), "hdd" (the paper's ~1 ms random access) or "ssd".
@@ -138,6 +146,9 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if out.SortMemElements == 0 {
 		out.SortMemElements = 1 << 20
+	}
+	if out.ProbeMemoEntries == 0 {
+		out.ProbeMemoEntries = 4096
 	}
 	if out.BlockFormat == "" {
 		out.BlockFormat = os.Getenv("HSQ_BLOCK_FORMAT")
@@ -270,6 +281,12 @@ type QueryStats struct {
 	// SkippedBlocks is the number of bisection steps resolved from columnar
 	// block-header min/max bounds without touching the block at all.
 	SkippedBlocks int
+	// MemoHits is the number of bisection probes resolved from the pinned
+	// snapshot's rank-probe memo with zero partition I/O (see
+	// Config.ProbeMemoEntries). Like cache hits and skipped blocks, memo
+	// hits spend no MaxReads budget — only reads that reach the storage
+	// backend do.
+	MemoHits int
 	// FilterU and FilterV bracket the search (Algorithm 7 output).
 	FilterU, FilterV int64
 	// Elapsed is the wall-clock query time.
@@ -284,7 +301,9 @@ type QueryOpts struct {
 	// When the cap is hit the search stops early and returns its best
 	// current answer with QueryStats.Truncated set — trading accuracy for
 	// disk accesses, the third axis of the paper's concluding tradeoff
-	// discussion.
+	// discussion. Only reads that actually reach the storage backend spend
+	// the budget: block-cache hits, skipped blocks and probe-memo hits are
+	// the absence of an access and are always free.
 	MaxReads int
 }
 
@@ -392,12 +411,13 @@ func newDevice(cfg Config) (*disk.Manager, error) {
 // resumed stores so they cannot drift apart.
 func storeConfig(cfg Config, eps1 float64, namespace string) partition.Config {
 	return partition.Config{
-		Kappa:           cfg.Kappa,
-		Eps1:            eps1,
-		SortMemElements: cfg.SortMemElements,
-		SpillBatches:    !cfg.NoSpill,
-		MergeWorkers:    cfg.MergeWorkers,
-		Namespace:       namespace,
+		Kappa:            cfg.Kappa,
+		Eps1:             eps1,
+		SortMemElements:  cfg.SortMemElements,
+		SpillBatches:     !cfg.NoSpill,
+		MergeWorkers:     cfg.MergeWorkers,
+		ProbeMemoEntries: cfg.ProbeMemoEntries,
+		Namespace:        namespace,
 	}
 }
 
@@ -836,24 +856,39 @@ func (e *Engine) snapshot() (*querySnap, error) {
 	return s, nil
 }
 
-// accurate runs the bisection query over a snapshot subset.
-func (e *Engine) accurate(sums []*partition.Summary, pieces []core.StreamPiece, r int64, opts QueryOpts, interrupt func() error) (int64, QueryStats, error) {
+// accurate runs the bisection query over a snapshot subset. memo, when
+// non-nil, must be the rank-probe memo of the version whose FULL entry set
+// sums is — full-history queries pass the pinned version's memo, windowed
+// queries (a partition subset) pass nil.
+func (e *Engine) accurate(sums []*partition.Summary, pieces []core.StreamPiece, memo *partition.ProbeMemo, r int64, opts QueryOpts, interrupt func() error) (int64, QueryStats, error) {
+	vs, stats, err := e.accurateMulti(sums, pieces, memo, []int64{r}, opts, interrupt)
+	if err != nil {
+		return 0, QueryStats{}, err
+	}
+	return vs[0], stats, nil
+}
+
+// accurateMulti runs one shared bisection sweep resolving every rank target
+// together (see core.AccurateMultiQueryOpts); memo as in accurate.
+func (e *Engine) accurateMulti(sums []*partition.Summary, pieces []core.StreamPiece, memo *partition.ProbeMemo, rs []int64, opts QueryOpts, interrupt func() error) ([]int64, QueryStats, error) {
 	t0 := time.Now()
 	c := core.BuildPieces(sums, pieces, e.eps1, e.eps2)
-	v, cost, err := core.AccurateQueryOpts(c, e.cfg.Epsilon, r, core.QueryOptions{
+	vs, cost, err := core.AccurateMultiQueryOpts(c, e.cfg.Epsilon, rs, core.QueryOptions{
 		PinBlocks: !e.cfg.NoBlockPin,
 		Parallel:  e.cfg.ParallelQuery,
 		MaxReads:  opts.MaxReads,
 		Interrupt: interrupt,
+		Memo:      memo,
 	})
 	if err != nil {
-		return 0, QueryStats{}, err
+		return nil, QueryStats{}, err
 	}
-	return v, QueryStats{
+	return vs, QueryStats{
 		Iterations:    cost.Iterations,
 		RandReads:     cost.RandReads,
 		CacheHits:     cost.CacheHits,
 		SkippedBlocks: cost.SkippedBlocks,
+		MemoHits:      cost.MemoHits,
 		FilterU:       cost.FilterU,
 		FilterV:       cost.FilterV,
 		Elapsed:       time.Since(t0),
@@ -883,7 +918,7 @@ func (e *Engine) rankQuery(r int64, interrupt func() error) (int64, QueryStats, 
 	if s.n == 0 {
 		return 0, QueryStats{}, fmt.Errorf("hsq: query on empty dataset")
 	}
-	return e.accurate(s.sums, s.pieces, r, QueryOpts{}, interrupt)
+	return e.accurate(s.sums, s.pieces, s.ver.Memo(), r, QueryOpts{}, interrupt)
 }
 
 // QuantileOpts answers an accurate φ-quantile with per-query options (e.g.
@@ -905,7 +940,7 @@ func (e *Engine) quantileOpts(phi float64, opts QueryOpts, interrupt func() erro
 	if s.n == 0 {
 		return 0, QueryStats{}, fmt.Errorf("hsq: query on empty dataset")
 	}
-	return e.accurate(s.sums, s.pieces, r, opts, interrupt)
+	return e.accurate(s.sums, s.pieces, s.ver.Memo(), r, opts, interrupt)
 }
 
 // QuantileQuick answers a φ-quantile query from in-memory summaries only
@@ -1023,7 +1058,9 @@ func (e *Engine) windowQuantile(phi float64, steps int, interrupt func() error) 
 	if n == 0 {
 		return 0, QueryStats{}, fmt.Errorf("hsq: query on empty dataset")
 	}
-	return e.accurate(sums, pieces, r, QueryOpts{}, interrupt)
+	// Windowed queries probe a partition subset, so the version memo (keyed
+	// by full-history ranks) does not apply.
+	return e.accurate(sums, pieces, nil, r, QueryOpts{}, interrupt)
 }
 
 // WindowQuantileQuick is the in-memory-only windowed query.
@@ -1065,6 +1102,31 @@ func (e *Engine) MemoryUsage() MemoryUsage {
 // device.
 func (e *Engine) DiskStats() IOStats {
 	return fromDisk(e.dev.Stats())
+}
+
+// ProbeMemoStats reports cumulative rank-probe memo counters (see
+// Config.ProbeMemoEntries): hits, misses, stores and evictions across every
+// store version so far, plus the current version's occupancy.
+type ProbeMemoStats struct {
+	// Hits counts bisection probes answered from the memo (zero I/O);
+	// Misses counts memo lookups that fell through to the disk search.
+	Hits, Misses uint64
+	// Stores counts entry writes; Evictions counts entries dropped because
+	// a version's memo was full.
+	Stores, Evictions uint64
+	// Entries is the current version's live entry count; Capacity its
+	// bound. Both zero when memoization is disabled.
+	Entries, Capacity int
+}
+
+// ProbeMemoStats returns the engine's rank-probe memo counters.
+func (e *Engine) ProbeMemoStats() ProbeMemoStats {
+	st := e.store.MemoStats()
+	return ProbeMemoStats{
+		Hits: st.Hits, Misses: st.Misses,
+		Stores: st.Stores, Evictions: st.Evictions,
+		Entries: st.Entries, Capacity: st.Capacity,
+	}
 }
 
 // Checkpoint durably persists the warehouse layout so OpenEngine can
@@ -1228,20 +1290,22 @@ func (e *Engine) RankQuick(v int64) (int64, error) {
 	return c.QuickRank(v), nil
 }
 
-// Quantiles answers several accurate φ-quantile queries in one shot,
-// building the combined summary once and sharing it across targets (the
-// common "p50/p95/p99" dashboard pattern). Results are positionally aligned
-// with phis; the stats aggregate all queries.
+// Quantiles answers several accurate φ-quantile queries in one shot with a
+// single shared bisection sweep: the combined summary is built once and
+// every disk probe narrows all targets whose interval contains it, so k
+// targets cost about log(filter range) + k probes instead of k separate
+// bisections (the common "p50/p95/p99" dashboard pattern). Results are
+// positionally aligned with phis; the stats aggregate the whole sweep.
 func (e *Engine) Quantiles(phis []float64) ([]int64, QueryStats, error) {
 	return e.quantilesOpts(phis, QueryOpts{}, nil)
 }
 
 // QuantilesOpts is Quantiles with per-call options. opts.MaxReads, when
-// positive, is a total random-read budget for the whole batch: each query
-// runs with whatever budget its predecessors left, and once the budget is
-// exhausted the remaining targets are answered from in-memory summaries
-// alone (zero disk reads, QuantileQuick accuracy). Any truncation is
-// aggregated into the returned QueryStats.Truncated.
+// positive, is one total backend-read budget for the whole sweep; once it
+// is exhausted, targets still unresolved are answered from in-memory
+// summaries alone (zero disk reads, QuantileQuick accuracy) and the
+// returned QueryStats.Truncated is set. As everywhere, cache hits, skipped
+// blocks and memo hits spend no budget.
 func (e *Engine) QuantilesOpts(phis []float64, opts QueryOpts) ([]int64, QueryStats, error) {
 	return e.quantilesOpts(phis, opts, nil)
 }
@@ -1255,48 +1319,13 @@ func (e *Engine) quantilesOpts(phis []float64, opts QueryOpts, interrupt func() 
 	if s.n == 0 {
 		return nil, QueryStats{}, fmt.Errorf("hsq: query on empty dataset")
 	}
-	t0 := time.Now()
-	c := core.BuildPieces(s.sums, s.pieces, e.eps1, e.eps2)
-	out := make([]int64, len(phis))
-	var agg QueryStats
-	remaining := opts.MaxReads
+	rs := make([]int64, len(phis))
 	for i, phi := range phis {
-		r, err := rankTarget(phi, s.n)
-		if err != nil {
+		if rs[i], err = rankTarget(phi, s.n); err != nil {
 			return nil, QueryStats{}, err
-		}
-		if opts.MaxReads > 0 && remaining <= 0 {
-			// Budget exhausted: answer the rest from the in-memory
-			// summaries, which cost no disk access.
-			v, err := c.QuickQuery(r)
-			if err != nil {
-				return nil, QueryStats{}, err
-			}
-			out[i] = v
-			agg.Truncated = true
-			continue
-		}
-		v, cost, err := core.AccurateQueryOpts(c, e.cfg.Epsilon, r, core.QueryOptions{
-			PinBlocks: !e.cfg.NoBlockPin,
-			Parallel:  e.cfg.ParallelQuery,
-			MaxReads:  remaining,
-			Interrupt: interrupt,
-		})
-		if err != nil {
-			return nil, QueryStats{}, err
-		}
-		out[i] = v
-		agg.Iterations += cost.Iterations
-		agg.RandReads += cost.RandReads
-		agg.CacheHits += cost.CacheHits
-		agg.SkippedBlocks += cost.SkippedBlocks
-		agg.Truncated = agg.Truncated || cost.Truncated
-		if opts.MaxReads > 0 {
-			remaining -= cost.RandReads
 		}
 	}
-	agg.Elapsed = time.Since(t0)
-	return out, agg, nil
+	return e.accurateMulti(s.sums, s.pieces, s.ver.Memo(), rs, opts, interrupt)
 }
 
 // LevelInfo describes one level of the on-disk store.

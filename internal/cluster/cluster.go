@@ -34,6 +34,12 @@ type Config struct {
 	// DownRetry is how long a down node is skipped by routing decisions
 	// before being probed again. 0 means DefaultDownRetry.
 	DownRetry time.Duration
+	// SummaryTTL bounds how long a fetched peer shard summary may be served
+	// from cache without refetching. 0 means DefaultSummaryTTL; negative
+	// disables summary caching. Cached entries are additionally dropped the
+	// moment this node observes EndStep relay traffic for the stream, so
+	// the TTL only matters for writes this node never sees.
+	SummaryTTL time.Duration
 	// Logf, when non-nil, receives relay lifecycle log lines.
 	Logf func(format string, args ...any)
 }
@@ -45,6 +51,9 @@ type Config struct {
 type Cluster struct {
 	cfg  Config
 	self Node
+	// summaries caches peer shard summaries for coordinator reads; nil
+	// when disabled. It has its own lock — reads never touch c.mu.
+	summaries *summaryCache
 
 	mu         sync.Mutex
 	relays     map[relayKey]*relay
@@ -86,6 +95,7 @@ func New(cfg Config) (*Cluster, error) {
 	return &Cluster{
 		cfg:       cfg,
 		self:      self,
+		summaries: newSummaryCache(cfg.SummaryTTL),
 		relays:    make(map[relayKey]*relay),
 		downUntil: make(map[string]time.Time),
 	}, nil
@@ -119,6 +129,12 @@ func (c *Cluster) Member(stream string) bool {
 // ingest server turns a Relay error into a connection error and the
 // client retries elsewhere.
 func (c *Cluster) Relay(session, stream string, f *wire.Frame, fanOnly bool) error {
+	if f.Type == wire.TypeEndStep {
+		// A closing step is the only event that moves a shard summary's
+		// boundary; every path a step close can take — local fan-out,
+		// routed client frame, forwarded REST write — passes through here.
+		c.InvalidateSummaries(stream)
+	}
 	members := c.cfg.Ring.Members(stream)
 	selfMember := false
 	for _, n := range members {

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+func cacheTestCluster(t *testing.T, ttl time.Duration) *Cluster {
+	t.Helper()
+	ring, err := NewRing(Membership{Epoch: 1, Replicas: 1, Nodes: []Node{
+		{ID: "a", Addr: "127.0.0.1:1"},
+		{ID: "b", Addr: "127.0.0.1:2"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := New(Config{Self: "a", Ring: ring, SummaryTTL: ttl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+// TestSummaryCacheHitMissTTL: a put entry is served until the TTL passes,
+// then the next get is a miss and the entry is gone.
+func TestSummaryCacheHitMissTTL(t *testing.T) {
+	cl := cacheTestCluster(t, 50*time.Millisecond)
+	key := summaryKey{stream: "s", node: "b", epoch: 1}
+	sum := &core.ShardSummary{N: 42}
+
+	if _, ok := cl.summaries.get(key); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	cl.summaries.put(key, sum)
+	got, ok := cl.summaries.get(key)
+	if !ok || got.N != 42 {
+		t.Fatalf("get = %v, %v; want cached summary", got, ok)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if _, ok := cl.summaries.get(key); ok {
+		t.Fatal("entry served past its TTL")
+	}
+	st := cl.SummaryCacheStats()
+	if !st.Enabled || st.Hits != 1 || st.Misses != 2 || st.Entries != 0 {
+		t.Fatalf("stats = %+v; want enabled, 1 hit, 2 misses, 0 entries", st)
+	}
+}
+
+// TestSummaryCacheNilSummaryIsCacheable: "peer has no data" (a nil
+// summary) is a valid answer and must be cached like any other — refetching
+// empty streams on every poll would defeat the cache exactly where it is
+// cheapest.
+func TestSummaryCacheNilSummaryIsCacheable(t *testing.T) {
+	cl := cacheTestCluster(t, time.Minute)
+	key := summaryKey{stream: "empty", node: "b", epoch: 1}
+	cl.summaries.put(key, nil)
+	got, ok := cl.summaries.get(key)
+	if !ok || got != nil {
+		t.Fatalf("get = %v, %v; want cached nil", got, ok)
+	}
+}
+
+// TestSummaryCacheInvalidatedByEndStepRelay: observing an EndStep frame for
+// a stream — any relay path — must drop every node's cached summary for
+// that stream and only that stream.
+func TestSummaryCacheInvalidatedByEndStepRelay(t *testing.T) {
+	cl := cacheTestCluster(t, time.Minute)
+	for _, k := range []summaryKey{
+		{stream: "s", node: "a", epoch: 1},
+		{stream: "s", node: "b", epoch: 1},
+		{stream: "other", node: "b", epoch: 1},
+	} {
+		cl.summaries.put(k, &core.ShardSummary{N: 1})
+	}
+	// Batch frames do not move a summary's step boundary: no invalidation.
+	if err := cl.Relay("sess", "s", &wire.Frame{Type: wire.TypeBatch, Seq: 1, Values: []int64{1}}, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.SummaryCacheStats().Entries; got != 3 {
+		t.Fatalf("batch relay dropped entries: %d live, want 3", got)
+	}
+	if err := cl.Relay("sess", "s", &wire.Frame{Type: wire.TypeEndStep, Seq: 2}, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cl.summaries.get(summaryKey{stream: "s", node: "a", epoch: 1}); ok {
+		t.Error("stream s (node a) still cached after EndStep relay")
+	}
+	if _, ok := cl.summaries.get(summaryKey{stream: "s", node: "b", epoch: 1}); ok {
+		t.Error("stream s (node b) still cached after EndStep relay")
+	}
+	if _, ok := cl.summaries.get(summaryKey{stream: "other", node: "b", epoch: 1}); !ok {
+		t.Error("unrelated stream invalidated")
+	}
+	if inv := cl.SummaryCacheStats().Invalidations; inv != 1 {
+		t.Errorf("invalidations = %d, want 1", inv)
+	}
+}
+
+// TestSummaryCacheEpochKeying: entries fetched under an old ring epoch are
+// invisible under a new one — a membership change must never serve
+// summaries fetched under the old placement.
+func TestSummaryCacheEpochKeying(t *testing.T) {
+	cl := cacheTestCluster(t, time.Minute)
+	cl.summaries.put(summaryKey{stream: "s", node: "b", epoch: 1}, &core.ShardSummary{N: 7})
+	if _, ok := cl.summaries.get(summaryKey{stream: "s", node: "b", epoch: 2}); ok {
+		t.Fatal("entry from epoch 1 served under epoch 2")
+	}
+}
+
+// TestSummaryCacheDisabled: a negative TTL turns the cache off entirely.
+func TestSummaryCacheDisabled(t *testing.T) {
+	cl := cacheTestCluster(t, -1)
+	if cl.summaries != nil {
+		t.Fatal("negative TTL built a cache")
+	}
+	st := cl.SummaryCacheStats()
+	if st.Enabled {
+		t.Fatalf("stats report enabled: %+v", st)
+	}
+	cl.InvalidateSummaries("s") // must not panic with caching off
+}

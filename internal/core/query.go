@@ -11,7 +11,8 @@ import (
 // QueryCost reports what an accurate query spent.
 type QueryCost struct {
 	// Iterations is the number of bisection probes (Algorithm 8 recursion
-	// depth).
+	// depth; for a multi-target sweep, probes shared across targets count
+	// once).
 	Iterations int
 	// RandReads is the number of random block reads across all partitions
 	// that reached the storage backend.
@@ -22,7 +23,13 @@ type QueryCost struct {
 	// SkippedBlocks is the number of bisection steps resolved from columnar
 	// block-header bounds without any block access (neither disk nor cache).
 	SkippedBlocks int
-	// FilterU and FilterV are the initial filters from Algorithm 7.
+	// MemoHits is the number of bisection probes resolved entirely from the
+	// snapshot's rank-probe memo — zero partition I/O. Like a skipped
+	// block, a memo hit is the absence of an access: it spends no MaxReads
+	// budget.
+	MemoHits int
+	// FilterU and FilterV are the initial filters from Algorithm 7 (for a
+	// multi-target sweep, the hull over all targets' filters).
 	FilterU, FilterV int64
 	// Truncated reports that an I/O budget stopped the search early, so the
 	// answer's error may exceed ε·m (but stays within the current filter
@@ -35,11 +42,15 @@ type QueryOptions struct {
 	// PinBlocks enables the §2.4 single-block caching optimization.
 	PinBlocks bool
 	// Parallel probes all partitions concurrently at each bisection step —
-	// the paper's §4 future-work suggestion of overlapping disk reads.
+	// the paper's §4 future-work suggestion of overlapping disk reads — and
+	// additionally walks independent subranges of a multi-target sweep
+	// concurrently.
 	Parallel bool
-	// MaxReads, when positive, caps random block reads: the search stops
-	// early once the cap is reached and returns its best current answer
-	// with Truncated set. This explores the paper's conclusion's
+	// MaxReads, when positive, caps random block reads that actually reach
+	// the storage backend: the search stops early once the cap is reached
+	// and returns its best current answer with Truncated set. Accesses that
+	// touch no backend — device cache hits, skipped blocks, memo hits —
+	// spend no budget. This explores the paper's conclusion's
 	// accuracy-vs-disk-access tradeoff ("stopping the search of the
 	// on-disk structure early").
 	MaxReads int
@@ -48,6 +59,13 @@ type QueryOptions struct {
 	// context cancellation through this hook so a slow disk search can be
 	// abandoned mid-flight.
 	Interrupt func() error
+	// Memo, when non-nil, caches historical rank probes across queries. The
+	// caller must guarantee the memo belongs to exactly the partition set
+	// being queried — the engine attaches one to each immutable store
+	// version and passes it only for full-history queries, so entries never
+	// go stale: they die with their version. A probe found in the memo
+	// costs no I/O and counts in QueryCost.MemoHits.
+	Memo *partition.ProbeMemo
 }
 
 // AccurateQuery implements Algorithms 6-8: generate filters from the
@@ -70,107 +88,14 @@ func AccurateQuery(c *Combined, eps float64, r int64, pinBlocks bool) (int64, Qu
 }
 
 // AccurateQueryOpts is AccurateQuery with full option control (parallel
-// partition probing, I/O budgeting).
+// partition probing, I/O budgeting, probe memoization). It is the k=1 case
+// of the shared sweep in AccurateMultiQueryOpts.
 func AccurateQueryOpts(c *Combined, eps float64, r int64, opts QueryOptions) (int64, QueryCost, error) {
-	var cost QueryCost
-	u, v, err := c.Filters(r)
+	ans, cost, err := AccurateMultiQueryOpts(c, eps, []int64{r}, opts)
 	if err != nil {
 		return 0, cost, err
 	}
-	cost.FilterU, cost.FilterV = u, v
-	if u == v {
-		return u, cost, nil
-	}
-
-	cursors := make([]*partition.Cursor, 0, len(c.sums))
-	defer func() {
-		for _, cur := range cursors {
-			cur.Close() //nolint:errcheck // read-only handles
-		}
-	}()
-	for _, s := range c.sums {
-		cur, err := partition.NewCursor(s, u, v, opts.PinBlocks)
-		if err != nil {
-			return 0, cost, err
-		}
-		cursors = append(cursors, cur)
-	}
-
-	em := eps * float64(c.m)
-	fr := float64(r)
-
-	rankAt := func(z int64) (float64, error) {
-		rho := c.StreamRankEstimate(z)
-		hist, err := histRank(cursors, z, opts.Parallel)
-		if err != nil {
-			return 0, err
-		}
-		return rho + float64(hist), nil
-	}
-
-	for v-u > 1 {
-		if opts.Interrupt != nil {
-			if err := opts.Interrupt(); err != nil {
-				return 0, cost, err
-			}
-		}
-		z := u + (v-u)/2
-		cost.Iterations++
-		rho, err := rankAt(z)
-		if err != nil {
-			return 0, cost, err
-		}
-		switch {
-		case fr < rho-em:
-			v = z
-			for _, cur := range cursors {
-				cur.NarrowUpper()
-			}
-		case fr > rho+em:
-			u = z
-			for _, cur := range cursors {
-				cur.NarrowLower()
-			}
-		default:
-			ans, err := snapDown(c, cursors, z)
-			captureIO(&cost, cursors)
-			if err != nil {
-				return 0, cost, err
-			}
-			return ans, cost, nil
-		}
-		if opts.MaxReads > 0 && sumReads(cursors) >= opts.MaxReads {
-			// I/O budget exhausted: return the best current answer. The
-			// last probe's cursor state matches z, so snapping is valid.
-			ans, err := snapDown(c, cursors, z)
-			captureIO(&cost, cursors)
-			cost.Truncated = true
-			if err != nil {
-				return 0, cost, err
-			}
-			return ans, cost, nil
-		}
-	}
-	// Adjacent filters: every element with rank in (rank(u), rank(v)] equals
-	// the successor of u; return (the predecessor closure of) u only if its
-	// rank already reaches the target.
-	cost.Iterations++
-	rhoU, err := rankAt(u)
-	if err != nil {
-		captureIO(&cost, cursors)
-		return 0, cost, err
-	}
-	var ans int64
-	if rhoU >= fr {
-		ans, err = snapDown(c, cursors, u)
-	} else {
-		ans, err = snapUp(c, cursors, u)
-	}
-	captureIO(&cost, cursors)
-	if err != nil {
-		return 0, cost, err
-	}
-	return ans, cost, nil
+	return ans[0], cost, nil
 }
 
 // histRank sums boundary(z) over all cursors, optionally probing partitions
@@ -209,10 +134,10 @@ func histRank(cursors []*partition.Cursor, z int64, parallel bool) (int64, error
 	return total, nil
 }
 
-// snapDown returns the largest known element of T that is ≤ z, assuming
-// every cursor's last Rank call was for z. Falls back to the global minimum
-// when nothing is ≤ z.
-func snapDown(c *Combined, cursors []*partition.Cursor, z int64) (int64, error) {
+// histPred returns the largest on-disk element ≤ the last probe value,
+// assuming every cursor's last Rank call was for that value. ok=false means
+// no partition holds such an element.
+func histPred(cursors []*partition.Cursor) (int64, bool, error) {
 	best := int64(0)
 	have := false
 	for _, cur := range cursors {
@@ -222,12 +147,42 @@ func snapDown(c *Combined, cursors []*partition.Cursor, z int64) (int64, error) 
 		}
 		e, err := cur.Element(b - 1)
 		if err != nil {
-			return 0, err
+			return 0, false, err
 		}
 		if !have || e > best {
 			best, have = e, true
 		}
 	}
+	return best, have, nil
+}
+
+// histSucc returns the smallest on-disk element > the last probe value,
+// assuming every cursor's last Rank call was for that value. ok=false means
+// no partition holds such an element.
+func histSucc(cursors []*partition.Cursor) (int64, bool, error) {
+	var best int64
+	have := false
+	for _, cur := range cursors {
+		b := cur.LastBoundary()
+		if b >= cur.Count() {
+			continue
+		}
+		e, err := cur.Element(b)
+		if err != nil {
+			return 0, false, err
+		}
+		if !have || e < best {
+			best, have = e, true
+		}
+	}
+	return best, have, nil
+}
+
+// snapDownFrom combines a historical predecessor (histE when histOK) with
+// the stream pieces' in-memory predecessors to the largest known element of
+// T that is ≤ z, falling back to the global minimum when nothing is ≤ z.
+func snapDownFrom(c *Combined, histE int64, histOK bool, z int64) (int64, error) {
+	best, have := histE, histOK
 	// Stream-side predecessors, one per memory-resident piece.
 	for _, p := range c.streams {
 		if i := sort.Search(len(p.SS), func(i int) bool { return p.SS[i] > z }); i > 0 {
@@ -242,25 +197,11 @@ func snapDown(c *Combined, cursors []*partition.Cursor, z int64) (int64, error) 
 	return c.globalMin()
 }
 
-// snapUp returns the smallest known element of T that is > z, assuming
-// every cursor's last Rank call was for z. Falls back to the global maximum
-// when nothing is > z.
-func snapUp(c *Combined, cursors []*partition.Cursor, z int64) (int64, error) {
-	var best int64
-	have := false
-	for _, cur := range cursors {
-		b := cur.LastBoundary()
-		if b >= cur.Count() {
-			continue
-		}
-		e, err := cur.Element(b)
-		if err != nil {
-			return 0, err
-		}
-		if !have || e < best {
-			best, have = e, true
-		}
-	}
+// snapUpFrom combines a historical successor (histE when histOK) with the
+// stream pieces' in-memory successors to the smallest known element of T
+// that is > z, falling back to the global maximum when nothing is > z.
+func snapUpFrom(c *Combined, histE int64, histOK bool, z int64) (int64, error) {
+	best, have := histE, histOK
 	for _, p := range c.streams {
 		if i := sort.Search(len(p.SS), func(i int) bool { return p.SS[i] > z }); i < len(p.SS) {
 			if e := p.SS[i]; !have || e < best {
@@ -288,24 +229,6 @@ func (c *Combined) globalMax() (int64, error) {
 		return 0, fmt.Errorf("core: no data")
 	}
 	return c.items[len(c.items)-1].v, nil
-}
-
-func sumReads(cursors []*partition.Cursor) int {
-	n := 0
-	for _, cur := range cursors {
-		n += cur.Reads()
-	}
-	return n
-}
-
-// captureIO records the cursors' cumulative I/O counters into cost.
-func captureIO(cost *QueryCost, cursors []*partition.Cursor) {
-	cost.RandReads, cost.CacheHits, cost.SkippedBlocks = 0, 0, 0
-	for _, cur := range cursors {
-		cost.RandReads += cur.Reads()
-		cost.CacheHits += cur.CacheHits()
-		cost.SkippedBlocks += cur.Skips()
-	}
 }
 
 // ExactStreamRank is a helper for engines that also track the raw batch in

@@ -524,3 +524,51 @@ func TestCardinality(t *testing.T) {
 		t.Error("no evictions despite pool exceeding the hydration budget")
 	}
 }
+
+// TestQueryPerf asserts the tentpole's acceptance criteria on the
+// queryperf figure: the banded 3-target Quantiles resolves with ≥2× fewer
+// probes than three single-target calls, no workload is ever worse shared
+// than single, and from round 2 on the repeated dashboard poll costs zero
+// backend reads with every probe a memo hit.
+func TestQueryPerf(t *testing.T) {
+	tables, err := QueryPerf(tiny, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("want 2 tables, got %d", len(tables))
+	}
+	multi, dash := tables[0], tables[1]
+
+	// Table 1 cells: K, SingleProbes, SharedProbes, ProbeRatio,
+	// SingleReads, SharedReads, ReadRatio. Row 0 is the banded workload.
+	if len(multi.Rows) != 4 {
+		t.Fatalf("%s: want 4 workload rows, got %d", multi.ID, len(multi.Rows))
+	}
+	if r := multi.Rows[0].Cells[3]; r < 2 {
+		t.Errorf("banded 3-target probe ratio = %.2f, want ≥ 2×", r)
+	}
+	for i, row := range multi.Rows {
+		if row.Cells[2] > row.Cells[1] {
+			t.Errorf("%s row %d: shared sweep used %g probes vs %g single — must never be worse",
+				multi.ID, i, row.Cells[2], row.Cells[1])
+		}
+	}
+
+	// Table 2 cells: Probes, RandReads, CacheHits, MemoHits per round.
+	if len(dash.Rows) < 2 {
+		t.Fatalf("%s: want ≥2 rounds, got %d", dash.ID, len(dash.Rows))
+	}
+	if dash.Rows[0].Cells[1] == 0 {
+		t.Errorf("%s round 1 did no backend reads; memo claim is vacuous", dash.ID)
+	}
+	for _, row := range dash.Rows[1:] {
+		if row.Cells[1] != 0 {
+			t.Errorf("%s round %g: %g backend reads, want 0 (all memo)", dash.ID, row.X, row.Cells[1])
+		}
+		if row.Cells[3] != row.Cells[0] || row.Cells[0] == 0 {
+			t.Errorf("%s round %g: %g memo hits over %g probes, want every probe memoized",
+				dash.ID, row.X, row.Cells[3], row.Cells[0])
+		}
+	}
+}

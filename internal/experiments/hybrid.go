@@ -27,6 +27,7 @@ type hybridConfig struct {
 	backend     string
 	cacheBlocks int
 	blockFormat string
+	probeMemo   int // ProbeMemoEntries (0 = engine default, < 0 = off)
 }
 
 // hybridCfg derives a run configuration from the campaign scale, inheriting
@@ -60,6 +61,8 @@ func newHybridRun(ds *dataset, cfg hybridConfig, root string) (*hybridRun, error
 		CacheBlocks: cfg.cacheBlocks,
 		BlockFormat: cfg.blockFormat,
 		NoBlockPin:  !cfg.pin,
+
+		ProbeMemoEntries: cfg.probeMemo,
 	})
 	if err != nil {
 		if dir != "" {

@@ -36,13 +36,14 @@ var Registry = map[string]FigureFunc{
 	"columnar":          ColumnarComparison,
 	"cluster":           ClusterComparison,
 	"cardinality":       Cardinality,
+	"queryperf":         QueryPerf,
 }
 
 // FigureIDs returns the registry keys in presentation order.
 func FigureIDs() []string {
 	order := []string{"4", "5", "6", "7", "8", "9", "10", "11", "12", "13",
 		"ablation-split", "ablation-pinning", "ablation-iobudget", "baselines", "theory",
-		"maintenance", "ingest", "columnar", "cluster", "cardinality"}
+		"maintenance", "ingest", "columnar", "cluster", "cardinality", "queryperf"}
 	// Defensive: include any unlisted keys at the end.
 	seen := make(map[string]bool, len(order))
 	for _, k := range order {

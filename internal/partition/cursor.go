@@ -212,6 +212,17 @@ func (c *Cursor) Element(i int64) (int64, error) {
 	return vals[i-base], nil
 }
 
+// SeekTo re-seeds the bracket from the summary for a single probe value z,
+// so one cursor set can serve probes across disjoint subranges (the shared
+// multi-target sweep). Summary.Bracket(z, z) is the tightest
+// summary-derived bracket for z — at most one summary gap (≈ ε₁·count
+// elements) wide — so a seek never costs more than a freshly opened cursor
+// would. A pinned block is kept: if the new bracket lands inside it, the
+// probe is still free.
+func (c *Cursor) SeekTo(z int64) {
+	c.lo, c.hi = c.sum.Bracket(z, z)
+}
+
 // NarrowUpper records that the query's upper filter moved down to the value
 // of the last Rank probe: future probes are ≤ z, so the boundary cannot
 // exceed the last result.

@@ -1,0 +1,176 @@
+package partition
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ProbeMemo caches rank probes against one immutable Version. A probe value
+// z fully determines the historical rank Σ_P boundary_P(z) over the
+// version's partition set, and the version's partition files never change,
+// so an entry is valid for as long as the version is alive — memo entries
+// are never invalidated, they die with the version when the last pin drops.
+// This makes the snapshot-version chain a natural cache key: a dashboard
+// re-polling the same φ set against the same version replays its bisection
+// entirely from the memo, with zero disk I/O.
+//
+// Besides the rank, an entry can record the on-disk predecessor (largest
+// element ≤ z) and successor (smallest element > z) once a query computed
+// them while snapping an accepted midpoint to a real element. With those
+// sides present, even the final snap of a repeated query costs nothing.
+//
+// The memo is bounded: when full, an arbitrary entry is evicted (map
+// iteration order — effectively random, which is a fine policy for a cache
+// whose working set is a handful of bisection paths). All methods are safe
+// for concurrent use; counters aggregate across versions via the store.
+type ProbeMemo struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[int64]MemoEntry
+	ctr     *memoCounters
+}
+
+// MemoEntry is one memoized probe: the historical rank of the probe value,
+// plus (once known) the on-disk predecessor/successor used to snap an
+// accepted midpoint to a real element. PredKnown/SuccKnown report whether
+// the side was ever computed; PredExists/SuccExists whether an element
+// exists on that side (false means the snap fell through to the global
+// extreme).
+type MemoEntry struct {
+	Rank       int64
+	Pred       int64
+	PredKnown  bool
+	PredExists bool
+	Succ       int64
+	SuccKnown  bool
+	SuccExists bool
+}
+
+// memoCounters aggregates memo traffic across every version of one store.
+type memoCounters struct {
+	hits, misses, stores, evictions atomic.Uint64
+}
+
+// newProbeMemo returns a memo bounded to capacity entries, or nil when the
+// capacity is not positive (memoization disabled).
+func newProbeMemo(capacity int, ctr *memoCounters) *ProbeMemo {
+	if capacity <= 0 {
+		return nil
+	}
+	return &ProbeMemo{cap: capacity, ctr: ctr}
+}
+
+// NewProbeMemo returns a standalone memo bounded to capacity entries, or
+// nil when the capacity is not positive. Callers outside the store-version
+// chain (tests, benchmarks, embedders querying a fixed partition set
+// directly through internal/core) use this; the engine's memos come from
+// the store so their traffic aggregates into MemoStats.
+func NewProbeMemo(capacity int) *ProbeMemo {
+	return newProbeMemo(capacity, &memoCounters{})
+}
+
+// Lookup returns the memoized entry for probe value z.
+func (m *ProbeMemo) Lookup(z int64) (MemoEntry, bool) {
+	m.mu.Lock()
+	e, ok := m.entries[z]
+	m.mu.Unlock()
+	if ok {
+		m.ctr.hits.Add(1)
+	} else {
+		m.ctr.misses.Add(1)
+	}
+	return e, ok
+}
+
+// StoreRank records the historical rank of probe value z (keeping any snap
+// sides an existing entry already carries).
+func (m *ProbeMemo) StoreRank(z, rank int64) {
+	m.upsert(z, rank, func(e *MemoEntry) {})
+}
+
+// SetPred records the on-disk predecessor side for probe value z alongside
+// its rank. exists=false records that no on-disk element is ≤ z.
+func (m *ProbeMemo) SetPred(z, rank, pred int64, exists bool) {
+	m.upsert(z, rank, func(e *MemoEntry) {
+		e.Pred, e.PredKnown, e.PredExists = pred, true, exists
+	})
+}
+
+// SetSucc records the on-disk successor side for probe value z alongside
+// its rank. exists=false records that no on-disk element is > z.
+func (m *ProbeMemo) SetSucc(z, rank, succ int64, exists bool) {
+	m.upsert(z, rank, func(e *MemoEntry) {
+		e.Succ, e.SuccKnown, e.SuccExists = succ, true, exists
+	})
+}
+
+// upsert inserts or updates the entry for z, evicting an arbitrary other
+// entry when the memo is at capacity.
+func (m *ProbeMemo) upsert(z, rank int64, update func(*MemoEntry)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.entries == nil {
+		m.entries = make(map[int64]MemoEntry)
+	}
+	e, ok := m.entries[z]
+	if !ok {
+		if len(m.entries) >= m.cap {
+			for k := range m.entries {
+				delete(m.entries, k)
+				m.ctr.evictions.Add(1)
+				break
+			}
+		}
+		e = MemoEntry{Rank: rank}
+	}
+	e.Rank = rank
+	update(&e)
+	m.entries[z] = e
+	m.ctr.stores.Add(1)
+}
+
+// Len returns the number of live entries.
+func (m *ProbeMemo) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// Cap returns the memo's entry bound.
+func (m *ProbeMemo) Cap() int { return m.cap }
+
+// MemoStats aggregates probe-memo traffic across every version of a store.
+type MemoStats struct {
+	// Hits and Misses count Lookup outcomes; a hit is a bisection probe
+	// that cost no partition I/O at all.
+	Hits, Misses uint64
+	// Stores counts entry writes (rank records and snap-side upgrades);
+	// Evictions counts entries dropped to make room.
+	Stores, Evictions uint64
+	// Entries is the live entry count of the current version's memo;
+	// Capacity its bound. Both zero when memoization is disabled.
+	Entries, Capacity int
+}
+
+// MemoStats reports cumulative probe-memo traffic for this store plus the
+// current version's occupancy.
+func (s *Store) MemoStats() MemoStats {
+	st := MemoStats{
+		Hits:      s.memoCtr.hits.Load(),
+		Misses:    s.memoCtr.misses.Load(),
+		Stores:    s.memoCtr.stores.Load(),
+		Evictions: s.memoCtr.evictions.Load(),
+	}
+	s.vmu.Lock()
+	m := s.cur.memo
+	s.vmu.Unlock()
+	if m != nil {
+		st.Entries, st.Capacity = m.Len(), m.Cap()
+	}
+	return st
+}
+
+// newMemo builds the probe memo for a fresh version (nil when disabled).
+func (s *Store) newMemo() *ProbeMemo {
+	return newProbeMemo(s.cfg.ProbeMemoEntries, &s.memoCtr)
+}

@@ -1,0 +1,130 @@
+package partition
+
+import "testing"
+
+func TestProbeMemoDisabled(t *testing.T) {
+	if m := NewProbeMemo(0); m != nil {
+		t.Error("capacity 0 should disable the memo")
+	}
+	if m := NewProbeMemo(-5); m != nil {
+		t.Error("negative capacity should disable the memo")
+	}
+}
+
+func TestProbeMemoRankAndSides(t *testing.T) {
+	m := NewProbeMemo(8)
+	if _, ok := m.Lookup(10); ok {
+		t.Fatal("empty memo returned an entry")
+	}
+	m.StoreRank(10, 100)
+	e, ok := m.Lookup(10)
+	if !ok || e.Rank != 100 || e.PredKnown || e.SuccKnown {
+		t.Fatalf("after StoreRank: %+v, %v", e, ok)
+	}
+	// Side upgrades keep the rank and are independent of each other.
+	m.SetPred(10, 100, 9, true)
+	m.SetSucc(10, 100, 12, false)
+	e, ok = m.Lookup(10)
+	if !ok || e.Rank != 100 ||
+		!e.PredKnown || !e.PredExists || e.Pred != 9 ||
+		!e.SuccKnown || e.SuccExists {
+		t.Fatalf("after side upgrades: %+v, %v", e, ok)
+	}
+	// Re-storing the rank must not drop the sides.
+	m.StoreRank(10, 100)
+	if e, _ := m.Lookup(10); !e.PredKnown || !e.SuccKnown {
+		t.Fatalf("StoreRank dropped snap sides: %+v", e)
+	}
+}
+
+func TestProbeMemoEviction(t *testing.T) {
+	m := NewProbeMemo(4)
+	for z := int64(0); z < 10; z++ {
+		m.StoreRank(z, z*10)
+	}
+	if got := m.Len(); got != 4 {
+		t.Errorf("Len = %d, want capacity 4", got)
+	}
+	if m.Cap() != 4 {
+		t.Errorf("Cap = %d, want 4", m.Cap())
+	}
+	if m.ctr.evictions.Load() != 6 {
+		t.Errorf("evictions = %d, want 6", m.ctr.evictions.Load())
+	}
+	// Whatever survived must still carry correct ranks.
+	hits := 0
+	for z := int64(0); z < 10; z++ {
+		if e, ok := m.Lookup(z); ok {
+			hits++
+			if e.Rank != z*10 {
+				t.Errorf("entry %d has rank %d, want %d", z, e.Rank, z*10)
+			}
+		}
+	}
+	if hits != 4 {
+		t.Errorf("%d live entries, want 4", hits)
+	}
+}
+
+// TestStoreMemoStats: memo traffic aggregates across versions through the
+// store counters, and a published version gets a fresh memo.
+func TestStoreMemoStats(t *testing.T) {
+	store, err := NewStore(newDev(t), Config{Kappa: 4, Eps1: 0.1, ProbeMemoEntries: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := store.Pin()
+	defer v1.Release()
+	m1 := v1.Memo()
+	if m1 == nil {
+		t.Fatal("enabled store has no memo on its initial version")
+	}
+	m1.Lookup(5)       // miss
+	m1.StoreRank(5, 1) // store
+	m1.Lookup(5)       // hit
+	st := store.MemoStats()
+	if st.Hits != 1 || st.Misses != 1 || st.Stores != 1 {
+		t.Errorf("stats = %+v; want 1 hit, 1 miss, 1 store", st)
+	}
+	if st.Capacity != 16 || st.Entries != 1 {
+		t.Errorf("occupancy = %d/%d; want 1/16", st.Entries, st.Capacity)
+	}
+
+	// Publishing a new version starts an empty memo but keeps the counters.
+	if _, err := store.AddBatch([]int64{3, 1, 2}, 1); err != nil {
+		t.Fatal(err)
+	}
+	v2 := store.Pin()
+	defer v2.Release()
+	m2 := v2.Memo()
+	if m2 == nil || m2 == m1 {
+		t.Fatal("publish did not attach a fresh memo")
+	}
+	if _, ok := m2.Lookup(5); ok {
+		t.Error("new version's memo inherited entries")
+	}
+	st = store.MemoStats()
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Errorf("after publish: %+v; counters must aggregate across versions", st)
+	}
+	if st.Entries != 0 {
+		t.Errorf("current version occupancy = %d, want 0", st.Entries)
+	}
+}
+
+// TestStoreMemoDisabled: a store with memoization off hands out nil memos
+// and all-zero stats.
+func TestStoreMemoDisabled(t *testing.T) {
+	store, err := NewStore(newDev(t), Config{Kappa: 4, Eps1: 0.1, ProbeMemoEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := store.Pin()
+	defer v.Release()
+	if v.Memo() != nil {
+		t.Error("disabled store attached a memo")
+	}
+	if st := store.MemoStats(); st != (MemoStats{}) {
+		t.Errorf("stats = %+v, want zero value", st)
+	}
+}

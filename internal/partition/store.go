@@ -36,6 +36,10 @@ type Config struct {
 	// on load, so a store cannot silently resume from another stream's
 	// state. Empty for single-stream stores on the root view.
 	Namespace string
+	// ProbeMemoEntries bounds the per-version rank-probe memo attached to
+	// each published Version (see ProbeMemo). Not positive disables
+	// memoization.
+	ProbeMemoEntries int
 }
 
 func (c *Config) validate() error {
@@ -176,6 +180,9 @@ type Store struct {
 	// pinCond (lazily created under vmu by DrainPins) is broadcast on every
 	// Release so teardown can wait out in-flight query pins.
 	pinCond *sync.Cond
+
+	// memoCtr aggregates probe-memo traffic across every version.
+	memoCtr memoCounters
 }
 
 // NewStore creates an empty historical store on the given device.
@@ -184,7 +191,7 @@ func NewStore(dev *disk.Manager, cfg Config) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{dev: dev, mdev: dev.MaintTagged(), cfg: cfg, beta1: cfg.Beta1()}
-	s.cur = &Version{store: s, seq: 1, refs: 1}
+	s.cur = &Version{store: s, seq: 1, refs: 1, memo: s.newMemo()}
 	s.live = []*Version{s.cur}
 	s.committedSeq = 0
 	return s, nil

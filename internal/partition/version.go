@@ -42,6 +42,10 @@ type Version struct {
 	// refs is guarded by store.vmu. The store itself holds one ref on the
 	// current version; each Pin adds one.
 	refs int
+	// memo caches rank probes against this version's immutable partition
+	// set; nil when memoization is disabled. Entries never invalidate —
+	// they die with the version (see ProbeMemo).
+	memo *ProbeMemo
 }
 
 // Seq returns the version's monotonically increasing sequence number.
@@ -50,6 +54,10 @@ func (v *Version) Seq() int64 { return v.seq }
 // Entries returns the snapshot's (partition, summary) pairs. The slice is
 // shared and must not be mutated.
 func (v *Version) Entries() []*Summary { return v.entries }
+
+// Memo returns the version's rank-probe memo, valid for queries that probe
+// exactly the version's full entry set; nil when memoization is disabled.
+func (v *Version) Memo() *ProbeMemo { return v.memo }
 
 // TotalCount returns the number of elements across the snapshot.
 func (v *Version) TotalCount() int64 { return v.total }
@@ -167,6 +175,7 @@ func (s *Store) publish(popPending bool) *Version {
 		total:     total,
 		installed: s.steps - len(s.pending),
 		refs:      1, // the store's own ref on the current version
+		memo:      s.newMemo(),
 	}
 	for _, name := range s.buildRetired {
 		s.retired = append(s.retired, retiredFile{name: name, seq: v.seq})

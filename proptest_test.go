@@ -154,6 +154,135 @@ func runDifferential(t *testing.T, wname string, seed int64) {
 	}
 }
 
+// TestPropertyMultiQuantiles drives the shared multi-target sweep and the
+// per-snapshot probe memo against the oracle across random Observe /
+// EndStep / Quantiles interleavings, in both maintenance modes. Every
+// answer of a k-target call must meet the same Theorem 2 bound as a
+// single-target Quantile, and every call is immediately re-issued to
+// exercise the memoized path. In sync mode nothing can publish between the
+// two calls, so the repeat must be bit-identical, resolve every probe from
+// the memo and spend zero backend reads; in async mode background merges
+// may publish a new version (with a fresh memo) at any point, so the
+// repeat only has to stay within the error bound.
+func TestPropertyMultiQuantiles(t *testing.T) {
+	seed := int64(1)
+	if s := os.Getenv("HSQ_PROP_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad HSQ_PROP_SEED %q: %v", s, err)
+		}
+		seed = v
+	}
+	for i, mode := range []string{"sync", "async"} {
+		t.Run(mode, func(t *testing.T) {
+			t.Parallel()
+			runMultiDifferential(t, mode, seed+100*int64(i))
+		})
+	}
+}
+
+func runMultiDifferential(t *testing.T, mode string, seed int64) {
+	const eps = 0.05
+	eng, err := hsq.New(hsq.Config{
+		Epsilon: eps, Kappa: 3, Backend: "mem", BlockSize: 1024, Maintenance: mode,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Destroy() //nolint:errcheck // in-memory state dies anyway
+	gen, err := workload.ByName("uniform", seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	or := oracle.New(1 << 14)
+	var log opLog
+
+	fail := func(op int, format string, args ...any) {
+		t.Helper()
+		t.Fatalf("mode=%s seed=%d op=%d: %s\n(replay with HSQ_PROP_SEED; trailing ops:)\n%s",
+			mode, seed, op, fmt.Sprintf(format, args...), log.String())
+	}
+	checkBound := func(op int, call string, phis []float64, vs []int64, n int64, m int64) {
+		t.Helper()
+		for i, phi := range phis {
+			target := int64(math.Ceil(phi * float64(n)))
+			if target < 1 {
+				target = 1
+			}
+			if se := or.SpanError(target, vs[i]); se > int64(1.25*eps*float64(m))+2 {
+				fail(op, "%s phi=%g = %d: rank error %d > 1.25·ε·m = %g (n=%d m=%d)",
+					call, phi, vs[i], se, 1.25*eps*float64(m), n, m)
+			}
+		}
+	}
+
+	for op := 0; op < 300; op++ {
+		switch k := rng.Intn(10); {
+		case k <= 4: // observe a batch
+			batch := workload.Fill(gen, 1+rng.Intn(100))
+			eng.ObserveSlice(batch)
+			or.Add(batch...)
+			log.add("observe %d elements", len(batch))
+		case k == 5: // end the step
+			if _, err := eng.EndStep(); err != nil {
+				fail(op, "EndStep: %v", err)
+			}
+			log.add("endstep (n=%d)", or.Count())
+		case k == 6 && mode == "async": // force pending publishes to land
+			if err := eng.SyncMaintenance(); err != nil {
+				fail(op, "SyncMaintenance: %v", err)
+			}
+			log.add("sync maintenance")
+		default: // multi-target Quantiles, issued twice back to back
+			n := or.Count()
+			if n == 0 {
+				continue
+			}
+			// The accept band scales with the stream portion: live stream
+			// plus sealed-but-uninstalled steps (async mode's merge debt).
+			// A background install landing after this read only shrinks the
+			// true portion, so the bound below stays an upper bound.
+			m := eng.StreamCount() + eng.MaintenanceStats().PendingElements
+			phis := make([]float64, 1+rng.Intn(5))
+			for i := range phis {
+				phis[i] = rng.Float64()
+				if phis[i] == 0 {
+					phis[i] = 0.5
+				}
+			}
+			first, fqs, err := eng.Quantiles(phis)
+			if err != nil {
+				fail(op, "Quantiles(%v): %v", phis, err)
+			}
+			log.add("quantiles %v -> %v (probes=%d reads=%d)", phis, first, fqs.Iterations, fqs.RandReads)
+			checkBound(op, "Quantiles", phis, first, n, m)
+			second, sqs, err := eng.Quantiles(phis)
+			if err != nil {
+				fail(op, "repeat Quantiles(%v): %v", phis, err)
+			}
+			log.add("repeat -> %v (reads=%d memoHits=%d)", second, sqs.RandReads, sqs.MemoHits)
+			checkBound(op, "repeat Quantiles", phis, second, n, m)
+			if mode == "sync" {
+				// Same snapshot, same φ set: the memo must replay the whole
+				// bisection without touching the store.
+				for i := range first {
+					if second[i] != first[i] {
+						fail(op, "repeat Quantiles(%v): answer %d changed %d -> %d on an unchanged snapshot",
+							phis, i, first[i], second[i])
+					}
+				}
+				if sqs.RandReads != 0 {
+					fail(op, "repeat Quantiles(%v) spent %d backend reads; want 0 (first %+v)", phis, sqs.RandReads, fqs)
+				}
+				if sqs.MemoHits != sqs.Iterations {
+					fail(op, "repeat Quantiles(%v): %d memo hits over %d probes; want all", phis, sqs.MemoHits, sqs.Iterations)
+				}
+			}
+		}
+	}
+}
+
 func abs64(v int64) int64 {
 	if v < 0 {
 		return -v

@@ -101,8 +101,10 @@ func TestBlockCacheReducesQueryIO(t *testing.T) {
 		return
 	}
 
-	cold := loadEngine(t, Config{Epsilon: 0.02, Kappa: 3, Backend: "mem", BlockSize: 512}, 7, 3000, 1000)
-	warm := loadEngine(t, Config{Epsilon: 0.02, Kappa: 3, Backend: "mem", BlockSize: 512, CacheBlocks: 4096}, 7, 3000, 1000)
+	// Memoization off: repeated rounds must reach the block layer for the
+	// cache comparison to mean anything.
+	cold := loadEngine(t, Config{Epsilon: 0.02, Kappa: 3, Backend: "mem", BlockSize: 512, ProbeMemoEntries: -1}, 7, 3000, 1000)
+	warm := loadEngine(t, Config{Epsilon: 0.02, Kappa: 3, Backend: "mem", BlockSize: 512, CacheBlocks: 4096, ProbeMemoEntries: -1}, 7, 3000, 1000)
 
 	coldReads, coldHits := queryAll(cold)
 	warmReads, warmHits := queryAll(warm)

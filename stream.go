@@ -321,6 +321,22 @@ func (s *Stream) DiskStats() IOStats {
 	return fromDisk(view.Stats())
 }
 
+// ProbeMemoStats returns the stream's rank-probe memo counters (see
+// Config.ProbeMemoEntries). A cold stream reports zeros without hydrating:
+// its memos died with the evicted engine's versions.
+func (s *Stream) ProbeMemoStats() ProbeMemoStats {
+	s.db.mu.Lock()
+	eng := s.ent.eng
+	if eng == nil || s.db.closed {
+		s.db.mu.Unlock()
+		return ProbeMemoStats{}
+	}
+	s.ent.pins++
+	s.db.mu.Unlock()
+	defer s.db.release(s.ent)
+	return eng.ProbeMemoStats()
+}
+
 // MaintenanceStats returns the stream's maintenance counters. A cold
 // stream reports an empty (fully drained) state without hydrating —
 // eviction seals a stream only after its backlog is installed, so cold
