@@ -399,6 +399,7 @@ func (s *server) clusterEndStep(name string, w http.ResponseWriter, r *http.Requ
 		httpError(w, http.StatusInternalServerError, "end step: %v", err)
 		return
 	}
+	s.ing.NotifyEndStep(st.Name())
 	if err := st.Checkpoint(); err != nil {
 		httpError(w, http.StatusInternalServerError, "checkpoint: %v", err)
 		return

@@ -155,6 +155,40 @@ func TestGoldenQueryShapes(t *testing.T) {
 	checkGolden(t, "queries", out.Bytes())
 }
 
+// TestGoldenQueryPlan pins POST /query: the composable-plan envelope
+// (merge, glob + group-by, window, as-of) and its plan-error bodies.
+func TestGoldenQueryPlan(t *testing.T) {
+	ts := goldenServer(t)
+	var out bytes.Buffer
+	post := func(plan string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(plan))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&out, "### POST /query %s\nstatus %d\n", plan, resp.StatusCode)
+		if resp.StatusCode == http.StatusOK {
+			out.Write(canonicalJSON(t, body))
+		} else {
+			out.Write(body)
+		}
+	}
+	post(`{"streams":["api.latency","api.size"],"phis":[0.5,0.99]}`)
+	post(`{"match":"api.*","group_by":2,"phis":[0.5]}`)
+	post(`{"streams":["api.latency"],"window":{"steps":1},"phis":[0.5]}`)
+	post(`{"streams":["api.latency"],"as_of_step":1,"phis":[0.5]}`)
+	post(`{"phis":[0.5]}`)
+	post(`{"streams":["api.latency"],"phis":[1.5]}`)
+	post(`{"streams":["nope"],"phis":[0.5]}`)
+	post(`{"match":"api.[","phis":[0.5]}`)
+	checkGolden(t, "query_plan", out.Bytes())
+}
+
 // TestGoldenErrors pins the error bodies: status codes and exact text.
 func TestGoldenErrors(t *testing.T) {
 	ts := goldenServer(t)

@@ -316,6 +316,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			"remote":    c.Remote,
 			"session":   c.Session,
 			"streams":   c.Streams,
+			"subs":      c.Subs,
 			"batches":   c.Batches,
 			"values":    c.Values,
 			"end_steps": c.EndSteps,
@@ -342,6 +343,8 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		"end_steps":    st.EndSteps,
 		"dup_frames":   st.DupFrames,
 		"errors":       st.Errors,
+		"subscribes":   st.Subscribes,
+		"pushes":       st.Pushes,
 		"streams":      streams,
 		"conns":        conns,
 	})
@@ -554,6 +557,9 @@ func (s *server) handleEndStep(st *hsq.Stream, w http.ResponseWriter, r *http.Re
 		httpError(w, http.StatusInternalServerError, "end step: %v", err)
 		return
 	}
+	// REST end-steps bypass the wire apply path, so the continuous-query
+	// layer needs an explicit nudge.
+	s.ing.NotifyEndStep(st.Name())
 	if err := st.Checkpoint(); err != nil {
 		httpError(w, http.StatusInternalServerError, "checkpoint: %v", err)
 		return

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// maxQueryBody bounds a POST /query plan document. Plans are small JSON
+// objects; anything near this limit is malformed or hostile.
+const maxQueryBody = 1 << 20
+
+// handleQuery answers POST /query: a composable query plan in, per-group
+// quantile envelopes out. The body is the JSON plan (internal/query.Plan):
+//
+//	{"match": "api.*", "group_by": 2, "phis": [0.5, 0.99],
+//	 "window": {"steps": 10, "slide": 5, "count": 3}, "as_of_step": 0}
+//
+// Single-node, every summary is local (cold streams answer from their
+// sealed sidecars without hydrating). In cluster mode explicit streams
+// other shards own are answered through the shard-summary fan-out —
+// full-history scope only, matching the per-stream remote read paths;
+// glob patterns expand against this node's directory.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBody+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if len(body) > maxQueryBody {
+		httpError(w, http.StatusRequestEntityTooLarge, "plan exceeds %d bytes", maxQueryBody)
+		return
+	}
+	plan, err := query.ParsePlan(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad plan: %v", err)
+		return
+	}
+	var res *query.Result
+	if s.cl == nil {
+		res, err = s.db.RunPlan(plan)
+	} else {
+		res, err = query.Exec(&clusterSource{s: s, ctx: r.Context()}, plan)
+	}
+	if err != nil {
+		status := http.StatusBadRequest
+		var fe *fetchError
+		if errors.As(err, &fe) {
+			status = http.StatusBadGateway
+		}
+		httpError(w, status, "query: %v", err)
+		return
+	}
+	writeJSON(w, res)
+}
+
+// fetchError marks a cluster-transport failure (502, not the 400 a bad
+// plan earns).
+type fetchError struct {
+	name string
+	err  error
+}
+
+func (e *fetchError) Error() string {
+	return fmt.Sprintf("fetch summary for %q: %v", e.name, e.err)
+}
+
+func (e *fetchError) Unwrap() error { return e.err }
+
+// clusterSource is the cluster-aware query source: streams this node
+// stores answer locally (scoped, sidecar-aware), streams other shards own
+// answer through the cached shard-summary fan-out. Remote streams carry
+// only full-history summaries over the wire, so scoped (window/as-of)
+// plans refuse them — ask a member node, like the other remote read
+// paths.
+type clusterSource struct {
+	s   *server
+	ctx context.Context
+}
+
+func (cs *clusterSource) StreamNames() []string { return cs.s.db.Streams() }
+
+func (cs *clusterSource) ScopedSummary(name string, sc query.Scope) (*core.ShardSummary, error) {
+	s := cs.s
+	if s.cl.Member(name) {
+		return s.db.ScopedSummary(name, sc)
+	}
+	if !sc.IsFull() {
+		return nil, fmt.Errorf("windowed/as-of queries are not available for remote stream %q; ask a member node", name)
+	}
+	sum, err := s.shardSummary(cs.ctx, name)
+	if err != nil {
+		return nil, &fetchError{name: name, err: err}
+	}
+	// nil means no data anywhere reachable: an empty contribution, the
+	// same contract as /cluster/quantile.
+	return sum, nil
+}

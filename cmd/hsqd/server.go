@@ -281,6 +281,7 @@ func (s *server) mux() *http.ServeMux {
 	// collapse to the original local-only behavior.
 	m.HandleFunc("GET /streams", s.handleStreams)
 	m.HandleFunc("GET /ingest", s.handleIngest)
+	m.HandleFunc("POST /query", s.handleQuery)
 	m.HandleFunc("DELETE /streams/{name}", s.handleDeleteStream)
 	m.HandleFunc("POST /streams/{name}/observe", s.namedWrite(s.handleObserve, s.clusterObserve))
 	m.HandleFunc("POST /streams/{name}/endstep", s.namedWrite(s.handleEndStep, s.clusterEndStep))

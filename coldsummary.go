@@ -1,0 +1,359 @@
+package hsq
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/enc"
+	"repro/internal/query"
+)
+
+// Cold-summary sidecars let glob and group-by queries answer over evicted
+// streams without hydrating them: whenever a stream's durable state is
+// exactly its installed partitions (the state eviction requires — empty
+// observe buffer, no sealed backlog), the DB writes the partition
+// summaries with their step ranges to a SUMMARY.bin metadata file in the
+// stream's namespace. A scoped summary for a cold stream is then one
+// metadata read — metadata I/O is never counted in IOStats, so a merged
+// query over a thousand cold sensors costs zero RandReads.
+//
+// Freshness is structural, not best-effort: the sidecar embeds the step
+// count and the per-partition (count, step-range) layout, and a cold read
+// first cross-checks them against the stream's own committed
+// MANIFEST.json. Any divergence — a crash after EndSteps that outran the
+// last checkpoint, a merge that reshaped partitions, a drop/re-create —
+// fails the check and the query falls back to a one-time hydration, after
+// which the next eviction or checkpoint rewrites the sidecar. A stream
+// whose namespace has no manifest at all has no durable data (registered
+// but never sealed), and answers empty without hydrating.
+
+// sidecarName is the cold-summary metadata file inside a stream's
+// namespace, next to its MANIFEST.json.
+const sidecarName = "SUMMARY.bin"
+
+// sidecarVersion is the SUMMARY.bin encoding version byte.
+const sidecarVersion = 1
+
+// sidecarPart is one installed partition's summary in the sidecar: the
+// portable (count, values) pair plus the covered step range, which scoped
+// selection needs and core.PartSummary deliberately omits.
+type sidecarPart struct {
+	Count              int64
+	StartStep, EndStep int
+	Values             []int64
+}
+
+// sidecarPath returns the sidecar's key on the DB's root device view.
+func sidecarPath(stream string) string {
+	return streamNamespacePrefix + "/" + stream + "/" + sidecarName
+}
+
+// streamManifestPath returns a stream's store-manifest key on the root view.
+func streamManifestPath(stream string) string {
+	return streamNamespacePrefix + "/" + stream + "/" + manifestName
+}
+
+// encodeSidecar serializes the sidecar:
+//
+//	version u8 | uvarint steps | uvarint total | uvarint len(parts)
+//	| per part: uvarint count | uvarint start | uvarint end
+//	            | uvarint len | delta values
+func encodeSidecar(parts []sidecarPart, steps int, total int64) []byte {
+	buf := []byte{sidecarVersion}
+	buf = binary.AppendUvarint(buf, uint64(steps))
+	buf = binary.AppendUvarint(buf, uint64(total))
+	buf = binary.AppendUvarint(buf, uint64(len(parts)))
+	for _, p := range parts {
+		buf = binary.AppendUvarint(buf, uint64(p.Count))
+		buf = binary.AppendUvarint(buf, uint64(p.StartStep))
+		buf = binary.AppendUvarint(buf, uint64(p.EndStep))
+		buf = binary.AppendUvarint(buf, uint64(len(p.Values)))
+		buf = enc.AppendDelta(buf, p.Values)
+	}
+	return buf
+}
+
+// decodeSidecar parses a SUMMARY.bin payload, rejecting truncation,
+// trailing bytes and counts beyond the input size.
+func decodeSidecar(data []byte) (parts []sidecarPart, steps int, total int64, err error) {
+	d := sidecarDecoder{buf: data}
+	if v := d.byte(); d.err == nil && v != sidecarVersion {
+		return nil, 0, 0, fmt.Errorf("hsq: cold summary version %d (want %d)", v, sidecarVersion)
+	}
+	steps = int(d.uvarint())
+	total = int64(d.uvarint())
+	nparts := d.uvarint()
+	if d.err == nil && nparts > uint64(len(data)) {
+		return nil, 0, 0, fmt.Errorf("hsq: cold summary declares %d partitions beyond input", nparts)
+	}
+	for i := uint64(0); i < nparts && d.err == nil; i++ {
+		p := sidecarPart{
+			Count:     int64(d.uvarint()),
+			StartStep: int(d.uvarint()),
+			EndStep:   int(d.uvarint()),
+		}
+		p.Values = d.values(len(data))
+		parts = append(parts, p)
+	}
+	if d.err != nil {
+		return nil, 0, 0, fmt.Errorf("hsq: decode cold summary: %w", d.err)
+	}
+	if len(d.buf) != 0 {
+		return nil, 0, 0, fmt.Errorf("hsq: decode cold summary: %d trailing bytes", len(d.buf))
+	}
+	return parts, steps, total, nil
+}
+
+// sidecarDecoder is the error-latching cursor for the sidecar encoding.
+type sidecarDecoder struct {
+	buf []byte
+	err error
+}
+
+func (d *sidecarDecoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *sidecarDecoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 1 {
+		d.fail(fmt.Errorf("truncated"))
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *sidecarDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail(fmt.Errorf("bad uvarint"))
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *sidecarDecoder) values(inputLen int) []int64 {
+	n := d.uvarint()
+	if d.err == nil && n > uint64(inputLen) {
+		d.fail(fmt.Errorf("declared count %d exceeds input", n))
+	}
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	vs := make([]int64, n)
+	rest, err := enc.DecodeDelta(vs, d.buf)
+	if err != nil {
+		d.fail(err)
+		return nil
+	}
+	d.buf = rest
+	return vs
+}
+
+// writeSidecar persists the stream's cold summary. Metadata write — atomic
+// on the backend, uncounted in I/O stats; durability rides the next
+// device sync like the manifests it mirrors.
+func (db *DB) writeSidecar(stream string, parts []sidecarPart, steps int, total int64) error {
+	return db.dev.WriteMeta(sidecarPath(stream), encodeSidecar(parts, steps, total))
+}
+
+// dropSidecar best-effort removes a stream's sidecar: used when the
+// stream's durable state stops being representable (pending work at
+// checkpoint) or the stream is dropped. A leftover sidecar is safe — the
+// manifest cross-check rejects it — this just avoids pointless fallbacks.
+func (db *DB) dropSidecar(stream string) {
+	if db.dev.Exists(sidecarPath(stream)) {
+		db.dev.Remove(sidecarPath(stream)) //nolint:errcheck // advisory cleanup
+	}
+}
+
+// storeManifestView is the slice of a stream's MANIFEST.json the sidecar
+// cross-check needs: covered steps, pending backlog, and the partition
+// layout.
+type storeManifestView struct {
+	Steps int `json:"steps"`
+	Parts []struct {
+		Count     int64 `json:"count"`
+		StartStep int   `json:"start_step"`
+		EndStep   int   `json:"end_step"`
+	} `json:"partitions"`
+	Pending []json.RawMessage `json:"pending"`
+}
+
+// readColdSummary answers a scoped summary for a non-hydrated stream from
+// its sidecar. ok=false means the sidecar cannot answer (missing or stale)
+// and the caller must fall back to hydration; err is a real query error
+// (bad scope) that hydrating would not fix — the validated sidecar is
+// exactly the stream's durable state.
+func (db *DB) readColdSummary(stream string, sc query.Scope) (sum *core.ShardSummary, ok bool, err error) {
+	eps1, eps2 := db.opts.Epsilon/2, db.opts.Epsilon/4
+	if !db.dev.Exists(streamManifestPath(stream)) {
+		// Registered but never sealed: no durable data by the durability
+		// contract, so the scoped answer is empty (any AsOf/window scope
+		// over zero steps would also error on a hydrated engine — report
+		// the same emptiness instead, since a fresh engine has 0 steps).
+		if sc.AsOf > 0 || sc.Window > 0 || sc.Back > 0 {
+			return nil, false, fmt.Errorf("hsq: stream %q has no sealed steps for scope %+v", stream, sc)
+		}
+		return &core.ShardSummary{Eps1: eps1, Eps2: eps2}, true, nil
+	}
+	raw, err := db.dev.ReadMeta(sidecarPath(stream))
+	if err != nil {
+		return nil, false, nil // missing sidecar: hydrate
+	}
+	parts, steps, total, err := decodeSidecar(raw)
+	if err != nil {
+		return nil, false, nil // corrupt sidecar: hydrate, next seal rewrites it
+	}
+	var partsTotal int64
+	for _, p := range parts {
+		partsTotal += p.Count
+	}
+	if partsTotal != total {
+		return nil, false, nil // internal inconsistency: treat as corrupt
+	}
+	mraw, err := db.dev.ReadMeta(streamManifestPath(stream))
+	if err != nil {
+		return nil, false, nil
+	}
+	var m storeManifestView
+	if err := json.Unmarshal(mraw, &m); err != nil || !sidecarMatches(parts, steps, m) {
+		return nil, false, nil // stale vs the committed manifest: hydrate
+	}
+	sum, err = scopedFromParts(parts, steps, eps1, eps2, sc)
+	if err != nil {
+		return nil, false, err
+	}
+	return sum, true, nil
+}
+
+// sidecarMatches cross-checks the sidecar against the stream's committed
+// store manifest: same step count, no pending sealed batches (the sidecar
+// format represents installed partitions only), and the identical
+// partition layout — counts and step ranges, compared chronologically so
+// manifest level-ordering doesn't matter. Background merges change the
+// layout without changing steps or totals, so the layout itself must be
+// part of the check.
+func sidecarMatches(parts []sidecarPart, steps int, m storeManifestView) bool {
+	if m.Steps != steps || len(m.Pending) != 0 || len(m.Parts) != len(parts) {
+		return false
+	}
+	mp := make([]struct {
+		count      int64
+		start, end int
+	}, len(m.Parts))
+	for i, p := range m.Parts {
+		mp[i] = struct {
+			count      int64
+			start, end int
+		}{p.Count, p.StartStep, p.EndStep}
+	}
+	sort.Slice(mp, func(i, j int) bool { return mp[i].start < mp[j].start })
+	for i, p := range parts {
+		if mp[i].count != p.Count || mp[i].start != p.StartStep || mp[i].end != p.EndStep {
+			return false
+		}
+	}
+	return true
+}
+
+// scopedFromParts is the cold twin of Engine.ScopedSummary: the same
+// step-scope selection over the sidecar's partition list. A cold stream
+// has no sealed backlog and no live buffer, so only installed partitions
+// participate.
+func scopedFromParts(parts []sidecarPart, steps int, eps1, eps2 float64, sc query.Scope) (*core.ShardSummary, error) {
+	if sc.Window < 0 || sc.Back < 0 || sc.AsOf < 0 {
+		return nil, fmt.Errorf("hsq: invalid scope %+v", sc)
+	}
+	end := steps
+	if sc.AsOf > 0 {
+		if sc.AsOf > steps {
+			return nil, fmt.Errorf("hsq: as_of_step %d is beyond the newest sealed step %d", sc.AsOf, steps)
+		}
+		end = sc.AsOf
+	}
+	if sc.Back > 0 {
+		end -= sc.Back
+		if end < 0 {
+			return nil, fmt.Errorf("hsq: window shifted %d steps back ends before the first step (newest is %d)", sc.Back, steps)
+		}
+	}
+	start := 0
+	if sc.Window > 0 {
+		start = end - sc.Window
+		if start < 0 {
+			return nil, fmt.Errorf("hsq: window of %d steps ending at step %d extends before the first step", sc.Window, end)
+		}
+	}
+	sum := &core.ShardSummary{Eps1: eps1, Eps2: eps2}
+	for _, p := range parts {
+		if p.EndStep <= start || p.StartStep > end {
+			continue
+		}
+		if p.StartStep <= start || p.EndStep > end {
+			bounds := []int{0}
+			for _, q := range parts {
+				bounds = append(bounds, q.EndStep)
+			}
+			return nil, fmt.Errorf("hsq: step range (%d, %d] does not align with partition boundaries (available: %v)",
+				start, end, bounds)
+		}
+		sum.Parts = append(sum.Parts, core.PartSummary{Count: p.Count, Values: p.Values})
+		sum.N += p.Count
+	}
+	return sum, nil
+}
+
+// scopedSummary answers one stream's scoped summary for the query layer:
+// hydrated streams from their live engine (one pin, no LRU side effects
+// beyond a touch), cold streams from the sealed sidecar without
+// hydrating, and only as a last resort — no or stale sidecar — by
+// hydrating once, which also queues the stream to have a fresh sidecar
+// written at its next eviction or checkpoint.
+func (db *DB) scopedSummary(name string, sc query.Scope) (*core.ShardSummary, error) {
+	db.mu.Lock()
+	ent, dirOK := db.dir[name]
+	if db.closed || !dirOK || ent.dropped {
+		closed := db.closed
+		db.mu.Unlock()
+		if closed {
+			return nil, ErrClosed
+		}
+		return nil, fmt.Errorf("%w: %q", ErrUnknownStream, name)
+	}
+	eng, release, err, done := db.tryAcquireLocked(ent)
+	db.mu.Unlock()
+	if done {
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		return eng.ScopedSummary(sc)
+	}
+	// Cold: try the sidecar — a pure metadata read, never a hydration.
+	if sum, ok, err := db.readColdSummary(name, sc); err != nil {
+		return nil, err
+	} else if ok {
+		return sum, nil
+	}
+	// Fallback: hydrate once (counted in DirectoryStats.Hydrations).
+	eng, release, err = db.acquire(ent)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return eng.ScopedSummary(sc)
+}

@@ -407,6 +407,12 @@ func (db *DB) evictOne(ent *streamEntry) {
 	db.evictions++
 	db.mu.Unlock()
 
+	// Capture the cold summary before Close makes the engine unreadable:
+	// past the detach no new operation can reach this engine (fast-path
+	// acquires see eng == nil and park on opMu, in-flight pins bailed us
+	// out above), so the captured state is exactly what Close seals.
+	parts, steps, total, summaryOK := eng.sealedParts()
+
 	if err := eng.Close(); err != nil {
 		// The engine may be half-closed but its state is still durable up
 		// to the failure; restore it so nothing is lost and surface the
@@ -421,6 +427,12 @@ func (db *DB) evictOne(ent *streamEntry) {
 			db.evictions--
 		}
 		db.mu.Unlock()
+		return
+	}
+	if summaryOK {
+		// The stream is now durably sealed and cold; publish its summary
+		// sidecar so glob/group-by queries answer it without rehydrating.
+		db.writeSidecar(ent.name, parts, steps, total) //nolint:errcheck // advisory: queries fall back to hydration
 	}
 }
 
@@ -599,7 +611,13 @@ func (db *DB) Lookup(name string) (*Stream, bool) {
 	return db.facadeLocked(ent), true
 }
 
-// Streams returns the names of all registered streams, sorted.
+// Streams returns the names of all registered streams, sorted
+// lexicographically. The slice is a point-in-time snapshot of the
+// directory under one acquisition of the DB lock: streams registered or
+// dropped afterwards are not reflected, and two concurrent calls may
+// observe different sets. The sorted order is part of the contract —
+// query-layer glob expansion and GET /streams both iterate it, so their
+// output is deterministic for a given directory state.
 func (db *DB) Streams() []string {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -707,6 +725,9 @@ func (db *DB) DropStream(name string) error {
 	if derr != nil {
 		return derr
 	}
+	// The engine only destroys files it owns; the DB-level summary sidecar
+	// must not survive into a re-created stream of the same name.
+	db.dropSidecar(name)
 	db.mu.Lock()
 	if db.dir[name] == ent {
 		delete(db.dir, name)
@@ -800,6 +821,15 @@ func (db *DB) Checkpoint() error {
 		if err := eng.Checkpoint(); err != nil {
 			return fmt.Errorf("hsq: checkpoint stream %q: %w", ents[i].name, err)
 		}
+		// Refresh the stream's cold-summary sidecar while its durable state
+		// is known: representable (fully installed, empty buffer) states are
+		// written, others drop any stale sidecar so cold reads fall back to
+		// hydration instead of chasing the manifest cross-check.
+		if parts, steps, total, ok := eng.sealedParts(); ok {
+			db.writeSidecar(ents[i].name, parts, steps, total) //nolint:errcheck // advisory
+		} else {
+			db.dropSidecar(ents[i].name)
+		}
 	}
 	db.mu.Lock()
 	if err := db.saveManifestLocked(); err != nil {
@@ -844,8 +874,15 @@ func (db *DB) Close() error {
 
 	var errs []error
 	for i, eng := range engs {
+		// As in evictOne: capture the sidecar state before Close, write it
+		// after the seal succeeds. If an in-flight operation raced the
+		// capture the sidecar may go stale against the final manifest; the
+		// cold read's manifest cross-check rejects it and hydrates instead.
+		parts, steps, total, summaryOK := eng.sealedParts()
 		if err := eng.Close(); err != nil {
 			errs = append(errs, fmt.Errorf("hsq: close stream %q: %w", names[i], err))
+		} else if summaryOK {
+			db.writeSidecar(names[i], parts, steps, total) //nolint:errcheck // advisory
 		}
 	}
 	if db.sched != nil {

@@ -91,6 +91,53 @@
 // (and, for EndStepCtx under async maintenance, while blocked on
 // backpressure).
 //
+// # Query layer
+//
+// Package internal/query composes quantile queries across streams from a
+// small operator set, evaluated lazily against pinned snapshots:
+//
+//   - member selection: explicit stream lists and/or a segment glob over
+//     the '.'-separated name hierarchy ("api.*.latency", "api.**");
+//   - merge: a group's member summaries are combined with
+//     core.MergeShardSummaries — summaries move, never data;
+//   - group-by: partition the member set by a 1-based name segment
+//     (GroupBy(2) buckets "api.eu.lat" and "api.us.lat" by region);
+//   - windows: tumbling or sliding series of step-aligned time windows;
+//   - time travel: AsOfStep(n) answers as of the end of step n, excluding
+//     the live buffer.
+//
+// Plans are built with db.Query() (or plain JSON via query.ParsePlan —
+// the same object drives hsqd's POST /query and wire subscriptions):
+//
+//	res, err := db.Query().Match("api.*.latency").GroupBy(2).
+//	        Windows(6, 1, 3).Phis(0.5, 0.99).Run()
+//
+// Error composition: each member summary carries per-item rank bands
+// that are merge-invariant, so a merged or grouped answer keeps the
+// single-stream guarantee — rank error at most ⌈1.5·ε·N⌉ where N is the
+// union's element count in scope (the WindowResult reports both ε and
+// the bound). Cold streams answer from their sealed-summary sidecar
+// without hydrating, so a glob over a mostly-cold fleet costs no
+// hydrations and no backend reads; a sidecar that fails its freshness
+// cross-check against the stream manifest falls back to hydration.
+//
+// Retention caveat for AsOfStep and shifted windows: scoped answers are
+// assembled from whole partitions, so both scope ends must land on
+// partition boundaries. Background merges coarsen those boundaries over
+// time — old cut points disappear as their partitions merge (κ controls
+// how fast), and a query that cuts inside a merged partition is refused
+// with the surviving boundaries listed rather than answered beyond the
+// guarantee.
+//
+// Continuous queries push instead of poll: hsqclient.Subscribe registers
+// a plan over the ingest connection and the server re-evaluates it after
+// relevant end-of-step events, debounced (ingest.Config.PushDebounce)
+// and coalesced to the latest state — delivery is at-least-once per
+// dirty state, newest wins, intermediate states may be skipped, and a
+// reconnect re-subscribes rather than replays. A malformed plan nacks
+// just that subscription (wire.ErrCodePlan) and leaves the connection's
+// ingest traffic untouched.
+//
 // # Stream lifecycle
 //
 // A stream is registered or hydrated. Registered means the DB knows the

@@ -146,7 +146,9 @@ type Client struct {
 	mu          sync.Mutex
 	cond        *sync.Cond
 	streams     map[string]*Stream
+	subs        map[uint64]*Subscription
 	nextID      uint64
+	nextSubID   uint64
 	nextSeq     uint64
 	ackedSeq    uint64
 	credit      uint64
@@ -584,11 +586,21 @@ func (c *Client) connectOnce() (net.Conn, *wire.Reader, error) {
 		opens = append(opens, &wire.Frame{Type: wire.TypeOpenStream, StreamID: s.id, Name: s.name})
 	}
 	slices.SortFunc(opens, func(a, b *wire.Frame) int { return int(a.StreamID) - int(b.StreamID) })
-	// Drop queued OpenStream frames (re-issued above) to keep the queue
-	// from accumulating one per reconnect.
+	// Re-register continuous queries with fresh credit: the new server has
+	// no subscription state, and the re-Subscribe triggers a fresh push
+	// (results missed during the outage are not replayed — subscribers get
+	// latest state, not history).
+	for _, sub := range c.subs {
+		sub.mu.Lock()
+		sub.received = 0
+		sub.mu.Unlock()
+		opens = append(opens, subscribeFrame(sub))
+	}
+	// Drop queued OpenStream/Subscribe frames (re-issued above) to keep
+	// the queue from accumulating per reconnect.
 	pending := c.queue[:0]
 	for _, qf := range c.queue {
-		if qf.Type != wire.TypeOpenStream {
+		if qf.Type != wire.TypeOpenStream && qf.Type != wire.TypeSubscribe {
 			pending = append(pending, qf)
 		}
 	}
@@ -604,6 +616,7 @@ func (c *Client) connectOnce() (net.Conn, *wire.Reader, error) {
 // dies) with reconnect attempts, and exits on Close or a terminal error.
 func (c *Client) run(nc net.Conn, r *wire.Reader) {
 	defer close(c.done)
+	defer c.closeSubs()
 	for {
 		readerDone := make(chan struct{})
 		go c.readLoop(nc, r, readerDone)
@@ -794,6 +807,8 @@ func (c *Client) readLoop(nc net.Conn, r *wire.Reader, done chan<- struct{}) {
 			c.cond.Broadcast()
 			c.mu.Unlock()
 			return
+		case wire.TypePush:
+			c.dispatchPush(f)
 		default:
 			// Unexpected server frame: ignore. Forward compatibility —
 			// newer servers may add informational frames.

@@ -1,0 +1,263 @@
+package hsqclient
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// defaultSubscribeCredit is the push budget granted per Subscribe frame;
+// the client renews at half spend, so a healthy consumer never stalls on
+// credit while an abandoned subscription stops costing the server work
+// after at most this many pushes.
+const defaultSubscribeCredit = 256
+
+// PlanError is the server's rejection of a continuous-query plan (or of
+// one evaluation of it). It is scoped to the subscription: the
+// connection and the client's other subscriptions stay healthy.
+type PlanError struct {
+	Code    uint64
+	Message string
+}
+
+func (e *PlanError) Error() string {
+	return fmt.Sprintf("hsqclient: plan rejected: %s", e.Message)
+}
+
+// Update is one pushed re-evaluation of a continuous query.
+type Update struct {
+	// Seq is the per-subscription push counter, starting at 1. Gaps mean
+	// intervening results were coalesced or the consumer lagged — the
+	// carried result is always the newest.
+	Seq uint64
+	// Result is the JSON-encoded query result (the same shape POST
+	// /query returns). Nil when Err is set.
+	Result []byte
+	// Err is set when one evaluation failed server-side (e.g. a selected
+	// stream was dropped). The subscription stays live; later EndSteps
+	// push again.
+	Err error
+}
+
+// Subscription is a standing continuous query: the server re-evaluates
+// the plan when a selected stream finishes a time step and pushes the
+// result. Receive on Updates; stop with Unsubscribe.
+type Subscription struct {
+	c    *Client
+	id   uint64
+	plan []byte
+
+	updates chan Update
+	ready   chan struct{} // closed on the first push (or nack)
+
+	mu       sync.Mutex
+	firstErr error
+	received uint64 // pushes since the last Subscribe frame (credit renewal)
+	closed   bool
+}
+
+// Subscribe registers a continuous query from its JSON plan (the same
+// document POST /query accepts) and blocks until the server confirms it
+// with the initial result push — or rejects the plan, which surfaces
+// here as a *PlanError. The initial result is also delivered on
+// Updates.
+//
+// Delivery is latest-state, not every-state: bursts of step completions
+// are debounced server-side and a slow consumer observes coalesced
+// updates (Update.Seq gaps). After a reconnect the client re-subscribes
+// and the server pushes a fresh evaluation; pushes missed during the
+// outage are not replayed.
+func (c *Client) Subscribe(ctx context.Context, planJSON []byte) (*Subscription, error) {
+	c.mu.Lock()
+	if err := c.errLocked(); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextSubID++
+	sub := &Subscription{
+		c:       c,
+		id:      c.nextSubID,
+		plan:    append([]byte(nil), planJSON...),
+		updates: make(chan Update, 1),
+		ready:   make(chan struct{}),
+	}
+	if c.subs == nil {
+		c.subs = make(map[uint64]*Subscription)
+	}
+	c.subs[sub.id] = sub
+	c.queue = append(c.queue, subscribeFrame(sub))
+	c.cond.Broadcast()
+	c.mu.Unlock()
+
+	select {
+	case <-sub.ready:
+	case <-ctx.Done():
+		sub.Unsubscribe() //nolint:errcheck
+		return nil, ctx.Err()
+	case <-c.done:
+		c.mu.Lock()
+		err := c.errLocked()
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, err
+	}
+	sub.mu.Lock()
+	err := sub.firstErr
+	sub.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return sub, nil
+}
+
+// subscribeFrame builds the (un-sequenced) Subscribe frame for sub; also
+// used to renew credit and to re-register after a reconnect.
+func subscribeFrame(sub *Subscription) *wire.Frame {
+	return &wire.Frame{
+		Type:     wire.TypeSubscribe,
+		StreamID: sub.id,
+		Credit:   defaultSubscribeCredit,
+		Data:     sub.plan,
+	}
+}
+
+// Updates is the subscription's delivery channel. It is closed by
+// Unsubscribe and when the client reaches a terminal state.
+func (s *Subscription) Updates() <-chan Update { return s.updates }
+
+// Unsubscribe deregisters the query and closes Updates. Idempotent.
+func (s *Subscription) Unsubscribe() error {
+	c := s.c
+	c.mu.Lock()
+	delete(c.subs, s.id)
+	alive := c.errLocked() == nil
+	if alive {
+		c.queue = append(c.queue, &wire.Frame{Type: wire.TypeUnsubscribe, StreamID: s.id})
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+	s.close(nil)
+	return nil
+}
+
+// close marks the subscription finished and closes Updates exactly once.
+func (s *Subscription) close(firstErr error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if firstErr != nil {
+		s.firstErr = firstErr
+	}
+	s.mu.Unlock()
+	close(s.updates)
+	s.signalReady()
+}
+
+// signalReady closes the ready gate once.
+func (s *Subscription) signalReady() {
+	select {
+	case <-s.ready:
+	default:
+		close(s.ready)
+	}
+}
+
+// deliver routes one Push frame to the subscription. renew reports that
+// the client should send a credit-renewing Subscribe frame.
+func (s *Subscription) deliver(f *wire.Frame) (renew bool) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	first := false
+	select {
+	case <-s.ready:
+	default:
+		first = true
+	}
+	if f.Code != 0 && first {
+		// Plan rejected before any result: fail the pending Subscribe and
+		// remove the subscription (the server never registered it).
+		s.firstErr = &PlanError{Code: f.Code, Message: f.Message}
+		s.closed = true
+		s.mu.Unlock()
+		close(s.updates)
+		s.signalReady()
+		c := s.c
+		c.mu.Lock()
+		delete(c.subs, s.id)
+		c.mu.Unlock()
+		return false
+	}
+	s.received++
+	renew = s.received >= defaultSubscribeCredit/2
+	if renew {
+		s.received = 0
+	}
+	u := Update{Seq: f.Seq}
+	if f.Code != 0 {
+		u.Err = &PlanError{Code: f.Code, Message: f.Message}
+	} else {
+		u.Result = append([]byte(nil), f.Data...)
+	}
+	// Latest-state delivery: displace a stale undelivered update rather
+	// than blocking the read loop on a slow consumer.
+	select {
+	case s.updates <- u:
+	default:
+		select {
+		case <-s.updates:
+		default:
+		}
+		select {
+		case s.updates <- u:
+		default:
+		}
+	}
+	s.mu.Unlock()
+	s.signalReady()
+	return renew
+}
+
+// closeSubs tears down every live subscription when the client reaches a
+// terminal state, so consumers ranging over Updates unblock.
+func (c *Client) closeSubs() {
+	c.mu.Lock()
+	subs := make([]*Subscription, 0, len(c.subs))
+	for _, sub := range c.subs {
+		subs = append(subs, sub)
+	}
+	clear(c.subs)
+	c.mu.Unlock()
+	for _, sub := range subs {
+		sub.close(ErrClosed)
+	}
+}
+
+// dispatchPush routes a Push frame from the read loop to its
+// subscription, enqueueing a credit renewal when the budget runs low.
+// Unknown subscription IDs are ignored (a push can race Unsubscribe).
+func (c *Client) dispatchPush(f *wire.Frame) {
+	c.mu.Lock()
+	sub := c.subs[f.StreamID]
+	c.mu.Unlock()
+	if sub == nil {
+		return
+	}
+	if sub.deliver(f) {
+		c.mu.Lock()
+		if c.errLocked() == nil && c.subs[sub.id] == sub {
+			c.queue = append(c.queue, subscribeFrame(sub))
+			c.cond.Broadcast()
+		}
+		c.mu.Unlock()
+	}
+}

@@ -104,6 +104,21 @@ func (c *Combined) Value(i int) int64 { return c.items[i].v }
 // Bounds returns (L_i, U_i).
 func (c *Combined) Bounds(i int) (float64, float64) { return c.lower[i], c.upper[i] }
 
+// Epsilon returns the composed error parameter ε = ε₁ + 2ε₂ the summary was
+// built under. The composition is merge-invariant: TS over any union of
+// summaries built with the same (ε₁, ε₂) — other partitions, other streams,
+// other shards — carries the same per-item rank bands, which is why the
+// query layer can report one ε for a merged multi-stream answer.
+func (c *Combined) Epsilon() float64 { return c.eps1 + 2*c.eps2 }
+
+// QuickRankError returns the worst-case rank error of a QuickQuery answer
+// over this summary: ⌈1.5·ε·N⌉ (the paper's quick-response guarantee,
+// Lemma 3). For a merged summary N is the union size, so this is the
+// composed bound a cross-stream merged or grouped answer is subject to.
+func (c *Combined) QuickRankError() int64 {
+	return int64(math.Ceil(1.5 * c.Epsilon() * float64(c.N())))
+}
+
 // BuildCombined constructs TS over one stream summary — the original
 // single-piece shape, kept for callers and tests that have no maintenance
 // backlog. It is BuildPieces with a single piece.

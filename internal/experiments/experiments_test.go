@@ -525,6 +525,40 @@ func TestCardinality(t *testing.T) {
 	}
 }
 
+// TestQueryLayer asserts the query-layer figure's acceptance bar: the
+// merged fleet query answers for strictly fewer backend random reads than
+// N accurate per-stream polls (zero, in fact — it only merges summaries),
+// and the subscription delivers at least one data-carrying push per mode
+// run, also without backend reads.
+func TestQueryLayer(t *testing.T) {
+	tables, err := QueryLayer(tiny, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 3 {
+		t.Fatalf("want one table with 3 mode rows, got %+v", tables)
+	}
+	// Column order: Answers, WallMs, ValuesPerSec, RandReads.
+	npoll, mergedQ, push := tables[0].Rows[0], tables[0].Rows[1], tables[0].Rows[2]
+	if npoll.Cells[3] == 0 {
+		t.Error("N accurate polls cost no backend reads; comparison is vacuous")
+	}
+	if mergedQ.Cells[3] != 0 {
+		t.Errorf("merged query cost %g backend reads, want 0 (summary-only)", mergedQ.Cells[3])
+	}
+	if mergedQ.Cells[3] >= npoll.Cells[3] {
+		t.Errorf("merged query reads %g not below N-poll reads %g", mergedQ.Cells[3], npoll.Cells[3])
+	}
+	for i, r := range tables[0].Rows {
+		if r.Cells[0] <= 0 || r.Cells[2] <= 0 {
+			t.Errorf("mode %d: answers %g / values-per-sec %g, want > 0", i, r.Cells[0], r.Cells[2])
+		}
+	}
+	if push.Cells[3] != 0 {
+		t.Errorf("push path cost %g backend reads, want 0", push.Cells[3])
+	}
+}
+
 // TestQueryPerf asserts the tentpole's acceptance criteria on the
 // queryperf figure: the banded 3-target Quantiles resolves with ≥2× fewer
 // probes than three single-target calls, no workload is ever worse shared

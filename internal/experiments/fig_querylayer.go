@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"repro"
+	"repro/hsqclient"
+	"repro/internal/ingest"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// QueryLayer measures the composable query layer against the dashboard
+// pattern it replaces. A fleet of K streams is loaded into one warehouse;
+// the same three quantile targets are then answered three ways:
+//
+//	NPollAccurate — the pre-query-layer idiom: poll every stream with an
+//	                accurate per-stream Quantiles call, every round. Each
+//	                poll bisects into partition files, so the row pays
+//	                backend random reads (round 1 at least; later rounds
+//	                may resolve from the probe memo).
+//	MergedQuery   — one db.Query() per round over the same fleet: member
+//	                summaries merge in memory and quick queries answer all
+//	                targets, so the row must report zero random reads.
+//	SubscribePush — the continuous path: one wire subscription over the
+//	                fleet glob while further steps stream in over the same
+//	                socket; the server re-evaluates the merged plan and
+//	                pushes coalesced results. Also summary-only.
+//
+// Columns: Answers (quantile values obtained), WallMs, ValuesPerSec
+// (answers per second), RandReads (backend random reads the mode cost).
+// The figure's claim is the cost shape, not raw speed: a merged query
+// answers the fleet for zero reads where N accurate polls pay reads, and
+// the push path sustains that at ingest rate without client polling.
+func QueryLayer(sc Scale, root string) ([]*Table, error) {
+	const (
+		streams   = 8
+		steps     = 6
+		rounds    = 3
+		pushSteps = 4
+	)
+	phis := []float64{0.5, 0.9, 0.99}
+	batch := sc.BatchSize / 4
+	if batch < 1000 {
+		batch = 1000
+	}
+	if batch > 8000 {
+		batch = 8000
+	}
+
+	db, err := hsq.Open(hsq.Options{
+		Epsilon:     0.01,
+		Kappa:       3,
+		Dir:         root + "/querylayer",
+		Backend:     sc.Backend,
+		BlockSize:   sc.BlockSize,
+		CacheBlocks: 64,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close() //nolint:errcheck
+
+	gen := workload.NewUniform(1)
+	names := make([]string, streams)
+	for i := range names {
+		names[i] = fmt.Sprintf("fleet.n%02d.lat", i)
+		st, err := db.Stream(names[i])
+		if err != nil {
+			return nil, err
+		}
+		for s := 0; s < steps; s++ {
+			st.ObserveSlice(workload.Fill(gen, batch))
+			if _, err := st.EndStep(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	t := &Table{
+		ID: "querylayer",
+		Title: fmt.Sprintf("Fleet dashboard: %d streams × %d targets, %d rounds (ε=0.01); rows: 0=NPollAccurate 1=MergedQuery 2=SubscribePush",
+			streams, len(phis), rounds),
+		XLabel:  "Mode",
+		Columns: []string{"Answers", "WallMs", "ValuesPerSec", "RandReads"},
+	}
+	addMode := func(mode float64, answers int, elapsed time.Duration, reads uint64) {
+		t.AddRow(mode, float64(answers), elapsed.Seconds()*1e3,
+			float64(answers)/elapsed.Seconds(), float64(reads))
+	}
+
+	// --- Mode 0: poll every stream, accurately, every round ---------------
+	io0 := db.DiskStats()
+	start := time.Now()
+	polled := 0
+	for r := 0; r < rounds; r++ {
+		for _, name := range names {
+			eng, ok := db.Lookup(name)
+			if !ok {
+				return nil, fmt.Errorf("querylayer: stream %s missing", name)
+			}
+			if _, _, err := eng.Quantiles(phis); err != nil {
+				return nil, err
+			}
+			polled += len(phis)
+		}
+	}
+	addMode(0, polled, time.Since(start), db.DiskStats().RandReads-io0.RandReads)
+
+	// --- Mode 1: one merged query per round -------------------------------
+	plan := &query.Plan{Match: "fleet.**", Phis: phis}
+	io1 := db.DiskStats()
+	start = time.Now()
+	merged := 0
+	for r := 0; r < rounds; r++ {
+		res, err := db.RunPlan(plan)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range res.Groups {
+			for _, w := range g.Windows {
+				merged += len(w.Values)
+			}
+		}
+	}
+	addMode(1, merged, time.Since(start), db.DiskStats().RandReads-io1.RandReads)
+
+	// --- Mode 2: one subscription, pushes ride the ingest -----------------
+	srv := ingest.New(ingest.Config{DB: db, PushDebounce: time.Millisecond})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(l)                          //nolint:errcheck
+	defer srv.Shutdown(context.Background()) //nolint:errcheck
+	c, err := hsqclient.Dial(l.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close() //nolint:errcheck
+
+	planJSON, err := json.Marshal(plan)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := c.Subscribe(context.Background(), planJSON)
+	if err != nil {
+		return nil, err
+	}
+	defer sub.Unsubscribe() //nolint:errcheck
+
+	wantN := int64(streams*steps*batch) + int64(streams*pushSteps*(batch/4))
+	io2 := db.DiskStats()
+	start = time.Now()
+	for s := 0; s < pushSteps; s++ {
+		for _, name := range names {
+			st := c.Stream(name)
+			for _, v := range workload.Fill(gen, batch/4) {
+				if err := st.Observe(v); err != nil {
+					return nil, err
+				}
+			}
+			if err := st.EndStep(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+	// Drain pushes until one reflects the final ingested state; coalescing
+	// may fold intermediate evaluations, which is the point of the path.
+	pushed := 0
+	deadline := time.After(60 * time.Second)
+	for {
+		var u hsqclient.Update
+		select {
+		case u = <-sub.Updates():
+		case <-deadline:
+			return nil, fmt.Errorf("querylayer: no push reached N=%d", wantN)
+		}
+		if u.Err != nil {
+			return nil, u.Err
+		}
+		var res query.Result
+		if err := json.Unmarshal(u.Result, &res); err != nil {
+			return nil, err
+		}
+		if len(res.Groups) != 1 {
+			continue
+		}
+		pushed += len(res.Groups[0].Windows[0].Values)
+		if res.Groups[0].Windows[0].N >= wantN {
+			break
+		}
+	}
+	addMode(2, pushed, time.Since(start), db.DiskStats().RandReads-io2.RandReads)
+	return []*Table{t}, nil
+}

@@ -37,13 +37,15 @@ var Registry = map[string]FigureFunc{
 	"cluster":           ClusterComparison,
 	"cardinality":       Cardinality,
 	"queryperf":         QueryPerf,
+	"querylayer":        QueryLayer,
 }
 
 // FigureIDs returns the registry keys in presentation order.
 func FigureIDs() []string {
 	order := []string{"4", "5", "6", "7", "8", "9", "10", "11", "12", "13",
 		"ablation-split", "ablation-pinning", "ablation-iobudget", "baselines", "theory",
-		"maintenance", "ingest", "columnar", "cluster", "cardinality", "queryperf"}
+		"maintenance", "ingest", "columnar", "cluster", "cardinality", "queryperf",
+		"querylayer"}
 	// Defensive: include any unlisted keys at the end.
 	seen := make(map[string]bool, len(order))
 	for _, k := range order {

@@ -86,6 +86,10 @@ type Config struct {
 	// idle periods. 0 disables the deadline (the default: producers that
 	// connect once and write rarely keep working).
 	IdleTimeout time.Duration
+	// PushDebounce is the settle window between an EndStep and the
+	// continuous-query push it triggers (see subscribe.go). 0 means
+	// DefaultPushDebounce; negative disables debouncing (tests).
+	PushDebounce time.Duration
 	// Cluster, when non-nil, shards the server: frames for streams this
 	// node does not store are routed to the owning shard, applied frames
 	// are fanned to replica followers, and acks wait for both.
@@ -98,12 +102,13 @@ type Config struct {
 // ready immediately (Serve binds it to a listener, ServeConn to a single
 // connection).
 type Server struct {
-	db          *hsq.DB
-	window      uint64
-	sessionTTL  time.Duration
-	idleTimeout time.Duration
-	cluster     ClusterHook
-	logf        func(format string, args ...any)
+	db           *hsq.DB
+	window       uint64
+	sessionTTL   time.Duration
+	idleTimeout  time.Duration
+	pushDebounce time.Duration
+	cluster      ClusterHook
+	logf         func(format string, args ...any)
 
 	mu        sync.Mutex
 	sessions  map[string]*session
@@ -123,6 +128,8 @@ type Server struct {
 	endSteps   atomic.Uint64
 	dupFrames  atomic.Uint64
 	errCount   atomic.Uint64
+	subscribes atomic.Uint64
+	pushes     atomic.Uint64
 }
 
 // session is the durable-for-the-process half of a client: the applied
@@ -176,6 +183,11 @@ type conn struct {
 	streamsMu sync.Mutex
 	streams   map[uint64]bound
 
+	subMu   sync.Mutex
+	subs    map[uint64]*subscription
+	subWake chan struct{}
+	pusher  bool // push goroutine started (guarded by subMu)
+
 	batches  atomic.Uint64
 	values   atomic.Uint64
 	endSteps atomic.Uint64
@@ -196,20 +208,25 @@ func New(cfg Config) *Server {
 	if ttl <= 0 {
 		ttl = DefaultSessionTTL
 	}
+	debounce := cfg.PushDebounce
+	if debounce == 0 {
+		debounce = DefaultPushDebounce
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
-		db:          cfg.DB,
-		window:      uint64(w),
-		sessionTTL:  ttl,
-		idleTimeout: cfg.IdleTimeout,
-		cluster:     cfg.Cluster,
-		logf:        logf,
-		sessions:    make(map[string]*session),
-		conns:       make(map[uint64]*conn),
-		listeners:   make(map[net.Listener]struct{}),
-		streams:     make(map[string]*streamCounters),
-		baseCtx:     ctx,
-		cancel:      cancel,
+		db:           cfg.DB,
+		window:       uint64(w),
+		sessionTTL:   ttl,
+		idleTimeout:  cfg.IdleTimeout,
+		pushDebounce: debounce,
+		cluster:      cfg.Cluster,
+		logf:         logf,
+		sessions:     make(map[string]*session),
+		conns:        make(map[uint64]*conn),
+		listeners:    make(map[net.Listener]struct{}),
+		streams:      make(map[string]*streamCounters),
+		baseCtx:      ctx,
+		cancel:       cancel,
 	}
 }
 
@@ -263,12 +280,13 @@ func (s *Server) startConn(nc net.Conn) <-chan struct{} {
 	s.nextConn++
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	c := &conn{
-		id:     s.nextConn,
-		remote: nc.RemoteAddr().String(),
-		nc:     nc,
-		ctx:    ctx,
-		cancel: cancel,
-		w:      wire.NewWriter(nc),
+		id:      s.nextConn,
+		remote:  nc.RemoteAddr().String(),
+		nc:      nc,
+		ctx:     ctx,
+		cancel:  cancel,
+		w:       wire.NewWriter(nc),
+		subWake: make(chan struct{}, 1),
 	}
 	s.conns[c.id] = c
 	s.wg.Add(1)
@@ -495,6 +513,12 @@ func (s *Server) handle(c *conn) error {
 			if err := s.serveSummary(c, f); err != nil {
 				return err
 			}
+		case wire.TypeSubscribe:
+			if err := s.subscribe(c, f); err != nil {
+				return err
+			}
+		case wire.TypeUnsubscribe:
+			s.unsubscribe(c, f.StreamID)
 		default:
 			return s.sendError(c, wire.ErrCodeProtocol, fmt.Errorf("unexpected %s frame", wire.TypeName(f.Type)))
 		}
@@ -672,6 +696,7 @@ func (s *Server) applySequenced(c *conn, sess *session, f *wire.Frame) (bool, er
 			c.endSteps.Add(1)
 			s.endSteps.Add(1)
 			s.streamCounters(st.Name()).endSteps.Add(1)
+			s.notifySubscribers(st.Name())
 		}
 	}
 	bumpMax(&c.lastSeq, f.Seq)
@@ -777,6 +802,7 @@ type ConnStats struct {
 	Remote   string `json:"remote"`
 	Session  string `json:"session"`
 	Streams  int    `json:"streams"`
+	Subs     int    `json:"subs"`
 	Batches  uint64 `json:"batches"`
 	Values   uint64 `json:"values"`
 	EndSteps uint64 `json:"end_steps"`
@@ -802,6 +828,8 @@ type Stats struct {
 	EndSteps    uint64                       `json:"end_steps"`
 	DupFrames   uint64                       `json:"dup_frames"`
 	Errors      uint64                       `json:"errors"`
+	Subscribes  uint64                       `json:"subscribes"`
+	Pushes      uint64                       `json:"pushes"`
 	Streams     map[string]StreamIngestStats `json:"streams"`
 	Conns       []ConnStats                  `json:"conns"`
 }
@@ -818,6 +846,8 @@ func (s *Server) Stats() Stats {
 		EndSteps:   s.endSteps.Load(),
 		DupFrames:  s.dupFrames.Load(),
 		Errors:     s.errCount.Load(),
+		Subscribes: s.subscribes.Load(),
+		Pushes:     s.pushes.Load(),
 		Streams:    make(map[string]StreamIngestStats),
 	}
 	s.mu.Lock()
@@ -834,11 +864,15 @@ func (s *Server) Stats() Stats {
 		c.streamsMu.Lock()
 		ns := len(c.streams)
 		c.streamsMu.Unlock()
+		c.subMu.Lock()
+		nsub := len(c.subs)
+		c.subMu.Unlock()
 		out.Conns = append(out.Conns, ConnStats{
 			ID:       c.id,
 			Remote:   c.remote,
 			Session:  c.session,
 			Streams:  ns,
+			Subs:     nsub,
 			Batches:  c.batches.Load(),
 			Values:   c.values.Load(),
 			EndSteps: c.endSteps.Load(),

@@ -59,6 +59,52 @@ func (v *Version) WindowEntries(steps int) ([]*Summary, error) {
 		steps, v.AvailableWindows())
 }
 
+// Boundaries returns the step numbers at which the version's partition set
+// can be cut exactly: the EndStep of every partition, in increasing order
+// (plus 0, the empty prefix). Any step range whose two ends both appear
+// here is answerable exactly from whole partitions; StepRangeEntries
+// enforces this and reports the list in its error.
+func (v *Version) Boundaries() []int {
+	chron := v.ChronologicalEntries()
+	out := make([]int, 0, len(chron)+1)
+	out = append(out, 0)
+	for _, e := range chron {
+		out = append(out, e.Part.EndStep)
+	}
+	return out
+}
+
+// StepRangeEntries returns the summaries whose partitions exactly cover the
+// time steps in (from, to] — from exclusive, to inclusive. It generalizes
+// WindowEntries (a suffix range ending at the newest installed step) to the
+// prefix and mid ranges the query layer's AsOfStep time-travel and shifted
+// windows select: partitions tile the installed steps contiguously, so the
+// range is answerable exactly iff both ends land on partition boundaries.
+// Otherwise an error lists the available Boundaries; background merges
+// coarsen them over time, which is the retention caveat on AsOfStep — old
+// cut points disappear as their partitions merge.
+func (v *Version) StepRangeEntries(from, to int) ([]*Summary, error) {
+	if from < 0 || to < from {
+		return nil, fmt.Errorf("partition: invalid step range (%d, %d]", from, to)
+	}
+	if to == from {
+		return nil, nil
+	}
+	var out []*Summary
+	for _, e := range v.ChronologicalEntries() {
+		p := e.Part
+		if p.EndStep <= from || p.StartStep > to {
+			continue
+		}
+		if p.StartStep <= from || p.EndStep > to {
+			return nil, fmt.Errorf("partition: step range (%d, %d] does not align with partition boundaries (available: %v)",
+				from, to, v.Boundaries())
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
 // WindowCount returns the number of historical elements inside the aligned
 // window of the given size.
 func (v *Version) WindowCount(steps int) (int64, error) {

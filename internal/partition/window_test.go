@@ -1,0 +1,131 @@
+package partition
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// stepStore builds a store with `steps` installed time steps of `per`
+// elements each and returns a pinned version. Kappa controls merging:
+// 100 keeps every step its own partition, 2 coarsens aggressively.
+func stepStore(t *testing.T, kappa, steps, per int) *Version {
+	t.Helper()
+	dev := newDev(t)
+	s, err := NewStore(dev, Config{Kappa: kappa, Eps1: 0.1, SortMemElements: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 1; step <= steps; step++ {
+		if _, err := s.AddBatch(seqBatch(int64(step)*1000, per), step); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := s.Pin()
+	t.Cleanup(v.Release)
+	return v
+}
+
+func TestStepRangeEntries(t *testing.T) {
+	v := stepStore(t, 100, 4, 10)
+	if got, want := v.Boundaries(), []int{0, 1, 2, 3, 4}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Boundaries = %v, want %v", got, want)
+	}
+
+	cases := []struct {
+		from, to  int
+		wantSteps [][2]int // per returned entry: (StartStep, EndStep)
+	}{
+		{0, 4, [][2]int{{1, 1}, {2, 2}, {3, 3}, {4, 4}}}, // full history
+		{1, 3, [][2]int{{2, 2}, {3, 3}}},                 // mid range
+		{0, 2, [][2]int{{1, 1}, {2, 2}}},                 // prefix (as-of)
+		{3, 4, [][2]int{{4, 4}}},                         // suffix (window)
+		{2, 2, nil},                                      // empty range
+		{0, 0, nil},
+	}
+	for _, c := range cases {
+		ents, err := v.StepRangeEntries(c.from, c.to)
+		if err != nil {
+			t.Fatalf("(%d, %d]: %v", c.from, c.to, err)
+		}
+		var got [][2]int
+		for _, e := range ents {
+			got = append(got, [2]int{e.Part.StartStep, e.Part.EndStep})
+			if e.Part.Count != 10 {
+				t.Fatalf("(%d, %d]: partition count %d, want 10", c.from, c.to, e.Part.Count)
+			}
+		}
+		if !reflect.DeepEqual(got, c.wantSteps) {
+			t.Fatalf("(%d, %d]: entries %v, want %v", c.from, c.to, got, c.wantSteps)
+		}
+	}
+
+	for _, bad := range [][2]int{{-1, 2}, {3, 1}} {
+		if _, err := v.StepRangeEntries(bad[0], bad[1]); err == nil {
+			t.Fatalf("(%d, %d] accepted", bad[0], bad[1])
+		}
+	}
+}
+
+// TestStepRangeEntriesAlignment pins the retention caveat: once merges
+// coarsen partitions, cut points inside a merged partition are refused
+// with the surviving boundaries listed.
+func TestStepRangeEntriesAlignment(t *testing.T) {
+	// κ=2 merges aggressively: after 5 steps some step boundaries have
+	// been absorbed into multi-step partitions.
+	const steps = 5
+	v := stepStore(t, 2, steps, 10)
+	bounds := v.Boundaries()
+	if len(bounds) >= steps+1 {
+		t.Fatalf("Boundaries = %v: no merge happened, test is vacuous", bounds)
+	}
+	onBoundary := make(map[int]bool, len(bounds))
+	for _, b := range bounds {
+		onBoundary[b] = true
+	}
+	if !onBoundary[0] || !onBoundary[steps] {
+		t.Fatalf("Boundaries = %v missing the endpoints", bounds)
+	}
+
+	// Any range between surviving boundaries is still answerable exactly,
+	// covering exactly that many steps' worth of elements.
+	for i, from := range bounds {
+		for _, to := range bounds[i:] {
+			ents, err := v.StepRangeEntries(from, to)
+			if err != nil {
+				t.Fatalf("(%d, %d]: %v", from, to, err)
+			}
+			var n int64
+			for _, e := range ents {
+				n += e.Part.Count
+			}
+			if n != int64(to-from)*10 {
+				t.Fatalf("(%d, %d]: %d elements, want %d", from, to, n, (to-from)*10)
+			}
+		}
+	}
+
+	// A cut point inside a merged partition is refused, listing the
+	// surviving boundaries — the AsOfStep retention caveat.
+	for cut := 1; cut < steps; cut++ {
+		if onBoundary[cut] {
+			continue
+		}
+		_, err := v.StepRangeEntries(0, cut)
+		if err == nil {
+			t.Fatalf("cut at absorbed step %d accepted (boundaries %v)", cut, bounds)
+		}
+		if !contains(err.Error(), "align") || !contains(err.Error(), fmt.Sprint(bounds)) {
+			t.Fatalf("alignment error %q does not list boundaries %v", err, bounds)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,96 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestValidatePattern(t *testing.T) {
+	valid := []string{"a", "a.b", "*", "a.*.c", "a.**", "**", "?x.b", "[ab].c"}
+	for _, p := range valid {
+		if err := ValidatePattern(p); err != nil {
+			t.Errorf("ValidatePattern(%q) = %v, want nil", p, err)
+		}
+	}
+	invalid := []string{"", "a..b", ".a", "a.", "**.a", "a.**.b", "a.["}
+	for _, p := range invalid {
+		if err := ValidatePattern(p); err == nil {
+			t.Errorf("ValidatePattern(%q) accepted", p)
+		}
+	}
+}
+
+func TestMatchStream(t *testing.T) {
+	cases := []struct {
+		pattern, name string
+		want          bool
+	}{
+		{"api.eu", "api.eu", true},
+		{"api.eu", "api.us", false},
+		// '*' spans one segment only; segment counts must agree.
+		{"api.*", "api.eu", true},
+		{"api.*", "api.eu.lat", false},
+		{"api.*", "api", false},
+		{"*.lat", "api.lat", true},
+		{"*.lat", "api.eu.lat", false},
+		// A trailing '**' matches any number of further segments, even none.
+		{"api.**", "api", true},
+		{"api.**", "api.eu", true},
+		{"api.**", "api.eu.lat", true},
+		{"api.**", "ap", false},
+		{"**", "anything.at.all", true},
+		// path.Match classes stay inside one segment.
+		{"api.[eu][uw]", "api.eu", true},
+		{"api.[eu][uw]", "api.xx", false},
+		{"api.e?", "api.eu", true},
+	}
+	for _, c := range cases {
+		got, err := MatchStream(c.pattern, c.name)
+		if err != nil {
+			t.Errorf("MatchStream(%q, %q): %v", c.pattern, c.name, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("MatchStream(%q, %q) = %v, want %v", c.pattern, c.name, got, c.want)
+		}
+	}
+	// A malformed class errors per candidate; ValidatePattern catches it at
+	// parse time, MatchStream reports it too for direct callers.
+	if _, err := MatchStream("a.[", "a.x"); err == nil {
+		t.Error("malformed class matched without error")
+	}
+}
+
+func TestExpandStreams(t *testing.T) {
+	directory := []string{"api.eu.lat", "api.us.lat", "db.eu.lat", "web.eu.err"}
+	cases := []struct {
+		name string
+		plan Plan
+		want []string
+	}{
+		{"glob only", Plan{Match: "api.*.lat"}, []string{"api.eu.lat", "api.us.lat"}},
+		{"explicit only", Plan{Streams: []string{"web.eu.err", "db.eu.lat"}},
+			[]string{"db.eu.lat", "web.eu.err"}},
+		// Explicit streams merge into the glob's matches, deduplicated and
+		// sorted; they need not match the pattern or exist in the directory.
+		{"explicit plus glob", Plan{Streams: []string{"api.eu.lat", "zzz.new"}, Match: "api.**"},
+			[]string{"api.eu.lat", "api.us.lat", "zzz.new"}},
+		{"explicit sorts in", Plan{Streams: []string{"db.eu.lat", "aaa"}, Match: "api.*.lat"},
+			[]string{"aaa", "api.eu.lat", "api.us.lat", "db.eu.lat"}},
+		{"duplicate explicit", Plan{Streams: []string{"x", "x", "x"}}, []string{"x"}},
+		{"no matches", Plan{Match: "nope.*"}, nil},
+	}
+	for _, c := range cases {
+		got, err := ExpandStreams(&c.plan, directory)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+	if _, err := ExpandStreams(&Plan{Match: "a.["}, []string{"a.x"}); err == nil {
+		t.Error("malformed pattern expanded without error")
+	}
+}

@@ -66,14 +66,36 @@
 //	SummaryReq  uvarint seq | name: uvarint len + bytes
 //	SummaryResp uvarint seq | uvarint code | message: uvarint len + bytes
 //	            | data: uvarint len + bytes
+//	Subscribe   uvarint subID | uvarint credit | plan: uvarint len + bytes
+//	Unsubscribe uvarint subID
+//	Push        uvarint subID | uvarint seq | uvarint code
+//	            | message: uvarint len + bytes | data: uvarint len + bytes
+//
+// # Continuous queries
+//
+// Subscribe registers a continuous query: the payload carries a JSON query
+// plan (see internal/query) under a client-chosen subscription ID (the
+// StreamID field — IDs share nothing with stream bindings). The server
+// evaluates the plan and pushes the result as a Push frame, then re-pushes
+// after every EndStep touching a member stream, debounced and coalesced to
+// the latest state. Credit bounds delivery: the server sends at most
+// `credit` pushes for one Subscribe (0 = unbounded); the client re-sends
+// Subscribe with the same subID to replenish (and/or replace the plan).
+// Push.Seq numbers the pushes of one subscription from 1. A Push with a
+// nonzero Code carries no result: it reports a per-subscription error
+// (e.g. ErrCodePlan for an unevaluable plan) without poisoning the
+// connection the way an Error frame would. Unsubscribe cancels the ID;
+// pushes are not replayed across reconnects — the client re-subscribes and
+// the first new push is a fresh full evaluation.
 //
 // # Version 2
 //
 // Version 2 adds keepalive (Ping/Pong), summary fetch (SummaryReq/
-// SummaryResp), Hello flags marking relayed and leaf connections, and a
-// Welcome extension restating the last applied sequence per stream name.
-// Both extensions are appended as optional trailing fields, so a v1 peer's
-// frames decode unchanged; servers accept v1 and v2 Hellos.
+// SummaryResp), Hello flags marking relayed and leaf connections, a
+// Welcome extension restating the last applied sequence per stream name,
+// and the continuous-query frames (Subscribe/Unsubscribe/Push).
+// Extensions to v1 frames are appended as optional trailing fields, so a
+// v1 peer's frames decode unchanged; servers accept v1 and v2 Hellos.
 package wire
 
 import (
@@ -121,6 +143,9 @@ const (
 	TypePong        = 0x0A // either direction: keepalive echo (v2)
 	TypeSummaryReq  = 0x0B // client → server: request a stream's shard summary (v2)
 	TypeSummaryResp = 0x0C // server → client: encoded shard summary or error (v2)
+	TypeSubscribe   = 0x0D // client → server: register/renew a continuous query (v2)
+	TypeUnsubscribe = 0x0E // client → server: cancel a continuous query (v2)
+	TypePush        = 0x0F // server → client: continuous query result or per-sub error (v2)
 )
 
 // Hello flags (v2). A plain client sends no flags; cluster-internal
@@ -136,11 +161,16 @@ const (
 	HelloFlagLeaf = 1 << 1
 )
 
-// Error codes carried by Error frames.
+// Error codes carried by Error and Push frames. The code is the
+// machine-readable half of the error: clients branch on it — not on the
+// message text — to decide whether a failure is fatal (ErrCodeProtocol,
+// ErrCodePlan) or retryable after reconnecting (ErrCodeShutdown, and any
+// connection-level failure without a code).
 const (
-	ErrCodeProtocol = 1 // malformed frame, bad magic or version mismatch
+	ErrCodeProtocol = 1 // malformed frame, bad magic or version mismatch; not retryable
 	ErrCodeStream   = 2 // stream open or apply failure
 	ErrCodeShutdown = 3 // server shutting down; reconnect later
+	ErrCodePlan     = 4 // invalid or unevaluable query plan; retrying the same plan cannot succeed
 )
 
 // ErrFrameTooLarge is returned by Reader.ReadFrame for a length prefix
@@ -164,14 +194,14 @@ type Frame struct {
 	Version    byte        // Hello, Welcome
 	Session    string      // Hello
 	Flags      uint64      // Hello (v2)
-	Seq        uint64      // Batch, EndStep, Flush, Ack, Ping, Pong, SummaryReq/Resp; Welcome's LastSeq
-	Credit     uint64      // Welcome, Ack
-	StreamID   uint64      // OpenStream, Batch, EndStep
+	Seq        uint64      // Batch, EndStep, Flush, Ack, Ping, Pong, SummaryReq/Resp; Welcome's LastSeq; Push's per-sub counter
+	Credit     uint64      // Welcome, Ack; Subscribe's push budget
+	StreamID   uint64      // OpenStream, Batch, EndStep; the subscription ID for Subscribe/Unsubscribe/Push
 	Name       string      // OpenStream, SummaryReq
 	Values     []int64     // Batch
-	Code       uint64      // Error, SummaryResp
-	Message    string      // Error, SummaryResp
-	Data       []byte      // SummaryResp
+	Code       uint64      // Error, SummaryResp, Push
+	Message    string      // Error, SummaryResp, Push
+	Data       []byte      // SummaryResp; Subscribe's JSON plan; Push's JSON result
 	StreamSeqs []StreamSeq // Welcome (v2)
 }
 
@@ -201,6 +231,12 @@ func (f *Frame) String() string {
 		return fmt.Sprintf("SummaryReq{seq=%d name=%q}", f.Seq, f.Name)
 	case TypeSummaryResp:
 		return fmt.Sprintf("SummaryResp{seq=%d code=%d %q data=%d}", f.Seq, f.Code, f.Message, len(f.Data))
+	case TypeSubscribe:
+		return fmt.Sprintf("Subscribe{sub=%d credit=%d plan=%d}", f.StreamID, f.Credit, len(f.Data))
+	case TypeUnsubscribe:
+		return fmt.Sprintf("Unsubscribe{sub=%d}", f.StreamID)
+	case TypePush:
+		return fmt.Sprintf("Push{sub=%d seq=%d code=%d %q data=%d}", f.StreamID, f.Seq, f.Code, f.Message, len(f.Data))
 	default:
 		return fmt.Sprintf("Frame{type=%#x}", f.Type)
 	}
@@ -279,6 +315,20 @@ func AppendFrame(buf []byte, f *Frame) ([]byte, error) {
 		payload = binary.AppendUvarint(payload, f.Seq)
 		payload = appendString(payload, f.Name)
 	case TypeSummaryResp:
+		payload = binary.AppendUvarint(payload, f.Seq)
+		payload = binary.AppendUvarint(payload, f.Code)
+		payload = appendString(payload, f.Message)
+		payload = binary.AppendUvarint(payload, uint64(len(f.Data)))
+		payload = append(payload, f.Data...)
+	case TypeSubscribe:
+		payload = binary.AppendUvarint(payload, f.StreamID)
+		payload = binary.AppendUvarint(payload, f.Credit)
+		payload = binary.AppendUvarint(payload, uint64(len(f.Data)))
+		payload = append(payload, f.Data...)
+	case TypeUnsubscribe:
+		payload = binary.AppendUvarint(payload, f.StreamID)
+	case TypePush:
+		payload = binary.AppendUvarint(payload, f.StreamID)
 		payload = binary.AppendUvarint(payload, f.Seq)
 		payload = binary.AppendUvarint(payload, f.Code)
 		payload = appendString(payload, f.Message)
@@ -437,6 +487,18 @@ func DecodeFrame(typ byte, payload []byte) (*Frame, error) {
 		f.Code = d.uvarint()
 		f.Message = d.string(MaxFrameSize)
 		f.Data = d.blob(MaxFrameSize)
+	case TypeSubscribe:
+		f.StreamID = d.uvarint()
+		f.Credit = d.uvarint()
+		f.Data = d.blob(MaxFrameSize)
+	case TypeUnsubscribe:
+		f.StreamID = d.uvarint()
+	case TypePush:
+		f.StreamID = d.uvarint()
+		f.Seq = d.uvarint()
+		f.Code = d.uvarint()
+		f.Message = d.string(MaxFrameSize)
+		f.Data = d.blob(MaxFrameSize)
 	default:
 		return nil, fmt.Errorf("wire: unknown frame type %#x", typ)
 	}
@@ -476,6 +538,12 @@ func TypeName(typ byte) string {
 		return "summary-req"
 	case TypeSummaryResp:
 		return "summary-resp"
+	case TypeSubscribe:
+		return "subscribe"
+	case TypeUnsubscribe:
+		return "unsubscribe"
+	case TypePush:
+		return "push"
 	default:
 		return fmt.Sprintf("%#x", typ)
 	}

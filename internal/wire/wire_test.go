@@ -40,6 +40,12 @@ func sampleFrames() []*Frame {
 		{Type: TypeSummaryReq, Seq: 0, Name: ""},
 		{Type: TypeSummaryResp, Seq: 11, Code: 0, Data: []byte{0x01, 0x00, 0xfe}},
 		{Type: TypeSummaryResp, Seq: 12, Code: ErrCodeStream, Message: "unknown stream", Data: nil},
+		{Type: TypeSubscribe, StreamID: 1, Credit: 256, Data: []byte(`{"match":"api.*","phis":[0.99]}`)},
+		{Type: TypeSubscribe, StreamID: 1 << 33, Credit: 0, Data: nil},
+		{Type: TypeUnsubscribe, StreamID: 1},
+		{Type: TypeUnsubscribe, StreamID: math.MaxUint64},
+		{Type: TypePush, StreamID: 1, Seq: 4, Data: []byte(`{"groups":[]}`)},
+		{Type: TypePush, StreamID: 2, Seq: 1, Code: ErrCodePlan, Message: "plan selects no streams"},
 	}
 }
 

@@ -1,0 +1,112 @@
+package hsq
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// ScopedSummary is Summary restricted to a query-layer step scope: a
+// window of Scope.Window steps ending Scope.Back steps before the newest
+// step (or at Scope.AsOf, the time-travel pin on the snapshot's immutable
+// step prefix). The full-history zero scope is exactly Summary.
+//
+// Selection composes the two step-aligned sources of the snapshot:
+// installed partitions are cut on partition boundaries
+// (partition.Version.StepRangeEntries — background merges coarsen the
+// available boundaries over time, so old AsOf cut points gradually
+// disappear), and sealed-but-uninstalled steps are individually
+// addressable pieces layered on top. The live unsealed buffer belongs to
+// the current, incomplete step: it is included only in the newest scope
+// (no Back shift, no AsOf pin).
+func (e *Engine) ScopedSummary(sc query.Scope) (*core.ShardSummary, error) {
+	if sc.Window < 0 || sc.Back < 0 || sc.AsOf < 0 {
+		return nil, fmt.Errorf("hsq: invalid scope %+v", sc)
+	}
+	s, err := e.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	defer s.release()
+	sum := &core.ShardSummary{Eps1: e.eps1, Eps2: e.eps2}
+	installed := s.ver.InstalledSteps()
+	latest := installed + s.sealed
+	end := latest
+	includeLive := true
+	if sc.AsOf > 0 {
+		if sc.AsOf > latest {
+			return nil, fmt.Errorf("hsq: as_of_step %d is beyond the newest sealed step %d", sc.AsOf, latest)
+		}
+		end = sc.AsOf
+		includeLive = false
+	}
+	if sc.Back > 0 {
+		end -= sc.Back
+		includeLive = false
+		if end < 0 {
+			return nil, fmt.Errorf("hsq: window shifted %d steps back ends before the first step (newest is %d)", sc.Back, latest)
+		}
+	}
+	start := 0
+	if sc.Window > 0 {
+		start = end - sc.Window
+		if start < 0 {
+			return nil, fmt.Errorf("hsq: window of %d steps ending at step %d extends before the first step", sc.Window, end)
+		}
+	}
+	// Installed partitions covering (start, min(end, installed)].
+	if histEnd := min(end, installed); histEnd > start {
+		ents, err := s.ver.StepRangeEntries(start, histEnd)
+		if err != nil {
+			return nil, fmt.Errorf("hsq: %w", err)
+		}
+		sum.Parts = make([]core.PartSummary, 0, len(ents))
+		for _, ps := range ents {
+			sum.Parts = append(sum.Parts, core.PartSummary{Count: ps.Part.Count, Values: ps.Values})
+			sum.N += ps.Part.Count
+		}
+	}
+	// Sealed pieces: snapshot piece i covers step installed+1+i (the
+	// snapshot keeps exactly the pieces the pinned version has not
+	// installed, oldest first, and sealed steps are consecutive).
+	for i := 0; i < s.sealed; i++ {
+		step := installed + 1 + i
+		if step > start && step <= end {
+			sum.Pieces = append(sum.Pieces, s.pieces[i])
+			sum.N += s.pieces[i].M
+		}
+	}
+	if includeLive && s.m > 0 {
+		sum.Pieces = append(sum.Pieces, s.pieces[s.sealed:]...)
+		sum.N += s.m
+	}
+	return sum, nil
+}
+
+// sealedParts captures the engine's fully-installed summary state for the
+// cold-summary sidecar: every installed partition's (count, values,
+// step range) plus the covered step count. ok is false whenever the state
+// goes beyond installed partitions — a live observe buffer or
+// sealed-but-uninstalled steps — because the sidecar format represents
+// exactly what survives an eviction (eviction requires both to be empty).
+func (e *Engine) sealedParts() (parts []sidecarPart, steps int, total int64, ok bool) {
+	s, err := e.snapshot()
+	if err != nil {
+		return nil, 0, 0, false
+	}
+	defer s.release()
+	if s.m > 0 || s.sealed > 0 {
+		return nil, 0, 0, false
+	}
+	for _, ps := range s.ver.ChronologicalEntries() {
+		parts = append(parts, sidecarPart{
+			Count:     ps.Part.Count,
+			StartStep: ps.Part.StartStep,
+			EndStep:   ps.Part.EndStep,
+			Values:    ps.Values,
+		})
+		total += ps.Part.Count
+	}
+	return parts, s.ver.InstalledSteps(), total, true
+}
